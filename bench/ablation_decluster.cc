@@ -1,0 +1,93 @@
+// Ablation: the decluster factor tradeoff (§2.3).
+//
+// "The tradeoff in the choice of decluster factor is between reserving
+// bandwidth for failed mode operation and decreased fault tolerance. With a
+// decluster factor of 4, only a fifth of total disk and network bandwidth
+// needs to be reserved for failed mode operation, but a second failure on any
+// of 8 machines would result in the loss of data. Conversely, a decluster
+// factor of 2 consumes a third of system bandwidth for fault tolerance, but
+// can survive failures more than two cubs away from any other failure."
+//
+// For each decluster factor this bench reports the schedule capacity (slots),
+// the bandwidth fraction reserved for failed-mode operation, the number of
+// machines a second failure must avoid, and — measured — the failed-mode
+// mirroring-disk duty at full load.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/client/ramp_experiment.h"
+#include "src/client/testbed.h"
+#include "src/stats/table.h"
+
+namespace tiger {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  PrintHeader("ablation_decluster: mirror declustering factor tradeoff",
+              "§2.3 of Bolosky et al., SOSP 1997");
+
+  TextTable table({"decluster", "slots", "reserved_bw", "2nd-failure danger zone",
+                   "mirror_disk_duty@full", "cub_cpu@full"});
+
+  for (int decluster : {1, 2, 4, 8}) {
+    TigerConfig config;
+    config.shape.decluster_factor = decluster;
+
+    // Analytic columns straight from the model.
+    TigerConfig unreserved = config;
+    unreserved.fault_tolerant = false;
+    const double reserved =
+        1.0 - static_cast<double>(config.MaxStreams()) /
+                  static_cast<double>(unreserved.MaxStreams());
+
+    // Measured failed-mode load at this factor's full capacity.
+    RampOptions options;
+    options.fail_cub = CubId(7);
+    options.probe_cub = CubId(8);
+    options.max_streams = static_cast<int>(config.MaxStreams());
+    if (args.quick) {
+      options.max_streams = std::min(options.max_streams, 150);
+      options.step_interval = Duration::Seconds(20);
+      options.measure_window = Duration::Seconds(10);
+      options.step_size = 50;
+    } else {
+      options.step_size = 100;
+      options.step_interval = Duration::Seconds(30);
+      options.measure_window = Duration::Seconds(20);
+    }
+    Testbed testbed(config, args.seed);
+    testbed.AddContent(32, Duration::Seconds(3600));
+    RampResult result = RunRampExperiment(testbed, options);
+    const RampStepResult& full = result.steps.back();
+
+    char danger[48];
+    std::snprintf(danger, sizeof(danger), "%d machines", 2 * decluster);
+    table.Row()
+        .Int(decluster)
+        .Int(config.MaxStreams())
+        .Percent(reserved)
+        .Str(danger)
+        .Percent(full.probe_cub_disk_util)
+        .Percent(full.mean_cub_cpu);
+  }
+  table.Print();
+  if (args.csv) {
+    std::printf("\n%s", table.ToCsv().c_str());
+  }
+  std::printf(
+      "\npaper: decluster 4 reserves ~a fifth of bandwidth (vs ~a third at decluster 2)\n"
+      "but widens the window where a second failure loses data (the danger zone spans the\n"
+      "failed cub's mirrors and mirror-sources). Larger factors buy capacity with fragility;\n"
+      "the paper's testbed chose 4. Our reserved fractions run higher than the paper's\n"
+      "idealized 1/(decluster+1) because each fragment read pays full seek+rotation\n"
+      "overhead, which the idealization ignores; the trend (reserve shrinks, danger zone\n"
+      "grows, with diminishing capacity returns past 4) is the paper's argument.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tiger
+
+int main(int argc, char** argv) { return tiger::Main(argc, argv); }

@@ -1,0 +1,100 @@
+// Ablation: disk queue discipline under pressure (§3.2).
+//
+// "The disk schedule in the single bitrate Tiger not only avoids hotspots,
+// it specifies the time at which each block must be sent to the network...
+// entries in the disk schedule are free to move around, as long as they're
+// completed before they're due at the network."
+//
+// This bench runs the failed-mode system (mirroring disks near 95% duty)
+// with aggressive disk blips under FIFO and earliest-deadline-first queueing
+// and compares missed blocks: reordering lets a drive recover from a blip by
+// serving the most urgent read first instead of draining the backlog in
+// arrival order.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/client/ramp_experiment.h"
+#include "src/client/testbed.h"
+#include "src/stats/table.h"
+
+namespace tiger {
+namespace {
+
+struct Outcome {
+  int64_t blocks = 0;
+  int64_t server_missed = 0;
+  double mirror_disk_util = 0;
+};
+
+Outcome Run(DiskQueueDiscipline discipline, uint64_t seed, bool quick) {
+  TigerConfig config;
+  config.disk_discipline = discipline;
+  // Heavy blips so the queue backlog (and thus the discipline) matters.
+  config.disk_model.blip_probability = 3e-4;
+  config.disk_model.blip_min = Duration::Millis(200);
+  config.disk_model.blip_max = Duration::Millis(1200);
+  // Variable read-ahead (as the paper describes): submission order diverges
+  // from deadline order, so the queue discipline matters.
+  config.read_ahead = Duration::Millis(1200);
+  config.read_ahead_jitter = Duration::Millis(900);
+
+  RampOptions options;
+  options.fail_cub = CubId(7);
+  options.probe_cub = CubId(8);
+  options.step_size = 100;
+  options.step_interval = Duration::Seconds(20);
+  options.measure_window = Duration::Seconds(10);
+  options.max_streams = quick ? 300 : 602;
+
+  Testbed testbed(config, seed);
+  testbed.AddContent(32, Duration::Seconds(3600));
+  RampResult result = RunRampExperiment(testbed, options);
+  testbed.RunFor(quick ? Duration::Seconds(60) : Duration::Seconds(300));
+
+  Outcome outcome;
+  Cub::Counters cubs = testbed.system().TotalCubCounters();
+  outcome.blocks = cubs.blocks_sent + cubs.server_missed_blocks;
+  outcome.server_missed = cubs.server_missed_blocks;
+  outcome.mirror_disk_util = result.steps.back().probe_cub_disk_util;
+  return outcome;
+}
+
+int Main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  PrintHeader("ablation_disk_edf: FIFO vs deadline-ordered disk queues",
+              "§3.2 disk-schedule reordering observation of Bolosky et al., SOSP 1997");
+
+  TextTable table({"discipline", "blocks", "server_missed", "miss_rate"});
+  for (DiskQueueDiscipline discipline :
+       {DiskQueueDiscipline::kFifo, DiskQueueDiscipline::kEarliestDeadlineFirst}) {
+    Outcome outcome = Run(discipline, args.seed, args.quick);
+    char rate[48];
+    if (outcome.server_missed > 0) {
+      std::snprintf(rate, sizeof(rate), "1 in %lld",
+                    static_cast<long long>(outcome.blocks / outcome.server_missed));
+    } else {
+      std::snprintf(rate, sizeof(rate), "no misses");
+    }
+    table.Row()
+        .Str(discipline == DiskQueueDiscipline::kFifo ? "FIFO" : "EDF")
+        .Int(outcome.blocks)
+        .Int(outcome.server_missed)
+        .Str(rate);
+  }
+  table.Print();
+  if (args.csv) {
+    std::printf("\n%s", table.ToCsv().c_str());
+  }
+  std::printf(
+      "\npaper: because reads only need to finish before their network due times, the\n"
+      "drive may reorder them. Under blip-induced backlogs on ~95%%-duty mirroring disks,\n"
+      "deadline ordering sacrifices already-doomed reads instead of on-time ones and\n"
+      "misses fewer blocks than FIFO.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tiger
+
+int main(int argc, char** argv) { return tiger::Main(argc, argv); }

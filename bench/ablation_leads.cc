@@ -1,0 +1,116 @@
+// Ablation: the minVStateLead / maxVStateLead gap (§4.1.1).
+//
+// "Maintaining a certain minimum lead time allows the cubs to tolerate some
+// variability in communication latency... Limiting the maximum lead time to a
+// constant guarantees that the amount of schedule information that a cub
+// needs to keep does not depend on the size of the system. Having a gap in
+// between them allows the cubs to group viewer states together into a single
+// network message before forwarding them, and so reduce communications
+// overhead."
+//
+// This bench sweeps the lead gap and measures messages/second, bytes/second,
+// records per message (batching efficiency), and peak view size; then sweeps
+// network latency at a fixed minimum lead to show the latency-tolerance role.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/client/testbed.h"
+#include "src/stats/table.h"
+
+namespace tiger {
+namespace {
+
+struct Sample {
+  double msgs_per_sec = 0;
+  double bytes_per_sec = 0;
+  double records_per_msg = 0;
+  size_t peak_view = 0;
+  int64_t lost_blocks = 0;
+};
+
+Sample Run(Duration max_lead, Duration base_latency, uint64_t seed, bool quick) {
+  TigerConfig config;
+  config.max_vstate_lead = max_lead;
+  config.net.base_latency = base_latency;
+  Testbed testbed(config, seed);
+  testbed.AddContent(32, Duration::Seconds(3600));
+  testbed.Start();
+  const int streams = quick ? 120 : 300;
+  testbed.AddLoopingViewers(streams, Duration::Seconds(10), /*steady_state=*/true);
+  testbed.RunFor(Duration::Seconds(20));
+
+  TigerSystem& system = testbed.system();
+  const NetAddress probe = system.cub(CubId(0)).address();
+  const int64_t msgs_before = system.net().ControlMessagesSent(probe);
+  const int64_t records_before = system.cub(CubId(1)).counters().records_received +
+                                 system.cub(CubId(2)).counters().records_received;
+  TimePoint a = testbed.sim().Now();
+  testbed.RunFor(Duration::Seconds(20));
+  TimePoint b = testbed.sim().Now();
+
+  Sample sample;
+  const double window = (b - a).seconds();
+  sample.msgs_per_sec =
+      static_cast<double>(system.net().ControlMessagesSent(probe) - msgs_before) / window;
+  sample.bytes_per_sec = system.net().ControlBytesSent(probe).RatePerSecond(a, b);
+  const double records = static_cast<double>(
+      system.cub(CubId(1)).counters().records_received +
+      system.cub(CubId(2)).counters().records_received - records_before);
+  sample.records_per_msg =
+      sample.msgs_per_sec > 0 ? records / (sample.msgs_per_sec * window) : 0;
+  for (int c = 0; c < system.cub_count(); ++c) {
+    sample.peak_view = std::max(
+        sample.peak_view, system.cub(CubId(static_cast<uint32_t>(c))).view().entry_count());
+  }
+  sample.lost_blocks = testbed.TotalClientStats().lost_blocks;
+  return sample;
+}
+
+int Main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  PrintHeader("ablation_leads: the minVStateLead/maxVStateLead gap",
+              "§4.1.1 lead-time discussion of Bolosky et al., SOSP 1997");
+
+  std::printf("sweep 1: max lead (min fixed at 4 s) — batching vs view size\n\n");
+  TextTable gap_table({"max_lead_s", "msgs/s(cub0)", "KB/s(cub0)", "records/msg",
+                       "peak_view_entries"});
+  for (int64_t max_s : {5, 7, 9, 14}) {
+    Sample sample = Run(Duration::Seconds(max_s), Duration::Micros(300), args.seed,
+                        args.quick);
+    gap_table.Row()
+        .Int(max_s)
+        .Double(sample.msgs_per_sec, 1)
+        .Double(sample.bytes_per_sec / 1024.0, 2)
+        .Double(sample.records_per_msg, 1)
+        .Int(static_cast<int64_t>(sample.peak_view));
+  }
+  gap_table.Print();
+
+  std::printf("\nsweep 2: network latency at the default leads — latency tolerance\n\n");
+  TextTable latency_table({"base_latency_ms", "lost_blocks"});
+  // The paper's envelope: "the block play time must be bigger than the
+  // largest expected inter-cub communication latency" — the last row steps
+  // outside it deliberately.
+  for (int64_t ms : {0, 10, 100, 500, 800, 1500}) {
+    Sample sample =
+        Run(Duration::Seconds(9), Duration::Millis(ms), args.seed + 1, args.quick);
+    latency_table.Row().Int(ms).Int(sample.lost_blocks);
+  }
+  latency_table.Print();
+  if (args.csv) {
+    std::printf("\n%s\n%s", gap_table.ToCsv().c_str(), latency_table.ToCsv().c_str());
+  }
+  std::printf(
+      "\npaper: a wider gap lets more records share a message (records/msg rises, messages\n"
+      "fall) at the cost of a larger view each cub must hold. The minimum lead absorbs\n"
+      "sub-block-play-time communication latency without a single late block; beyond the\n"
+      "paper's stated envelope (latency >= block play time, last row) the slot-ownership\n"
+      "timing argument no longer holds and service degrades — exactly as §4.1.3 warns.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tiger
+
+int main(int argc, char** argv) { return tiger::Main(argc, argv); }

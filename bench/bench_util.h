@@ -1,0 +1,59 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench binary accepts:
+//   --quick            scaled-down run (fewer steps, smaller system) for CI
+//   --seed=N           RNG seed (default 1)
+//   --max-streams=N    override the ramp target
+//   --csv              also dump rows as CSV after the table
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace tiger {
+
+struct BenchArgs {
+  bool quick = false;
+  bool csv = false;
+  uint64_t seed = 1;
+  int max_streams = -1;  // -1: bench default.
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strcmp(a, "--quick") == 0) {
+        args.quick = true;
+      } else if (std::strcmp(a, "--csv") == 0) {
+        args.csv = true;
+      } else if (std::strncmp(a, "--seed=", 7) == 0) {
+        args.seed = std::strtoull(a + 7, nullptr, 10);
+      } else if (std::strncmp(a, "--max-streams=", 14) == 0) {
+        args.max_streams = std::atoi(a + 14);
+      } else if (std::strcmp(a, "--help") == 0) {
+        std::fprintf(stderr,
+                     "usage: %s [--quick] [--csv] [--seed=N] [--max-streams=N]\n", argv[0]);
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "unknown flag %s (try --help)\n", a);
+        std::exit(1);
+      }
+    }
+    return args;
+  }
+};
+
+inline void PrintHeader(const char* title, const char* paper_artifact) {
+  std::printf("============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_artifact);
+  std::printf("============================================================\n");
+}
+
+}  // namespace tiger
+
+#endif  // BENCH_BENCH_UTIL_H_

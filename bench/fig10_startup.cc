@@ -1,0 +1,102 @@
+// Figure 10: stream startup latency versus schedule load.
+//
+// Combines the stream starts of an unfailed ramp and a one-cub-failed ramp
+// (the paper plots both runs together, ~4050 starts) and reports the latency
+// distribution per schedule-load bucket. Expected shape (§5): ~1.8 s minimum
+// (1 s block transmission + ~0.8 s scheduling lead and network latency),
+// mean < 5 s at 95% load, and outliers beyond 20 s as load approaches 100%.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/client/ramp_experiment.h"
+#include "src/client/testbed.h"
+#include "src/stats/histogram.h"
+#include "src/stats/table.h"
+
+namespace tiger {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  PrintHeader("fig10_startup: stream startup latency vs schedule load",
+              "Figure 10 of Bolosky et al., SOSP 1997");
+
+  TigerConfig config;
+  std::vector<RampResult::StartPoint> all_starts;
+
+  auto run = [&](bool failed, uint64_t seed) {
+    RampOptions options;
+    if (args.quick) {
+      options.max_streams = 180;
+      options.step_interval = Duration::Seconds(20);
+      options.measure_window = Duration::Seconds(10);
+    }
+    if (args.max_streams > 0) {
+      options.max_streams = args.max_streams;
+    }
+    if (failed) {
+      options.fail_cub = CubId(7);
+      options.probe_cub = CubId(8);
+    }
+    Testbed testbed(config, seed);
+    testbed.AddContent(64, Duration::Seconds(3600));
+    RampResult result = RunRampExperiment(testbed, options);
+    all_starts.insert(all_starts.end(), result.starts.begin(), result.starts.end());
+    std::printf("%s run: %zu starts collected\n", failed ? "failed  " : "unfailed",
+                result.starts.size());
+  };
+
+  run(/*failed=*/false, args.seed);
+  run(/*failed=*/true, args.seed + 1);
+
+  // Bucket by schedule load.
+  TextTable table({"load_bucket", "starts", "min_s", "mean_s", "p50_s", "p95_s", "max_s"});
+  const double bucket_width = 0.10;
+  Histogram overall;
+  int outliers_over_20s = 0;
+  for (double lo = 0.0; lo < 1.001; lo += bucket_width) {
+    Histogram bucket;
+    for (const auto& start : all_starts) {
+      if (start.schedule_load >= lo && start.schedule_load < lo + bucket_width) {
+        bucket.Add(start.latency_seconds);
+      }
+    }
+    if (bucket.empty()) {
+      continue;
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "%2.0f%%-%2.0f%%", lo * 100, (lo + bucket_width) * 100);
+    table.Row()
+        .Str(label)
+        .Int(static_cast<int64_t>(bucket.count()))
+        .Double(bucket.min(), 2)
+        .Double(bucket.Mean(), 2)
+        .Double(bucket.Percentile(50), 2)
+        .Double(bucket.Percentile(95), 2)
+        .Double(bucket.max(), 2);
+  }
+  for (const auto& start : all_starts) {
+    overall.Add(start.latency_seconds);
+    if (start.latency_seconds > 20.0) {
+      ++outliers_over_20s;
+    }
+  }
+  table.Print();
+  if (args.csv) {
+    std::printf("\n%s", table.ToCsv().c_str());
+  }
+
+  std::printf("\ntotal starts: %zu; %s\n", overall.count(), overall.Summary().c_str());
+  std::printf("starts over 20 s: %d (paper: a reasonable number of outliers >20 s at very "
+              "high loads)\n", outliers_over_20s);
+  std::printf("paper: ~1.8 s minimum; mean < 5 s at 95%% load; don't run Tigers above ~90%%\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tiger
+
+int main(int argc, char** argv) { return tiger::Main(argc, argv); }

@@ -1,0 +1,81 @@
+// Figure 8: Tiger loads with no cubs failed.
+//
+// Ramps a 14-cub / 56-disk / 2 Mbit/s system from 0 to 602 streams in steps
+// of 30 (final step of 2), settling >= 50 s per step, and reports mean cub
+// CPU, controller CPU, disk utilization, and the control traffic one cub
+// sends to all others. Expected shape (§5): cub load linear in streams,
+// controller load flat, control traffic linear and at most ~10-21 KB/s.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/client/ramp_experiment.h"
+#include "src/client/testbed.h"
+#include "src/stats/table.h"
+
+namespace tiger {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  PrintHeader("fig8_unfailed: component loads vs stream count, no failures",
+              "Figure 8 of Bolosky et al., SOSP 1997");
+
+  TigerConfig config;  // Paper testbed defaults.
+  RampOptions options;
+  if (args.quick) {
+    options.max_streams = 120;
+    options.step_interval = Duration::Seconds(20);
+    options.measure_window = Duration::Seconds(10);
+  }
+  if (args.max_streams > 0) {
+    options.max_streams = args.max_streams;
+  }
+  options.probe_cub = CubId(0);
+
+  Testbed testbed(config, args.seed);
+  testbed.AddContent(64, Duration::Seconds(3600));
+  std::printf("system: %d cubs x %d disks, %lld slots, block %.2f MB, decluster %d\n\n",
+              config.shape.num_cubs, config.shape.disks_per_cub,
+              static_cast<long long>(testbed.system().geometry().slot_count()),
+              static_cast<double>(config.block_bytes) / (1024 * 1024),
+              config.shape.decluster_factor);
+
+  RampResult result = RunRampExperiment(testbed, options);
+
+  TextTable table({"streams", "cub_cpu%", "ctrl_cpu%", "disk_util%", "ctrl_traffic_KB/s"});
+  for (const RampStepResult& row : result.steps) {
+    table.Row()
+        .Int(row.target_streams)
+        .Percent(row.mean_cub_cpu)
+        .Percent(row.controller_cpu, 2)
+        .Percent(row.mean_disk_util)
+        .Double(row.probe_control_bps / 1024.0, 2);
+  }
+  table.Print();
+  if (args.csv) {
+    std::printf("\n%s", table.ToCsv().c_str());
+  }
+
+  const auto& cubs = result.cub_totals;
+  const auto& clients = result.client_totals;
+  std::printf("\nreliability: blocks sent %lld, server-missed %lld, client-lost %lld\n",
+              static_cast<long long>(cubs.blocks_sent),
+              static_cast<long long>(cubs.server_missed_blocks),
+              static_cast<long long>(clients.lost_blocks));
+  if (cubs.server_missed_blocks + clients.lost_blocks > 0) {
+    std::printf("overall loss rate: 1 in %lld\n",
+                static_cast<long long>(cubs.blocks_sent /
+                                       (cubs.server_missed_blocks + clients.lost_blocks)));
+  } else {
+    std::printf("overall loss rate: 0 (no losses)\n");
+  }
+  std::printf("paper: cub load linear in streams; controller flat; control "
+              "traffic < 21 KB/s at full load\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tiger
+
+int main(int argc, char** argv) { return tiger::Main(argc, argv); }

@@ -1,0 +1,163 @@
+// Network-schedule fragmentation (§3.2).
+//
+// "Fragmentation can become fairly severe if viewers are started at
+// arbitrary points. We have found that fragmentation is reduced to an
+// acceptable level when viewers are forced to start at times that are
+// integral multiples of the block play time divided by the decluster
+// factor."
+//
+// This bench drives the two-dimensional network schedule with a churning
+// mixed-bitrate population under two start-time policies — arbitrary
+// (millisecond granularity) and quantized (block_play_time / decluster) —
+// at increasing offered load, and reports achieved utilization and the
+// admission failure rate. The quantized policy keeps entry edges aligned, so
+// free bandwidth never splinters into "slightly too short" gaps like the one
+// between viewers 4 and 2 in the paper's Figure 4.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/schedule/network_schedule.h"
+#include "src/stats/table.h"
+
+namespace tiger {
+namespace {
+
+struct PolicyResult {
+  double mean_utilization = 0;
+  double rejection_rate = 0;
+  int64_t admitted = 0;
+  int64_t rejected = 0;
+};
+
+// Simulates Poisson-ish arrivals with uniform lifetimes on one schedule.
+PolicyResult RunChurn(bool quantized, double offered_load, int rounds, uint64_t seed) {
+  const Duration play = Duration::Seconds(1);
+  const int num_cubs = 14;
+  const int decluster = 4;
+  const int64_t capacity = 155000000;
+  NetworkSchedule schedule(play, num_cubs, capacity);
+  Rng rng(seed);
+
+  const std::vector<int64_t> bitrates = {Megabits(1), Megabits(2), Megabits(3), Megabits(6)};
+  const Duration quantum = play / decluster;
+  const Duration arbitrary_step = Duration::Millis(1);
+
+  struct Live {
+    NetworkSchedule::EntryId id;
+    int64_t bps;
+    int expires_round;
+  };
+  std::vector<Live> live;
+  PolicyResult result;
+  double utilization_sum = 0;
+  int utilization_samples = 0;
+  uint64_t next_instance = 1;
+
+  // Target concurrent population for the offered load: the schedule's total
+  // bandwidth-time area is capacity x (num_cubs x play); each stream uses
+  // bps x play of it.
+  const double mean_bps = 3.0e6;
+  const double target_streams =
+      offered_load * static_cast<double>(capacity) * num_cubs / mean_bps;
+  const int mean_lifetime_rounds = 200;
+
+  for (int round = 0; round < rounds; ++round) {
+    // Departures.
+    for (auto it = live.begin(); it != live.end();) {
+      if (it->expires_round <= round) {
+        schedule.Remove(it->id);
+        it = live.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Arrivals to hold the offered population.
+    const double arrivals_per_round = target_streams / mean_lifetime_rounds;
+    int arrivals = static_cast<int>(arrivals_per_round);
+    if (rng.UniformDouble(0, 1) < arrivals_per_round - arrivals) {
+      ++arrivals;
+    }
+    for (int a = 0; a < arrivals; ++a) {
+      const int64_t bps = bitrates[rng.PickIndex(bitrates.size())];
+      // The viewer wants to start "now": scan forward from a random desired
+      // offset for up to one block play time, as the insertion logic does.
+      const Duration desired =
+          Duration::Micros(rng.UniformInt(0, schedule.length().micros() - 1));
+      const Duration step = quantized ? quantum : arbitrary_step;
+      bool admitted = false;
+      const int64_t scan_steps = play.micros() / step.micros();
+      for (int64_t s = 0; s <= scan_steps; ++s) {
+        Duration offset = desired + step * s;
+        if (quantized) {
+          // Round up to the quantum grid first.
+          int64_t q = (desired.micros() + quantum.micros() - 1) / quantum.micros();
+          offset = quantum * (q + s);
+        }
+        offset = schedule.WrapOffset(offset);
+        if (schedule.CanInsert(offset, bps)) {
+          NetworkSchedule::EntryId id = schedule.Insert(
+              offset, bps, false, ViewerId(static_cast<uint32_t>(next_instance)),
+              PlayInstanceId(next_instance));
+          next_instance++;
+          int lifetime = static_cast<int>(
+              rng.UniformInt(mean_lifetime_rounds / 2, 3 * mean_lifetime_rounds / 2));
+          live.push_back(Live{id, bps, round + lifetime});
+          admitted = true;
+          break;
+        }
+      }
+      if (admitted) {
+        result.admitted++;
+      } else {
+        result.rejected++;
+      }
+    }
+    if (round > rounds / 4) {  // Skip warm-up.
+      utilization_sum += schedule.MeanUtilization();
+      utilization_samples++;
+    }
+  }
+  result.mean_utilization = utilization_samples == 0 ? 0 : utilization_sum / utilization_samples;
+  const int64_t attempts = result.admitted + result.rejected;
+  result.rejection_rate =
+      attempts == 0 ? 0 : static_cast<double>(result.rejected) / static_cast<double>(attempts);
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  PrintHeader("fragmentation: arbitrary vs quantized start times",
+              "§3.2 fragmentation analysis of Bolosky et al., SOSP 1997");
+
+  const int rounds = args.quick ? 400 : 2000;
+  TextTable table({"offered_load", "policy", "mean_util%", "rejection%", "admitted"});
+  for (double load : {0.70, 0.80, 0.90, 0.95, 1.00}) {
+    for (bool quantized : {false, true}) {
+      PolicyResult r = RunChurn(quantized, load, rounds, args.seed + (quantized ? 1 : 0));
+      table.Row()
+          .Double(load, 2)
+          .Str(quantized ? "quantized" : "arbitrary")
+          .Percent(r.mean_utilization)
+          .Percent(r.rejection_rate)
+          .Int(r.admitted);
+    }
+  }
+  table.Print();
+  if (args.csv) {
+    std::printf("\n%s", table.ToCsv().c_str());
+  }
+  std::printf("\npaper: quantized starts (block_play/decluster) reduce fragmentation to an\n"
+              "acceptable level; arbitrary starts leave unusable gaps, visible here as a\n"
+              "higher rejection rate (or lower achieved utilization) at the same offered "
+              "load.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tiger
+
+int main(int argc, char** argv) { return tiger::Main(argc, argv); }

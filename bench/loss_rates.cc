@@ -1,0 +1,156 @@
+// Block delivery reliability (the §5 text table).
+//
+// Three measurements, as in the paper:
+//   1. unfailed ramp to 602 streams plus a stretch at full load
+//      (paper: ~4.1 M blocks, 15 server-missed + 8 client-missed,
+//       ~1 in 180,000);
+//   2. one-cub-failed ramp (paper: ~3.6 M blocks, 46 missed, ~1 in 78,000);
+//   3. one-cub-failed hour at 602 streams (paper: 54 missed of 2.1 M,
+//       ~1 in 40,000).
+//
+// Disk performance "blips" (thermal recalibration etc.) are enabled for this
+// bench; they are the paper's diagnosed cause of server-missed blocks, and at
+// the >95% failed-mode disk duty they queue-amplify, which is why the failed
+// rates are an order of magnitude worse than unfailed — the same asymmetry
+// the paper reports.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/client/ramp_experiment.h"
+#include "src/client/testbed.h"
+#include "src/stats/table.h"
+
+namespace tiger {
+namespace {
+
+struct PhaseCounters {
+  int64_t blocks = 0;
+  int64_t server_missed = 0;
+  int64_t client_lost = 0;
+};
+
+PhaseCounters Snapshot(Testbed& testbed) {
+  PhaseCounters snap;
+  Cub::Counters cubs = testbed.system().TotalCubCounters();
+  snap.blocks = cubs.blocks_sent + cubs.server_missed_blocks;
+  snap.server_missed = cubs.server_missed_blocks;
+  snap.client_lost = testbed.TotalClientStats().lost_blocks;
+  return snap;
+}
+
+PhaseCounters Delta(const PhaseCounters& a, const PhaseCounters& b) {
+  return PhaseCounters{b.blocks - a.blocks, b.server_missed - a.server_missed,
+                       b.client_lost - a.client_lost};
+}
+
+std::string RateString(const PhaseCounters& c) {
+  const int64_t losses = c.server_missed + c.client_lost;
+  if (losses == 0) {
+    return "no losses";
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "1 in %lld", static_cast<long long>(c.blocks / losses));
+  return buf;
+}
+
+int Main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  PrintHeader("loss_rates: end-to-end block delivery reliability",
+              "§5 reliability table (text) of Bolosky et al., SOSP 1997");
+
+  TigerConfig config;
+  // The paper's testbed disks exhibited occasional performance blips; enable
+  // them for this experiment. Most blips hide inside the read-ahead slack;
+  // only the tail of the distribution (or a blip landing on a near-saturated
+  // failed-mode queue) costs a deadline.
+  config.disk_model.blip_probability = 5e-6;
+  config.disk_model.blip_min = Duration::Millis(50);
+  config.disk_model.blip_max = Duration::Millis(800);
+
+  RampOptions ramp;
+  Duration full_load_run = Duration::Seconds(3600);
+  if (args.quick) {
+    ramp.max_streams = 180;
+    ramp.step_interval = Duration::Seconds(20);
+    full_load_run = Duration::Seconds(60);
+  }
+  if (args.max_streams > 0) {
+    ramp.max_streams = args.max_streams;
+  }
+
+  TextTable table({"experiment", "blocks", "server_missed", "client_lost", "loss_rate"});
+
+  // --- experiment 1: unfailed ramp + full-load stretch --------------------
+  {
+    Testbed testbed(config, args.seed);
+    testbed.AddContent(64, Duration::Seconds(3600));
+    RunRampExperiment(testbed, ramp);
+    // Long enough that total blocks approach the paper's ~4.1 M.
+    testbed.RunFor(full_load_run + (args.quick ? Duration::Zero() : Duration::Seconds(1800)));
+    PhaseCounters total = Snapshot(testbed);
+    table.Row()
+        .Str("unfailed (ramp + full load)")
+        .Int(total.blocks)
+        .Int(total.server_missed)
+        .Int(total.client_lost)
+        .Str(RateString(total));
+  }
+
+  // --- side measurement: block-cache hit rate at full load ----------------
+  {
+    TigerConfig cache_config = config;
+    cache_config.block_cache_bytes = 20LL * 1024 * 1024;  // The paper's 20 MB.
+    Testbed testbed(cache_config, args.seed + 3);
+    testbed.AddContent(64, Duration::Seconds(3600));
+    testbed.Start();
+    testbed.AddLoopingViewers(args.quick ? 180 : 602,
+                              args.quick ? Duration::Seconds(30) : Duration::Seconds(120),
+                              /*steady_state=*/true);
+    testbed.RunFor(args.quick ? Duration::Seconds(60) : Duration::Seconds(300));
+    std::printf("block cache hit rate at full load: %.3f%% (paper: < 0.05%%; higher here "
+                "because synthetic viewers phase-lock on shared files more often than the "
+                "paper's testbed clients)\n\n",
+                testbed.system().BlockCacheHitRate() * 100.0);
+  }
+
+  // --- experiments 2 & 3: failed ramp, then an hour at 602 ----------------
+  {
+    RampOptions failed_ramp = ramp;
+    failed_ramp.fail_cub = CubId(7);
+    failed_ramp.probe_cub = CubId(8);
+    Testbed testbed(config, args.seed + 17);
+    testbed.AddContent(64, Duration::Seconds(3600));
+    RunRampExperiment(testbed, failed_ramp);
+    PhaseCounters after_ramp = Snapshot(testbed);
+    table.Row()
+        .Str("one cub failed, ramp")
+        .Int(after_ramp.blocks)
+        .Int(after_ramp.server_missed)
+        .Int(after_ramp.client_lost)
+        .Str(RateString(after_ramp));
+
+    testbed.RunFor(full_load_run);
+    PhaseCounters hour = Delta(after_ramp, Snapshot(testbed));
+    table.Row()
+        .Str("one cub failed, full load")
+        .Int(hour.blocks)
+        .Int(hour.server_missed)
+        .Int(hour.client_lost)
+        .Str(RateString(hour));
+  }
+
+  table.Print();
+  if (args.csv) {
+    std::printf("\n%s", table.ToCsv().c_str());
+  }
+  std::printf("\npaper: unfailed ~1 in 180,000; failed ramp ~1 in 78,000; failed full load "
+              "~1 in 40,000.\nShape to match: failed-mode rates are several times worse than "
+              "unfailed, and all rates stay in the 1-in-tens-of-thousands range or better.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tiger
+
+int main(int argc, char** argv) { return tiger::Main(argc, argv); }

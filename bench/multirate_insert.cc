@@ -1,0 +1,114 @@
+// Two-phase insertion into the distributed network schedule (§4.2).
+//
+// Drives a full multiple-bitrate Tiger with a churning mixed-bitrate
+// workload and reports the behaviour of the reserve/commit protocol:
+// commits, aborts (negative confirmation or timeout), local admission
+// rejects, and the invariant that no cub's NIC is ever oversubscribed even
+// though every admission decision is made against a stale local view.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/client/viewer.h"
+#include "src/core/multirate_system.h"
+#include "src/stats/histogram.h"
+#include "src/stats/table.h"
+
+namespace tiger {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  PrintHeader("multirate_insert: two-phase reserve/commit insertion",
+              "§4.2 of Bolosky et al., SOSP 1997 (multiple-bitrate Tiger)");
+
+  TigerConfig config;
+  config.shape = SystemShape{14, 4, 4};
+  config.block_bytes = 1 << 20;  // Allows up to 8 Mbit/s files.
+  config.max_stream_bps = Megabits(8);
+  // Keep the NIC the binding resource so the network schedule is exercised.
+  config.cub_nic_bps = Megabits(60);
+
+  MultirateSystem system(config, args.seed);
+  std::vector<FileId> files;
+  const std::vector<int64_t> bitrates = {Megabits(1), Megabits(2), Megabits(4), Megabits(8)};
+  const int file_count = args.quick ? 16 : 64;
+  for (int i = 0; i < file_count; ++i) {
+    files.push_back(system
+                        .AddFile("f" + std::to_string(i),
+                                 bitrates[static_cast<size_t>(i) % bitrates.size()],
+                                 Duration::Seconds(args.quick ? 40 : 120))
+                        .value());
+  }
+  system.Start();
+
+  // Looping viewers churn the schedule continuously.
+  Rng rng(args.seed ^ 0xabcdef);
+  std::vector<std::unique_ptr<ViewerClient>> viewers;
+  const int viewer_count = args.quick ? 80 : 320;
+  for (int i = 0; i < viewer_count; ++i) {
+    auto viewer =
+        std::make_unique<ViewerClient>(&system.sim(), ViewerId(static_cast<uint32_t>(i + 1)),
+                                       &system.config(), &system.catalog(), &system.net());
+    viewer->SetAddressBook(&system.addresses());
+    ViewerClient* raw = viewer.get();
+    viewers.push_back(std::move(viewer));
+    Duration stagger = Duration::Micros(rng.UniformInt(0, 20000000));
+    system.sim().ScheduleAfter(stagger, [raw, &files, &rng] {
+      raw->StartLooping([&files, &rng] { return files[rng.PickIndex(files.size())]; });
+    });
+  }
+  const Duration run = args.quick ? Duration::Seconds(60) : Duration::Seconds(300);
+  system.sim().RunFor(run);
+
+  MultirateCub::Counters totals = system.TotalCubCounters();
+  Histogram startup;
+  int64_t lost = 0;
+  int64_t blocks = 0;
+  for (const auto& viewer : viewers) {
+    for (double s : viewer->startup_latency().samples()) {
+      startup.Add(s);
+    }
+    lost += viewer->stats().lost_blocks;
+    blocks += viewer->stats().blocks_complete;
+  }
+  int64_t peak_nic = 0;
+  int64_t oversubscriptions = 0;
+  for (int c = 0; c < system.cub_count(); ++c) {
+    NetAddress addr = system.cub(CubId(static_cast<uint32_t>(c))).address();
+    peak_nic = std::max(peak_nic, system.net().PeakDataRate(addr));
+    oversubscriptions += system.net().OversubscriptionEvents(addr);
+  }
+
+  TextTable table({"metric", "value"});
+  table.Row().Str("insertions committed").Int(totals.inserts_committed);
+  table.Row().Str("insertions aborted (reserve phase)").Int(totals.inserts_aborted);
+  table.Row().Str("reserve requests").Int(totals.reserve_requests);
+  table.Row().Str("reserve rejections by successor").Int(totals.reserve_rejections);
+  table.Row().Str("local admission rejects (retried)").Int(totals.admission_rejects_local);
+  table.Row().Str("blocks delivered").Int(blocks);
+  table.Row().Str("client-lost blocks").Int(lost);
+  table.Row().Str("startup latency (s)").Str(startup.empty() ? "n/a" : startup.Summary());
+  table.Row().Str("peak NIC commitment (Mbit/s)").Double(
+      static_cast<double>(peak_nic) / 1e6, 1);
+  table.Row().Str("NIC capacity (Mbit/s)").Double(
+      static_cast<double>(config.cub_nic_bps) / 1e6, 1);
+  table.Row().Str("NIC oversubscription events").Int(oversubscriptions);
+  table.Print();
+  if (args.csv) {
+    std::printf("\n%s", table.ToCsv().c_str());
+  }
+  std::printf("\npaper: tentative insertion overlaps the reserve round trip with the first\n"
+              "disk read, so \"there will almost always be time for the communication with\n"
+              "the succeeding cub without having to increase the scheduling lead\"; aborted\n"
+              "insertions retry from the head of the queue. The NIC must never be\n"
+              "oversubscribed despite admission running on stale views.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tiger
+
+int main(int argc, char** argv) { return tiger::Main(argc, argv); }

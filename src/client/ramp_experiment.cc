@@ -1,0 +1,69 @@
+#include "src/client/ramp_experiment.h"
+
+#include <algorithm>
+
+namespace tiger {
+
+RampResult RunRampExperiment(Testbed& testbed, const RampOptions& options) {
+  TigerSystem& system = testbed.system();
+  RampResult result;
+
+  testbed.Start();
+  if (options.fail_cub.has_value()) {
+    // Failed for the entire duration of the run (§5): cut power just after
+    // boot, then let the deadman protocol settle during warmup.
+    system.FailCubAt(TimePoint::FromMicros(100000), *options.fail_cub);
+  }
+  testbed.RunFor(options.warmup);
+
+  struct StepWindow {
+    TimePoint begin;
+    TimePoint end;
+    int target = 0;
+  };
+  std::vector<StepWindow> windows;
+
+  int added = 0;
+  while (added < options.max_streams) {
+    const int step = std::min(options.step_size, options.max_streams - added);
+    const TimePoint step_begin = testbed.sim().Now();
+    testbed.AddLoopingViewers(step, options.stagger);
+    added += step;
+    testbed.RunFor(options.step_interval);
+    const TimePoint step_end = testbed.sim().Now();
+    windows.push_back(StepWindow{step_begin, step_end, added});
+
+    const TimePoint a = step_end - options.measure_window;
+    const TimePoint b = step_end;
+    RampStepResult row;
+    row.target_streams = added;
+    row.active_streams = testbed.ActiveViewerCount();
+    row.mean_cub_cpu = system.MeanCubCpu(a, b);
+    row.controller_cpu = system.ControllerCpu(a, b);
+    row.mean_disk_util = system.MeanDiskUtilization(a, b);
+    row.probe_cub_disk_util = system.CubDiskUtilization(options.probe_cub, a, b);
+    row.probe_control_bps = system.CubControlTrafficBps(options.probe_cub, a, b);
+    row.server_missed_blocks = system.TotalCubCounters().server_missed_blocks;
+    row.client_lost_blocks = testbed.TotalClientStats().lost_blocks;
+    result.steps.push_back(row);
+  }
+
+  // Tag every start sample with the schedule load of the step it landed in.
+  const double capacity = static_cast<double>(system.geometry().slot_count());
+  for (const ViewerClient::StartSample& sample : testbed.AllStartSamples()) {
+    double load = 0;
+    for (const StepWindow& w : windows) {
+      if (sample.requested_at >= w.begin && sample.requested_at < w.end) {
+        load = static_cast<double>(w.target) / capacity;
+        break;
+      }
+    }
+    result.starts.push_back(RampResult::StartPoint{load, sample.latency_seconds});
+  }
+
+  result.client_totals = testbed.TotalClientStats();
+  result.cub_totals = system.TotalCubCounters();
+  return result;
+}
+
+}  // namespace tiger

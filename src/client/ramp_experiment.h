@@ -1,0 +1,63 @@
+// The §5 ramp experiment: load the server toward its rated capacity in steps
+// of 30 streams, settle, and record component loads at each step. Shared by
+// the Figure 8 (unfailed), Figure 9 (one cub failed) and Figure 10 (startup
+// latency) benches.
+
+#ifndef SRC_CLIENT_RAMP_EXPERIMENT_H_
+#define SRC_CLIENT_RAMP_EXPERIMENT_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/client/testbed.h"
+
+namespace tiger {
+
+struct RampOptions {
+  int step_size = 30;
+  int max_streams = 602;
+  // Settle time after each step before measuring (paper: "at least 50s").
+  Duration step_interval = Duration::Seconds(50);
+  // Trailing window within the step over which means are computed.
+  Duration measure_window = Duration::Seconds(30);
+  // New viewers' requests are staggered over this span at each step.
+  Duration stagger = Duration::Seconds(10);
+  // If set, this cub is failed before the ramp begins (Figure 9).
+  std::optional<CubId> fail_cub;
+  // Cub whose control traffic / disks are probed. In failed runs pass a cub
+  // that mirrors for the failed one (the paper probed exactly that).
+  CubId probe_cub{0};
+  // Settling time before the ramp starts (covers failure detection).
+  Duration warmup = Duration::Seconds(12);
+};
+
+struct RampStepResult {
+  int target_streams = 0;
+  int64_t active_streams = 0;
+  double mean_cub_cpu = 0;
+  double controller_cpu = 0;
+  double mean_disk_util = 0;        // Across all living cubs' disks.
+  double probe_cub_disk_util = 0;   // The probed (mirroring) cub's disks.
+  double probe_control_bps = 0;     // Control bytes/s sent by the probe cub.
+  int64_t server_missed_blocks = 0;  // Cumulative.
+  int64_t client_lost_blocks = 0;    // Cumulative.
+};
+
+struct RampResult {
+  std::vector<RampStepResult> steps;
+  // All stream-start samples, tagged with the schedule load (active streams /
+  // capacity) at request time — Figure 10's scatter.
+  struct StartPoint {
+    double schedule_load = 0;  // In [0, 1].
+    double latency_seconds = 0;
+  };
+  std::vector<StartPoint> starts;
+  ViewerClient::Stats client_totals;
+  Cub::Counters cub_totals;
+};
+
+RampResult RunRampExperiment(Testbed& testbed, const RampOptions& options);
+
+}  // namespace tiger
+
+#endif  // SRC_CLIENT_RAMP_EXPERIMENT_H_

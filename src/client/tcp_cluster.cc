@@ -1,0 +1,145 @@
+#include "src/client/tcp_cluster.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <latch>
+#include <thread>
+#include <vector>
+
+#include "src/client/viewer.h"
+#include "src/core/controller.h"
+#include "src/core/cub.h"
+#include "src/core/tcp_bus.h"
+
+namespace tiger {
+
+TcpClusterResult RunTcpCluster(const TcpClusterOptions& options) {
+  TcpClusterResult result;
+
+  // Shared, read-only state (identical on every "machine", as the real Tiger
+  // distributes its catalog and configuration out of band).
+  TigerConfig config;
+  config.shape = SystemShape{options.cubs, 1, 2};
+  Catalog catalog(config.block_play_time, config.block_bytes, /*single_bitrate=*/true);
+  Result<FileId> file =
+      catalog.AddFile("content", config.max_stream_bps,
+                      config.block_play_time * options.file_blocks, DiskId(0));
+  TIGER_CHECK(file.ok());
+  StripeLayout layout(config.shape);
+  ScheduleGeometry geometry = config.MakeGeometry();
+
+  // Node indices double as network addresses: 0 = controller,
+  // 1..cubs = cubs, cubs+1 = the viewer client.
+  const int nodes = options.cubs + 2;
+  uint16_t base = options.base_port != 0
+                      ? options.base_port
+                      : static_cast<uint16_t>(24800 + (getpid() * 7) % 400);
+  std::vector<uint16_t> topology;
+  for (int i = 0; i < nodes; ++i) {
+    topology.push_back(static_cast<uint16_t>(base + i));
+  }
+  AddressBook book;
+  book.controller = 0;
+  for (int c = 0; c < options.cubs; ++c) {
+    book.cubs.push_back(static_cast<NetAddress>(c + 1));
+  }
+  const NetAddress client_address = static_cast<NetAddress>(options.cubs + 1);
+
+  // All buses must be listening before any actor starts sending.
+  std::latch listening(static_cast<std::ptrdiff_t>(nodes));
+  std::atomic<int64_t> frames_total{0};
+  std::atomic<int64_t> inserts_total{0};
+  std::atomic<int64_t> records_total{0};
+  std::atomic<int64_t> takeovers_total{0};
+  std::atomic<int64_t> detections_total{0};
+
+  std::vector<std::thread> threads;
+
+  // Controller node.
+  threads.emplace_back([&] {
+    RealtimeExecutor executor(options.speedup);
+    TcpBus bus(&executor, topology, /*my_index=*/0);
+    Controller controller(&executor.sim(), &config, &catalog, &layout, &bus);
+    controller.SetAddressBook(&book);
+    bus.Start();
+    listening.arrive_and_wait();
+    executor.Run(TimePoint::Zero() + options.run_time);
+    bus.Stop();
+    frames_total.fetch_add(bus.frames_sent() + bus.frames_received());
+  });
+
+  // Cub nodes.
+  for (int c = 0; c < options.cubs; ++c) {
+    threads.emplace_back([&, c] {
+      RealtimeExecutor executor(options.speedup);
+      TcpBus bus(&executor, topology, static_cast<NetAddress>(c + 1));
+      Rng rng(options.seed * 1000 + static_cast<uint64_t>(c));
+      Cub cub(&executor.sim(), CubId(static_cast<uint32_t>(c)), &config, &catalog, &layout,
+              &geometry, &bus, rng.Fork());
+      SimulatedDisk disk(&executor.sim(), "disk" + std::to_string(c),
+                         cub.GlobalDiskId(0), config.disk_model, rng.Fork());
+      cub.AttachDisks({&disk});
+      cub.SetAddressBook(&book);
+      bus.Start();
+      listening.arrive_and_wait();
+      cub.Start();
+      TimePoint until = TimePoint::Zero() + options.run_time;
+      if (options.fail_cub == c) {
+        // Power cut: this machine simply stops mid-run; its sockets close.
+        until = TimePoint::Zero() + options.fail_at;
+      }
+      executor.Run(until);
+      bus.Stop();
+      frames_total.fetch_add(bus.frames_sent() + bus.frames_received());
+      inserts_total.fetch_add(cub.counters().inserts);
+      records_total.fetch_add(cub.counters().records_received);
+      takeovers_total.fetch_add(cub.counters().takeovers);
+      detections_total.fetch_add(cub.counters().failures_detected);
+    });
+  }
+
+  // Client node.
+  threads.emplace_back([&] {
+    RealtimeExecutor executor(options.speedup);
+    TcpBus bus(&executor, topology, client_address);
+    ViewerClient viewer(&executor.sim(), ViewerId(1), &config, &catalog, &bus);
+    viewer.SetAddressBook(&book);
+    bus.Start();
+    listening.arrive_and_wait();
+    executor.sim().ScheduleAt(TimePoint::Zero() + Duration::Seconds(1),
+                              [&viewer, &file] { viewer.RequestPlay(file.value()); });
+    executor.Run(TimePoint::Zero() + options.run_time);
+    bus.Stop();
+    frames_total.fetch_add(bus.frames_sent() + bus.frames_received());
+
+    result.blocks_complete = viewer.stats().blocks_complete;
+    result.lost_blocks = viewer.stats().lost_blocks;
+    result.late_blocks = viewer.stats().late_blocks;
+    result.plays_completed = viewer.stats().plays_completed;
+    result.fragments_received = viewer.stats().fragments_received;
+    if (!viewer.startup_latency().empty()) {
+      result.startup_latency_s = viewer.startup_latency().Mean();
+    }
+  });
+
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  result.frames_on_the_wire = frames_total.load();
+  result.cub_inserts = inserts_total.load();
+  result.records_received = records_total.load();
+  result.takeovers = takeovers_total.load();
+  result.failures_detected = detections_total.load();
+  if (options.fail_cub >= 0) {
+    // Losses are confined to the detection window; the play still finishes.
+    result.ok = result.plays_completed == 1 &&
+                result.blocks_complete + result.lost_blocks == options.file_blocks;
+  } else {
+    result.ok = result.plays_completed == 1 && result.lost_blocks == 0 &&
+                result.blocks_complete == options.file_blocks;
+  }
+  return result;
+}
+
+}  // namespace tiger

@@ -1,0 +1,55 @@
+// A live Tiger cluster: the unmodified protocol actors (Cub, Controller,
+// ViewerClient) each running in their own thread with their own wall-clock
+// executor, communicating exclusively through wire-encoded frames over real
+// loopback TCP sockets — the "multi-process simulation on one box"
+// configuration, with threads standing in for processes so the harness can
+// collect results in-memory.
+//
+// Nothing in src/core knows which transport it is on: the cluster passes a
+// TcpBus where the deterministic tests pass the simulated Network.
+
+#ifndef SRC_CLIENT_TCP_CLUSTER_H_
+#define SRC_CLIENT_TCP_CLUSTER_H_
+
+#include <cstdint>
+
+#include "src/common/time.h"
+
+namespace tiger {
+
+struct TcpClusterOptions {
+  int cubs = 4;
+  int file_blocks = 12;
+  // Simulated seconds per wall second.
+  double speedup = 4.0;
+  Duration run_time = Duration::Seconds(20);
+  // 0: derive a port range from the pid.
+  uint16_t base_port = 0;
+  uint64_t seed = 1;
+  // If >= 0, power-cut this cub (its thread stops, sockets close) at
+  // `fail_at` simulated seconds: deadman detection and mirror takeover then
+  // run over the real sockets.
+  int fail_cub = -1;
+  Duration fail_at = Duration::Seconds(6);
+};
+
+struct TcpClusterResult {
+  bool ok = false;
+  int64_t blocks_complete = 0;
+  int64_t lost_blocks = 0;
+  int64_t late_blocks = 0;
+  int64_t plays_completed = 0;
+  double startup_latency_s = 0;
+  int64_t frames_on_the_wire = 0;  // Across all nodes.
+  int64_t cub_inserts = 0;
+  int64_t records_received = 0;
+  int64_t fragments_received = 0;
+  int64_t takeovers = 0;
+  int64_t failures_detected = 0;
+};
+
+TcpClusterResult RunTcpCluster(const TcpClusterOptions& options);
+
+}  // namespace tiger
+
+#endif  // SRC_CLIENT_TCP_CLUSTER_H_

@@ -1,0 +1,223 @@
+#include "src/client/viewer.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace tiger {
+
+namespace {
+
+// A block completing this much after its steady-state position is "late".
+constexpr Duration kLateTolerance = Duration::Millis(500);
+// A block not complete this long past its position is declared lost.
+constexpr Duration kLossTolerance = Duration::Seconds(2);
+constexpr Duration kCheckInterval = Duration::Seconds(1);
+
+}  // namespace
+
+ViewerClient::ViewerClient(Simulator* sim, ViewerId id, const TigerConfig* config,
+                           const Catalog* catalog, MessageBus* net)
+    : Actor(sim, "viewer" + std::to_string(id.value())),
+      id_(id),
+      config_(config),
+      catalog_(catalog),
+      net_(net) {
+  address_ = net_->Attach(this, name(), config->client_nic_bps);
+}
+
+void ViewerClient::RequestPlay(FileId file, int64_t start_position) {
+  TIGER_CHECK(!play_.has_value()) << "viewer already playing";
+  TIGER_CHECK(addresses_ != nullptr);
+  const FileInfo& info = catalog_->Get(file);
+  TIGER_CHECK(start_position >= 0 && start_position < info.block_count)
+      << "seek out of range";
+  ActivePlay play;
+  play.file = file;
+  play.requested_at = Now();
+  play.start_position = start_position;
+  play.blocks_expected = info.block_count - start_position;
+  play_ = std::move(play);
+  stats_.plays_requested++;
+
+  auto request = std::make_shared<ClientRequestMsg>();
+  request->op = ClientRequestMsg::Op::kStart;
+  request->viewer = id_;
+  request->client_address = address_;
+  request->file = file;
+  request->start_position = start_position;
+  net_->Send(address_, addresses_->controller, ClientRequestMsg::WireBytes(),
+             std::move(request));
+
+  if (!check_timer_running_) {
+    check_timer_running_ = true;
+    After(kCheckInterval, [this] { CheckDeadlines(); });
+  }
+}
+
+void ViewerClient::StartLooping(std::function<FileId()> picker, Duration think_time,
+                                int64_t initial_position) {
+  picker_ = std::move(picker);
+  think_time_ = think_time;
+  RequestPlay(picker_(), initial_position);
+}
+
+void ViewerClient::RequestStop() {
+  if (!play_.has_value()) {
+    return;
+  }
+  auto request = std::make_shared<ClientRequestMsg>();
+  request->op = ClientRequestMsg::Op::kStop;
+  request->viewer = id_;
+  request->client_address = address_;
+  request->file = play_->file;
+  if (play_->instance.has_value()) {
+    request->instance = *play_->instance;  // Lets a stubless controller route the kill.
+  }
+  net_->Send(address_, addresses_->controller, ClientRequestMsg::WireBytes(),
+             std::move(request));
+  FinishPlay(/*completed=*/false);
+}
+
+void ViewerClient::Pause() {
+  if (!play_.has_value()) {
+    return;
+  }
+  const FileInfo& info = catalog_->Get(play_->file);
+  int64_t next_block = play_->start_position + play_->check_cursor;
+  if (next_block >= info.block_count) {
+    RequestStop();  // Nothing left to resume into.
+    return;
+  }
+  paused_position_ = std::make_pair(play_->file, next_block);
+  RequestStop();
+}
+
+void ViewerClient::Resume() {
+  if (!paused_position_.has_value() || play_.has_value()) {
+    return;
+  }
+  auto [file, position] = *paused_position_;
+  paused_position_.reset();
+  RequestPlay(file, position);
+}
+
+void ViewerClient::HandleMessage(const MessageEnvelope& envelope) {
+  if (halted()) {
+    return;
+  }
+  const auto& msg = static_cast<const TigerMessage&>(*envelope.payload);
+  if (msg.kind == MsgKind::kBlockData) {
+    OnBlockData(static_cast<const BlockDataMsg&>(msg));
+  }
+}
+
+void ViewerClient::OnBlockData(const BlockDataMsg& msg) {
+  if (!play_.has_value() || msg.viewer != id_ || msg.file != play_->file) {
+    return;  // Tail of a stopped play, or stale delivery.
+  }
+  ActivePlay& play = *play_;
+  if (play.instance.has_value() && *play.instance != msg.instance) {
+    return;
+  }
+  if (!play.instance.has_value()) {
+    play.instance = msg.instance;
+  }
+  // Progress is tracked relative to the play's start position.
+  const int64_t position = msg.position - play.start_position;
+  if (position < 0) {
+    return;  // Stale block from before a seek boundary; not ours.
+  }
+  if (position < play.check_cursor) {
+    return;  // Already accounted (probably as lost).
+  }
+  BlockProgress& progress = play.progress[position];
+  if (progress.complete) {
+    return;
+  }
+  if (msg.mirror_fragment >= 0) {
+    stats_.fragments_received++;
+    progress.fragments++;
+    if (progress.fragments < config_->shape.decluster_factor) {
+      return;
+    }
+  }
+  progress.complete = true;
+  stats_.blocks_complete++;
+
+  if (!play.first_block_complete.has_value()) {
+    play.first_block_complete = Now();
+    stats_.plays_started++;
+    const double latency = (Now() - play.requested_at).seconds();
+    startup_latency_.Add(latency);
+    start_samples_.push_back(StartSample{play.requested_at, latency});
+  } else if (position > 0) {
+    const TimePoint expected =
+        *play.first_block_complete + config_->block_play_time * position;
+    if (Now() > expected + kLateTolerance) {
+      stats_.late_blocks++;
+    }
+  }
+  RetireBlocks();
+}
+
+void ViewerClient::RetireBlocks() {
+  if (!play_.has_value()) {
+    return;
+  }
+  ActivePlay& play = *play_;
+  if (!play.first_block_complete.has_value()) {
+    return;
+  }
+  // Retire completed positions and positions whose loss deadline has passed.
+  while (play.check_cursor < play.blocks_expected) {
+    const TimePoint deadline = *play.first_block_complete +
+                               config_->block_play_time * play.check_cursor + kLossTolerance;
+    auto it = play.progress.find(play.check_cursor);
+    const bool complete = it != play.progress.end() && it->second.complete;
+    if (complete) {
+      play.progress.erase(it);
+      play.check_cursor++;
+      continue;
+    }
+    if (Now() < deadline) {
+      break;
+    }
+    stats_.lost_blocks++;
+    loss_times_.push_back(*play.first_block_complete +
+                          config_->block_play_time * play.check_cursor);
+    if (it != play.progress.end()) {
+      play.progress.erase(it);
+    }
+    play.check_cursor++;
+  }
+  if (play.check_cursor >= play.blocks_expected) {
+    FinishPlay(/*completed=*/true);
+  }
+}
+
+void ViewerClient::CheckDeadlines() {
+  check_timer_running_ = false;
+  RetireBlocks();
+  if (play_.has_value()) {
+    check_timer_running_ = true;
+    After(kCheckInterval, [this] { CheckDeadlines(); });
+  }
+}
+
+void ViewerClient::FinishPlay(bool completed) {
+  if (completed) {
+    stats_.plays_completed++;
+  }
+  play_.reset();
+  if (picker_) {
+    After(think_time_ + Duration::Millis(1), [this] {
+      if (!play_.has_value()) {
+        RequestPlay(picker_());
+      }
+    });
+  }
+}
+
+}  // namespace tiger

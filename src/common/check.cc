@@ -1,0 +1,19 @@
+#include "src/common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tiger {
+
+void CheckFailure(const char* file, int line, const char* condition,
+                  const std::string& message) {
+  std::fprintf(stderr, "TIGER_CHECK failed at %s:%d: %s", file, line, condition);
+  if (!message.empty()) {
+    std::fprintf(stderr, " — %s", message.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace tiger

@@ -1,0 +1,70 @@
+// Invariant checking macros.
+//
+// TIGER_CHECK is always on (simulation correctness depends on these holding;
+// a violated invariant means the protocol implementation is wrong, and
+// continuing would silently corrupt experiment results). TIGER_DCHECK compiles
+// away in NDEBUG builds and is used on hot paths. Both support streaming extra
+// context: TIGER_CHECK(a == b) << "while inserting slot " << slot;
+
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace tiger {
+
+[[noreturn]] void CheckFailure(const char* file, int line, const char* condition,
+                               const std::string& message);
+
+namespace check_detail {
+
+// Collects an optional streamed message for a failing check and aborts when
+// destroyed at the end of the failing statement.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* condition)
+      : file_(file), line_(line), condition_(condition) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() { CheckFailure(file_, line_, condition_, stream_.str()); }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+// Swallows streamed messages for disabled checks.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace check_detail
+}  // namespace tiger
+
+// The while-loop body runs at most once: the builder's destructor is
+// [[noreturn]]. This shape avoids dangling-else problems and permits streaming.
+#define TIGER_CHECK(cond)  \
+  while (!(cond))          \
+  ::tiger::check_detail::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#ifdef NDEBUG
+#define TIGER_DCHECK(cond) \
+  while (false)            \
+  ::tiger::check_detail::NullStream()
+#else
+#define TIGER_DCHECK(cond) TIGER_CHECK(cond)
+#endif
+
+#endif  // SRC_COMMON_CHECK_H_

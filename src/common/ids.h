@@ -1,0 +1,68 @@
+// Strongly typed identifiers used throughout the Tiger system.
+//
+// Tiger numbers its disks in cub-minor order (disk i lives on cub i mod n), so
+// confusing a disk index with a cub index is an easy and catastrophic mistake.
+// Distinct wrapper types make such mix-ups compile errors.
+
+#ifndef SRC_COMMON_IDS_H_
+#define SRC_COMMON_IDS_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace tiger {
+
+template <typename Tag, typename Rep = uint32_t>
+class TypedId {
+ public:
+  using rep_type = Rep;
+
+  constexpr TypedId() : value_(kInvalid) {}
+  explicit constexpr TypedId(Rep value) : value_(value) {}
+
+  static constexpr TypedId Invalid() { return TypedId(); }
+
+  constexpr Rep value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalid; }
+
+  constexpr auto operator<=>(const TypedId&) const = default;
+
+ private:
+  static constexpr Rep kInvalid = static_cast<Rep>(-1);
+  Rep value_;
+};
+
+template <typename Tag, typename Rep>
+std::ostream& operator<<(std::ostream& os, TypedId<Tag, Rep> id) {
+  if (!id.valid()) {
+    return os << "<invalid>";
+  }
+  return os << id.value();
+}
+
+// Index of a cub (content machine) in the ring, 0-based.
+using CubId = TypedId<struct CubTag>;
+// Global disk index in cub-minor order across the whole system.
+using DiskId = TypedId<struct DiskTag>;
+// Identifier of a content file in the catalog.
+using FileId = TypedId<struct FileTag>;
+// A viewer (client endpoint) known to the system.
+using ViewerId = TypedId<struct ViewerTag>;
+// Index of a slot in the (hallucinated) global disk schedule.
+using SlotId = TypedId<struct SlotTag>;
+// One particular start-play request by a viewer. Deschedules name an instance
+// so that a stale deschedule can never kill a later play by the same viewer.
+using PlayInstanceId = TypedId<struct PlayInstanceTag, uint64_t>;
+
+}  // namespace tiger
+
+template <typename Tag, typename Rep>
+struct std::hash<tiger::TypedId<Tag, Rep>> {
+  size_t operator()(const tiger::TypedId<Tag, Rep>& id) const {
+    return std::hash<Rep>()(id.value());
+  }
+};
+
+#endif  // SRC_COMMON_IDS_H_

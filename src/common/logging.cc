@@ -1,0 +1,48 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace tiger {
+
+namespace {
+
+LogLevel g_level = LogLevel::kOff;
+std::function<TimePoint()> g_time_source;
+std::mutex g_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel GetLogLevel() { return g_level; }
+
+void SetLogTimeSource(std::function<TimePoint()> source) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_time_source = std::move(source);
+}
+
+void LogMessage(LogLevel level, const std::string& tag, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::string when = g_time_source ? g_time_source().ToString() : std::string("-");
+  std::fprintf(stderr, "[%s %s %s] %s\n", LevelName(level), when.c_str(), tag.c_str(),
+               message.c_str());
+}
+
+}  // namespace tiger

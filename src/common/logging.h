@@ -1,0 +1,60 @@
+// Minimal leveled logging with simulated-time prefixes.
+//
+// The sink is process-global but the time source is pluggable so log lines
+// carry the *simulated* clock of the experiment that emitted them. Logging is
+// off by default (benchmarks run silent); tests and examples turn it on.
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "src/common/time.h"
+
+namespace tiger {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+// Minimum level that is emitted. Defaults to kOff.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Installs a provider for the simulated-time prefix. Pass nullptr to clear.
+void SetLogTimeSource(std::function<TimePoint()> source);
+
+void LogMessage(LogLevel level, const std::string& tag, const std::string& message);
+
+namespace log_detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string tag) : level_(level), tag_(std::move(tag)) {}
+  ~LogLine() { LogMessage(level_, tag_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string tag_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_detail
+
+inline bool LogEnabled(LogLevel level) { return level >= GetLogLevel(); }
+
+}  // namespace tiger
+
+// Usage: TIGER_LOG(kInfo, "cub3") << "inserted viewer " << v << " into slot " << s;
+#define TIGER_LOG(level, tag)                            \
+  if (!::tiger::LogEnabled(::tiger::LogLevel::level)) {  \
+  } else                                                 \
+    ::tiger::log_detail::LogLine(::tiger::LogLevel::level, (tag))
+
+#endif  // SRC_COMMON_LOGGING_H_

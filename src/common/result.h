@@ -1,0 +1,67 @@
+// Lightweight Status / Result types for fallible public API operations.
+//
+// Used where a failure is a legitimate runtime outcome a caller must handle
+// (admission rejected, file not found, schedule full) as opposed to a broken
+// invariant, which is a TIGER_CHECK.
+
+#ifndef SRC_COMMON_RESULT_H_
+#define SRC_COMMON_RESULT_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace tiger {
+
+class Status {
+ public:
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) { return Status(std::move(message)); }
+
+  bool ok() const { return !message_.has_value(); }
+  const std::string& message() const {
+    static const std::string kOk = "OK";
+    return message_ ? *message_ : kOk;
+  }
+
+ private:
+  Status() = default;
+  explicit Status(std::string message) : message_(std::move(message)) {}
+  std::optional<std::string> message_;
+};
+
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit: allows `return value;` and `return Status::Error(...)`.
+  Result(T value) : value_(std::move(value)) {}              // NOLINT
+  Result(Status status) : status_(std::move(status)) {       // NOLINT
+    TIGER_CHECK(!status_.ok()) << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    TIGER_CHECK(ok()) << status_.message();
+    return *value_;
+  }
+  T& value() & {
+    TIGER_CHECK(ok()) << status_.message();
+    return *value_;
+  }
+  T&& value() && {
+    TIGER_CHECK(ok()) << status_.message();
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::Ok();
+};
+
+}  // namespace tiger
+
+#endif  // SRC_COMMON_RESULT_H_

@@ -1,0 +1,28 @@
+#include "src/common/time.h"
+
+#include <cstdio>
+
+namespace tiger {
+
+std::string Duration::ToString() const {
+  char buf[32];
+  if (micros_ % 1000000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(micros_ / 1000000));
+  } else if (micros_ % 1000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms", static_cast<long long>(micros_ / 1000));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(micros_));
+  }
+  return buf;
+}
+
+std::string TimePoint::ToString() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6fs", seconds());
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Duration d) { return os << d.ToString(); }
+std::ostream& operator<<(std::ostream& os, TimePoint t) { return os << t.ToString(); }
+
+}  // namespace tiger

@@ -1,0 +1,26 @@
+// Network addresses of the fixed participants.
+
+#ifndef SRC_CORE_ADDRESS_BOOK_H_
+#define SRC_CORE_ADDRESS_BOOK_H_
+
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/ids.h"
+#include "src/net/network.h"
+
+namespace tiger {
+
+struct AddressBook {
+  std::vector<NetAddress> cubs;
+  NetAddress controller = kInvalidAddress;
+
+  NetAddress CubAddress(CubId cub) const {
+    TIGER_CHECK(cub.value() < cubs.size());
+    return cubs[cub.value()];
+  }
+};
+
+}  // namespace tiger
+
+#endif  // SRC_CORE_ADDRESS_BOOK_H_

@@ -1,0 +1,37 @@
+#include "src/core/block_cache.h"
+
+namespace tiger {
+
+bool BlockCache::Lookup(const Key& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+void BlockCache::Insert(const Key& key, int64_t bytes) {
+  TIGER_CHECK(bytes > 0);
+  if (bytes > capacity_bytes_) {
+    return;
+  }
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  while (resident_bytes_ + bytes > capacity_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    resident_bytes_ -= victim.bytes;
+    entries_.erase(victim.key);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{key, bytes});
+  entries_[key] = lru_.begin();
+  resident_bytes_ += bytes;
+}
+
+}  // namespace tiger

@@ -1,0 +1,253 @@
+#include "src/core/central.h"
+
+#include <utility>
+
+namespace tiger {
+
+namespace {
+// Commands are issued one second ahead of the block's due time, leaving the
+// cub room for the disk read.
+constexpr Duration kCommandLead = Duration::Seconds(1);
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CentralCub
+// ---------------------------------------------------------------------------
+
+CentralCub::CentralCub(Simulator* sim, CubId id, const TigerConfig* config,
+                       const Catalog* catalog, const StripeLayout* layout, MessageBus* net,
+                       Rng rng)
+    : Actor(sim, "ccub" + std::to_string(id.value())),
+      id_(id),
+      config_(config),
+      catalog_(catalog),
+      layout_(layout),
+      net_(net),
+      rng_(std::move(rng)) {
+  address_ = net_->Attach(this, name(), config->cub_nic_bps);
+}
+
+void CentralCub::HandleMessage(const MessageEnvelope& envelope) {
+  if (halted()) {
+    return;
+  }
+  const auto& msg = static_cast<const TigerMessage&>(*envelope.payload);
+  if (msg.kind != MsgKind::kCentralCommand) {
+    return;
+  }
+  const ViewerStateRecord& record = static_cast<const CentralCommandMsg&>(msg).record;
+  commands_received_++;
+  cpu_.Add(Now(), static_cast<double>(config_->cpu.per_control_message.micros()));
+
+  const FileInfo& file = catalog_->Get(record.file);
+  const int64_t content_bytes = file.content_bytes_per_block;
+  auto send = [this, record, content_bytes]() {
+    blocks_sent_++;
+    if (config_->simulate_data_plane) {
+      cpu_.Add(Now(), static_cast<double>(config_->cpu.DataSendCost(content_bytes).micros()));
+      auto data = std::make_shared<BlockDataMsg>();
+      data->viewer = record.viewer;
+      data->instance = record.instance;
+      data->file = record.file;
+      data->position = record.position;
+      data->content_bytes = content_bytes;
+      data->due = record.due;
+      net_->SendPaced(address_, record.client_address, content_bytes, record.bitrate_bps,
+                      std::move(data));
+    }
+  };
+
+  if (!config_->simulate_data_plane || disks_.empty()) {
+    At(std::max(record.due, Now()), send);
+    return;
+  }
+  DiskId serving = layout_->PrimaryDisk(file, record.position);
+  int local = config_->shape.LocalDiskIndex(serving);
+  TIGER_CHECK(local < static_cast<int>(disks_.size()));
+  disks_[local]->SubmitRead(DiskZone::kOuter, file.allocated_bytes_per_block,
+                            [this, record, send]() {
+                              At(std::max(record.due, Now()), send);
+                            });
+}
+
+// ---------------------------------------------------------------------------
+// CentralController
+// ---------------------------------------------------------------------------
+
+CentralController::CentralController(Simulator* sim, const TigerConfig* config,
+                                     const Catalog* catalog, const StripeLayout* layout,
+                                     const ScheduleGeometry* geometry, MessageBus* net)
+    : Actor(sim, "central-controller"),
+      config_(config),
+      catalog_(catalog),
+      layout_(layout),
+      geometry_(geometry),
+      net_(net) {
+  address_ = net_->Attach(this, name(), config->controller_nic_bps);
+  slots_.resize(static_cast<size_t>(geometry_->slot_count()));
+}
+
+bool CentralController::AddStream(FileId file, NetAddress client, int64_t bitrate_bps) {
+  const FileInfo& info = catalog_->Get(file);
+  const TimePoint t_ref = Now() + Duration::Seconds(2);
+  const int total_disks = config_->shape.TotalDisks();
+  for (size_t s = 0; s < slots_.size(); ++s) {
+    SlotState& slot = slots_[s];
+    if (slot.occupied) {
+      continue;
+    }
+    ScheduleGeometry::ServingEvent serving_event =
+        geometry_->SoonestServingDisk(SlotId(static_cast<uint32_t>(s)), t_ref);
+    DiskId serving = serving_event.disk;
+    TimePoint due = serving_event.due;
+    int64_t delta =
+        (static_cast<int64_t>(serving.value()) - info.start_disk.value()) % total_disks;
+    if (delta < 0) {
+      delta += total_disks;
+    }
+    TIGER_CHECK(delta < info.block_count) << "file too short for bootstrap";
+
+    slot.occupied = true;
+    slot.record.viewer = ViewerId(static_cast<uint32_t>(next_instance_));
+    slot.record.client_address = client;
+    slot.record.instance = PlayInstanceId(next_instance_++);
+    slot.record.file = file;
+    slot.record.position = delta;
+    slot.record.slot = SlotId(static_cast<uint32_t>(s));
+    slot.record.bitrate_bps = bitrate_bps;
+    slot.next_disk = serving;
+    slot.next_due = due;
+    active_streams_++;
+    if (started_) {
+      pending_.push(PendingCommand{slot.next_due - kCommandLead, static_cast<uint32_t>(s)});
+    }
+    return true;
+  }
+  return false;
+}
+
+void CentralController::Start() {
+  started_ = true;
+  for (size_t s = 0; s < slots_.size(); ++s) {
+    if (slots_[s].occupied) {
+      pending_.push(
+          PendingCommand{slots_[s].next_due - kCommandLead, static_cast<uint32_t>(s)});
+    }
+  }
+  Pump();
+}
+
+void CentralController::Pump() {
+  while (!pending_.empty() && TimePoint::FromMicros(std::max<int64_t>(
+                                  pending_.top().send_at.micros(), 0)) <= Now()) {
+    PendingCommand cmd = pending_.top();
+    pending_.pop();
+    SlotState& slot = slots_[cmd.slot];
+    if (!slot.occupied) {
+      continue;
+    }
+    IssueCommand(slot);
+    pending_.push(PendingCommand{slot.next_due - kCommandLead, cmd.slot});
+  }
+  if (!pending_.empty()) {
+    TimePoint next = pending_.top().send_at;
+    At(std::max(next, Now() + Duration::Micros(1)), [this] { Pump(); });
+  }
+}
+
+void CentralController::IssueCommand(SlotState& slot) {
+  const FileInfo& file = catalog_->Get(slot.record.file);
+  slot.record.due = slot.next_due;
+  // Per-command work: form and push one reliable message (§3.3 costs this at
+  // ~100 bytes through TCP).
+  cpu_.Add(Now(), static_cast<double>(config_->cpu.per_control_message.micros()));
+  auto msg = std::make_shared<CentralCommandMsg>();
+  msg->record = slot.record;
+  CubId target = config_->shape.CubOfDisk(slot.next_disk);
+  net_->Send(address_, addresses_->CubAddress(target), CentralCommandMsg::WireBytes(),
+             std::move(msg));
+  commands_sent_++;
+
+  // Advance to the next block (synthetic streams wrap at end of file so the
+  // measurement runs indefinitely).
+  slot.record.position = (slot.record.position + 1) % file.block_count;
+  slot.record.sequence++;
+  slot.next_disk = config_->shape.NextDisk(slot.next_disk);
+  slot.next_due = slot.next_due + config_->block_play_time;
+}
+
+// ---------------------------------------------------------------------------
+// CentralSystem
+// ---------------------------------------------------------------------------
+
+CentralSystem::CentralSystem(TigerConfig config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  TIGER_CHECK(config_.shape.Valid());
+  net_ = std::make_unique<Network>(&sim_, config_.net, rng_.Fork());
+  catalog_ = std::make_unique<Catalog>(config_.block_play_time, config_.block_bytes,
+                                       /*single_bitrate=*/true);
+  layout_ = std::make_unique<StripeLayout>(config_.shape);
+  geometry_ = std::make_unique<ScheduleGeometry>(config_.MakeGeometry());
+
+  disks_.resize(static_cast<size_t>(config_.shape.TotalDisks()));
+  for (int c = 0; c < config_.shape.num_cubs; ++c) {
+    CubId id(static_cast<uint32_t>(c));
+    cubs_.push_back(std::make_unique<CentralCub>(&sim_, id, &config_, catalog_.get(),
+                                                 layout_.get(), net_.get(), rng_.Fork()));
+    addresses_.cubs.push_back(cubs_.back()->address());
+  }
+  controller_ = std::make_unique<CentralController>(&sim_, &config_, catalog_.get(),
+                                                    layout_.get(), geometry_.get(), net_.get());
+  addresses_.controller = controller_->address();
+  controller_->SetAddressBook(&addresses_);
+
+  if (config_.simulate_data_plane) {
+    for (int c = 0; c < config_.shape.num_cubs; ++c) {
+      std::vector<SimulatedDisk*> cub_disks;
+      for (int local = 0; local < config_.shape.disks_per_cub; ++local) {
+        DiskId global = config_.shape.GlobalDiskIndex(CubId(static_cast<uint32_t>(c)), local);
+        auto disk = std::make_unique<SimulatedDisk>(
+            &sim_, "cdisk" + std::to_string(global.value()), global, config_.disk_model,
+            rng_.Fork());
+        cub_disks.push_back(disk.get());
+        disks_[global.value()] = std::move(disk);
+      }
+      cubs_[static_cast<size_t>(c)]->AttachDisks(std::move(cub_disks));
+    }
+  }
+}
+
+Result<FileId> CentralSystem::AddFile(std::string name, int64_t bitrate_bps,
+                                      Duration duration) {
+  return catalog_->AddFile(std::move(name), bitrate_bps, duration, DiskId(0));
+}
+
+int CentralSystem::BootstrapStreams(int count, NetAddress sink, FileId file,
+                                    int64_t bitrate_bps) {
+  int made = 0;
+  for (int i = 0; i < count; ++i) {
+    if (!controller_->AddStream(file, sink, bitrate_bps)) {
+      break;
+    }
+    ++made;
+  }
+  return made;
+}
+
+double CentralSystem::ControllerCpu(TimePoint a, TimePoint b) const {
+  return controller_->cpu_meter().SumBetween(a, b) / static_cast<double>((b - a).micros());
+}
+
+double CentralSystem::ControllerControlTrafficBps(TimePoint a, TimePoint b) const {
+  return net_->ControlBytesSent(controller_->address()).RatePerSecond(a, b);
+}
+
+int64_t CentralSystem::TotalBlocksSent() const {
+  int64_t total = 0;
+  for (const auto& cub : cubs_) {
+    total += cub->blocks_sent();
+  }
+  return total;
+}
+
+}  // namespace tiger

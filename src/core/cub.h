@@ -1,0 +1,199 @@
+// A cub: one content machine of the Tiger system.
+//
+// The cub is a pure message-and-timer state machine. It owns a bounded view
+// of the (hallucinated) global schedule near its own disks and implements:
+//
+//  * steady-state viewer-state propagation, batched and double-forwarded to
+//    its next two living successors (§4.1.1);
+//  * the idempotent deschedule pipeline with hold records (§4.1.2);
+//  * slot-ownership insertion of queued start requests (§4.1.3);
+//  * mirror takeover: when the disk a record names is failed and this cub is
+//    the first living successor of its owner, the cub synthesizes the
+//    declustered mirror chain and carries the failed cub's forwarding duties
+//    (§2.3, §4.1.1);
+//  * the cub side of the deadman protocol.
+
+#ifndef SRC_CORE_CUB_H_
+#define SRC_CORE_CUB_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+#include "src/core/address_book.h"
+#include "src/core/block_cache.h"
+#include "src/core/config.h"
+#include "src/core/failure_view.h"
+#include "src/core/messages.h"
+#include "src/core/oracle.h"
+#include "src/disk/disk.h"
+#include "src/layout/striping.h"
+#include "src/net/network.h"
+#include "src/schedule/geometry.h"
+#include "src/schedule/schedule_view.h"
+#include "src/sim/actor.h"
+#include "src/stats/meter.h"
+
+namespace tiger {
+
+class Cub : public Actor, public NetworkEndpoint {
+ public:
+  struct Counters {
+    int64_t records_received = 0;
+    int64_t records_new = 0;
+    int64_t records_duplicate = 0;
+    int64_t records_killed_by_deschedule = 0;
+    int64_t records_too_late = 0;
+    int64_t records_conflict = 0;
+    int64_t blocks_sent = 0;
+    int64_t fragments_sent = 0;
+    int64_t server_missed_blocks = 0;
+    int64_t deschedules_received = 0;
+    int64_t deschedules_applied = 0;
+    int64_t inserts = 0;
+    int64_t takeovers = 0;
+    int64_t buffer_stalls = 0;
+    int64_t failures_detected = 0;
+  };
+
+  Cub(Simulator* sim, CubId id, const TigerConfig* config, const Catalog* catalog,
+      const StripeLayout* layout, const ScheduleGeometry* geometry, MessageBus* net, Rng rng);
+
+  // Wiring (called by TigerSystem before Start()).
+  void AttachDisks(std::vector<SimulatedDisk*> disks);
+  void SetAddressBook(const AddressBook* addresses) { addresses_ = addresses; }
+  void SetOracle(ScheduleOracle* oracle) { oracle_ = oracle; }
+
+  // Begins heartbeats and periodic ticks.
+  void Start();
+
+  // Power loss: stop all activity and take the node off the network. The
+  // caller (TigerSystem) also halts the cub's disks.
+  void Fail();
+
+  // Fails one local drive; the cub stays up.
+  void FailLocalDisk(int local_index);
+
+  // Injects a steady-state viewer directly into this cub's view, bypassing
+  // the start protocol (benchmark bootstrap). The record must name a disk
+  // this cub serves.
+  void BootstrapRecord(const ViewerStateRecord& record);
+
+  NetAddress address() const { return address_; }
+  CubId id() const { return id_; }
+  const Counters& counters() const { return counters_; }
+  const ScheduleView& view() const { return view_; }
+  const CumulativeMeter& cpu_meter() const { return cpu_; }
+  const FailureView& failure_view() const { return failure_view_; }
+  const BlockCache& block_cache() const { return cache_; }
+  int64_t free_buffer_bytes() const { return free_buffer_bytes_; }
+  size_t queued_start_requests() const;
+  DiskId GlobalDiskId(int local_index) const;
+
+  // NetworkEndpoint:
+  void HandleMessage(const MessageEnvelope& envelope) override;
+
+ private:
+  struct PendingStart {
+    StartPlayMsg msg;
+    TimePoint queued_at;
+  };
+
+  // --- message handlers ---
+  void OnViewerStateBatch(const ViewerStateBatchMsg& msg);
+  void OnViewerState(const ViewerStateRecord& record);
+  void OnDeschedule(const DescheduleMsg& msg);
+  void OnStartPlay(const StartPlayMsg& msg);
+  void OnHeartbeat(const HeartbeatMsg& msg);
+  void OnFailureNotice(const FailureNoticeMsg& msg);
+
+  // --- record processing ---
+  // Routes a freshly accepted record: serve it, take over mirroring, or hold
+  // it as a fault-tolerance backup.
+  void ProcessAcceptedRecord(const ViewerStateRecord::Key& key);
+  void ScheduleEntryWork(const ViewerStateRecord::Key& key);
+  void IssueRead(const ViewerStateRecord::Key& key);
+  void SendBlock(const ViewerStateRecord::Key& key);
+  void TakeoverRecord(const ViewerStateRecord::Key& key);
+  // Bytes of buffer a record's disk read occupies (allocated block size for
+  // primaries, one fragment for mirrors).
+  int64_t ReadBytesFor(const ViewerStateRecord& record) const;
+
+  // The disk that must service this record (primary disk or mirror-fragment
+  // disk).
+  DiskId ServingDisk(const ViewerStateRecord& record) const;
+  bool IsMyDisk(DiskId disk) const;
+  SimulatedDisk* LocalDisk(DiskId disk) const;
+
+  // The record this cub forwards on behalf of `record` (the next block for a
+  // primary, the next fragment for a mirror); nullopt at end of file / chain.
+  std::optional<ViewerStateRecord> SuccessorRecord(const ViewerStateRecord& record) const;
+
+  // --- forwarding ---
+  void ForwardTick();
+  // Forwards `entry`'s successor record immediately if eligible; marks it.
+  void MaybeForwardEntry(ScheduleEntry& entry,
+                         std::unordered_map<NetAddress, ViewerStateBatchMsg>& batches);
+  void FlushBatches(std::unordered_map<NetAddress, ViewerStateBatchMsg>& batches);
+  void ForwardEntryNow(const ViewerStateRecord::Key& key);
+  void SendRecordsTo(CubId target, const std::vector<ViewerStateRecord>& records);
+
+  // --- insertion ---
+  void EnqueueStart(const StartPlayMsg& msg);
+  void EnsureOwnershipTicking(DiskId disk);
+  void OwnershipTick(DiskId disk);
+  void InsertViewer(DiskId disk, SlotId slot, TimePoint due, const StartPlayMsg& msg);
+
+  // --- failure handling ---
+  void HeartbeatTick();
+  void DeadmanCheck();
+  void DeclareCubFailed(CubId cub);
+  void HandleFailure(CubId failed_cub, DiskId failed_disk);
+  void ScanForTakeovers();
+  void ActivateRedundantStarts(CubId failed_cub);
+
+  // --- housekeeping ---
+  void EvictionTick();
+  void ChargeCpu(Duration cost) { cpu_.Add(Now(), static_cast<double>(cost.micros())); }
+  void ChargeMessageCpu() { ChargeCpu(config_->cpu.per_control_message); }
+  Duration MirrorFragmentSpacing(int from_fragment) const;
+  void FreeBuffer(int64_t bytes);
+
+  CubId id_;
+  const TigerConfig* config_;
+  const Catalog* catalog_;
+  const StripeLayout* layout_;
+  const ScheduleGeometry* geometry_;
+  OwnershipWindows windows_;
+  MessageBus* net_;
+  NetAddress address_ = kInvalidAddress;
+  const AddressBook* addresses_ = nullptr;
+  ScheduleOracle* oracle_ = nullptr;
+  Rng rng_;
+
+  std::vector<SimulatedDisk*> disks_;  // Index = local disk index.
+  BlockCache cache_;
+  ScheduleView view_;
+  FailureView failure_view_;
+  Counters counters_;
+  CumulativeMeter cpu_;
+
+  int64_t free_buffer_bytes_ = 0;
+  std::unordered_map<DiskId, std::deque<PendingStart>> start_queues_;
+  std::unordered_set<DiskId> ticking_disks_;
+  std::unordered_map<uint64_t, PendingStart> redundant_starts_;  // By instance id.
+  // Instances whose viewer states this cub has seen (clears redundant copies).
+  std::unordered_set<uint64_t> seen_instances_;
+  std::unordered_map<CubId, TimePoint> last_heard_;
+  bool started_ = false;
+};
+
+}  // namespace tiger
+
+#endif  // SRC_CORE_CUB_H_

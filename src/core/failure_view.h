@@ -1,0 +1,107 @@
+// A node's local beliefs about which cubs and disks have failed.
+//
+// Every cub (and the controller) keeps its own FailureView, updated by the
+// deadman protocol and failure notices. Views can disagree transiently; the
+// protocol is designed so that stale views cost only latency, never
+// correctness.
+
+#ifndef SRC_CORE_FAILURE_VIEW_H_
+#define SRC_CORE_FAILURE_VIEW_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/ids.h"
+#include "src/layout/shape.h"
+
+namespace tiger {
+
+class FailureView {
+ public:
+  explicit FailureView(SystemShape shape) : shape_(shape) {}
+
+  void MarkCubFailed(CubId cub) { failed_cubs_.insert(cub); }
+  void MarkCubAlive(CubId cub) { failed_cubs_.erase(cub); }
+  void MarkDiskFailed(DiskId disk) { failed_disks_.insert(disk); }
+  void MarkDiskAlive(DiskId disk) { failed_disks_.erase(disk); }
+
+  bool IsCubFailed(CubId cub) const { return failed_cubs_.contains(cub); }
+  bool IsDiskFailed(DiskId disk) const {
+    return failed_disks_.contains(disk) || IsCubFailed(shape_.CubOfDisk(disk));
+  }
+
+  int failed_cub_count() const { return static_cast<int>(failed_cubs_.size()); }
+  int live_cub_count() const { return shape_.num_cubs - failed_cub_count(); }
+
+  // First living cub strictly after `cub` in the ring. Requires at least one
+  // living cub other than `cub`.
+  CubId FirstLivingSuccessor(CubId cub) const {
+    TIGER_CHECK(live_cub_count() >= 1);
+    CubId candidate = shape_.NextCub(cub);
+    for (int i = 0; i < shape_.num_cubs; ++i) {
+      if (!IsCubFailed(candidate)) {
+        return candidate;
+      }
+      candidate = shape_.NextCub(candidate);
+    }
+    TIGER_CHECK(false) << "no living successor";
+    __builtin_unreachable();
+  }
+
+  // The next `count` living cubs after `cub` (skipping failed ones, bridging
+  // gaps of consecutive failures, §2.3). May return fewer if the system has
+  // too few living cubs; never includes `cub` itself.
+  std::vector<CubId> NextLivingSuccessors(CubId cub, int count) const {
+    std::vector<CubId> out;
+    CubId candidate = shape_.NextCub(cub);
+    for (int i = 0; i < shape_.num_cubs && static_cast<int>(out.size()) < count; ++i) {
+      if (candidate == cub) {
+        break;
+      }
+      if (!IsCubFailed(candidate)) {
+        out.push_back(candidate);
+      }
+      candidate = shape_.NextCub(candidate);
+    }
+    return out;
+  }
+
+  // The previous `count` living cubs before `cub` (whom `cub` expects
+  // heartbeats and viewer states from).
+  std::vector<CubId> PrevLivingPredecessors(CubId cub, int count) const {
+    std::vector<CubId> out;
+    CubId candidate = shape_.AdvanceCub(cub, -1);
+    for (int i = 0; i < shape_.num_cubs && static_cast<int>(out.size()) < count; ++i) {
+      if (candidate == cub) {
+        break;
+      }
+      if (!IsCubFailed(candidate)) {
+        out.push_back(candidate);
+      }
+      candidate = shape_.AdvanceCub(candidate, -1);
+    }
+    return out;
+  }
+
+  // Is `me` the first living cub after the cub owning `disk`? (The cub in
+  // this position makes mirror decisions for the disk, §4.1.1.)
+  bool AmFirstLivingSuccessorOfDisk(CubId me, DiskId disk) const {
+    CubId owner = shape_.CubOfDisk(disk);
+    if (owner == me) {
+      return false;
+    }
+    return FirstLivingSuccessor(owner) == me;
+  }
+
+  const SystemShape& shape() const { return shape_; }
+
+ private:
+  SystemShape shape_;
+  std::unordered_set<CubId> failed_cubs_;
+  std::unordered_set<DiskId> failed_disks_;
+};
+
+}  // namespace tiger
+
+#endif  // SRC_CORE_FAILURE_VIEW_H_

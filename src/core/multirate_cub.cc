@@ -1,0 +1,467 @@
+#include "src/core/multirate_cub.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/units.h"
+
+namespace tiger {
+
+namespace {
+// A reservation made for a peer that never commits is garbage-collected
+// after this long.
+constexpr Duration kReservationExpiry = Duration::Seconds(5);
+// Grace period past a stream's computed end before its entry is dropped.
+constexpr Duration kEntrySlack = Duration::Seconds(3);
+}  // namespace
+
+MultirateCub::MultirateCub(Simulator* sim, CubId id, const TigerConfig* config,
+                           const Catalog* catalog, const StripeLayout* layout,
+                           MessageBus* net, Rng rng)
+    : Actor(sim, "mcub" + std::to_string(id.value())),
+      id_(id),
+      config_(config),
+      catalog_(catalog),
+      layout_(layout),
+      net_(net),
+      rng_(std::move(rng)),
+      net_schedule_(config->block_play_time, config->shape.num_cubs, config->cub_nic_bps),
+      failure_view_(config->shape) {
+  TIGER_CHECK(config->block_play_time.micros() % config->shape.decluster_factor == 0)
+      << "multirate quantization requires block play time divisible by decluster factor";
+  address_ = net_->Attach(this, name(), config->cub_nic_bps);
+}
+
+void MultirateCub::AttachDisks(std::vector<SimulatedDisk*> disks) {
+  TIGER_CHECK(static_cast<int>(disks.size()) == config_->shape.disks_per_cub);
+  disks_ = std::move(disks);
+}
+
+void MultirateCub::Start() { TIGER_CHECK(addresses_ != nullptr); }
+
+Duration MultirateCub::StartQuantum() const {
+  return config_->block_play_time / config_->shape.decluster_factor;
+}
+
+Duration MultirateCub::OffsetOfSlotIndex(uint32_t index) const {
+  return net_schedule_.WrapOffset(StartQuantum() * index);
+}
+
+uint32_t MultirateCub::SlotIndexOfOffset(Duration offset) const {
+  return static_cast<uint32_t>(offset.micros() / StartQuantum().micros());
+}
+
+TimePoint MultirateCub::NextPass(Duration offset, TimePoint t) const {
+  const int64_t length = net_schedule_.length().micros();
+  const int64_t base =
+      static_cast<int64_t>(id_.value()) * config_->block_play_time.micros() + offset.micros();
+  // Smallest m with base + m*length >= t (m may be negative: the base lap
+  // for a high cub id can lie beyond t).
+  const int64_t delta = t.micros() - base;
+  int64_t m = delta / length;
+  if (delta % length > 0) {
+    ++m;
+  }
+  TimePoint pass = TimePoint::FromMicros(base + m * length);
+  TIGER_DCHECK(pass >= t && pass - t < Duration::Micros(length));
+  return pass;
+}
+
+void MultirateCub::HandleMessage(const MessageEnvelope& envelope) {
+  if (halted()) {
+    return;
+  }
+  ChargeCpu(config_->cpu.per_control_message);
+  const auto& msg = static_cast<const TigerMessage&>(*envelope.payload);
+  switch (msg.kind) {
+    case MsgKind::kStartPlay:
+      OnStartPlay(static_cast<const StartPlayMsg&>(msg));
+      break;
+    case MsgKind::kReserveRequest:
+      OnReserveRequest(static_cast<const ReserveRequestMsg&>(msg));
+      break;
+    case MsgKind::kReserveReply:
+      OnReserveReply(static_cast<const ReserveReplyMsg&>(msg));
+      break;
+    case MsgKind::kViewerStateBatch: {
+      const auto& batch = static_cast<const ViewerStateBatchMsg&>(msg);
+      for (const ViewerStateRecord& record : batch.Decode()) {
+        OnViewerState(record);
+      }
+      break;
+    }
+    case MsgKind::kDeschedule:
+      OnDeschedule(static_cast<const DescheduleMsg&>(msg));
+      break;
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Insertion (§4.2)
+// ---------------------------------------------------------------------------
+
+void MultirateCub::OnStartPlay(const StartPlayMsg& msg) {
+  if (msg.redundant) {
+    return;  // Multirate failure handling is out of scope (as in the paper).
+  }
+  start_queue_.push_back(msg);
+  TryInsertHead();
+}
+
+double MultirateCub::DiskLoadFor(int64_t bitrate_bps) const {
+  const int64_t bytes = BytesForDuration(config_->block_play_time, bitrate_bps);
+  const Duration read = config_->disk_model.MeanReadTime(DiskZone::kOuter, bytes);
+  // Long-run: each stream reads one block per disk every D block play times.
+  return static_cast<double>(read.micros()) /
+         (static_cast<double>(config_->block_play_time.micros()) *
+          config_->shape.TotalDisks());
+}
+
+void MultirateCub::TryInsertHead() {
+  if (pending_insertion_.has_value() || start_queue_.empty()) {
+    return;
+  }
+  const StartPlayMsg msg = start_queue_.front();
+
+  // Candidate offsets: quantized starts within one block play time after the
+  // pointer position insertion_lead from now. Scanning at most decluster
+  // candidates keeps concurrent insertions at distant cubs non-overlapping,
+  // which is why confirming with the immediate successor suffices.
+  const TimePoint anchor = Now() + config_->multirate_insertion_lead;
+  const Duration pointer = net_schedule_.WrapOffset(
+      Duration::Micros(anchor.micros() -
+                       static_cast<int64_t>(id_.value()) * config_->block_play_time.micros()));
+  const Duration quantum = StartQuantum();
+  Duration chosen = Duration::Micros(-1);
+  for (int q = 0; q < config_->shape.decluster_factor; ++q) {
+    int64_t rounded = ((pointer.micros() + quantum.micros() - 1) / quantum.micros() + q) *
+                      quantum.micros();
+    Duration offset = net_schedule_.WrapOffset(Duration::Micros(rounded));
+    const bool net_ok = net_schedule_.CanInsert(offset, msg.bitrate_bps);
+    const bool disk_ok =
+        committed_disk_util_ + DiskLoadFor(msg.bitrate_bps) <= config_->disk_budget_cap;
+    if (net_ok && disk_ok) {
+      chosen = offset;
+      break;
+    }
+  }
+  if (chosen < Duration::Zero()) {
+    counters_.admission_rejects_local++;
+    // Retry when space may have opened up.
+    After(Duration::Millis(static_cast<int64_t>(retry_backoff_ms_)), [this] { TryInsertHead(); });
+    return;
+  }
+  start_queue_.pop_front();
+
+  PendingInsertion pending;
+  pending.msg = msg;
+  pending.offset = chosen;
+  pending.instance = msg.instance;
+  pending.first_due = NextPass(chosen, Now() + config_->reserve_timeout);
+  // Tentative local insertion: holds the space in our own view.
+  pending.tentative = net_schedule_.Insert(chosen, msg.bitrate_bps, /*reservation=*/true,
+                                           msg.viewer, msg.instance);
+  // Speculatively start the first block's read, overlapping the round trip.
+  const FileInfo& file = catalog_->Get(msg.file);
+  DiskId first_disk = layout_->PrimaryDisk(file, 0);
+  if (config_->simulate_data_plane && !disks_.empty() &&
+      config_->shape.CubOfDisk(first_disk) == id_) {
+    int local = config_->shape.LocalDiskIndex(first_disk);
+    const int64_t bytes = BytesForDuration(config_->block_play_time, msg.bitrate_bps);
+    disks_[local]->SubmitRead(DiskZone::kOuter, std::max<int64_t>(bytes, 1), [] {},
+                              pending.first_due);
+    pending.read_started = true;
+  }
+  pending_insertion_ = pending;
+
+  auto request = std::make_shared<ReserveRequestMsg>();
+  request->from = id_;
+  request->viewer = msg.viewer;
+  request->instance = msg.instance;
+  request->start_offset = chosen;
+  request->bitrate_bps = msg.bitrate_bps;
+  counters_.reserve_requests++;
+  CubId successor = failure_view_.FirstLivingSuccessor(id_);
+  net_->Send(address_, addresses_->CubAddress(successor), ReserveRequestMsg::WireBytes(),
+             std::move(request));
+
+  PlayInstanceId instance = msg.instance;
+  After(config_->reserve_timeout, [this, instance] {
+    if (pending_insertion_.has_value() && pending_insertion_->instance == instance) {
+      AbortInsertion(*pending_insertion_, "reserve timeout");
+    }
+  });
+}
+
+void MultirateCub::OnReserveRequest(const ReserveRequestMsg& msg) {
+  auto reply = std::make_shared<ReserveReplyMsg>();
+  reply->from = id_;
+  reply->instance = msg.instance;
+  const bool net_ok = net_schedule_.CanInsert(msg.start_offset, msg.bitrate_bps);
+  const bool disk_ok =
+      committed_disk_util_ + DiskLoadFor(msg.bitrate_bps) <= config_->disk_budget_cap;
+  reply->ok = net_ok && disk_ok;
+  if (reply->ok) {
+    NetworkSchedule::EntryId entry = net_schedule_.Insert(
+        msg.start_offset, msg.bitrate_bps, /*reservation=*/true, msg.viewer, msg.instance);
+    peer_reservations_[msg.instance.value()] = entry;
+    const PlayInstanceId instance = msg.instance;
+    After(kReservationExpiry, [this, instance] {
+      auto it = peer_reservations_.find(instance.value());
+      if (it != peer_reservations_.end()) {
+        const NetworkSchedule::Entry* entry = net_schedule_.Get(it->second);
+        if (entry != nullptr && entry->reservation) {
+          net_schedule_.Remove(it->second);  // Originator never committed.
+        }
+        peer_reservations_.erase(it);
+      }
+    });
+  } else {
+    counters_.reserve_rejections++;
+  }
+  net_->Send(address_, addresses_->CubAddress(msg.from), ReserveReplyMsg::WireBytes(),
+             std::move(reply));
+}
+
+void MultirateCub::OnReserveReply(const ReserveReplyMsg& msg) {
+  if (!pending_insertion_.has_value() || pending_insertion_->instance != msg.instance) {
+    return;  // Stale reply (already aborted).
+  }
+  if (msg.ok) {
+    CommitInsertion(*pending_insertion_);
+  } else {
+    AbortInsertion(*pending_insertion_, "successor rejected");
+  }
+}
+
+void MultirateCub::CommitInsertion(PendingInsertion& pending) {
+  counters_.inserts_committed++;
+  net_schedule_.CommitReservation(pending.tentative);
+  committed_disk_util_ += DiskLoadFor(pending.msg.bitrate_bps);
+
+  ViewerStateRecord record;
+  record.viewer = pending.msg.viewer;
+  record.client_address = pending.msg.client_address;
+  record.instance = pending.msg.instance;
+  record.file = pending.msg.file;
+  record.position = 0;
+  record.slot = SlotId(SlotIndexOfOffset(pending.offset));
+  record.sequence = 0;
+  record.bitrate_bps = pending.msg.bitrate_bps;
+  record.due = NextPass(pending.offset, Now());
+
+  const FileInfo& file = catalog_->Get(record.file);
+  StreamEntry stream;
+  stream.record = record;
+  stream.entry = pending.tentative;
+  streams_[record.instance.value()] = stream;
+  ScheduleService(record);
+
+  auto confirm = std::make_shared<StartConfirmMsg>();
+  confirm->viewer = record.viewer;
+  confirm->instance = record.instance;
+  confirm->slot = record.slot;
+  confirm->file = record.file;
+  confirm->first_block_due = record.due;
+  net_->Send(address_, addresses_->controller, StartConfirmMsg::WireBytes(),
+             std::move(confirm));
+
+  // Hand the next block's state to the successor(s) right away: it converts
+  // the successor's reservation into knowledge of the real entry.
+  if (record.position + 1 < file.block_count) {
+    ViewerStateRecord next = record;
+    next.position++;
+    next.sequence++;
+    next.due = record.due + config_->block_play_time;
+    ForwardRecord(next);
+  }
+  pending_insertion_.reset();
+  TryInsertHead();
+}
+
+void MultirateCub::AbortInsertion(PendingInsertion& pending, const char* reason) {
+  counters_.inserts_aborted++;
+  TIGER_LOG(kInfo, name()) << "aborting insertion of instance "
+                           << pending.instance.value() << ": " << reason;
+  net_schedule_.Remove(pending.tentative);
+  // "The originating cub replaces the start playing request at the head of
+  // the queue, and retries it when there is more available schedule space."
+  start_queue_.push_front(pending.msg);
+  pending_insertion_.reset();
+  retry_backoff_ms_ = std::min<uint64_t>(retry_backoff_ms_ * 2, 2000);
+  After(Duration::Millis(static_cast<int64_t>(retry_backoff_ms_)), [this] { TryInsertHead(); });
+}
+
+// ---------------------------------------------------------------------------
+// Steady state
+// ---------------------------------------------------------------------------
+
+void MultirateCub::LearnEntry(const ViewerStateRecord& record) {
+  auto it = streams_.find(record.instance.value());
+  if (it != streams_.end()) {
+    it->second.record = record;
+  } else {
+    // First sight of this stream: replace any reservation we hold for it and
+    // enter it into our copy of the network schedule.
+    auto reservation = peer_reservations_.find(record.instance.value());
+    if (reservation != peer_reservations_.end()) {
+      net_schedule_.Remove(reservation->second);
+      peer_reservations_.erase(reservation);
+    }
+    StreamEntry stream;
+    stream.record = record;
+    stream.entry =
+        net_schedule_.Insert(OffsetOfSlotIndex(record.slot.value()), record.bitrate_bps,
+                             /*reservation=*/false, record.viewer, record.instance);
+    streams_[record.instance.value()] = stream;
+    committed_disk_util_ += DiskLoadFor(record.bitrate_bps);
+  }
+  // Refresh the entry's expiry from the freshest position information.
+  const FileInfo& file = catalog_->Get(record.file);
+  StreamEntry& stream = streams_[record.instance.value()];
+  if (stream.expiry_timer != kInvalidTimer) {
+    CancelTimer(stream.expiry_timer);
+  }
+  TimePoint end = record.due + config_->block_play_time * (file.block_count - record.position);
+  PlayInstanceId instance = record.instance;
+  stream.expiry_timer =
+      At(end + kEntrySlack, [this, instance] { RemoveStream(instance); });
+}
+
+void MultirateCub::OnViewerState(const ViewerStateRecord& record) {
+  counters_.records_received++;
+  ChargeCpu(config_->cpu.per_viewer_state);
+  auto last = last_scheduled_position_.find(record.instance.value());
+  if (last != last_scheduled_position_.end() && record.position <= last->second) {
+    counters_.records_duplicate++;
+    return;
+  }
+  counters_.records_new++;
+  LearnEntry(record);
+  ScheduleService(record);
+}
+
+void MultirateCub::ScheduleService(const ViewerStateRecord& record) {
+  last_scheduled_position_[record.instance.value()] = record.position;
+  const FileInfo& file = catalog_->Get(record.file);
+  const PlayInstanceId instance = record.instance;
+  const int64_t position = record.position;
+
+  // Only the cub holding the block's primary copy serves and forwards; the
+  // other recipient of the double-sent record just updated its view.
+  DiskId serving = layout_->PrimaryDisk(file, position);
+  if (config_->shape.CubOfDisk(serving) != id_) {
+    return;
+  }
+
+  // Disk read ahead of the transmission window.
+  if (config_->simulate_data_plane && !disks_.empty()) {
+    const int64_t bytes =
+        std::max<int64_t>(BytesForDuration(config_->block_play_time, record.bitrate_bps), 1);
+    TimePoint read_at = record.due - config_->read_ahead;
+    TimePoint due = record.due;
+    At(std::max(read_at, Now()), [this, serving, bytes, due] {
+      int local = config_->shape.LocalDiskIndex(serving);
+      disks_[local]->SubmitRead(DiskZone::kOuter, bytes, [] {}, due);
+    });
+  }
+  At(std::max(record.due, Now()), [this, instance, position] {
+    ServeBlock(instance, position);
+  });
+
+  // Forward the successor state once it would not exceed maxVStateLead.
+  ViewerStateRecord next = record;
+  next.position++;
+  next.sequence++;
+  next.due = record.due + config_->block_play_time;
+  if (next.position < file.block_count) {
+    TimePoint eligible = next.due - config_->max_vstate_lead;
+    At(std::max(eligible, Now()), [this, next] {
+      if (streams_.contains(next.instance.value())) {
+        ForwardRecord(next);
+      }
+    });
+  }
+}
+
+void MultirateCub::ServeBlock(PlayInstanceId instance, int64_t position) {
+  auto it = streams_.find(instance.value());
+  if (it == streams_.end()) {
+    return;  // Descheduled.
+  }
+  const ViewerStateRecord& record = it->second.record;
+  const FileInfo& file = catalog_->Get(record.file);
+  const int64_t content = BytesForDuration(config_->block_play_time, record.bitrate_bps);
+  counters_.blocks_sent++;
+  if (config_->simulate_data_plane) {
+    ChargeCpu(config_->cpu.DataSendCost(content));
+    auto data = std::make_shared<BlockDataMsg>();
+    data->viewer = record.viewer;
+    data->instance = instance;
+    data->file = record.file;
+    data->position = position;
+    data->content_bytes = content;
+    data->due = Now();
+    net_->SendPaced(address_, record.client_address, std::max<int64_t>(content, 1),
+                    record.bitrate_bps, std::move(data));
+  }
+  (void)file;
+}
+
+void MultirateCub::ForwardRecord(const ViewerStateRecord& record) {
+  auto msg = std::make_shared<ViewerStateBatchMsg>();
+  msg->Add(record);
+  const int64_t bytes = msg->WireBytes();
+  for (CubId target : failure_view_.NextLivingSuccessors(id_, config_->forward_copies)) {
+    ChargeCpu(config_->cpu.per_control_message);
+    net_->Send(address_, addresses_->CubAddress(target), bytes, msg);
+  }
+}
+
+void MultirateCub::RemoveStream(PlayInstanceId instance) {
+  auto it = streams_.find(instance.value());
+  if (it == streams_.end()) {
+    return;
+  }
+  net_schedule_.Remove(it->second.entry);
+  committed_disk_util_ -= DiskLoadFor(it->second.record.bitrate_bps);
+  if (committed_disk_util_ < 0) {
+    committed_disk_util_ = 0;
+  }
+  if (it->second.expiry_timer != kInvalidTimer) {
+    CancelTimer(it->second.expiry_timer);
+  }
+  streams_.erase(it);
+  // A free slot may unblock a queued insertion.
+  TryInsertHead();
+}
+
+void MultirateCub::OnDeschedule(const DescheduleMsg& msg) {
+  const PlayInstanceId instance = msg.record.instance;
+  bool known = streams_.contains(instance.value());
+  // Purge queued starts for this instance.
+  auto queued = std::remove_if(start_queue_.begin(), start_queue_.end(),
+                               [&](const StartPlayMsg& s) { return s.instance == instance; });
+  start_queue_.erase(queued, start_queue_.end());
+  if (pending_insertion_.has_value() && pending_insertion_->instance == instance) {
+    net_schedule_.Remove(pending_insertion_->tentative);
+    pending_insertion_.reset();
+    counters_.inserts_aborted++;
+  }
+  if (!known) {
+    return;
+  }
+  counters_.deschedules_applied++;
+  RemoveStream(instance);
+  // Mark so late records for the dead play are ignored.
+  last_scheduled_position_[instance.value()] = INT64_MAX;
+  auto forward = std::make_shared<DescheduleMsg>(msg);
+  for (CubId target : failure_view_.NextLivingSuccessors(id_, config_->forward_copies)) {
+    net_->Send(address_, addresses_->CubAddress(target), DescheduleMsg::WireBytes(), forward);
+  }
+}
+
+}  // namespace tiger

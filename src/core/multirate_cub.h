@@ -1,0 +1,156 @@
+// A cub of the *multiple-bitrate* Tiger (§3.2, §4.2).
+//
+// Block sizes are proportional to stream bitrate, so a slotted disk schedule
+// no longer works: admission is governed by the two-dimensional network
+// schedule (time × bandwidth) plus an aggregate disk-bandwidth budget. Each
+// cub keeps its own copy of the network schedule, learned from the viewer
+// states that flow around the ring; copies are stale in exactly the way
+// coherent hallucinations permit.
+//
+// Insertion cannot use slot ownership — every entry is a full block play time
+// wide, and cubs are only a block play time apart, so no cub can own the
+// needed stretch exclusively (§4.2). Instead the inserting cub:
+//   1. checks its local view (rejecting definite overloads),
+//   2. tentatively inserts and starts the first disk read (speculation hides
+//      the round trip),
+//   3. asks its successor to reserve the space against *its* view,
+//   4. commits and emits the first viewer state on a positive reply, or
+//      aborts, releases, and retries on a negative one / timeout.
+//
+// Viewer starts are quantized to block_play_time / decluster offsets, the
+// paper's fragmentation fix.
+
+#ifndef SRC_CORE_MULTIRATE_CUB_H_
+#define SRC_CORE_MULTIRATE_CUB_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+#include "src/core/address_book.h"
+#include "src/core/config.h"
+#include "src/core/failure_view.h"
+#include "src/core/messages.h"
+#include "src/disk/disk.h"
+#include "src/layout/striping.h"
+#include "src/net/network.h"
+#include "src/schedule/network_schedule.h"
+#include "src/schedule/schedule_view.h"
+#include "src/sim/actor.h"
+#include "src/stats/meter.h"
+
+namespace tiger {
+
+class MultirateCub : public Actor, public NetworkEndpoint {
+ public:
+  struct Counters {
+    int64_t records_received = 0;
+    int64_t records_new = 0;
+    int64_t records_duplicate = 0;
+    int64_t blocks_sent = 0;
+    int64_t server_missed_blocks = 0;
+    int64_t inserts_committed = 0;
+    int64_t inserts_aborted = 0;
+    int64_t reserve_requests = 0;
+    int64_t reserve_rejections = 0;
+    int64_t admission_rejects_local = 0;
+    int64_t deschedules_applied = 0;
+  };
+
+  MultirateCub(Simulator* sim, CubId id, const TigerConfig* config, const Catalog* catalog,
+               const StripeLayout* layout, MessageBus* net, Rng rng);
+
+  void AttachDisks(std::vector<SimulatedDisk*> disks);
+  void SetAddressBook(const AddressBook* addresses) { addresses_ = addresses; }
+
+  void Start();
+
+  NetAddress address() const { return address_; }
+  CubId id() const { return id_; }
+  const Counters& counters() const { return counters_; }
+  const NetworkSchedule& schedule_view() const { return net_schedule_; }
+  double committed_disk_utilization() const { return committed_disk_util_; }
+  size_t queued_start_requests() const { return start_queue_.size(); }
+
+  void HandleMessage(const MessageEnvelope& envelope) override;
+
+ private:
+  struct StreamEntry {
+    ViewerStateRecord record;        // Latest record seen for this stream.
+    NetworkSchedule::EntryId entry;  // Id in our local schedule copy.
+    TimerId expiry_timer = kInvalidTimer;
+  };
+  struct PendingInsertion {
+    StartPlayMsg msg;
+    Duration offset;
+    NetworkSchedule::EntryId tentative = 0;
+    TimePoint first_due;
+    PlayInstanceId instance;
+    bool read_started = false;
+  };
+
+  // Offset quantum for starts: block_play_time / decluster (§3.2).
+  Duration StartQuantum() const;
+  Duration OffsetOfSlotIndex(uint32_t index) const;
+  uint32_t SlotIndexOfOffset(Duration offset) const;
+  // Next time this cub's pointer reaches `offset` at or after `t`.
+  TimePoint NextPass(Duration offset, TimePoint t) const;
+
+  // --- message handlers ---
+  void OnStartPlay(const StartPlayMsg& msg);
+  void OnReserveRequest(const ReserveRequestMsg& msg);
+  void OnReserveReply(const ReserveReplyMsg& msg);
+  void OnViewerState(const ViewerStateRecord& record);
+  void OnDeschedule(const DescheduleMsg& msg);
+
+  // --- insertion ---
+  void TryInsertHead();
+  void CommitInsertion(PendingInsertion& pending);
+  void AbortInsertion(PendingInsertion& pending, const char* reason);
+  double DiskLoadFor(int64_t bitrate_bps) const;
+
+  // --- steady state ---
+  void LearnEntry(const ViewerStateRecord& record);
+  void ScheduleService(const ViewerStateRecord& record);
+  void ServeBlock(PlayInstanceId instance, int64_t position);
+  void ForwardRecord(const ViewerStateRecord& record);
+  void RemoveStream(PlayInstanceId instance);
+
+  void ChargeCpu(Duration cost) { cpu_.Add(Now(), static_cast<double>(cost.micros())); }
+
+  CubId id_;
+  const TigerConfig* config_;
+  const Catalog* catalog_;
+  const StripeLayout* layout_;
+  MessageBus* net_;
+  NetAddress address_ = kInvalidAddress;
+  const AddressBook* addresses_ = nullptr;
+  Rng rng_;
+
+  std::vector<SimulatedDisk*> disks_;
+  NetworkSchedule net_schedule_;  // This cub's view of the hallucination.
+  FailureView failure_view_;
+  Counters counters_;
+  CumulativeMeter cpu_;
+
+  // Streams we know of, keyed by play instance.
+  std::unordered_map<uint64_t, StreamEntry> streams_;
+  // Blocks already scheduled for service here: (instance, position) pairs.
+  std::unordered_map<uint64_t, int64_t> last_scheduled_position_;
+  std::deque<StartPlayMsg> start_queue_;
+  std::optional<PendingInsertion> pending_insertion_;
+  // Committed mean disk utilization across this cub's disks, [0, 1].
+  double committed_disk_util_ = 0;
+  // Reservations we made for peers: instance -> entry id.
+  std::unordered_map<uint64_t, NetworkSchedule::EntryId> peer_reservations_;
+  uint64_t retry_backoff_ms_ = 200;
+};
+
+}  // namespace tiger
+
+#endif  // SRC_CORE_MULTIRATE_CUB_H_

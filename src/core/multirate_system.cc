@@ -1,0 +1,84 @@
+#include "src/core/multirate_system.h"
+
+#include <utility>
+
+namespace tiger {
+
+MultirateSystem::MultirateSystem(TigerConfig config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  TIGER_CHECK(config_.shape.Valid());
+  net_ = std::make_unique<Network>(&sim_, config_.net, rng_.Fork());
+  catalog_ = std::make_unique<Catalog>(config_.block_play_time, config_.block_bytes,
+                                       /*single_bitrate=*/false);
+  layout_ = std::make_unique<StripeLayout>(config_.shape);
+
+  disks_.resize(static_cast<size_t>(config_.shape.TotalDisks()));
+  for (int c = 0; c < config_.shape.num_cubs; ++c) {
+    CubId id(static_cast<uint32_t>(c));
+    cubs_.push_back(std::make_unique<MultirateCub>(&sim_, id, &config_, catalog_.get(),
+                                                   layout_.get(), net_.get(), rng_.Fork()));
+    addresses_.cubs.push_back(cubs_.back()->address());
+  }
+  controller_ =
+      std::make_unique<Controller>(&sim_, &config_, catalog_.get(), layout_.get(), net_.get());
+  addresses_.controller = controller_->address();
+  controller_->SetAddressBook(&addresses_);
+
+  for (int c = 0; c < config_.shape.num_cubs; ++c) {
+    std::vector<SimulatedDisk*> cub_disks;
+    for (int local = 0; local < config_.shape.disks_per_cub; ++local) {
+      DiskId global = config_.shape.GlobalDiskIndex(CubId(static_cast<uint32_t>(c)), local);
+      auto disk = std::make_unique<SimulatedDisk>(
+          &sim_, "mdisk" + std::to_string(global.value()), global, config_.disk_model,
+          rng_.Fork());
+      disk->set_discipline(config_.disk_discipline);
+      cub_disks.push_back(disk.get());
+      disks_[global.value()] = std::move(disk);
+    }
+    cubs_[static_cast<size_t>(c)]->AttachDisks(std::move(cub_disks));
+    cubs_[static_cast<size_t>(c)]->SetAddressBook(&addresses_);
+  }
+}
+
+Result<FileId> MultirateSystem::AddFile(std::string name, int64_t bitrate_bps,
+                                        Duration duration) {
+  DiskId start(static_cast<uint32_t>(next_start_disk_));
+  next_start_disk_ = (next_start_disk_ + 1) % config_.shape.TotalDisks();
+  return catalog_->AddFile(std::move(name), bitrate_bps, duration, start);
+}
+
+void MultirateSystem::Start() {
+  for (auto& cub : cubs_) {
+    cub->Start();
+  }
+}
+
+MultirateCub::Counters MultirateSystem::TotalCubCounters() const {
+  MultirateCub::Counters total;
+  for (const auto& cub : cubs_) {
+    const MultirateCub::Counters& c = cub->counters();
+    total.records_received += c.records_received;
+    total.records_new += c.records_new;
+    total.records_duplicate += c.records_duplicate;
+    total.blocks_sent += c.blocks_sent;
+    total.server_missed_blocks += c.server_missed_blocks;
+    total.inserts_committed += c.inserts_committed;
+    total.inserts_aborted += c.inserts_aborted;
+    total.reserve_requests += c.reserve_requests;
+    total.reserve_rejections += c.reserve_rejections;
+    total.admission_rejects_local += c.admission_rejects_local;
+    total.deschedules_applied += c.deschedules_applied;
+  }
+  return total;
+}
+
+int64_t MultirateSystem::PeakScheduleLoad() const {
+  int64_t peak = 0;
+  for (const auto& cub : cubs_) {
+    const NetworkSchedule& view = cub->schedule_view();
+    peak = std::max(peak, view.PeakLoad(Duration::Zero(), view.length()));
+  }
+  return peak;
+}
+
+}  // namespace tiger

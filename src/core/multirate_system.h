@@ -1,0 +1,56 @@
+// Builder for a multiple-bitrate Tiger system (§3.2, §4.2).
+
+#ifndef SRC_CORE_MULTIRATE_SYSTEM_H_
+#define SRC_CORE_MULTIRATE_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/controller.h"
+#include "src/core/multirate_cub.h"
+
+namespace tiger {
+
+class MultirateSystem {
+ public:
+  explicit MultirateSystem(TigerConfig config, uint64_t seed = 1);
+
+  MultirateSystem(const MultirateSystem&) = delete;
+  MultirateSystem& operator=(const MultirateSystem&) = delete;
+
+  // Adds a file of the given bitrate; block sizes are proportional to it.
+  Result<FileId> AddFile(std::string name, int64_t bitrate_bps, Duration duration);
+
+  void Start();
+
+  Simulator& sim() { return sim_; }
+  Network& net() { return *net_; }
+  const TigerConfig& config() const { return config_; }
+  const Catalog& catalog() const { return *catalog_; }
+  const AddressBook& addresses() const { return addresses_; }
+  Controller& controller() { return *controller_; }
+  MultirateCub& cub(CubId id) { return *cubs_[id.value()]; }
+  int cub_count() const { return static_cast<int>(cubs_.size()); }
+
+  MultirateCub::Counters TotalCubCounters() const;
+  // Highest committed bandwidth across any point of any cub's view, bits/s.
+  int64_t PeakScheduleLoad() const;
+
+ private:
+  TigerConfig config_;
+  Rng rng_;
+  Simulator sim_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<StripeLayout> layout_;
+  std::vector<std::unique_ptr<SimulatedDisk>> disks_;
+  std::vector<std::unique_ptr<MultirateCub>> cubs_;
+  std::unique_ptr<Controller> controller_;
+  AddressBook addresses_;
+  int next_start_disk_ = 0;
+};
+
+}  // namespace tiger
+
+#endif  // SRC_CORE_MULTIRATE_SYSTEM_H_

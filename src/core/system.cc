@@ -1,0 +1,246 @@
+#include "src/core/system.h"
+
+#include <utility>
+
+namespace tiger {
+
+TigerSystem::TigerSystem(TigerConfig config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  TIGER_CHECK(config_.shape.Valid()) << "invalid system shape";
+  net_ = std::make_unique<Network>(&sim_, config_.net, rng_.Fork());
+  catalog_ = std::make_unique<Catalog>(config_.block_play_time, config_.block_bytes,
+                                       /*single_bitrate=*/true);
+  layout_ = std::make_unique<StripeLayout>(config_.shape);
+  geometry_ = std::make_unique<ScheduleGeometry>(config_.MakeGeometry());
+
+  const int total_disks = config_.shape.TotalDisks();
+  disks_.resize(static_cast<size_t>(total_disks));
+
+  for (int c = 0; c < config_.shape.num_cubs; ++c) {
+    CubId id(static_cast<uint32_t>(c));
+    cubs_.push_back(std::make_unique<Cub>(&sim_, id, &config_, catalog_.get(), layout_.get(),
+                                          geometry_.get(), net_.get(), rng_.Fork()));
+    addresses_.cubs.push_back(cubs_.back()->address());
+  }
+  controller_ =
+      std::make_unique<Controller>(&sim_, &config_, catalog_.get(), layout_.get(), net_.get());
+  addresses_.controller = controller_->address();
+
+  for (int c = 0; c < config_.shape.num_cubs; ++c) {
+    std::vector<SimulatedDisk*> cub_disks;
+    for (int local = 0; local < config_.shape.disks_per_cub; ++local) {
+      DiskId global = config_.shape.GlobalDiskIndex(CubId(static_cast<uint32_t>(c)), local);
+      auto disk = std::make_unique<SimulatedDisk>(
+          &sim_, "disk" + std::to_string(global.value()), global, config_.disk_model,
+          rng_.Fork());
+      disk->set_discipline(config_.disk_discipline);
+      cub_disks.push_back(disk.get());
+      disks_[global.value()] = std::move(disk);
+    }
+    cubs_[static_cast<size_t>(c)]->AttachDisks(std::move(cub_disks));
+    cubs_[static_cast<size_t>(c)]->SetAddressBook(&addresses_);
+  }
+  controller_->SetAddressBook(&addresses_);
+  failed_cubs_.assign(static_cast<size_t>(config_.shape.num_cubs), false);
+}
+
+Result<FileId> TigerSystem::AddFile(std::string name, int64_t bitrate_bps, Duration duration) {
+  DiskId start(static_cast<uint32_t>(next_start_disk_));
+  next_start_disk_ = (next_start_disk_ + 1) % config_.shape.TotalDisks();
+  return catalog_->AddFile(std::move(name), bitrate_bps, duration, start);
+}
+
+void TigerSystem::EnableOracle() {
+  if (!oracle_) {
+    oracle_ = std::make_unique<ScheduleOracle>(geometry_.get());
+    for (auto& cub : cubs_) {
+      cub->SetOracle(oracle_.get());
+    }
+  }
+}
+
+void TigerSystem::EnableBackupController() {
+  if (!backup_controller_) {
+    backup_controller_ = std::make_unique<Controller>(&sim_, &config_, catalog_.get(),
+                                                      layout_.get(), net_.get());
+    backup_controller_->SetAddressBook(&addresses_);
+    backup_controller_->BecomeStandbyFor(addresses_.controller);
+  }
+}
+
+void TigerSystem::Start() {
+  for (auto& cub : cubs_) {
+    cub->Start();
+  }
+}
+
+void TigerSystem::FailControllerNow() {
+  controller_->Halt();
+  net_->SetNodeUp(addresses_.controller, false);
+}
+
+SimulatedDisk& TigerSystem::disk(DiskId id) {
+  TIGER_CHECK(id.value() < disks_.size());
+  return *disks_[id.value()];
+}
+
+void TigerSystem::FailCubNow(CubId cub_id) {
+  TIGER_CHECK(cub_id.value() < cubs_.size());
+  failed_cubs_[cub_id.value()] = true;
+  cubs_[cub_id.value()]->Fail();
+  for (int local = 0; local < config_.shape.disks_per_cub; ++local) {
+    DiskId global = config_.shape.GlobalDiskIndex(cub_id, local);
+    disks_[global.value()]->Halt();
+  }
+}
+
+void TigerSystem::FailCubAt(TimePoint when, CubId cub_id) {
+  sim_.ScheduleAt(when, [this, cub_id] { FailCubNow(cub_id); });
+}
+
+void TigerSystem::FailDiskAt(TimePoint when, DiskId disk_id) {
+  sim_.ScheduleAt(when, [this, disk_id] {
+    CubId owner = config_.shape.CubOfDisk(disk_id);
+    cubs_[owner.value()]->FailLocalDisk(config_.shape.LocalDiskIndex(disk_id));
+  });
+}
+
+int TigerSystem::BootstrapStreams(int count, NetAddress sink, FileId file,
+                                  int64_t bitrate_bps) {
+  TIGER_CHECK(catalog_->Contains(file));
+  const FileInfo& info = catalog_->Get(file);
+  const int64_t slots = geometry_->slot_count();
+  TIGER_CHECK(count <= slots) << "more streams than schedule slots";
+  // Give the pipeline room: the first due time is comfortably in the future
+  // so reads and forwarding settle before blocks are due.
+  const TimePoint t_ref = sim_.Now() + Duration::Seconds(2);
+  const int total_disks = config_.shape.TotalDisks();
+
+  int made = 0;
+  for (int64_t s = 0; s < slots && made < count; ++s) {
+    SlotId slot(static_cast<uint32_t>(s));
+    ScheduleGeometry::ServingEvent serving_event = geometry_->SoonestServingDisk(slot, t_ref);
+    DiskId serving = serving_event.disk;
+    TimePoint due = serving_event.due;
+    // Pick the block index of `file` that lives on `serving`.
+    int64_t delta = (static_cast<int64_t>(serving.value()) - info.start_disk.value());
+    delta %= total_disks;
+    if (delta < 0) {
+      delta += total_disks;
+    }
+    TIGER_CHECK(delta < info.block_count) << "bootstrap file too short";
+
+    ViewerStateRecord record;
+    record.viewer = ViewerId(static_cast<uint32_t>(next_bootstrap_instance_));
+    record.client_address = sink;
+    record.instance = PlayInstanceId(next_bootstrap_instance_++);
+    record.file = file;
+    record.position = delta;
+    record.slot = slot;
+    record.sequence = 0;
+    record.bitrate_bps = bitrate_bps;
+    record.due = due;
+
+    CubId owner = config_.shape.CubOfDisk(serving);
+    cubs_[owner.value()]->BootstrapRecord(record);
+    CubId backup = config_.shape.NextCub(owner);
+    cubs_[backup.value()]->BootstrapRecord(record);
+    if (oracle_) {
+      oracle_->OnInsert(slot, record.viewer, record.instance, sim_.Now());
+    }
+    ++made;
+  }
+  return made;
+}
+
+double TigerSystem::MeanCubCpu(TimePoint a, TimePoint b) const {
+  TIGER_CHECK(b > a);
+  double sum = 0;
+  int n = 0;
+  for (size_t c = 0; c < cubs_.size(); ++c) {
+    if (failed_cubs_[c]) {
+      continue;
+    }
+    sum += cubs_[c]->cpu_meter().SumBetween(a, b) / static_cast<double>((b - a).micros());
+    ++n;
+  }
+  return n == 0 ? 0 : sum / n;
+}
+
+double TigerSystem::ControllerCpu(TimePoint a, TimePoint b) const {
+  return controller_->cpu_meter().SumBetween(a, b) / static_cast<double>((b - a).micros());
+}
+
+double TigerSystem::MeanDiskUtilization(TimePoint a, TimePoint b) const {
+  double sum = 0;
+  int n = 0;
+  for (size_t c = 0; c < cubs_.size(); ++c) {
+    if (failed_cubs_[c]) {
+      continue;
+    }
+    for (int local = 0; local < config_.shape.disks_per_cub; ++local) {
+      DiskId global = config_.shape.GlobalDiskIndex(CubId(static_cast<uint32_t>(c)), local);
+      sum += disks_[global.value()]->busy_meter().UtilizationBetween(a, b);
+      ++n;
+    }
+  }
+  return n == 0 ? 0 : sum / n;
+}
+
+double TigerSystem::CubDiskUtilization(CubId cub_id, TimePoint a, TimePoint b) const {
+  double sum = 0;
+  int n = 0;
+  for (int local = 0; local < config_.shape.disks_per_cub; ++local) {
+    DiskId global = config_.shape.GlobalDiskIndex(cub_id, local);
+    sum += disks_[global.value()]->busy_meter().UtilizationBetween(a, b);
+    ++n;
+  }
+  return n == 0 ? 0 : sum / n;
+}
+
+double TigerSystem::CubControlTrafficBps(CubId cub_id, TimePoint a, TimePoint b) const {
+  return net_->ControlBytesSent(cubs_[cub_id.value()]->address()).RatePerSecond(a, b);
+}
+
+double TigerSystem::ControllerControlTrafficBps(TimePoint a, TimePoint b) const {
+  return net_->ControlBytesSent(controller_->address()).RatePerSecond(a, b);
+}
+
+double TigerSystem::BlockCacheHitRate() const {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  for (size_t c = 0; c < cubs_.size(); ++c) {
+    if (failed_cubs_[c]) {
+      continue;
+    }
+    hits += cubs_[c]->block_cache().hits();
+    misses += cubs_[c]->block_cache().misses();
+  }
+  const int64_t total = hits + misses;
+  return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+Cub::Counters TigerSystem::TotalCubCounters() const {
+  Cub::Counters total;
+  for (const auto& cub : cubs_) {
+    const Cub::Counters& c = cub->counters();
+    total.records_received += c.records_received;
+    total.records_new += c.records_new;
+    total.records_duplicate += c.records_duplicate;
+    total.records_killed_by_deschedule += c.records_killed_by_deschedule;
+    total.records_too_late += c.records_too_late;
+    total.records_conflict += c.records_conflict;
+    total.blocks_sent += c.blocks_sent;
+    total.fragments_sent += c.fragments_sent;
+    total.server_missed_blocks += c.server_missed_blocks;
+    total.deschedules_received += c.deschedules_received;
+    total.deschedules_applied += c.deschedules_applied;
+    total.inserts += c.inserts;
+    total.takeovers += c.takeovers;
+    total.buffer_stalls += c.buffer_stalls;
+    total.failures_detected += c.failures_detected;
+  }
+  return total;
+}
+
+}  // namespace tiger

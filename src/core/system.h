@@ -1,0 +1,121 @@
+// TigerSystem: builds and owns one simulated Tiger server.
+//
+// Owns the simulator, the switched network, the content catalog and layout,
+// every cub with its disks, and the controller. Provides fault injection and
+// the aggregate metrics the benches report.
+
+#ifndef SRC_CORE_SYSTEM_H_
+#define SRC_CORE_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/core/address_book.h"
+#include "src/core/config.h"
+#include "src/core/controller.h"
+#include "src/core/cub.h"
+#include "src/core/oracle.h"
+#include "src/disk/disk.h"
+#include "src/layout/catalog.h"
+#include "src/layout/striping.h"
+#include "src/net/network.h"
+#include "src/schedule/geometry.h"
+#include "src/sim/simulator.h"
+
+namespace tiger {
+
+class TigerSystem {
+ public:
+  explicit TigerSystem(TigerConfig config, uint64_t seed = 1);
+
+  TigerSystem(const TigerSystem&) = delete;
+  TigerSystem& operator=(const TigerSystem&) = delete;
+
+  // Adds a file; start disks are assigned round-robin across the stripe.
+  Result<FileId> AddFile(std::string name, int64_t bitrate_bps, Duration duration);
+
+  // Attaches the oracle invariant checker to every cub (call before Start).
+  void EnableOracle();
+
+  // Adds a warm-standby controller that takes over the controller address if
+  // the primary dies (the fault-tolerance work the paper left to the product
+  // team). Call before Start().
+  void EnableBackupController();
+
+  // Begins cub heartbeats and ticks. Call once, before running the simulator.
+  void Start();
+
+  // --- fault injection ---
+  void FailCubAt(TimePoint when, CubId cub);
+  void FailDiskAt(TimePoint when, DiskId disk);
+  // Fails the cub immediately (must be called from within simulation time).
+  void FailCubNow(CubId cub);
+  // Power-cuts the primary controller. With a backup enabled the standby
+  // takes over after its detection timeout; without one, new starts and
+  // stops are lost while running streams continue untouched.
+  void FailControllerNow();
+
+  // --- bootstrap (control-plane benches) ---
+  // Injects `count` already-playing streams directly into schedule slots,
+  // bypassing the start protocol. Blocks are addressed to `sink`; the file
+  // must be long enough never to hit EOF during the run.
+  int BootstrapStreams(int count, NetAddress sink, FileId file, int64_t bitrate_bps);
+
+  // --- accessors ---
+  Simulator& sim() { return sim_; }
+  Network& net() { return *net_; }
+  const TigerConfig& config() const { return config_; }
+  const Catalog& catalog() const { return *catalog_; }
+  const StripeLayout& layout() const { return *layout_; }
+  const ScheduleGeometry& geometry() const { return *geometry_; }
+  const AddressBook& addresses() const { return addresses_; }
+  Controller& controller() { return *controller_; }
+  Controller* backup_controller() { return backup_controller_.get(); }
+  Cub& cub(CubId id) { return *cubs_[id.value()]; }
+  int cub_count() const { return static_cast<int>(cubs_.size()); }
+  SimulatedDisk& disk(DiskId id);
+  ScheduleOracle* oracle() { return oracle_.get(); }
+  Rng& rng() { return rng_; }
+
+  // --- aggregate metrics over a window ---
+  // Mean CPU utilization across living cubs, in [0, ~1].
+  double MeanCubCpu(TimePoint a, TimePoint b) const;
+  double ControllerCpu(TimePoint a, TimePoint b) const;
+  // Mean utilization across all disks of living cubs.
+  double MeanDiskUtilization(TimePoint a, TimePoint b) const;
+  // Mean utilization across one cub's disks.
+  double CubDiskUtilization(CubId cub, TimePoint a, TimePoint b) const;
+  // Control-plane bytes/second sent by one cub to all others.
+  double CubControlTrafficBps(CubId cub, TimePoint a, TimePoint b) const;
+  double ControllerControlTrafficBps(TimePoint a, TimePoint b) const;
+  Cub::Counters TotalCubCounters() const;
+  // Aggregate block-cache hit rate across living cubs (§5: < 0.05%).
+  double BlockCacheHitRate() const;
+  bool IsCubFailed(CubId cub) const { return failed_cubs_[cub.value()]; }
+
+ private:
+  TigerConfig config_;
+  Rng rng_;
+  Simulator sim_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<StripeLayout> layout_;
+  std::unique_ptr<ScheduleGeometry> geometry_;
+  std::unique_ptr<ScheduleOracle> oracle_;
+  std::vector<std::unique_ptr<SimulatedDisk>> disks_;  // Index = global disk id.
+  std::vector<std::unique_ptr<Cub>> cubs_;
+  std::unique_ptr<Controller> controller_;
+  std::unique_ptr<Controller> backup_controller_;
+  AddressBook addresses_;
+  std::vector<bool> failed_cubs_;
+  int next_start_disk_ = 0;
+  uint64_t next_bootstrap_instance_ = 1000000;
+};
+
+}  // namespace tiger
+
+#endif  // SRC_CORE_SYSTEM_H_

@@ -1,0 +1,178 @@
+#include "src/core/tcp_bus.h"
+
+#include <cstring>
+
+#include "src/common/units.h"
+#include "src/core/wire.h"
+
+namespace tiger {
+
+TcpBus::TcpBus(RealtimeExecutor* executor, std::vector<uint16_t> topology, NetAddress my_index)
+    : executor_(executor), topology_(std::move(topology)), my_index_(my_index) {
+  TIGER_CHECK(executor != nullptr);
+  TIGER_CHECK(my_index < topology_.size());
+}
+
+TcpBus::~TcpBus() { Stop(); }
+
+void TcpBus::Start() {
+  listener_ = std::make_unique<TcpListener>(topology_[my_index_]);
+  TIGER_CHECK(listener_->valid()) << "cannot listen on port " << topology_[my_index_];
+  accept_thread_ = std::thread([this] {
+    while (!stopping_.load()) {
+      TcpSocket peer = listener_->Accept();
+      if (!peer.valid()) {
+        return;  // Listener closed.
+      }
+      std::lock_guard<std::mutex> lock(readers_mutex_);
+      if (stopping_.load()) {
+        return;
+      }
+      incoming_.push_back(std::make_unique<TcpSocket>(std::move(peer)));
+      TcpSocket* socket = incoming_.back().get();
+      reader_threads_.emplace_back([this, socket] {
+        while (!stopping_.load()) {
+          auto frame = socket->RecvFrame();
+          if (!frame.has_value()) {
+            return;  // Peer closed.
+          }
+          frames_received_.fetch_add(1);
+          DispatchFrame(std::move(*frame));
+        }
+      });
+    }
+  });
+}
+
+void TcpBus::Stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  if (listener_) {
+    listener_->Close();
+  }
+  {
+    std::lock_guard<std::mutex> lock(readers_mutex_);
+    for (auto& socket : incoming_) {
+      socket->Close();
+    }
+  }
+  for (auto& [dst, socket] : outgoing_) {
+    socket->Close();
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  for (std::thread& reader : reader_threads_) {
+    if (reader.joinable()) {
+      reader.join();
+    }
+  }
+}
+
+NetAddress TcpBus::Attach(NetworkEndpoint* endpoint, std::string name, int64_t nic_bps) {
+  (void)name;
+  (void)nic_bps;
+  TIGER_CHECK(endpoint_ == nullptr) << "a TcpBus hosts exactly one endpoint";
+  endpoint_ = endpoint;
+  return my_index_;
+}
+
+void TcpBus::DispatchFrame(std::vector<uint8_t> frame) {
+  if (frame.size() < sizeof(uint32_t)) {
+    return;
+  }
+  uint32_t src = 0;
+  std::memcpy(&src, frame.data(), sizeof(src));
+  std::vector<uint8_t> body(frame.begin() + sizeof(uint32_t), frame.end());
+  std::shared_ptr<TigerMessage> message = DecodeMessage(body);
+  if (message == nullptr) {
+    return;  // Corrupt frame; TCP makes this a bug, but do not crash the bus.
+  }
+  const int64_t bytes = static_cast<int64_t>(body.size());
+  executor_->Inject([this, src, message = std::move(message), bytes] {
+    if (endpoint_ != nullptr) {
+      MessageEnvelope envelope{src, my_index_, bytes, message};
+      endpoint_->HandleMessage(envelope);
+    }
+  });
+}
+
+TcpSocket* TcpBus::ConnectionTo(NetAddress dst) {
+  auto it = outgoing_.find(dst);
+  if (it != outgoing_.end() && it->second->valid() && !it->second->closed()) {
+    return it->second.get();
+  }
+  const auto now = std::chrono::steady_clock::now();
+  auto retry = retry_after_.find(dst);
+  if (retry != retry_after_.end() && now < retry->second) {
+    return nullptr;  // Peer recently unreachable; do not stall the executor.
+  }
+  // Short single attempt: at startup every listener is already up (the
+  // cluster gates on that), so failure means a dead peer.
+  TcpSocket socket = TcpConnect(topology_[dst], /*retries=*/2, /*retry_ms=*/20);
+  if (!socket.valid()) {
+    retry_after_[dst] = now + std::chrono::seconds(1);
+    return nullptr;
+  }
+  retry_after_.erase(dst);
+  auto owned = std::make_unique<TcpSocket>(std::move(socket));
+  TcpSocket* raw = owned.get();
+  outgoing_[dst] = std::move(owned);
+  return raw;
+}
+
+void TcpBus::WriteFrame(NetAddress src, NetAddress dst, const Payload& payload) {
+  const auto& message = static_cast<const TigerMessage&>(payload);
+  std::vector<uint8_t> body = EncodeMessage(message);
+  std::vector<uint8_t> frame(sizeof(uint32_t) + body.size());
+  std::memcpy(frame.data(), &src, sizeof(uint32_t));
+  std::memcpy(frame.data() + sizeof(uint32_t), body.data(), body.size());
+  TcpSocket* socket = ConnectionTo(dst);
+  if (socket != nullptr && socket->SendFrame(frame)) {
+    frames_sent_++;
+  } else if (socket != nullptr) {
+    // Write failure: the peer died. Drop the connection so the next send
+    // goes through the negative cache instead of a broken pipe.
+    outgoing_.erase(dst);
+    retry_after_[dst] = std::chrono::steady_clock::now() + std::chrono::seconds(1);
+  }
+}
+
+void TcpBus::Send(NetAddress src, NetAddress dst, int64_t bytes,
+                  std::shared_ptr<const Payload> payload) {
+  (void)bytes;
+  if (dst == my_index_) {
+    // Loopback to ourselves (e.g. SendRecordsTo self): deliver directly.
+    if (endpoint_ != nullptr) {
+      MessageEnvelope envelope{src, dst, bytes, payload};
+      endpoint_->HandleMessage(envelope);
+    }
+    return;
+  }
+  WriteFrame(src, dst, *payload);
+}
+
+void TcpBus::SendPaced(NetAddress src, NetAddress dst, int64_t bytes, int64_t pace_bps,
+                       std::shared_ptr<const Payload> payload) {
+  // Deliver-at-last-byte semantics: hold the frame one transfer time on the
+  // sender's (simulated-against-wall) clock, then ship it.
+  Duration pace = TransferTime(bytes, pace_bps);
+  executor_->sim().ScheduleAfter(pace, [this, src, dst, payload = std::move(payload)] {
+    if (!stopping_.load()) {
+      WriteFrame(src, dst, *payload);
+    }
+  });
+}
+
+void TcpBus::SetNodeUp(NetAddress node, bool up) {
+  (void)node;
+  (void)up;
+}
+
+void TcpBus::Reassign(NetAddress node, NetworkEndpoint* endpoint) {
+  (void)node;
+  (void)endpoint;
+}
+
+}  // namespace tiger

@@ -1,0 +1,29 @@
+// Wire codec for every Tiger protocol message.
+//
+// Frames are [u8 kind][payload]; the transport adds length prefixes. The
+// simulated network carries typed payloads directly (no need to serialize in
+// a single address space), but the TCP transport — and any real deployment —
+// uses this codec, and the codec tests pin the wire format.
+
+#ifndef SRC_CORE_WIRE_H_
+#define SRC_CORE_WIRE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/core/messages.h"
+
+namespace tiger {
+
+// Serializes any Tiger control message. Block data (kBlockData) is encoded
+// with its metadata only; content bytes are synthetic in this codebase.
+std::vector<uint8_t> EncodeMessage(const TigerMessage& message);
+
+// Decodes a frame produced by EncodeMessage. Returns nullptr on any
+// truncation or unknown kind.
+std::shared_ptr<TigerMessage> DecodeMessage(const std::vector<uint8_t>& frame);
+
+}  // namespace tiger
+
+#endif  // SRC_CORE_WIRE_H_

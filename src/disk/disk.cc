@@ -1,0 +1,61 @@
+#include "src/disk/disk.h"
+
+#include <utility>
+
+namespace tiger {
+
+void SimulatedDisk::SubmitRead(DiskZone zone, int64_t bytes, Completion done,
+                               TimePoint deadline) {
+  if (halted()) {
+    return;
+  }
+  TIGER_CHECK(bytes > 0);
+  TIGER_CHECK(done != nullptr);
+  queue_.push_back(Request{zone, bytes, std::move(done), deadline});
+  if (!busy_) {
+    StartNext();
+  }
+}
+
+SimulatedDisk::Request SimulatedDisk::PopNext() {
+  TIGER_DCHECK(!queue_.empty());
+  auto it = queue_.begin();
+  if (discipline_ == DiskQueueDiscipline::kEarliestDeadlineFirst) {
+    for (auto candidate = queue_.begin(); candidate != queue_.end(); ++candidate) {
+      if (candidate->deadline < it->deadline) {
+        it = candidate;
+      }
+    }
+  }
+  Request request = std::move(*it);
+  queue_.erase(it);
+  return request;
+}
+
+void SimulatedDisk::StartNext() {
+  TIGER_DCHECK(!busy_);
+  if (queue_.empty() || halted()) {
+    return;
+  }
+  Request request = PopNext();
+  busy_ = true;
+  const TimePoint start = Now();
+  const Duration service = model_.DrawReadTime(request.zone, request.bytes, rng_);
+  After(service, [this, start, request = std::move(request)]() mutable {
+    busy_ = false;
+    busy_meter_.AddBusyInterval(start, Now());
+    reads_completed_++;
+    bytes_read_ += request.bytes;
+    Completion done = std::move(request.done);
+    StartNext();
+    done();
+  });
+}
+
+void SimulatedDisk::Halt() {
+  Actor::Halt();
+  queue_.clear();
+  busy_ = false;
+}
+
+}  // namespace tiger

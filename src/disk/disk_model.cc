@@ -1,0 +1,69 @@
+#include "src/disk/disk_model.h"
+
+#include "src/common/check.h"
+
+namespace tiger {
+
+Duration DiskModel::TransferTime(DiskZone zone, int64_t bytes) const {
+  const int64_t rate =
+      zone == DiskZone::kOuter ? outer_zone_bytes_per_sec : inner_zone_bytes_per_sec;
+  TIGER_DCHECK(rate > 0);
+  // micros = ceil(bytes * 1e6 / rate)
+  const __int128 numerator = static_cast<__int128>(bytes) * 1000000 + rate - 1;
+  return Duration::Micros(static_cast<int64_t>(numerator / rate));
+}
+
+Duration DiskModel::WorstCaseReadTime(DiskZone zone, int64_t bytes) const {
+  return seek_max + rotation + TransferTime(zone, bytes);
+}
+
+Duration DiskModel::DrawReadTime(DiskZone zone, int64_t bytes, Rng& rng) const {
+  Duration seek = rng.UniformDuration(seek_min, seek_max);
+  Duration rotational = rng.UniformDuration(Duration::Zero(), rotation);
+  Duration total = seek + rotational + TransferTime(zone, bytes);
+  if (blip_probability > 0 && rng.Bernoulli(blip_probability)) {
+    total += rng.UniformDuration(blip_min, blip_max);
+  }
+  return total;
+}
+
+Duration DiskModel::MeanReadTime(DiskZone zone, int64_t bytes) const {
+  const Duration mean_seek = (seek_min + seek_max) / 2;
+  return mean_seek + rotation / 2 + TransferTime(zone, bytes);
+}
+
+Duration DiskModel::MeanServiceTime(int64_t block_bytes, int decluster_factor,
+                                    bool fault_tolerant) const {
+  TIGER_CHECK(block_bytes > 0);
+  Duration mean = MeanReadTime(DiskZone::kOuter, block_bytes);
+  if (fault_tolerant) {
+    TIGER_CHECK(decluster_factor >= 1);
+    const int64_t fragment_bytes =
+        (block_bytes + decluster_factor - 1) / decluster_factor;
+    mean += MeanReadTime(DiskZone::kInner, fragment_bytes);
+  }
+  return mean;
+}
+
+Duration DiskModel::ServiceBudget(int64_t block_bytes, int decluster_factor,
+                                  bool fault_tolerant) const {
+  const Duration mean = MeanServiceTime(block_bytes, decluster_factor, fault_tolerant);
+  TIGER_CHECK(headroom_num >= headroom_den && headroom_den > 0);
+  return Duration::Micros(mean.micros() * headroom_num / headroom_den);
+}
+
+double DiskModel::StreamsPerDisk(int64_t block_bytes, Duration block_play_time,
+                                 int decluster_factor, bool fault_tolerant) const {
+  const Duration service = ServiceBudget(block_bytes, decluster_factor, fault_tolerant);
+  return static_cast<double>(block_play_time.micros()) / static_cast<double>(service.micros());
+}
+
+DiskModel UltrastarModel() {
+  // Defaults above are the calibrated values; with 0.25 MB blocks and
+  // decluster 4 the service budget is ~92.9 ms, i.e. ~10.77 streams/disk,
+  // exactly 602 slots for 56 disks, and >95% mirroring-disk duty at full
+  // failed-mode load (§5).
+  return DiskModel{};
+}
+
+}  // namespace tiger

@@ -1,0 +1,39 @@
+#include "src/layout/catalog.h"
+
+#include <utility>
+
+namespace tiger {
+
+Result<FileId> Catalog::AddFile(std::string name, int64_t bitrate_bps, Duration duration,
+                                DiskId start_disk) {
+  if (bitrate_bps <= 0) {
+    return Status::Error("bitrate must be positive");
+  }
+  const int64_t content_per_block = BytesForDuration(block_play_time_, bitrate_bps);
+  if (content_per_block > max_block_bytes_) {
+    return Status::Error("bitrate exceeds the system's configured maximum block size");
+  }
+  if (duration < block_play_time_) {
+    return Status::Error("file shorter than one block play time");
+  }
+  FileInfo info;
+  info.id = FileId(static_cast<uint32_t>(files_.size()));
+  info.name = std::move(name);
+  info.bitrate_bps = bitrate_bps;
+  info.block_count = duration / block_play_time_;  // Whole blocks only.
+  info.start_disk = start_disk;
+  info.content_bytes_per_block = content_per_block;
+  info.allocated_bytes_per_block = single_bitrate_ ? max_block_bytes_ : content_per_block;
+  files_.push_back(std::move(info));
+  return files_.back().id;
+}
+
+int64_t Catalog::TotalPrimaryBytes() const {
+  int64_t total = 0;
+  for (const FileInfo& f : files_) {
+    total += f.block_count * f.allocated_bytes_per_block;
+  }
+  return total;
+}
+
+}  // namespace tiger

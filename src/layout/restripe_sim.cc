@@ -1,0 +1,142 @@
+#include "src/layout/restripe_sim.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/common/rng.h"
+
+namespace tiger {
+
+namespace {
+
+// A serially-used resource (a disk or a NIC direction): jobs queue and are
+// serviced one at a time.
+class ResourceQueue {
+ public:
+  ResourceQueue(Simulator* sim, std::function<Duration(int64_t)> service_time)
+      : sim_(sim), service_time_(std::move(service_time)) {}
+
+  void Submit(int64_t bytes, std::function<void()> done) {
+    queue_.push_back(Job{bytes, std::move(done)});
+    if (!busy_) {
+      StartNext();
+    }
+  }
+
+  Duration total_busy() const { return busy_time_; }
+
+ private:
+  struct Job {
+    int64_t bytes;
+    std::function<void()> done;
+  };
+
+  void StartNext() {
+    if (queue_.empty()) {
+      busy_ = false;
+      return;
+    }
+    busy_ = true;
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    Duration service = service_time_(job.bytes);
+    busy_time_ += service;
+    sim_->ScheduleAfter(service, [this, job = std::move(job)]() {
+      job.done();
+      StartNext();
+    });
+  }
+
+  Simulator* sim_;
+  std::function<Duration(int64_t)> service_time_;
+  std::deque<Job> queue_;
+  bool busy_ = false;
+  Duration busy_time_;
+};
+
+}  // namespace
+
+RestripeSimResult SimulateRestripe(const RestripePlan& plan, const SystemShape& new_shape,
+                                   const RestripeSimOptions& options) {
+  Simulator sim;
+  Rng rng(options.seed);
+
+  const int disks = new_shape.TotalDisks();
+  const int cubs = new_shape.num_cubs;
+
+  // Disk service: a full read (or write) of the block, without the worst-case
+  // positioning penalty — restripes stream large sequential runs.
+  auto disk_service = [&options, &rng](int64_t bytes) mutable {
+    return options.disk_model.DrawReadTime(DiskZone::kOuter, bytes, rng);
+  };
+  auto nic_service = [&options](int64_t bytes) {
+    const __int128 numerator = static_cast<__int128>(bytes) * 1000000;
+    return Duration::Micros(
+        static_cast<int64_t>(numerator / options.nic_bytes_per_sec));
+  };
+
+  std::vector<std::unique_ptr<ResourceQueue>> disk_queues;
+  for (int d = 0; d < disks; ++d) {
+    disk_queues.push_back(std::make_unique<ResourceQueue>(&sim, disk_service));
+  }
+  std::vector<std::unique_ptr<ResourceQueue>> egress;
+  std::vector<std::unique_ptr<ResourceQueue>> ingress;
+  for (int c = 0; c < cubs; ++c) {
+    egress.push_back(std::make_unique<ResourceQueue>(&sim, nic_service));
+    ingress.push_back(std::make_unique<ResourceQueue>(&sim, nic_service));
+  }
+
+  RestripeSimResult result;
+  TimePoint last_done;
+
+  for (const BlockMove& move : plan.moves) {
+    // Moves whose source disk index does not exist in the new shape came
+    // from a shrink; source them from index 0's cub as an approximation.
+    const int src_disk = std::min(static_cast<int>(move.from.value()), disks - 1);
+    const int dst_disk = static_cast<int>(move.to.value());
+    const int src_cub = src_disk % cubs;
+    const int dst_cub = dst_disk % cubs;
+    const int64_t bytes = move.bytes;
+
+    auto finish = [&result, &last_done, &sim, bytes]() {
+      result.moves_executed++;
+      result.bytes_moved += bytes;
+      last_done = std::max(last_done, sim.Now());
+    };
+
+    auto write_stage = [&disk_queues, dst_disk, bytes, finish]() {
+      disk_queues[static_cast<size_t>(dst_disk)]->Submit(bytes, finish);
+    };
+    if (src_cub == dst_cub) {
+      // Local move: no network stages.
+      disk_queues[static_cast<size_t>(src_disk)]->Submit(bytes, write_stage);
+    } else {
+      auto ingress_stage = [&ingress, dst_cub, bytes, write_stage]() {
+        ingress[static_cast<size_t>(dst_cub)]->Submit(bytes, write_stage);
+      };
+      auto egress_stage = [&egress, src_cub, bytes, ingress_stage]() {
+        egress[static_cast<size_t>(src_cub)]->Submit(bytes, ingress_stage);
+      };
+      disk_queues[static_cast<size_t>(src_disk)]->Submit(bytes, egress_stage);
+    }
+  }
+
+  sim.Run();
+  result.completion_time = last_done - TimePoint::Zero();
+  const double total = std::max<double>(result.completion_time.seconds(), 1e-9);
+  for (const auto& queue : disk_queues) {
+    result.max_disk_utilization =
+        std::max(result.max_disk_utilization, queue->total_busy().seconds() / total);
+  }
+  for (const auto& queue : egress) {
+    result.max_nic_utilization =
+        std::max(result.max_nic_utilization, queue->total_busy().seconds() / total);
+  }
+  for (const auto& queue : ingress) {
+    result.max_nic_utilization =
+        std::max(result.max_nic_utilization, queue->total_busy().seconds() / total);
+  }
+  return result;
+}
+
+}  // namespace tiger

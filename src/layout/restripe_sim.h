@@ -1,0 +1,54 @@
+// Simulated execution of a restripe plan (§2.2).
+//
+// Tiger ships software to migrate all content from one configuration to
+// another; "because of the switched network between the cubs, the time to
+// restripe a system does not depend on the size of the system, but only on
+// the size and speed of the cubs and their disks."
+//
+// Each block move is a four-stage pipeline over serially-used resources:
+//   source-disk read -> source-cub NIC egress -> destination-cub NIC ingress
+//   -> destination-disk write.
+// All disks and NICs work in parallel; the completion time is bounded by the
+// busiest resource, which is a per-cub property — exactly the paper's claim,
+// which the restripe_time bench measures.
+
+#ifndef SRC_LAYOUT_RESTRIPE_SIM_H_
+#define SRC_LAYOUT_RESTRIPE_SIM_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/disk/disk_model.h"
+#include "src/layout/restriper.h"
+#include "src/sim/simulator.h"
+
+namespace tiger {
+
+struct RestripeSimOptions {
+  DiskModel disk_model = UltrastarModel();
+  // NIC throughput available to the restripe, bytes/second per cub.
+  int64_t nic_bytes_per_sec = 155000000 / 8;
+  // Disk writes cost the same as reads of equal size (sequential layout).
+  uint64_t seed = 1;
+};
+
+struct RestripeSimResult {
+  Duration completion_time;
+  int64_t moves_executed = 0;
+  int64_t bytes_moved = 0;
+  // Busiest-resource utilizations over the run, in [0, 1].
+  double max_disk_utilization = 0;
+  double max_nic_utilization = 0;
+};
+
+// Executes `plan` against the *new* shape's resources and returns when the
+// last block lands. Local moves (same cub) skip the NIC stages.
+RestripeSimResult SimulateRestripe(const RestripePlan& plan, const SystemShape& new_shape,
+                                   const RestripeSimOptions& options);
+
+}  // namespace tiger
+
+#endif  // SRC_LAYOUT_RESTRIPE_SIM_H_

@@ -1,0 +1,71 @@
+#include "src/layout/restriper.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/common/check.h"
+
+namespace tiger {
+
+RestripePlan PlanRestripe(const Catalog& catalog, const StripeLayout& old_layout,
+                          const StripeLayout& new_layout) {
+  RestripePlan plan;
+  std::unordered_map<uint32_t, int64_t> bytes_out;
+  std::unordered_map<uint32_t, int64_t> bytes_in;
+
+  auto account = [&](FileId file, int64_t block, int fragment, const BlockLocation& from,
+                     const BlockLocation& to) {
+    plan.total_bytes_stored += to.bytes;
+    if (from.disk == to.disk) {
+      return;
+    }
+    plan.moves.push_back(BlockMove{file, block, fragment, from.disk, to.disk, to.bytes});
+    plan.total_bytes_moved += to.bytes;
+    bytes_out[from.disk.value()] += to.bytes;
+    bytes_in[to.disk.value()] += to.bytes;
+  };
+
+  for (const FileInfo& file : catalog.files()) {
+    for (int64_t block = 0; block < file.block_count; ++block) {
+      account(file.id, block, -1, old_layout.PrimaryLocation(file, block),
+              new_layout.PrimaryLocation(file, block));
+      // Mirror fragment counts can differ between shapes; moves are computed
+      // against the new decluster factor, sourcing from the old primary when a
+      // matching old fragment does not exist (a fragment can be re-derived
+      // from any complete copy).
+      const int new_fragments = new_layout.shape().decluster_factor;
+      const int old_fragments = old_layout.shape().decluster_factor;
+      for (int j = 0; j < new_fragments; ++j) {
+        BlockLocation to = new_layout.SecondaryLocation(file, block, j);
+        BlockLocation from = j < old_fragments ? old_layout.SecondaryLocation(file, block, j)
+                                               : old_layout.PrimaryLocation(file, block);
+        account(file.id, block, j, from, to);
+      }
+    }
+  }
+
+  for (const auto& [disk, bytes] : bytes_out) {
+    plan.max_bytes_out_per_disk = std::max(plan.max_bytes_out_per_disk, bytes);
+  }
+  for (const auto& [disk, bytes] : bytes_in) {
+    plan.max_bytes_in_per_disk = std::max(plan.max_bytes_in_per_disk, bytes);
+  }
+  return plan;
+}
+
+double EstimateRestripeSeconds(const RestripePlan& plan, const SystemShape& new_shape,
+                               int64_t disk_bytes_per_sec, int64_t nic_bytes_per_sec) {
+  TIGER_CHECK(disk_bytes_per_sec > 0);
+  TIGER_CHECK(nic_bytes_per_sec > 0);
+  // The busiest disk bounds the disk phase; each cub's NIC carries the moves
+  // of its disks_per_cub drives. Reads and writes overlap across the system,
+  // so the bound is the max of (per-disk traffic / disk rate) and
+  // (per-cub traffic / NIC rate).
+  const double disk_bytes = static_cast<double>(
+      std::max(plan.max_bytes_out_per_disk, plan.max_bytes_in_per_disk));
+  const double nic_bytes = disk_bytes * new_shape.disks_per_cub;
+  return std::max(disk_bytes / static_cast<double>(disk_bytes_per_sec),
+                  nic_bytes / static_cast<double>(nic_bytes_per_sec));
+}
+
+}  // namespace tiger

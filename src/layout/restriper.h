@@ -1,0 +1,62 @@
+// Restriping: re-laying out all content when cubs/disks are added or removed
+// (§2.2). Tiger ships software to migrate from one configuration to another;
+// because cubs talk through the switched network, restripe time depends only
+// on per-cub size and speed, not on system size.
+
+#ifndef SRC_LAYOUT_RESTRIPER_H_
+#define SRC_LAYOUT_RESTRIPER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/layout/catalog.h"
+#include "src/layout/striping.h"
+
+namespace tiger {
+
+struct BlockMove {
+  FileId file;
+  int64_t block = 0;
+  // kind: primary copy or one mirror fragment (fragment index, or -1 for primary).
+  int fragment = -1;
+  DiskId from;
+  DiskId to;
+  int64_t bytes = 0;
+};
+
+struct RestripePlan {
+  std::vector<BlockMove> moves;
+  int64_t total_bytes_moved = 0;
+  int64_t total_bytes_stored = 0;  // Primary + secondary bytes in the new layout.
+  // Peak bytes any single disk must send away / receive.
+  int64_t max_bytes_out_per_disk = 0;
+  int64_t max_bytes_in_per_disk = 0;
+
+  double FractionMoved() const {
+    return total_bytes_stored == 0
+               ? 0.0
+               : static_cast<double>(total_bytes_moved) / static_cast<double>(total_bytes_stored);
+  }
+};
+
+// Computes the block moves needed to take `catalog` from `old_layout` to
+// `new_layout`. Disk identity is positional: global disk index i in the old
+// shape corresponds to index i in the new shape (new disks appear at the
+// indices the cub-minor numbering assigns them, so most existing blocks move).
+//
+// `new_catalog` must describe the same files with start disks valid in the
+// new shape; pass the same catalog when start disks are unchanged.
+RestripePlan PlanRestripe(const Catalog& catalog, const StripeLayout& old_layout,
+                          const StripeLayout& new_layout);
+
+// Estimated wall-clock seconds to execute `plan` given per-disk transfer
+// bandwidth and per-cub network bandwidth: the restripe proceeds in parallel,
+// bounded by the busiest disk and NIC. Demonstrates the paper's claim that
+// restripe time is independent of system size.
+double EstimateRestripeSeconds(const RestripePlan& plan, const SystemShape& new_shape,
+                               int64_t disk_bytes_per_sec, int64_t nic_bytes_per_sec);
+
+}  // namespace tiger
+
+#endif  // SRC_LAYOUT_RESTRIPER_H_

@@ -1,0 +1,33 @@
+#include "src/layout/striping.h"
+
+namespace tiger {
+
+int64_t StripeLayout::BytesOnDisk(const Catalog& catalog, DiskId disk) const {
+  int64_t total = 0;
+  for (const FileInfo& file : catalog.files()) {
+    for (int64_t block = 0; block < file.block_count; ++block) {
+      if (PrimaryDisk(file, block) == disk) {
+        total += file.allocated_bytes_per_block;
+      }
+      for (int j = 0; j < shape_.decluster_factor; ++j) {
+        if (SecondaryLocation(file, block, j).disk == disk) {
+          total += FragmentBytes(file);
+        }
+      }
+    }
+  }
+  return total;
+}
+
+bool StripeLayout::Fits(const Catalog& catalog, int64_t capacity_bytes) const {
+  // Striping spreads data uniformly, but files whose length is not a multiple
+  // of the disk count leave a remainder band; check each disk exactly.
+  for (int d = 0; d < shape_.TotalDisks(); ++d) {
+    if (BytesOnDisk(catalog, DiskId(static_cast<uint32_t>(d))) > capacity_bytes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace tiger

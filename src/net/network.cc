@@ -1,0 +1,146 @@
+#include "src/net/network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/units.h"
+
+namespace tiger {
+
+NetAddress Network::Attach(NetworkEndpoint* endpoint, std::string name, int64_t nic_bps) {
+  TIGER_CHECK(endpoint != nullptr);
+  TIGER_CHECK(nic_bps > 0);
+  Node node;
+  node.endpoint = endpoint;
+  node.name = std::move(name);
+  node.nic_bps = nic_bps;
+  nodes_.push_back(std::move(node));
+  return static_cast<NetAddress>(nodes_.size() - 1);
+}
+
+Network::Node& Network::NodeRef(NetAddress addr) {
+  TIGER_CHECK(addr < nodes_.size()) << "bad address " << addr;
+  return nodes_[addr];
+}
+
+const Network::Node& Network::NodeRef(NetAddress addr) const {
+  TIGER_CHECK(addr < nodes_.size()) << "bad address " << addr;
+  return nodes_[addr];
+}
+
+void Network::Send(NetAddress src, NetAddress dst, int64_t bytes,
+                   std::shared_ptr<const Payload> payload) {
+  Node& sender = NodeRef(src);
+  NodeRef(dst);  // Validate.
+  if (!sender.up) {
+    return;  // A dead machine sends nothing.
+  }
+  TIGER_CHECK(bytes >= 0);
+  sender.control_bytes_sent.Add(sim_->Now(), static_cast<double>(bytes));
+  sender.control_messages_sent++;
+
+  Duration delay = config_.base_latency + TransferTime(bytes, config_.control_channel_bps);
+  if (config_.jitter > Duration::Zero()) {
+    delay += rng_.UniformDuration(Duration::Zero(), config_.jitter);
+  }
+  TimePoint arrival = sim_->Now() + delay;
+
+  // TCP ordering: never deliver before (or at the same instant as) an earlier
+  // message on the same ordered pair.
+  auto key = std::make_pair(src, dst);
+  auto it = last_delivery_.find(key);
+  if (it != last_delivery_.end() && arrival <= it->second) {
+    arrival = it->second + config_.fifo_spacing;
+  }
+  last_delivery_[key] = arrival;
+
+  MessageEnvelope envelope{src, dst, bytes, std::move(payload)};
+  sim_->ScheduleAt(arrival, [this, envelope = std::move(envelope)]() { Deliver(envelope); });
+}
+
+void Network::SendPaced(NetAddress src, NetAddress dst, int64_t bytes, int64_t pace_bps,
+                        std::shared_ptr<const Payload> payload) {
+  Node& sender = NodeRef(src);
+  NodeRef(dst);  // Validate.
+  if (!sender.up) {
+    return;
+  }
+  TIGER_CHECK(bytes > 0);
+  TIGER_CHECK(pace_bps > 0);
+  sender.data_bytes_sent.Add(sim_->Now(), static_cast<double>(bytes));
+
+  // Commit NIC bandwidth for the duration of the paced transfer.
+  sender.committed_data_bps += pace_bps;
+  sender.peak_data_bps = std::max(sender.peak_data_bps, sender.committed_data_bps);
+  if (sender.committed_data_bps > sender.nic_bps) {
+    sender.oversubscription_events++;
+  }
+  Duration pace_time = TransferTime(bytes, pace_bps);
+  // Release the committed bandwidth a microsecond before the transfer's
+  // nominal end: back-to-back schedule windows share an exact boundary
+  // instant, and without this the release and the next commit at the same
+  // timestamp would transiently double-count.
+  Duration release_after = pace_time - Duration::Micros(1);
+  if (release_after < Duration::Zero()) {
+    release_after = Duration::Zero();
+  }
+  sim_->ScheduleAfter(release_after, [this, src, pace_bps]() {
+    Node& node = NodeRef(src);
+    node.committed_data_bps -= pace_bps;
+    TIGER_DCHECK(node.committed_data_bps >= 0);
+  });
+
+  TimePoint arrival = sim_->Now() + pace_time + config_.base_latency;
+  if (config_.jitter > Duration::Zero()) {
+    arrival += rng_.UniformDuration(Duration::Zero(), config_.jitter);
+  }
+  MessageEnvelope envelope{src, dst, bytes, std::move(payload)};
+  sim_->ScheduleAt(arrival, [this, envelope = std::move(envelope)]() { Deliver(envelope); });
+}
+
+void Network::Deliver(MessageEnvelope envelope) {
+  Node& receiver = NodeRef(envelope.dst);
+  if (!receiver.up) {
+    return;  // Messages to a dead machine vanish.
+  }
+  receiver.endpoint->HandleMessage(envelope);
+}
+
+void Network::SetNodeUp(NetAddress node, bool up) { NodeRef(node).up = up; }
+
+void Network::Reassign(NetAddress node, NetworkEndpoint* endpoint) {
+  TIGER_CHECK(endpoint != nullptr);
+  Node& n = NodeRef(node);
+  n.endpoint = endpoint;
+  n.up = true;
+}
+
+bool Network::IsNodeUp(NetAddress node) const { return NodeRef(node).up; }
+
+const CumulativeMeter& Network::ControlBytesSent(NetAddress node) const {
+  return NodeRef(node).control_bytes_sent;
+}
+
+const CumulativeMeter& Network::DataBytesSent(NetAddress node) const {
+  return NodeRef(node).data_bytes_sent;
+}
+
+int64_t Network::ControlMessagesSent(NetAddress node) const {
+  return NodeRef(node).control_messages_sent;
+}
+
+int64_t Network::CurrentDataRate(NetAddress node) const {
+  return NodeRef(node).committed_data_bps;
+}
+
+int64_t Network::PeakDataRate(NetAddress node) const { return NodeRef(node).peak_data_bps; }
+
+int64_t Network::OversubscriptionEvents(NetAddress node) const {
+  return NodeRef(node).oversubscription_events;
+}
+
+int64_t Network::nic_bps(NetAddress node) const { return NodeRef(node).nic_bps; }
+
+const std::string& Network::NodeName(NetAddress node) const { return NodeRef(node).name; }
+
+}  // namespace tiger

@@ -1,0 +1,174 @@
+// Simulated switched network.
+//
+// Models the properties of Tiger's ATM fabric that the schedule protocol
+// actually depends on:
+//
+//  * Inter-cub control messages ride TCP connections, so delivery between any
+//    ordered pair of nodes is reliable and FIFO. The insert-after-deschedule
+//    correctness argument of §4.1.3 leans on this ordering, so the simulation
+//    enforces it explicitly (arrival times per (src,dst) pair are monotone).
+//  * Messages experience a base switch latency, a per-byte serialization cost
+//    at the control-channel rate, and bounded random jitter.
+//  * Block data to clients is paced at the stream bitrate: a 1-second block
+//    occupies roughly one block play time on the wire (the paper's startup
+//    measurement includes this full second). Data transfer contends for NIC
+//    bandwidth, which is metered and checked for oversubscription.
+//  * A down node neither sends nor receives; messages in flight toward it
+//    vanish. Messages already handed to the fabric by a node that
+//    subsequently dies are still delivered ("on the wire").
+
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/common/time.h"
+#include "src/common/units.h"
+#include "src/sim/simulator.h"
+#include "src/stats/meter.h"
+
+namespace tiger {
+
+using NetAddress = uint32_t;
+constexpr NetAddress kInvalidAddress = static_cast<NetAddress>(-1);
+
+// Base class for anything carried by the network. Protocol modules derive
+// their message structs from this.
+struct Payload {
+  virtual ~Payload() = default;
+};
+
+struct MessageEnvelope {
+  NetAddress src = kInvalidAddress;
+  NetAddress dst = kInvalidAddress;
+  int64_t bytes = 0;
+  std::shared_ptr<const Payload> payload;
+};
+
+class NetworkEndpoint {
+ public:
+  virtual ~NetworkEndpoint() = default;
+  virtual void HandleMessage(const MessageEnvelope& envelope) = 0;
+};
+
+// Discards everything it receives; used as a traffic sink in benches.
+class SinkEndpoint : public NetworkEndpoint {
+ public:
+  void HandleMessage(const MessageEnvelope& envelope) override {
+    (void)envelope;
+    ++received_;
+  }
+  int64_t received() const { return received_; }
+
+ private:
+  int64_t received_ = 0;
+};
+
+// Abstract message transport: what the protocol actors require of their
+// network. The simulated Network implements it for deterministic runs; the
+// real-socket TcpBus (src/net/tcp_bus.h) implements it for live clusters.
+class MessageBus {
+ public:
+  virtual ~MessageBus() = default;
+  virtual NetAddress Attach(NetworkEndpoint* endpoint, std::string name, int64_t nic_bps) = 0;
+  virtual void Send(NetAddress src, NetAddress dst, int64_t bytes,
+                    std::shared_ptr<const Payload> payload) = 0;
+  virtual void SendPaced(NetAddress src, NetAddress dst, int64_t bytes, int64_t pace_bps,
+                         std::shared_ptr<const Payload> payload) = 0;
+  virtual void SetNodeUp(NetAddress node, bool up) = 0;
+  virtual void Reassign(NetAddress node, NetworkEndpoint* endpoint) = 0;
+};
+
+struct NetworkConfig {
+  // One-way fabric latency applied to every message.
+  Duration base_latency = Duration::Micros(300);
+  // Uniform random extra delay in [0, jitter].
+  Duration jitter = Duration::Micros(200);
+  // Rate at which control-message bytes serialize onto the wire.
+  int64_t control_channel_bps = Megabits(100);
+  // Minimum spacing enforced between FIFO deliveries on one (src,dst) pair.
+  Duration fifo_spacing = Duration::Micros(1);
+};
+
+class Network : public MessageBus {
+ public:
+  Network(Simulator* sim, NetworkConfig config, Rng rng)
+      : sim_(sim), config_(config), rng_(std::move(rng)) {
+    TIGER_CHECK(sim != nullptr);
+  }
+
+  // Attaches an endpoint and returns its address. `nic_bps` is the node's
+  // network interface capacity used for data-plane accounting.
+  NetAddress Attach(NetworkEndpoint* endpoint, std::string name, int64_t nic_bps) override;
+
+  // Reliable ordered control-plane send (TCP-like). No-op if src is down;
+  // dropped at delivery time if dst is down.
+  void Send(NetAddress src, NetAddress dst, int64_t bytes,
+            std::shared_ptr<const Payload> payload) override;
+
+  // Data-plane send paced at `pace_bps` (the stream bitrate): the payload is
+  // delivered when the last byte arrives, i.e. after bytes*8/pace_bps plus
+  // fabric latency. Not FIFO-coupled to the control plane.
+  void SendPaced(NetAddress src, NetAddress dst, int64_t bytes, int64_t pace_bps,
+                 std::shared_ptr<const Payload> payload) override;
+
+  // Marks a node down (power loss) or back up.
+  void SetNodeUp(NetAddress node, bool up) override;
+  bool IsNodeUp(NetAddress node) const;
+
+  // Points an existing address at a different endpoint and brings it up —
+  // the moral equivalent of IP takeover during controller failover.
+  void Reassign(NetAddress node, NetworkEndpoint* endpoint) override;
+
+  // --- statistics ----------------------------------------------------------
+
+  // Control-plane bytes sent by `node` (message payloads incl. headers).
+  const CumulativeMeter& ControlBytesSent(NetAddress node) const;
+  const CumulativeMeter& DataBytesSent(NetAddress node) const;
+  int64_t ControlMessagesSent(NetAddress node) const;
+  // Committed data-plane rate on the node's NIC right now, bits/sec.
+  int64_t CurrentDataRate(NetAddress node) const;
+  // Highest committed data rate ever observed on the node's NIC.
+  int64_t PeakDataRate(NetAddress node) const;
+  // Number of paced sends that began while the NIC was already full.
+  int64_t OversubscriptionEvents(NetAddress node) const;
+  int64_t nic_bps(NetAddress node) const;
+
+  size_t node_count() const { return nodes_.size(); }
+  const std::string& NodeName(NetAddress node) const;
+
+ private:
+  struct Node {
+    NetworkEndpoint* endpoint = nullptr;
+    std::string name;
+    int64_t nic_bps = 0;
+    bool up = true;
+    CumulativeMeter control_bytes_sent;
+    CumulativeMeter data_bytes_sent;
+    int64_t control_messages_sent = 0;
+    int64_t committed_data_bps = 0;
+    int64_t peak_data_bps = 0;
+    int64_t oversubscription_events = 0;
+  };
+
+  Node& NodeRef(NetAddress addr);
+  const Node& NodeRef(NetAddress addr) const;
+  void Deliver(MessageEnvelope envelope);
+
+  Simulator* sim_;
+  NetworkConfig config_;
+  Rng rng_;
+  std::vector<Node> nodes_;
+  // Last scheduled delivery time per ordered (src,dst) pair; enforces FIFO.
+  std::map<std::pair<NetAddress, NetAddress>, TimePoint> last_delivery_;
+};
+
+}  // namespace tiger
+
+#endif  // SRC_NET_NETWORK_H_

@@ -1,0 +1,182 @@
+#include "src/net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+namespace tiger {
+
+namespace {
+
+// Frames larger than this are rejected as corrupt.
+constexpr uint32_t kMaxFrameBytes = 16 * 1024 * 1024;
+
+}  // namespace
+
+TcpSocket::~TcpSocket() { Close(); }
+
+TcpSocket::TcpSocket(TcpSocket&& other) noexcept : fd_(other.fd_), closed_(other.closed_) {
+  other.fd_ = -1;
+}
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    closed_ = other.closed_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  closed_ = true;
+}
+
+bool TcpSocket::SendFrame(const std::vector<uint8_t>& payload) {
+  if (fd_ < 0 || payload.size() > kMaxFrameBytes) {
+    return false;
+  }
+  uint32_t length = static_cast<uint32_t>(payload.size());
+  std::vector<uint8_t> frame(sizeof(length) + payload.size());
+  std::memcpy(frame.data(), &length, sizeof(length));
+  std::memcpy(frame.data() + sizeof(length), payload.data(), payload.size());
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool TcpSocket::ReadExact(uint8_t* out, size_t size) {
+  size_t got = 0;
+  while (got < size) {
+    ssize_t n = ::recv(fd_, out + got, size - got, 0);
+    if (n == 0) {
+      closed_ = true;
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      closed_ = true;
+      return false;
+    }
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::vector<uint8_t>> TcpSocket::RecvFrame() {
+  uint32_t length = 0;
+  if (!ReadExact(reinterpret_cast<uint8_t*>(&length), sizeof(length))) {
+    return std::nullopt;
+  }
+  if (length > kMaxFrameBytes) {
+    closed_ = true;
+    return std::nullopt;
+  }
+  std::vector<uint8_t> payload(length);
+  if (!ReadExact(payload.data(), payload.size())) {
+    return std::nullopt;
+  }
+  return payload;
+}
+
+std::optional<std::vector<uint8_t>> TcpSocket::RecvFrameWithTimeout(int timeout_ms) {
+  struct pollfd pfd {};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready <= 0) {
+    return std::nullopt;  // Timeout (or error; closed() distinguishes).
+  }
+  return RecvFrame();
+}
+
+TcpListener::TcpListener(uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return;
+  }
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd_, 16) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpSocket TcpListener::Accept() {
+  if (fd_ < 0) {
+    return TcpSocket();
+  }
+  int client = ::accept(fd_, nullptr, nullptr);
+  if (client >= 0) {
+    int one = 1;
+    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return TcpSocket(client);
+}
+
+TcpSocket TcpConnect(uint16_t port, int retries, int retry_ms) {
+  for (int attempt = 0; attempt < retries; ++attempt) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return TcpSocket();
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return TcpSocket(fd);
+    }
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(retry_ms));
+  }
+  return TcpSocket();
+}
+
+}  // namespace tiger

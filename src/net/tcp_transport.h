@@ -1,0 +1,83 @@
+// Real TCP transport over the loopback interface.
+//
+// Tiger's cubs talk over TCP connections; this is the actual-socket
+// counterpart of the simulated Network, used by the multi-process ring demo
+// (examples/tcp_ring.cpp) and its tests. Frames are length-prefixed
+// ([u32 length][payload]); per-connection delivery is ordered and reliable —
+// the property the insertion protocol depends on (§4.1.3) — because TCP
+// gives it to us directly.
+
+#ifndef SRC_NET_TCP_TRANSPORT_H_
+#define SRC_NET_TCP_TRANSPORT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tiger {
+
+// Thin RAII socket wrapper. Not copyable; movable.
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  explicit TcpSocket(int fd) : fd_(fd) {}
+  ~TcpSocket();
+  TcpSocket(TcpSocket&& other) noexcept;
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Writes a length-prefixed frame; retries short writes. False on error.
+  bool SendFrame(const std::vector<uint8_t>& payload);
+
+  // Blocks until one full frame (or EOF/error -> nullopt) arrives.
+  std::optional<std::vector<uint8_t>> RecvFrame();
+
+  // Poll-with-timeout variant; nullopt on timeout or closed connection
+  // (distinguish via closed()).
+  std::optional<std::vector<uint8_t>> RecvFrameWithTimeout(int timeout_ms);
+
+  bool closed() const { return closed_; }
+  void Close();
+
+ private:
+  bool ReadExact(uint8_t* out, size_t size);
+
+  int fd_ = -1;
+  bool closed_ = false;
+};
+
+// Listening endpoint on 127.0.0.1.
+class TcpListener {
+ public:
+  // Binds to the given port (0 = ephemeral). Check valid() afterwards.
+  explicit TcpListener(uint16_t port);
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  uint16_t port() const { return port_; }
+
+  // Blocks until a peer connects; returns an invalid socket once closed.
+  TcpSocket Accept();
+
+  // Unblocks any pending Accept and stops listening.
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+// Connects to 127.0.0.1:port, retrying briefly (the peer process may still be
+// starting). Returns an invalid socket on failure.
+TcpSocket TcpConnect(uint16_t port, int retries = 50, int retry_ms = 100);
+
+}  // namespace tiger
+
+#endif  // SRC_NET_TCP_TRANSPORT_H_

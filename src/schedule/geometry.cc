@@ -1,0 +1,172 @@
+#include "src/schedule/geometry.h"
+
+namespace tiger {
+
+namespace {
+
+// Floor division for possibly-negative numerators.
+int64_t FloorDiv(int64_t a, int64_t b) {
+  TIGER_DCHECK(b > 0);
+  int64_t q = a / b;
+  if (a % b != 0 && a < 0) {
+    --q;
+  }
+  return q;
+}
+
+int64_t PositiveMod(int64_t a, int64_t b) {
+  TIGER_DCHECK(b > 0);
+  int64_t m = a % b;
+  if (m < 0) {
+    m += b;
+  }
+  return m;
+}
+
+}  // namespace
+
+ScheduleGeometry::ScheduleGeometry(int total_disks, Duration block_play_time,
+                                   Duration raw_block_service_time)
+    : total_disks_(total_disks),
+      block_play_time_(block_play_time),
+      length_(block_play_time * total_disks) {
+  TIGER_CHECK(total_disks >= 1);
+  TIGER_CHECK(block_play_time > Duration::Zero());
+  TIGER_CHECK(raw_block_service_time > Duration::Zero());
+  TIGER_CHECK(raw_block_service_time <= length_)
+      << "schedule shorter than one service time: system cannot source even one stream";
+  slots_ = length_.micros() / raw_block_service_time.micros();
+  TIGER_CHECK(slots_ >= 1);
+}
+
+Duration ScheduleGeometry::SlotStartOffset(int64_t slot) const {
+  TIGER_DCHECK(slot >= 0 && slot <= slots_);
+  // ceil(L * slot / S)
+  const __int128 numerator =
+      static_cast<__int128>(length_.micros()) * slot + slots_ - 1;
+  return Duration::Micros(static_cast<int64_t>(numerator / slots_));
+}
+
+SlotId ScheduleGeometry::SlotAtOffset(Duration pos) const {
+  TIGER_DCHECK(pos >= Duration::Zero() && pos < length_);
+  const __int128 numerator = static_cast<__int128>(pos.micros()) * slots_;
+  int64_t slot = static_cast<int64_t>(numerator / length_.micros());
+  // Boundary correction: SlotStartOffset uses ceil, so an offset just below
+  // ceil(L·(slot+1)/S) still belongs to `slot`; an offset equal to or above
+  // it belongs to slot+1. The floor computation above can be off by one at
+  // exact boundaries.
+  if (pos >= SlotStartOffset(slot + 1) && slot + 1 < slots_) {
+    ++slot;
+  } else if (pos < SlotStartOffset(slot)) {
+    --slot;
+  }
+  TIGER_DCHECK(slot >= 0 && slot < slots_);
+  TIGER_DCHECK(pos >= SlotStartOffset(slot));
+  TIGER_DCHECK(slot + 1 == slots_ || pos < SlotStartOffset(slot + 1));
+  return SlotId(static_cast<uint32_t>(slot));
+}
+
+Duration ScheduleGeometry::DiskPointer(DiskId disk, TimePoint t) const {
+  TIGER_DCHECK(static_cast<int>(disk.value()) < total_disks_);
+  const int64_t shifted =
+      t.micros() - static_cast<int64_t>(disk.value()) * block_play_time_.micros();
+  return Duration::Micros(PositiveMod(shifted, length_.micros()));
+}
+
+Duration ScheduleGeometry::WrapOffset(Duration offset) const {
+  return Duration::Micros(PositiveMod(offset.micros(), length_.micros()));
+}
+
+TimePoint ScheduleGeometry::NextTimeAtOffset(DiskId disk, Duration offset, TimePoint t) const {
+  TIGER_DCHECK(offset >= Duration::Zero() && offset < length_);
+  // Solve (x - k*T_p) mod L == offset, x >= t.
+  const int64_t base = static_cast<int64_t>(disk.value()) * block_play_time_.micros() +
+                       offset.micros();
+  const int64_t L = length_.micros();
+  // Smallest m with base + m*L >= t.
+  const int64_t m = FloorDiv(t.micros() - base + L - 1, L);
+  return TimePoint::FromMicros(base + m * L);
+}
+
+TimePoint ScheduleGeometry::NextSlotStart(DiskId disk, SlotId slot, TimePoint t) const {
+  TIGER_DCHECK(slot.value() < slots_);
+  Duration start = SlotStartOffset(static_cast<int64_t>(slot.value()));
+  // Slot `slots_`'s start equals L; wrap to 0 just in case.
+  if (start >= length_) {
+    start = Duration::Zero();
+  }
+  return NextTimeAtOffset(disk, start, t);
+}
+
+ScheduleGeometry::ServingEvent ScheduleGeometry::SoonestServingDisk(SlotId slot,
+                                                                    TimePoint t) const {
+  // Pointers are spaced T_p apart, so exactly one disk reaches the slot's
+  // start within any T_p window. Locate it arithmetically, then confirm with
+  // the exact boundary math (off-by-one at slot boundaries is possible).
+  Duration start = SlotStartOffset(static_cast<int64_t>(slot.value()));
+  const int64_t tp = block_play_time_.micros();
+  const int64_t length = length_.micros();
+  // wait_k = (start - t + k*T_p) mod L; choose k so wait lands in [0, T_p).
+  int64_t r = (start.micros() - t.micros()) % length;
+  if (r < 0) {
+    r += length;
+  }
+  int64_t k = ((length - r) / tp) % total_disks_;
+  ServingEvent best{DiskId(0), TimePoint::Max()};
+  for (int64_t delta = -1; delta <= 1; ++delta) {
+    int64_t kk = (k + delta) % total_disks_;
+    if (kk < 0) {
+      kk += total_disks_;
+    }
+    DiskId disk(static_cast<uint32_t>(kk));
+    TimePoint due = NextSlotStart(disk, slot, t);
+    if (due < best.due) {
+      best = ServingEvent{disk, due};
+    }
+  }
+  return best;
+}
+
+bool OwnershipWindows::Owns(DiskId disk, SlotId slot, TimePoint t) const {
+  OwnershipEvent next = NextOwnership(disk, t);
+  // If t falls inside a window, NextOwnership returns that window (it treats
+  // an in-progress window as "next").
+  return next.slot == slot && t >= next.window_start && t < next.window_end;
+}
+
+OwnershipWindows::OwnershipEvent OwnershipWindows::NextOwnership(DiskId disk, TimePoint t) const {
+  // The window for slot s opens when the pointer reaches SlotStart(s) −
+  // lead_total and lasts `duration`. Equivalently: project the pointer
+  // forward by lead_total; if the projection sits within `duration` past a
+  // slot boundary, that slot's window is open now; otherwise the next
+  // boundary opens the next window.
+  const Duration lead_total = params_.scheduling_lead + params_.duration;
+  const Duration pointer = geometry_->DiskPointer(disk, t);
+  const Duration projected = geometry_->WrapOffset(pointer + lead_total);
+  const SlotId current = geometry_->SlotAtOffset(projected);
+  const Duration current_start =
+      geometry_->SlotStartOffset(static_cast<int64_t>(current.value()));
+  const Duration elapsed = projected - current_start;  // >= 0, < slot width.
+
+  SlotId slot = current;
+  TimePoint window_start;
+  if (elapsed < params_.duration) {
+    // Inside slot `current`'s window (possibly exactly at its start).
+    window_start = t - elapsed;
+  } else {
+    // In the gap past `current`'s window; the next window belongs to the
+    // following slot and opens at its boundary.
+    int64_t next_index = (static_cast<int64_t>(current.value()) + 1) % geometry_->slot_count();
+    slot = SlotId(static_cast<uint32_t>(next_index));
+    Duration next_start =
+        next_index == 0 ? geometry_->schedule_length()
+                        : geometry_->SlotStartOffset(next_index);
+    window_start = t + (next_start - projected);
+  }
+  const TimePoint window_end = window_start + params_.duration;
+  const TimePoint slot_start = window_start + lead_total;
+  TIGER_DCHECK(window_end > t);
+  return OwnershipEvent{slot, window_start, window_end, slot_start};
+}
+
+}  // namespace tiger

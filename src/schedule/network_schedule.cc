@@ -1,0 +1,173 @@
+#include "src/schedule/network_schedule.h"
+
+#include <algorithm>
+
+namespace tiger {
+
+NetworkSchedule::NetworkSchedule(Duration block_play_time, int num_cubs, int64_t capacity_bps)
+    : block_play_time_(block_play_time),
+      length_(block_play_time * num_cubs),
+      capacity_bps_(capacity_bps) {
+  TIGER_CHECK(block_play_time > Duration::Zero());
+  TIGER_CHECK(num_cubs >= 1);
+  TIGER_CHECK(capacity_bps > 0);
+}
+
+Duration NetworkSchedule::WrapOffset(Duration offset) const {
+  int64_t v = offset.micros() % length_.micros();
+  if (v < 0) {
+    v += length_.micros();
+  }
+  return Duration::Micros(v);
+}
+
+void NetworkSchedule::AddSegments(Duration start, int64_t bps, int sign) {
+  const int64_t L = length_.micros();
+  const int64_t a = start.micros();
+  const int64_t b = a + block_play_time_.micros();
+  auto add = [&](int64_t lo, int64_t hi) {
+    if (lo >= hi) {
+      return;
+    }
+    deltas_[lo] += sign * bps;
+    deltas_[hi] -= sign * bps;
+    if (deltas_[lo] == 0) {
+      deltas_.erase(lo);
+    }
+    if (deltas_[hi] == 0) {
+      deltas_.erase(hi);
+    }
+  };
+  if (b <= L) {
+    add(a, b);
+  } else {
+    add(a, L);
+    add(0, b - L);
+  }
+}
+
+int64_t NetworkSchedule::LoadAt(Duration offset) const {
+  const int64_t x = WrapOffset(offset).micros();
+  int64_t load = 0;
+  for (const auto& [key, delta] : deltas_) {
+    if (key > x) {
+      break;
+    }
+    load += delta;
+  }
+  return load;
+}
+
+int64_t NetworkSchedule::PeakLoad(Duration start, Duration width) const {
+  TIGER_CHECK(width > Duration::Zero() && width <= length_);
+  const int64_t L = length_.micros();
+  const int64_t a = WrapOffset(start).micros();
+  const int64_t b = a + width.micros();  // May exceed L (wrapped interval).
+  auto in_window = [&](int64_t x) {
+    if (b <= L) {
+      return x >= a && x < b;
+    }
+    return x >= a || x < b - L;
+  };
+  // Load just at the window start, plus running deltas across breakpoints
+  // inside the window.
+  int64_t peak = LoadAt(Duration::Micros(a));
+  int64_t running = peak;
+  // Walk breakpoints from a forward, wrapping once.
+  auto walk = [&](int64_t lo, int64_t hi) {
+    auto it = deltas_.upper_bound(lo);
+    for (; it != deltas_.end() && it->first < hi; ++it) {
+      running += it->second;
+      if (in_window(it->first)) {
+        peak = std::max(peak, running);
+      }
+    }
+  };
+  if (b <= L) {
+    walk(a, b);
+  } else {
+    walk(a, L);
+    // Wrap: load at offset 0 is the plain prefix at 0 (keys == 0 only).
+    running = LoadAt(Duration::Zero());
+    peak = std::max(peak, running);
+    auto it = deltas_.upper_bound(0);
+    for (; it != deltas_.end() && it->first < b - L; ++it) {
+      running += it->second;
+      peak = std::max(peak, running);
+    }
+  }
+  return peak;
+}
+
+NetworkSchedule::EntryId NetworkSchedule::Insert(Duration start, int64_t bps, bool reservation,
+                                                 ViewerId viewer, PlayInstanceId instance) {
+  TIGER_CHECK(bps > 0);
+  Entry entry;
+  entry.id = next_id_++;
+  entry.start = WrapOffset(start);
+  entry.bps = bps;
+  entry.reservation = reservation;
+  entry.viewer = viewer;
+  entry.instance = instance;
+  AddSegments(entry.start, bps, +1);
+  total_bps_ += bps;
+  entries_.emplace(entry.id, entry);
+  return entry.id;
+}
+
+bool NetworkSchedule::Remove(EntryId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return false;
+  }
+  AddSegments(it->second.start, it->second.bps, -1);
+  total_bps_ -= it->second.bps;
+  entries_.erase(it);
+  return true;
+}
+
+bool NetworkSchedule::CommitReservation(EntryId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return false;
+  }
+  it->second.reservation = false;
+  return true;
+}
+
+std::optional<NetworkSchedule::EntryId> NetworkSchedule::FindByInstance(
+    PlayInstanceId instance) const {
+  for (const auto& [id, entry] : entries_) {
+    if (entry.instance == instance) {
+      return id;
+    }
+  }
+  return std::nullopt;
+}
+
+const NetworkSchedule::Entry* NetworkSchedule::Get(EntryId id) const {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+double NetworkSchedule::MeanUtilization() const {
+  // Each entry occupies bps × block_play_time of bandwidth-time area.
+  const double area = static_cast<double>(total_bps_) * block_play_time_.seconds();
+  const double total = static_cast<double>(capacity_bps_) * length_.seconds();
+  return area / total;
+}
+
+Duration NetworkSchedule::AdmissibleStartMeasure(int64_t bps, Duration granularity) const {
+  TIGER_CHECK(granularity > Duration::Zero());
+  int64_t admissible = 0;
+  for (int64_t x = 0; x < length_.micros(); x += granularity.micros()) {
+    if (CanInsert(Duration::Micros(x), bps)) {
+      admissible += granularity.micros();
+    }
+  }
+  return Duration::Micros(std::min(admissible, length_.micros()));
+}
+
+double NetworkSchedule::FreeFraction() const { return 1.0 - MeanUtilization(); }
+
+}  // namespace tiger

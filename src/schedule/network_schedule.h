@@ -1,0 +1,110 @@
+// The two-dimensional network schedule of a multiple-bitrate Tiger (§3.2).
+//
+// The x-axis is time (one full lap is block_play_time × num_cubs, wrapping),
+// the y-axis bandwidth (capped by a cub's NIC capacity). Every entry is
+// exactly one block play time wide and as tall as its stream's bitrate; the
+// total height at any instant is the load on the NIC servicing that part of
+// the schedule. Entries may be firm or *reservations* (tentative space held
+// by the two-phase insertion protocol of §4.2 until the viewer state arrives
+// or the insertion aborts).
+//
+// Fragmentation: free bandwidth shorter than one block play time at a given
+// height is unusable. The paper's fix — forcing starts to integral multiples
+// of block_play_time / decluster — is exercised by the fragmentation bench.
+
+#ifndef SRC_SCHEDULE_NETWORK_SCHEDULE_H_
+#define SRC_SCHEDULE_NETWORK_SCHEDULE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/ids.h"
+#include "src/common/time.h"
+
+namespace tiger {
+
+class NetworkSchedule {
+ public:
+  using EntryId = uint64_t;
+
+  struct Entry {
+    EntryId id = 0;
+    Duration start;  // Offset within the schedule, [0, length).
+    int64_t bps = 0;
+    bool reservation = false;
+    ViewerId viewer;
+    PlayInstanceId instance;
+  };
+
+  NetworkSchedule(Duration block_play_time, int num_cubs, int64_t capacity_bps);
+
+  Duration length() const { return length_; }
+  Duration block_play_time() const { return block_play_time_; }
+  int64_t capacity_bps() const { return capacity_bps_; }
+
+  // Instantaneous committed bandwidth at `offset`.
+  int64_t LoadAt(Duration offset) const;
+
+  // Maximum load over the wrapped interval [start, start + width).
+  int64_t PeakLoad(Duration start, Duration width) const;
+
+  // Could a one-block-play-time entry of `bps` start at `start`?
+  bool CanInsert(Duration start, int64_t bps) const {
+    return PeakLoad(WrapOffset(start), block_play_time_) + bps <= capacity_bps_;
+  }
+
+  // Inserts without checking (callers check CanInsert; the two-phase protocol
+  // deliberately inserts tentatively on a stale view and may have to abort).
+  EntryId Insert(Duration start, int64_t bps, bool reservation, ViewerId viewer,
+                 PlayInstanceId instance);
+
+  bool Remove(EntryId id);
+  // Flips a reservation to a firm entry. Returns false if unknown.
+  bool CommitReservation(EntryId id);
+  std::optional<EntryId> FindByInstance(PlayInstanceId instance) const;
+  const Entry* Get(EntryId id) const;
+
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    for (const auto& [id, entry] : entries_) {
+      fn(entry);
+    }
+  }
+
+  size_t entry_count() const { return entries_.size(); }
+  int64_t total_committed_bps() const { return total_bps_; }
+  // Mean load over the whole schedule divided by capacity, in [0, 1].
+  double MeanUtilization() const;
+
+  // --- fragmentation analytics --------------------------------------------
+
+  // Total measure (µs) of start offsets, sampled every `granularity`, at
+  // which a stream of `bps` fits.
+  Duration AdmissibleStartMeasure(int64_t bps, Duration granularity) const;
+
+  // Free bandwidth-time area divided by total area (capacity × length).
+  double FreeFraction() const;
+
+  Duration WrapOffset(Duration offset) const;
+
+ private:
+  Duration block_play_time_;
+  Duration length_;
+  int64_t capacity_bps_;
+  EntryId next_id_ = 1;
+  int64_t total_bps_ = 0;
+  std::unordered_map<EntryId, Entry> entries_;
+  // Load-profile difference map over [0, length]: load(x) = prefix sum of
+  // deltas at keys <= x. Wrapping entries contribute two segments.
+  std::map<int64_t, int64_t> deltas_;
+
+  void AddSegments(Duration start, int64_t bps, int sign);
+};
+
+}  // namespace tiger
+
+#endif  // SRC_SCHEDULE_NETWORK_SCHEDULE_H_

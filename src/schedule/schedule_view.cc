@@ -1,0 +1,164 @@
+#include "src/schedule/schedule_view.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace tiger {
+
+ScheduleView::ApplyResult ScheduleView::ApplyViewerState(const ViewerStateRecord& record,
+                                                         TimePoint now) {
+  if (record.due + late_horizon_ < now) {
+    // So late that any deschedule for it would already have been discarded;
+    // accepting it could resurrect a dead viewer. Drop it (§4.1.2).
+    return ApplyResult::kTooLate;
+  }
+  if (HoldsDescheduleFor(record, now)) {
+    return ApplyResult::kKilledByDeschedule;
+  }
+  SlotBucket& bucket = buckets_[record.slot];
+  for (const ScheduleEntry& entry : bucket.entries) {
+    if (entry.record.DedupKey() == record.DedupKey()) {
+      return ApplyResult::kDuplicate;
+    }
+  }
+  // Two different viewers (or two instances) must never be scheduled into the
+  // same slot for the same service time.
+  for (const ScheduleEntry& entry : bucket.entries) {
+    if (!entry.record.is_mirror() && !record.is_mirror() && entry.record.due == record.due &&
+        (entry.record.viewer != record.viewer || entry.record.instance != record.instance)) {
+      return ApplyResult::kConflict;
+    }
+  }
+  ScheduleEntry entry;
+  entry.record = record;
+  entry.received = now;
+  bucket.entries.push_back(entry);
+  return ApplyResult::kNew;
+}
+
+ScheduleView::DescheduleOutcome ScheduleView::ApplyDeschedule(const DescheduleRecord& deschedule,
+                                                              TimePoint now,
+                                                              TimePoint hold_until) {
+  SlotBucket& bucket = buckets_[deschedule.slot];
+  DescheduleOutcome outcome;
+  auto matches = [&](const ScheduleEntry& entry) {
+    return entry.record.viewer == deschedule.viewer &&
+           entry.record.instance == deschedule.instance && entry.record.slot == deschedule.slot;
+  };
+  auto it = std::stable_partition(bucket.entries.begin(), bucket.entries.end(),
+                                  [&](const ScheduleEntry& e) { return !matches(e); });
+  outcome.removed.assign(std::make_move_iterator(it),
+                         std::make_move_iterator(bucket.entries.end()));
+  bucket.entries.erase(it, bucket.entries.end());
+
+  // Record (or refresh) the hold. Duplicate deschedules are idempotent.
+  bool found = false;
+  for (Hold& hold : bucket.holds) {
+    if (hold.deschedule == deschedule) {
+      hold.hold_until = std::max(hold.hold_until, hold_until);
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    bucket.holds.push_back(Hold{deschedule, hold_until});
+    outcome.new_hold = true;
+  }
+  (void)now;
+  return outcome;
+}
+
+bool ScheduleView::HoldsDescheduleFor(const ViewerStateRecord& record, TimePoint now) const {
+  auto it = buckets_.find(record.slot);
+  if (it == buckets_.end()) {
+    return false;
+  }
+  for (const Hold& hold : it->second.holds) {
+    if (hold.hold_until >= now && hold.deschedule.viewer == record.viewer &&
+        hold.deschedule.instance == record.instance && hold.deschedule.slot == record.slot) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ScheduleView::SlotOccupiedAt(SlotId slot, TimePoint due) const {
+  auto it = buckets_.find(slot);
+  if (it == buckets_.end()) {
+    return false;
+  }
+  for (const ScheduleEntry& entry : it->second.entries) {
+    if (!entry.record.is_mirror() && entry.record.due == due) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ScheduleView::SlotBusyNear(SlotId slot, TimePoint due, Duration epsilon) const {
+  auto it = buckets_.find(slot);
+  if (it == buckets_.end()) {
+    return false;
+  }
+  for (const ScheduleEntry& entry : it->second.entries) {
+    Duration gap = entry.record.due > due ? entry.record.due - due : due - entry.record.due;
+    if (gap < epsilon) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ScheduleEntry* ScheduleView::Find(const ViewerStateRecord::Key& key) {
+  auto it = buckets_.find(SlotId(key.slot));
+  if (it == buckets_.end()) {
+    return nullptr;
+  }
+  for (ScheduleEntry& entry : it->second.entries) {
+    if (entry.record.DedupKey() == key) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+int ScheduleView::EvictBefore(TimePoint entry_horizon, TimePoint now) {
+  int evicted = 0;
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    SlotBucket& bucket = it->second;
+    auto entry_end = std::remove_if(bucket.entries.begin(), bucket.entries.end(),
+                                    [&](const ScheduleEntry& e) {
+                                      return e.record.due < entry_horizon;
+                                    });
+    evicted += static_cast<int>(bucket.entries.end() - entry_end);
+    bucket.entries.erase(entry_end, bucket.entries.end());
+    auto hold_end = std::remove_if(bucket.holds.begin(), bucket.holds.end(),
+                                   [&](const Hold& h) { return h.hold_until < now; });
+    bucket.holds.erase(hold_end, bucket.holds.end());
+    if (bucket.entries.empty() && bucket.holds.empty()) {
+      it = buckets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+size_t ScheduleView::entry_count() const {
+  size_t n = 0;
+  for (const auto& [slot, bucket] : buckets_) {
+    n += bucket.entries.size();
+  }
+  return n;
+}
+
+size_t ScheduleView::hold_count() const {
+  size_t n = 0;
+  for (const auto& [slot, bucket] : buckets_) {
+    n += bucket.holds.size();
+  }
+  return n;
+}
+
+}  // namespace tiger

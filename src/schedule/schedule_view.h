@@ -1,0 +1,119 @@
+// A cub's local view of the (hallucinated) global disk schedule.
+//
+// The view stores only schedule entries near the cub's own disks — it is
+// bounded by maxVStateLead ahead and a short retention behind, so its size
+// does not grow with the system (§4, "a necessary but insufficient condition
+// for scalability is that participants' views be limited...").
+//
+// The view enforces the two idempotence rules the protocol depends on:
+//  * duplicate viewer states (records are routinely double-sent) are ignored;
+//  * a held deschedule kills matching viewer states that arrive late, and
+//    viewer states arriving later than the deschedule hold window are
+//    discarded outright, so a viewer can never be spontaneously rescheduled
+//    (§4.1.2).
+
+#ifndef SRC_SCHEDULE_SCHEDULE_VIEW_H_
+#define SRC_SCHEDULE_SCHEDULE_VIEW_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/time.h"
+#include "src/schedule/viewer_state.h"
+
+namespace tiger {
+
+// Per-entry bookkeeping owned by the cub; the view only stores it.
+struct ScheduleEntry {
+  ViewerStateRecord record;
+  TimePoint received;
+  // --- cub-managed state ---
+  bool read_issued = false;
+  bool block_ready = false;
+  // A block buffer is charged to this entry (false for cache hits).
+  bool buffer_held = false;
+  bool sent = false;
+  bool forwarded = false;
+  // True for the duplicate copy held purely for fault tolerance (this cub is
+  // not the serving cub for the record's disk).
+  bool backup_only = false;
+  // Set when a failure makes this cub responsible for mirror generation.
+  bool takeover_processed = false;
+};
+
+class ScheduleView {
+ public:
+  enum class ApplyResult {
+    kNew,                 // Accepted; a new entry was created.
+    kDuplicate,           // Same DedupKey already present; ignored.
+    kKilledByDeschedule,  // A held deschedule matches; discarded.
+    kTooLate,             // Older than the deschedule hold window; discarded.
+    kConflict,            // Another viewer already occupies the slot at this due time.
+  };
+
+  // `late_horizon` mirrors the deschedule hold duration: records whose due
+  // time is more than this far in the past are rejected (kTooLate).
+  explicit ScheduleView(Duration late_horizon) : late_horizon_(late_horizon) {}
+
+  ApplyResult ApplyViewerState(const ViewerStateRecord& record, TimePoint now);
+
+  // Removes all entries matching (viewer, instance, slot) and records a hold.
+  // Returns the removed entries (so the caller can cancel their work) and
+  // whether the hold is new — duplicate deschedules refresh the hold but
+  // report new_hold=false, which callers use to forward each deschedule once.
+  struct DescheduleOutcome {
+    std::vector<ScheduleEntry> removed;
+    bool new_hold = false;
+  };
+  DescheduleOutcome ApplyDeschedule(const DescheduleRecord& deschedule, TimePoint now,
+                                    TimePoint hold_until);
+
+  bool HoldsDescheduleFor(const ViewerStateRecord& record, TimePoint now) const;
+
+  // Is there a non-mirror entry for `slot` due at exactly `due`? Used by the
+  // insertion logic: due times are exact shared arithmetic, so the occupying
+  // viewer's record (if it has arrived) matches precisely.
+  bool SlotOccupiedAt(SlotId slot, TimePoint due) const;
+
+  // Any entry (including mirrors) for this slot with due in (due-eps, due+eps)?
+  bool SlotBusyNear(SlotId slot, TimePoint due, Duration epsilon) const;
+
+  // Entry lookup by dedup key; nullptr if absent.
+  ScheduleEntry* Find(const ViewerStateRecord::Key& key);
+
+  // All live entries (cub iterates to drive reads/sends/forwards).
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) {
+    for (auto& [slot, bucket] : buckets_) {
+      for (ScheduleEntry& entry : bucket.entries) {
+        fn(entry);
+      }
+    }
+  }
+
+  // Drops entries whose due time precedes `horizon` and expired holds.
+  // Returns the number of entries evicted.
+  int EvictBefore(TimePoint entry_horizon, TimePoint now);
+
+  size_t entry_count() const;
+  size_t hold_count() const;
+
+ private:
+  struct Hold {
+    DescheduleRecord deschedule;
+    TimePoint hold_until;
+  };
+  struct SlotBucket {
+    std::vector<ScheduleEntry> entries;
+    std::vector<Hold> holds;
+  };
+
+  Duration late_horizon_;
+  std::unordered_map<SlotId, SlotBucket> buckets_;
+};
+
+}  // namespace tiger
+
+#endif  // SRC_SCHEDULE_SCHEDULE_VIEW_H_

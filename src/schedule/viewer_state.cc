@@ -1,0 +1,91 @@
+#include "src/schedule/viewer_state.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace tiger {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x54564653;  // "TVFS"
+constexpr uint16_t kVersion = 1;
+
+template <typename T>
+void Put(std::array<uint8_t, kViewerStateWireBytes>& wire, size_t& offset, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::memcpy(wire.data() + offset, &value, sizeof(T));
+  offset += sizeof(T);
+}
+
+template <typename T>
+T Get(const std::array<uint8_t, kViewerStateWireBytes>& wire, size_t& offset) {
+  T value;
+  std::memcpy(&value, wire.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+std::array<uint8_t, kViewerStateWireBytes> ViewerStateRecord::Encode() const {
+  std::array<uint8_t, kViewerStateWireBytes> wire{};
+  size_t offset = 0;
+  Put(wire, offset, kMagic);
+  Put(wire, offset, kVersion);
+  Put(wire, offset, static_cast<uint16_t>(0));  // Reserved flags.
+  Put(wire, offset, viewer.value());
+  Put(wire, offset, client_address);
+  Put(wire, offset, instance.value());
+  Put(wire, offset, file.value());
+  Put(wire, offset, position);
+  Put(wire, offset, slot.value());
+  Put(wire, offset, sequence);
+  Put(wire, offset, bitrate_bps);
+  Put(wire, offset, mirror_fragment);
+  Put(wire, offset, due.micros());
+  // Remaining bytes stay zero: the paper's "other bookkeeping information".
+  return wire;
+}
+
+std::optional<ViewerStateRecord> ViewerStateRecord::Decode(
+    const std::array<uint8_t, kViewerStateWireBytes>& wire) {
+  size_t offset = 0;
+  if (Get<uint32_t>(wire, offset) != kMagic) {
+    return std::nullopt;
+  }
+  if (Get<uint16_t>(wire, offset) != kVersion) {
+    return std::nullopt;
+  }
+  Get<uint16_t>(wire, offset);  // Reserved.
+  ViewerStateRecord record;
+  record.viewer = ViewerId(Get<uint32_t>(wire, offset));
+  record.client_address = Get<uint32_t>(wire, offset);
+  record.instance = PlayInstanceId(Get<uint64_t>(wire, offset));
+  record.file = FileId(Get<uint32_t>(wire, offset));
+  record.position = Get<int64_t>(wire, offset);
+  record.slot = SlotId(Get<uint32_t>(wire, offset));
+  record.sequence = Get<int64_t>(wire, offset);
+  record.bitrate_bps = Get<int64_t>(wire, offset);
+  record.mirror_fragment = Get<int32_t>(wire, offset);
+  record.due = TimePoint::FromMicros(Get<int64_t>(wire, offset));
+  return record;
+}
+
+std::string ViewerStateRecord::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "viewer=%u inst=%llu file=%u pos=%lld slot=%u seq=%lld%s due=%.3fs",
+                viewer.value(), static_cast<unsigned long long>(instance.value()), file.value(),
+                static_cast<long long>(position), slot.value(), static_cast<long long>(sequence),
+                is_mirror() ? " mirror" : "", due.seconds());
+  return buf;
+}
+
+std::string DescheduleRecord::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "deschedule viewer=%u inst=%llu slot=%u", viewer.value(),
+                static_cast<unsigned long long>(instance.value()), slot.value());
+  return buf;
+}
+
+}  // namespace tiger

@@ -1,0 +1,71 @@
+// Base class for simulation actors.
+//
+// An actor owns no threads; it is a state machine advanced by simulator
+// callbacks. Halting an actor suppresses every callback it has scheduled —
+// exactly the behaviour of a powered-off cub, which is how the
+// failure-injection tests kill machines: no goodbye messages, no cleanup.
+//
+// Lifetime rule: actors must outlive any run of their simulator. In practice
+// every actor is owned by the same object that owns the Simulator and nothing
+// runs the simulator during teardown.
+
+#ifndef SRC_SIM_ACTOR_H_
+#define SRC_SIM_ACTOR_H_
+
+#include <string>
+#include <utility>
+
+#include "src/common/time.h"
+#include "src/sim/simulator.h"
+
+namespace tiger {
+
+class Actor {
+ public:
+  Actor(Simulator* sim, std::string name) : sim_(sim), name_(std::move(name)) {
+    TIGER_CHECK(sim != nullptr);
+  }
+  virtual ~Actor() = default;
+
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+  const std::string& name() const { return name_; }
+  Simulator& sim() const { return *sim_; }
+  TimePoint Now() const { return sim_->Now(); }
+
+  // A halted actor ignores all pending and future callbacks. Models power loss.
+  virtual void Halt() { halted_ = true; }
+  bool halted() const { return halted_; }
+
+ protected:
+  // Schedules a member callback that is automatically suppressed if the actor
+  // halts before it fires.
+  template <typename Fn>
+  TimerId After(Duration d, Fn&& fn) {
+    return At(Now() + d, std::forward<Fn>(fn));
+  }
+
+  template <typename Fn>
+  TimerId At(TimePoint t, Fn&& fn) {
+    if (halted_) {
+      return kInvalidTimer;
+    }
+    return sim_->ScheduleAt(t, [this, fn = std::forward<Fn>(fn)]() mutable {
+      if (!halted_) {
+        fn();
+      }
+    });
+  }
+
+  void CancelTimer(TimerId id) { sim_->Cancel(id); }
+
+ private:
+  Simulator* sim_;
+  std::string name_;
+  bool halted_ = false;
+};
+
+}  // namespace tiger
+
+#endif  // SRC_SIM_ACTOR_H_

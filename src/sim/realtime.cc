@@ -1,0 +1,71 @@
+#include "src/sim/realtime.h"
+
+namespace tiger {
+
+void RealtimeExecutor::Run(TimePoint until) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point wall_start = Clock::now();
+  const TimePoint sim_start = sim_.Now();
+
+  auto wall_deadline_for = [&](TimePoint sim_time) {
+    const double sim_elapsed_us = static_cast<double>((sim_time - sim_start).micros());
+    return wall_start + std::chrono::microseconds(
+                            static_cast<int64_t>(sim_elapsed_us / speedup_));
+  };
+
+  auto sim_now_from_wall = [&]() {
+    const auto wall_elapsed = Clock::now() - wall_start;
+    const double wall_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(wall_elapsed).count() *
+        speedup_;
+    TimePoint mapped = sim_start + Duration::Micros(static_cast<int64_t>(wall_us));
+    return std::min(std::max(mapped, sim_.Now()), until);
+  };
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_.load() && sim_.Now() < until) {
+    // Drain injected work at the wall-mapped simulated instant, so external
+    // events (socket arrivals) are timestamped against real time rather than
+    // whenever this node last had local work.
+    if (!injected_.empty()) {
+      sim_.RunUntil(sim_now_from_wall());
+    }
+    while (!injected_.empty()) {
+      auto fn = std::move(injected_.front());
+      injected_.pop_front();
+      fn();
+    }
+    std::optional<TimePoint> next = sim_.PeekNextEventTime();
+    TimePoint target = next.has_value() ? std::min(*next, until) : until;
+    const auto deadline = wall_deadline_for(target);
+    if (Clock::now() < deadline) {
+      wake_.wait_until(lock, deadline,
+                       [this] { return stop_.load() || !injected_.empty(); });
+      if (stop_.load() || !injected_.empty()) {
+        continue;  // Handle the interruption before advancing time.
+      }
+    }
+    sim_.RunUntil(target);
+  }
+  // Final injected drain so shutdown messages are not lost.
+  while (!injected_.empty()) {
+    auto fn = std::move(injected_.front());
+    injected_.pop_front();
+    fn();
+  }
+}
+
+void RealtimeExecutor::Inject(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    injected_.push_back(std::move(fn));
+  }
+  wake_.notify_all();
+}
+
+void RealtimeExecutor::RequestStop() {
+  stop_.store(true);
+  wake_.notify_all();
+}
+
+}  // namespace tiger

@@ -1,0 +1,55 @@
+// Wall-clock driver for a Simulator.
+//
+// The deterministic Simulator is the reference environment; this executor
+// replays the same event machinery against real time (optionally sped up),
+// with thread-safe injection of external events — the bridge that lets the
+// unmodified protocol actors run over real sockets (src/net/tcp_bus.h).
+
+#ifndef SRC_SIM_REALTIME_H_
+#define SRC_SIM_REALTIME_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include "src/sim/simulator.h"
+
+namespace tiger {
+
+class RealtimeExecutor {
+ public:
+  // speedup > 1 runs the simulation faster than the wall clock.
+  explicit RealtimeExecutor(double speedup = 1.0) : speedup_(speedup) {
+    TIGER_CHECK(speedup > 0);
+  }
+
+  // The simulator must only be touched from the running thread or through
+  // Inject(); use this accessor during single-threaded setup.
+  Simulator& sim() { return sim_; }
+
+  // Runs until simulated time `until` (or RequestStop), sleeping so that
+  // event timestamps track the wall clock divided by `speedup`.
+  void Run(TimePoint until);
+
+  // Thread-safe: runs `fn` on the executor thread at its current simulated
+  // time, as soon as possible.
+  void Inject(std::function<void()> fn);
+
+  // Thread-safe: makes Run return promptly.
+  void RequestStop();
+
+ private:
+  Simulator sim_;
+  double speedup_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> injected_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace tiger
+
+#endif  // SRC_SIM_REALTIME_H_

@@ -1,0 +1,82 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+namespace tiger {
+
+TimerId Simulator::ScheduleAt(TimePoint t, Callback cb) {
+  TIGER_CHECK(t >= now_) << "event scheduled in the past: " << t << " < " << now_;
+  TIGER_CHECK(cb != nullptr);
+  TimerId id = next_id_++;
+  queue_.push(QueueEntry{t, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+TimerId Simulator::ScheduleAfter(Duration d, Callback cb) {
+  TIGER_CHECK(d >= Duration::Zero()) << "negative delay " << d;
+  return ScheduleAt(now_ + d, std::move(cb));
+}
+
+void Simulator::Cancel(TimerId id) {
+  callbacks_.erase(id);
+  // The heap entry is left behind and skipped when popped.
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    QueueEntry entry = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(entry.id);
+    if (it == callbacks_.end()) {
+      continue;  // Cancelled.
+    }
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    TIGER_DCHECK(entry.time >= now_);
+    now_ = entry.time;
+    ++processed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+std::optional<TimePoint> Simulator::PeekNextEventTime() {
+  while (!queue_.empty()) {
+    const QueueEntry& entry = queue_.top();
+    if (callbacks_.contains(entry.id)) {
+      return entry.time;
+    }
+    queue_.pop();  // Cancelled; discard.
+  }
+  return std::nullopt;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(TimePoint t) {
+  TIGER_CHECK(t >= now_);
+  while (!queue_.empty()) {
+    QueueEntry entry = queue_.top();
+    if (entry.time > t) {
+      break;
+    }
+    queue_.pop();
+    auto it = callbacks_.find(entry.id);
+    if (it == callbacks_.end()) {
+      continue;
+    }
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = entry.time;
+    ++processed_;
+    cb();
+  }
+  now_ = t;
+}
+
+}  // namespace tiger

@@ -1,0 +1,88 @@
+// Deterministic discrete-event simulator.
+//
+// All Tiger actors (cubs, controller, disks, network, clients) are driven by
+// callbacks scheduled on one Simulator. Events that share a timestamp fire in
+// scheduling order (FIFO tie-break on a monotone sequence number), which makes
+// every run bit-for-bit reproducible from its seed.
+
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/time.h"
+
+namespace tiger {
+
+// Identifies a scheduled event so it can be cancelled. Ids are never reused.
+using TimerId = uint64_t;
+constexpr TimerId kInvalidTimer = 0;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint Now() const { return now_; }
+
+  // Schedules `cb` at absolute time `t` (must not be in the past).
+  TimerId ScheduleAt(TimePoint t, Callback cb);
+
+  // Schedules `cb` after `d` from now (d must be non-negative).
+  TimerId ScheduleAfter(Duration d, Callback cb);
+
+  // Cancels a pending event. Cancelling an already-fired or already-cancelled
+  // timer is a harmless no-op, which keeps actor teardown simple.
+  void Cancel(TimerId id);
+
+  // Runs until the event queue drains.
+  void Run();
+
+  // Runs all events with timestamp <= t, then advances the clock to exactly t.
+  void RunUntil(TimePoint t);
+
+  void RunFor(Duration d) { RunUntil(now_ + d); }
+
+  // Executes at most one event; returns false if the queue was empty.
+  bool Step();
+
+  // Earliest pending event's timestamp (skimming off cancelled entries), or
+  // nullopt when the queue is empty.
+  std::optional<TimePoint> PeekNextEventTime();
+
+  size_t pending_events() const { return callbacks_.size(); }
+  uint64_t processed_events() const { return processed_; }
+
+ private:
+  struct QueueEntry {
+    TimePoint time;
+    TimerId id;
+    // Later-scheduled events at the same instant fire later: min-heap, so the
+    // "greater" entry is the one with larger (time, id).
+    bool operator>(const QueueEntry& o) const {
+      if (time != o.time) {
+        return time > o.time;
+      }
+      return id > o.id;
+    }
+  };
+
+  TimePoint now_;
+  TimerId next_id_ = 1;
+  uint64_t processed_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
+  std::unordered_map<TimerId, Callback> callbacks_;
+};
+
+}  // namespace tiger
+
+#endif  // SRC_SIM_SIMULATOR_H_

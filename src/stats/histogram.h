@@ -1,0 +1,45 @@
+// Exact-percentile histogram.
+//
+// Experiment populations here are small (thousands of stream starts, not
+// billions), so we keep raw samples and compute exact order statistics
+// instead of approximating with fixed buckets.
+
+#ifndef SRC_STATS_HISTOGRAM_H_
+#define SRC_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tiger {
+
+class Histogram {
+ public:
+  void Add(double value);
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double min() const;
+  double max() const;
+  double Mean() const;
+  double Stddev() const;
+  // p in [0, 100]. Uses nearest-rank on the sorted samples.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+  // "n=… mean=… p50=… p95=… p99=… max=…"
+  std::string Summary() const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace tiger
+
+#endif  // SRC_STATS_HISTOGRAM_H_

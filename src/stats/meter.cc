@@ -1,0 +1,68 @@
+#include "src/stats/meter.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace tiger {
+
+void CumulativeMeter::Add(TimePoint when, double amount) {
+  TIGER_DCHECK(points_.empty() || when >= points_.back().when)
+      << "events must arrive in time order";
+  total_ += amount;
+  points_.push_back(Point{when, total_});
+}
+
+double CumulativeMeter::CumulativeAt(TimePoint t) const {
+  // Last point with when <= t.
+  auto it = std::upper_bound(points_.begin(), points_.end(), t,
+                             [](TimePoint v, const Point& p) { return v < p.when; });
+  if (it == points_.begin()) {
+    return 0;
+  }
+  return std::prev(it)->cumulative;
+}
+
+double CumulativeMeter::SumBetween(TimePoint a, TimePoint b) const {
+  TIGER_DCHECK(a <= b);
+  return CumulativeAt(b) - CumulativeAt(a);
+}
+
+double CumulativeMeter::RatePerSecond(TimePoint a, TimePoint b) const {
+  TIGER_CHECK(b > a);
+  return SumBetween(a, b) / (b - a).seconds();
+}
+
+void BusyMeter::AddBusyInterval(TimePoint start, TimePoint end) {
+  TIGER_CHECK(end >= start);
+  TIGER_CHECK(segments_.empty() || start >= segments_.back().end)
+      << "busy intervals must be non-overlapping and in order";
+  segments_.push_back(Segment{start, end, total_busy_});
+  total_busy_ += end - start;
+}
+
+Duration BusyMeter::BusyBetween(TimePoint a, TimePoint b) const {
+  TIGER_DCHECK(a <= b);
+  auto busy_before = [this](TimePoint t) -> Duration {
+    // Total busy time accumulated strictly before time t, counting partial
+    // overlap of the segment containing t.
+    auto it = std::upper_bound(segments_.begin(), segments_.end(), t,
+                               [](TimePoint v, const Segment& s) { return v < s.start; });
+    if (it == segments_.begin()) {
+      return Duration::Zero();
+    }
+    const Segment& s = *std::prev(it);
+    if (t >= s.end) {
+      return s.cumulative_before + (s.end - s.start);
+    }
+    return s.cumulative_before + (t - s.start);
+  };
+  return busy_before(b) - busy_before(a);
+}
+
+double BusyMeter::UtilizationBetween(TimePoint a, TimePoint b) const {
+  TIGER_CHECK(b > a);
+  return BusyBetween(a, b).seconds() / (b - a).seconds();
+}
+
+}  // namespace tiger

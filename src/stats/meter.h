@@ -1,0 +1,67 @@
+// Time-indexed accumulation meters.
+//
+// The paper's Figures 8/9 report loads as means over 50-second measurement
+// windows. These meters record when work happened so any window can be
+// queried after the fact.
+
+#ifndef SRC_STATS_METER_H_
+#define SRC_STATS_METER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace tiger {
+
+// Records point-attributed quantities (message bytes, CPU microseconds charged
+// at an instant) and answers "how much between a and b".
+class CumulativeMeter {
+ public:
+  void Add(TimePoint when, double amount);
+
+  double Total() const { return total_; }
+  // Sum of amounts recorded in (a, b]. Events must have been added in
+  // non-decreasing time order.
+  double SumBetween(TimePoint a, TimePoint b) const;
+
+  // Mean rate per second over (a, b].
+  double RatePerSecond(TimePoint a, TimePoint b) const;
+
+ private:
+  struct Point {
+    TimePoint when;
+    double cumulative;  // Total including this event.
+  };
+  // Cumulative total at or before a given instant.
+  double CumulativeAt(TimePoint t) const;
+
+  std::vector<Point> points_;
+  double total_ = 0;
+};
+
+// Records busy intervals (e.g. a disk servicing a request) and answers
+// "fraction of [a, b] spent busy". Intervals must be non-overlapping and
+// appended in order, which holds for any serially-used resource.
+class BusyMeter {
+ public:
+  void AddBusyInterval(TimePoint start, TimePoint end);
+
+  Duration TotalBusy() const { return total_busy_; }
+  Duration BusyBetween(TimePoint a, TimePoint b) const;
+  // Busy fraction in [a, b], in [0, 1].
+  double UtilizationBetween(TimePoint a, TimePoint b) const;
+
+ private:
+  struct Segment {
+    TimePoint start;
+    TimePoint end;
+    Duration cumulative_before;  // Busy time accumulated before this segment.
+  };
+  std::vector<Segment> segments_;
+  Duration total_busy_;
+};
+
+}  // namespace tiger
+
+#endif  // SRC_STATS_METER_H_

@@ -1,0 +1,87 @@
+#include "src/stats/table.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace tiger {
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  TIGER_CHECK(cells.size() == headers_.size())
+      << "row has " << cells.size() << " cells, expected " << headers_.size();
+  rows_.push_back(std::move(cells));
+}
+
+TextTable::RowBuilder& TextTable::RowBuilder::Int(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  cells_.emplace_back(buf);
+  return *this;
+}
+
+TextTable::RowBuilder& TextTable::RowBuilder::Double(double v, int precision) {
+  cells_.push_back(FormatDouble(v, precision));
+  return *this;
+}
+
+TextTable::RowBuilder& TextTable::RowBuilder::Percent(double fraction, int precision) {
+  cells_.push_back(FormatDouble(fraction * 100.0, precision) + "%");
+  return *this;
+}
+
+void TextTable::Print(std::FILE* out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      std::fprintf(out, "%s%-*s", c == 0 ? "" : "  ", static_cast<int>(widths[c]),
+                   cells[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(headers_);
+  std::string rule;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    if (c != 0) {
+      rule += "  ";
+    }
+    rule += std::string(widths[c], '-');
+  }
+  std::fprintf(out, "%s\n", rule.c_str());
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string TextTable::ToCsv() const {
+  std::string out;
+  auto append_row = [&out](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) {
+        out += ",";
+      }
+      out += cells[c];
+    }
+    out += "\n";
+  };
+  append_row(headers_);
+  for (const auto& row : rows_) {
+    append_row(row);
+  }
+  return out;
+}
+
+}  // namespace tiger

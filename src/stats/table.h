@@ -1,0 +1,55 @@
+// Plain-text table printer for benchmark output.
+//
+// Every bench binary prints the rows/series of the paper artifact it
+// regenerates; this keeps their formatting consistent and diffable.
+
+#ifndef SRC_STATS_TABLE_H_
+#define SRC_STATS_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tiger {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience for building a row cell-by-cell.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(TextTable* table) : table_(table) {}
+    ~RowBuilder() { table_->AddRow(std::move(cells_)); }
+    RowBuilder& Str(std::string s) {
+      cells_.push_back(std::move(s));
+      return *this;
+    }
+    RowBuilder& Int(int64_t v);
+    RowBuilder& Double(double v, int precision = 2);
+    RowBuilder& Percent(double fraction, int precision = 1);
+
+   private:
+    TextTable* table_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder Row() { return RowBuilder(this); }
+
+  // Renders with aligned columns to `out` (default stdout).
+  void Print(std::FILE* out = stdout) const;
+  std::string ToCsv() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string FormatDouble(double v, int precision);
+
+}  // namespace tiger
+
+#endif  // SRC_STATS_TABLE_H_

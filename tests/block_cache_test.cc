@@ -1,0 +1,75 @@
+// The per-cub block buffer cache.
+
+#include <gtest/gtest.h>
+
+#include "src/core/block_cache.h"
+
+namespace tiger {
+namespace {
+
+BlockCache::Key K(uint32_t file, int64_t position, int32_t fragment = -1) {
+  return BlockCache::Key{file, position, fragment};
+}
+
+TEST(BlockCacheTest, HitAfterInsert) {
+  BlockCache cache(1 << 20);
+  EXPECT_FALSE(cache.Lookup(K(1, 5)));
+  cache.Insert(K(1, 5), 1000);
+  EXPECT_TRUE(cache.Lookup(K(1, 5)));
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 0.5);
+}
+
+TEST(BlockCacheTest, FragmentsAreDistinctFromPrimaries) {
+  BlockCache cache(1 << 20);
+  cache.Insert(K(1, 5, -1), 1000);
+  EXPECT_FALSE(cache.Lookup(K(1, 5, 0)));
+  EXPECT_FALSE(cache.Lookup(K(1, 5, 1)));
+  EXPECT_TRUE(cache.Lookup(K(1, 5, -1)));
+}
+
+TEST(BlockCacheTest, LruEviction) {
+  BlockCache cache(3000);
+  cache.Insert(K(1, 1), 1000);
+  cache.Insert(K(1, 2), 1000);
+  cache.Insert(K(1, 3), 1000);
+  EXPECT_EQ(cache.resident_bytes(), 3000);
+  // Touch 1 so that 2 becomes LRU.
+  EXPECT_TRUE(cache.Lookup(K(1, 1)));
+  cache.Insert(K(1, 4), 1000);
+  EXPECT_TRUE(cache.Lookup(K(1, 1)));
+  EXPECT_FALSE(cache.Lookup(K(1, 2))) << "LRU entry must have been evicted";
+  EXPECT_TRUE(cache.Lookup(K(1, 3)));
+  EXPECT_TRUE(cache.Lookup(K(1, 4)));
+  EXPECT_EQ(cache.resident_bytes(), 3000);
+}
+
+TEST(BlockCacheTest, OversizedBlockNotCached) {
+  BlockCache cache(500);
+  cache.Insert(K(1, 1), 1000);
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_FALSE(cache.Lookup(K(1, 1)));
+}
+
+TEST(BlockCacheTest, ZeroCapacityDisablesCaching) {
+  BlockCache cache(0);
+  cache.Insert(K(1, 1), 100);
+  EXPECT_FALSE(cache.Lookup(K(1, 1)));
+  EXPECT_EQ(cache.entry_count(), 0u);
+}
+
+TEST(BlockCacheTest, ReinsertRefreshesWithoutDuplicating) {
+  BlockCache cache(2500);
+  cache.Insert(K(1, 1), 1000);
+  cache.Insert(K(1, 2), 1000);
+  cache.Insert(K(1, 1), 1000);  // Refresh, not duplicate.
+  EXPECT_EQ(cache.entry_count(), 2u);
+  EXPECT_EQ(cache.resident_bytes(), 2000);
+  cache.Insert(K(1, 3), 1000);  // Evicts 2 (LRU), not 1.
+  EXPECT_TRUE(cache.Lookup(K(1, 1)));
+  EXPECT_FALSE(cache.Lookup(K(1, 2)));
+}
+
+}  // namespace
+}  // namespace tiger

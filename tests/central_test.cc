@@ -1,0 +1,71 @@
+// The §3.3 centralized baseline.
+
+#include <gtest/gtest.h>
+
+#include "src/core/central.h"
+
+namespace tiger {
+namespace {
+
+TigerConfig SmallConfig() {
+  TigerConfig config;
+  config.shape = SystemShape{4, 1, 2};
+  return config;
+}
+
+TEST(CentralTest, CommandsDriveBlockDelivery) {
+  TigerConfig config = SmallConfig();
+  CentralSystem system(config, 1);
+  SinkEndpoint sink;
+  NetAddress sink_addr = system.net().Attach(&sink, "sink", config.client_nic_bps);
+  FileId file =
+      system.AddFile("f", config.max_stream_bps, Duration::Seconds(600)).value();
+  int made = system.BootstrapStreams(3, sink_addr, file, config.max_stream_bps);
+  EXPECT_EQ(made, 3);
+  system.Start();
+  system.sim().RunUntil(TimePoint::Zero() + Duration::Seconds(12));
+
+  // Each stream gets one command (and one block) per block play time.
+  EXPECT_NEAR(static_cast<double>(system.controller().commands_sent()), 3 * 10, 6);
+  EXPECT_GT(system.TotalBlocksSent(), 3 * 8);
+  EXPECT_GT(sink.received(), 3 * 8);
+}
+
+TEST(CentralTest, SchedulerRefusesWhenFull) {
+  TigerConfig config = SmallConfig();
+  CentralSystem system(config, 1);
+  SinkEndpoint sink;
+  NetAddress sink_addr = system.net().Attach(&sink, "sink", config.client_nic_bps);
+  FileId file = system.AddFile("f", config.max_stream_bps, Duration::Seconds(600)).value();
+  const int capacity = static_cast<int>(system.geometry().slot_count());
+  int made = system.BootstrapStreams(capacity + 10, sink_addr, file, config.max_stream_bps);
+  EXPECT_EQ(made, capacity);
+}
+
+TEST(CentralTest, ControllerTrafficScalesWithStreams) {
+  // The crux of §3.3: control traffic out of the central controller grows
+  // linearly with stream count.
+  auto traffic_for = [](int streams) {
+    TigerConfig config;
+    config.shape = SystemShape{14, 4, 4};
+    config.simulate_data_plane = false;
+    CentralSystem system(config, 1);
+    SinkEndpoint sink;
+    NetAddress sink_addr = system.net().Attach(&sink, "sink", config.client_nic_bps);
+    FileId file =
+        system.AddFile("f", config.max_stream_bps, Duration::Seconds(600)).value();
+    system.BootstrapStreams(streams, sink_addr, file, config.max_stream_bps);
+    system.Start();
+    system.sim().RunUntil(TimePoint::Zero() + Duration::Seconds(12));
+    return system.ControllerControlTrafficBps(TimePoint::FromMicros(4000000),
+                                              TimePoint::FromMicros(12000000));
+  };
+  double at_100 = traffic_for(100);
+  double at_400 = traffic_for(400);
+  EXPECT_NEAR(at_400 / at_100, 4.0, 0.5);
+  // ~140 wire bytes per block per second per stream.
+  EXPECT_NEAR(at_100, 100 * 140.0, 100 * 25.0);
+}
+
+}  // namespace
+}  // namespace tiger

@@ -1,0 +1,126 @@
+// Edge-case coverage across foundations: simulator boundaries, actor
+// lifecycle, geometry extremes, and catalog limits.
+
+#include <gtest/gtest.h>
+
+#include "src/core/config.h"
+#include "src/layout/catalog.h"
+#include "src/schedule/geometry.h"
+#include "src/sim/actor.h"
+#include "src/sim/simulator.h"
+
+namespace tiger {
+namespace {
+
+TEST(SimulatorEdgeTest, PeekSkipsCancelledEntries) {
+  Simulator sim;
+  TimerId early = sim.ScheduleAt(TimePoint::FromMicros(100), [] {});
+  sim.ScheduleAt(TimePoint::FromMicros(200), [] {});
+  ASSERT_TRUE(sim.PeekNextEventTime().has_value());
+  EXPECT_EQ(*sim.PeekNextEventTime(), TimePoint::FromMicros(100));
+  sim.Cancel(early);
+  EXPECT_EQ(*sim.PeekNextEventTime(), TimePoint::FromMicros(200));
+  sim.Run();
+  EXPECT_FALSE(sim.PeekNextEventTime().has_value());
+}
+
+TEST(SimulatorEdgeTest, CancelInsideCallbackOfSameInstant) {
+  Simulator sim;
+  bool second_ran = false;
+  TimerId second = 0;
+  sim.ScheduleAt(TimePoint::FromMicros(50), [&] { sim.Cancel(second); });
+  second = sim.ScheduleAt(TimePoint::FromMicros(50), [&] { second_ran = true; });
+  sim.Run();
+  EXPECT_FALSE(second_ran) << "same-instant cancellation must stick (FIFO order)";
+}
+
+TEST(SimulatorEdgeTest, RunUntilZeroAdvancesNothing) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(TimePoint::FromMicros(1), [&] { fired++; });
+  sim.RunUntil(TimePoint::Zero());
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.Now(), TimePoint::Zero());
+}
+
+class ToggleActor : public Actor {
+ public:
+  explicit ToggleActor(Simulator* sim) : Actor(sim, "toggle") {}
+  void Arm(Duration d) {
+    After(d, [this] { fired++; });
+  }
+  int fired = 0;
+};
+
+TEST(ActorEdgeTest, HaltBetweenScheduleAndFire) {
+  Simulator sim;
+  ToggleActor actor(&sim);
+  actor.Arm(Duration::Millis(10));
+  sim.RunFor(Duration::Millis(5));
+  actor.Halt();
+  sim.RunFor(Duration::Millis(20));
+  EXPECT_EQ(actor.fired, 0);
+}
+
+TEST(GeometryEdgeTest, SingleDiskSystem) {
+  // Degenerate but legal: one disk, schedule length = one block play time.
+  ScheduleGeometry g(1, Duration::Seconds(1), Duration::Millis(100));
+  EXPECT_EQ(g.slot_count(), 10);
+  EXPECT_EQ(g.schedule_length(), Duration::Seconds(1));
+  for (int64_t s = 0; s < 10; ++s) {
+    EXPECT_EQ(g.SlotAtOffset(g.SlotStartOffset(s)).value(), s);
+  }
+  ScheduleGeometry::ServingEvent event =
+      g.SoonestServingDisk(SlotId(3), TimePoint::FromMicros(5555555));
+  EXPECT_EQ(event.disk, DiskId(0));
+  EXPECT_GE(event.due, TimePoint::FromMicros(5555555));
+}
+
+TEST(GeometryEdgeTest, ServiceTimeEqualToScheduleLength) {
+  // Capacity exactly one stream.
+  ScheduleGeometry g(2, Duration::Seconds(1), Duration::Seconds(2));
+  EXPECT_EQ(g.slot_count(), 1);
+  EXPECT_EQ(g.SlotStartOffset(0), Duration::Zero());
+  EXPECT_EQ(g.SlotStartOffset(1), Duration::Seconds(2));
+}
+
+TEST(CatalogEdgeTest, FileExactlyOneBlock) {
+  Catalog catalog(Duration::Seconds(1), 262144, true);
+  Result<FileId> file = catalog.AddFile("one", Megabits(2), Duration::Seconds(1), DiskId(0));
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(catalog.Get(file.value()).block_count, 1);
+}
+
+TEST(CatalogEdgeTest, DurationRoundsDownToWholeBlocks) {
+  Catalog catalog(Duration::Seconds(1), 262144, true);
+  Result<FileId> file =
+      catalog.AddFile("frac", Megabits(2), Duration::Millis(2700), DiskId(0));
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(catalog.Get(file.value()).block_count, 2);
+}
+
+TEST(ConfigEdgeTest, NicLimitedServiceTime) {
+  // Make the NIC the bottleneck: tiny NIC, capacity should shrink.
+  TigerConfig config;
+  TigerConfig slow_nic = config;
+  slow_nic.cub_nic_bps = Megabits(10);  // 5 streams/cub vs ~43 disk-limited.
+  EXPECT_LT(slow_nic.MaxStreams(), config.MaxStreams());
+  // 14 cubs x 5 streams = 70 streams.
+  EXPECT_NEAR(static_cast<double>(slow_nic.MaxStreams()), 70.0, 2.0);
+}
+
+TEST(ConfigEdgeTest, OwnershipParamsAlwaysValid) {
+  for (int cubs : {2, 5, 14}) {
+    for (int disks : {1, 4}) {
+      TigerConfig config;
+      config.shape = SystemShape{cubs, disks, 1};
+      config.shape.decluster_factor = 1;
+      OwnershipParams params = config.MakeOwnershipParams();
+      ScheduleGeometry geometry = config.MakeGeometry();
+      EXPECT_TRUE(params.ValidFor(geometry)) << cubs << "x" << disks;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tiger

@@ -1,0 +1,74 @@
+// FailureView: ring successor/predecessor computation under failures.
+
+#include <gtest/gtest.h>
+
+#include "src/core/failure_view.h"
+
+namespace tiger {
+namespace {
+
+TEST(FailureViewTest, SuccessorsSkipFailedCubs) {
+  FailureView view(SystemShape{6, 1, 2});
+  EXPECT_EQ(view.FirstLivingSuccessor(CubId(0)), CubId(1));
+  view.MarkCubFailed(CubId(1));
+  EXPECT_EQ(view.FirstLivingSuccessor(CubId(0)), CubId(2));
+  view.MarkCubFailed(CubId(2));
+  EXPECT_EQ(view.FirstLivingSuccessor(CubId(0)), CubId(3));
+  EXPECT_EQ(view.live_cub_count(), 4);
+  view.MarkCubAlive(CubId(1));
+  EXPECT_EQ(view.FirstLivingSuccessor(CubId(0)), CubId(1));
+}
+
+TEST(FailureViewTest, NextLivingSuccessorsBridgeGaps) {
+  // §2.3: consecutive failures are bridged — the next two *living* cubs.
+  FailureView view(SystemShape{6, 1, 2});
+  view.MarkCubFailed(CubId(3));
+  view.MarkCubFailed(CubId(4));
+  auto successors = view.NextLivingSuccessors(CubId(2), 2);
+  ASSERT_EQ(successors.size(), 2u);
+  EXPECT_EQ(successors[0], CubId(5));
+  EXPECT_EQ(successors[1], CubId(0));
+}
+
+TEST(FailureViewTest, SuccessorsWrapAndExcludeSelf) {
+  FailureView view(SystemShape{3, 1, 1});
+  auto successors = view.NextLivingSuccessors(CubId(2), 5);
+  ASSERT_EQ(successors.size(), 2u) << "self is never a successor";
+  EXPECT_EQ(successors[0], CubId(0));
+  EXPECT_EQ(successors[1], CubId(1));
+}
+
+TEST(FailureViewTest, PredecessorsMirrorSuccessors) {
+  FailureView view(SystemShape{6, 1, 2});
+  view.MarkCubFailed(CubId(5));
+  auto predecessors = view.PrevLivingPredecessors(CubId(0), 2);
+  ASSERT_EQ(predecessors.size(), 2u);
+  EXPECT_EQ(predecessors[0], CubId(4));
+  EXPECT_EQ(predecessors[1], CubId(3));
+}
+
+TEST(FailureViewTest, DiskFailureImpliedByCubFailure) {
+  SystemShape shape{4, 2, 2};
+  FailureView view(shape);
+  view.MarkCubFailed(CubId(1));
+  EXPECT_TRUE(view.IsDiskFailed(DiskId(1)));  // Disk 1 lives on cub 1.
+  EXPECT_TRUE(view.IsDiskFailed(DiskId(5)));  // Disk 5 = cub 1, local 1.
+  EXPECT_FALSE(view.IsDiskFailed(DiskId(2)));
+  view.MarkDiskFailed(DiskId(2));
+  EXPECT_TRUE(view.IsDiskFailed(DiskId(2)));
+  EXPECT_FALSE(view.IsCubFailed(CubId(2))) << "disk failure does not fail the cub";
+}
+
+TEST(FailureViewTest, MirrorDecisionMaker) {
+  FailureView view(SystemShape{6, 1, 2});
+  // Disk 3 lives on cub 3; its mirror decision maker is cub 4.
+  EXPECT_TRUE(view.AmFirstLivingSuccessorOfDisk(CubId(4), DiskId(3)));
+  EXPECT_FALSE(view.AmFirstLivingSuccessorOfDisk(CubId(5), DiskId(3)));
+  EXPECT_FALSE(view.AmFirstLivingSuccessorOfDisk(CubId(3), DiskId(3)))
+      << "the owner itself is never the mirror decision maker";
+  view.MarkCubFailed(CubId(4));
+  EXPECT_TRUE(view.AmFirstLivingSuccessorOfDisk(CubId(5), DiskId(3)));
+}
+
+}  // namespace
+}  // namespace tiger

@@ -1,0 +1,239 @@
+// Schedule geometry: slot arithmetic, disk pointers, ownership windows.
+
+#include "src/schedule/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/config.h"
+#include "src/disk/disk_model.h"
+
+namespace tiger {
+namespace {
+
+ScheduleGeometry PaperGeometry() {
+  TigerConfig config;
+  return config.MakeGeometry();
+}
+
+TEST(DiskModelTest, PaperConfigurationYields602Slots) {
+  // §5: 56 disks, 0.25 MB blocks, decluster 4 => 10.75 streams/disk, 602 total.
+  TigerConfig config;
+  EXPECT_EQ(config.MakeGeometry().slot_count(), 602);
+  const double per_disk = config.disk_model.StreamsPerDisk(
+      config.block_bytes, config.block_play_time, config.shape.decluster_factor, true);
+  EXPECT_NEAR(per_disk, 10.75, 0.05);
+}
+
+TEST(DiskModelTest, NonFaultTolerantHasMoreCapacity) {
+  TigerConfig config;
+  config.fault_tolerant = false;
+  EXPECT_GT(config.MakeGeometry().slot_count(), 602);
+}
+
+TEST(DiskModelTest, WorstCaseBoundsDrawnReadTimes) {
+  DiskModel model = UltrastarModel();
+  Rng rng(7);
+  model.blip_probability = 0;
+  for (int i = 0; i < 1000; ++i) {
+    Duration draw = model.DrawReadTime(DiskZone::kOuter, 262144, rng);
+    EXPECT_LE(draw, model.WorstCaseReadTime(DiskZone::kOuter, 262144));
+    EXPECT_GT(draw, Duration::Zero());
+  }
+}
+
+TEST(DiskModelTest, InnerZoneSlowerThanOuter) {
+  DiskModel model = UltrastarModel();
+  EXPECT_GT(model.TransferTime(DiskZone::kInner, 1 << 20),
+            model.TransferTime(DiskZone::kOuter, 1 << 20));
+}
+
+TEST(GeometryTest, ScheduleLengthIsPlayTimeTimesDisks) {
+  ScheduleGeometry g = PaperGeometry();
+  EXPECT_EQ(g.schedule_length(), Duration::Seconds(56));
+  EXPECT_EQ(g.total_disks(), 56);
+}
+
+TEST(GeometryTest, SlotBoundariesPartitionTheSchedule) {
+  ScheduleGeometry g = PaperGeometry();
+  EXPECT_EQ(g.SlotStartOffset(0), Duration::Zero());
+  EXPECT_EQ(g.SlotStartOffset(g.slot_count()), g.schedule_length());
+  for (int64_t s = 0; s < g.slot_count(); ++s) {
+    Duration start = g.SlotStartOffset(s);
+    Duration end = g.SlotStartOffset(s + 1);
+    EXPECT_LT(start, end);
+    // Every slot is within one microsecond of the effective service time.
+    int64_t width = (end - start).micros();
+    int64_t nominal = g.effective_block_service_time().micros();
+    EXPECT_GE(width, nominal);
+    EXPECT_LE(width, nominal + 1);
+  }
+}
+
+TEST(GeometryTest, SlotAtOffsetInvertsSlotStart) {
+  ScheduleGeometry g = PaperGeometry();
+  for (int64_t s = 0; s < g.slot_count(); ++s) {
+    Duration start = g.SlotStartOffset(s);
+    EXPECT_EQ(g.SlotAtOffset(start).value(), s) << "at slot " << s;
+    // One microsecond before a boundary belongs to the previous slot.
+    if (s > 0) {
+      EXPECT_EQ(g.SlotAtOffset(start - Duration::Micros(1)).value(), s - 1);
+    }
+  }
+}
+
+TEST(GeometryTest, DiskPointersAreOnePlayTimeApart) {
+  ScheduleGeometry g = PaperGeometry();
+  TimePoint t = TimePoint::FromMicros(123456789);
+  for (int d = 1; d < g.total_disks(); ++d) {
+    Duration prev = g.DiskPointer(DiskId(static_cast<uint32_t>(d - 1)), t);
+    Duration cur = g.DiskPointer(DiskId(static_cast<uint32_t>(d)), t);
+    Duration gap = g.WrapOffset(prev - cur);
+    EXPECT_EQ(gap, Duration::Seconds(1)) << "between disks " << d - 1 << " and " << d;
+  }
+  // Wrap-around: last disk is also one play time ahead of the first.
+  Duration last = g.DiskPointer(DiskId(static_cast<uint32_t>(g.total_disks() - 1)), t);
+  Duration first = g.DiskPointer(DiskId(0), t);
+  EXPECT_EQ(g.WrapOffset(last - first), g.schedule_length() - Duration::Seconds(55));
+}
+
+TEST(GeometryTest, NextSlotStartAdvancesByPlayTimeAcrossDisks) {
+  // The viewer in a slot receives a block every block play time from
+  // successive disks — the lockstep property everything depends on.
+  ScheduleGeometry g = PaperGeometry();
+  SlotId slot(37);
+  TimePoint t0 = g.NextSlotStart(DiskId(0), slot, TimePoint::FromMicros(1));
+  for (int d = 1; d < g.total_disks(); ++d) {
+    TimePoint td = g.NextSlotStart(DiskId(static_cast<uint32_t>(d)), slot, t0);
+    EXPECT_EQ(td - t0, Duration::Seconds(1) * d) << "disk " << d;
+  }
+}
+
+TEST(GeometryTest, NextSlotStartIsPeriodic) {
+  ScheduleGeometry g = PaperGeometry();
+  SlotId slot(600);
+  DiskId disk(13);
+  TimePoint first = g.NextSlotStart(disk, slot, TimePoint::Zero());
+  TimePoint second = g.NextSlotStart(disk, slot, first + Duration::Micros(1));
+  EXPECT_EQ(second - first, g.schedule_length());
+}
+
+TEST(GeometryTest, NextTimeAtOffsetReturnsRequestedInstant) {
+  ScheduleGeometry g = PaperGeometry();
+  DiskId disk(5);
+  TimePoint t = TimePoint::FromMicros(777777);
+  Duration offset = g.DiskPointer(disk, t);
+  EXPECT_EQ(g.NextTimeAtOffset(disk, offset, t), t);
+}
+
+class OwnershipTest : public ::testing::Test {
+ protected:
+  OwnershipTest()
+      : geometry_(PaperGeometry()),
+        windows_(&geometry_,
+                 OwnershipParams{Duration::Millis(700),
+                                 geometry_.effective_block_service_time()}) {}
+
+  ScheduleGeometry geometry_;
+  OwnershipWindows windows_;
+};
+
+TEST_F(OwnershipTest, WindowPrecedesSlotStartBySchedulingLead) {
+  auto event = windows_.NextOwnership(DiskId(3), TimePoint::FromMicros(5000000));
+  EXPECT_EQ(event.slot_start - event.window_end, Duration::Millis(700));
+  EXPECT_EQ(event.window_end - event.window_start,
+            geometry_.effective_block_service_time());
+}
+
+TEST_F(OwnershipTest, WindowsAdvanceMonotonically) {
+  DiskId disk(7);
+  TimePoint t = TimePoint::FromMicros(1000000);
+  SlotId last_slot;
+  for (int i = 0; i < 1000; ++i) {
+    auto event = windows_.NextOwnership(disk, t);
+    EXPECT_GT(event.window_end, t);
+    if (i > 0) {
+      EXPECT_EQ(event.slot.value(),
+                (last_slot.value() + 1) % geometry_.slot_count())
+          << "iteration " << i;
+    }
+    last_slot = event.slot;
+    t = event.window_end;
+  }
+}
+
+TEST_F(OwnershipTest, AtMostOneDiskOwnsASlotAtAnyInstant) {
+  // Sample instants and verify exclusivity of ownership across all disks.
+  for (int64_t us = 0; us < 3000000; us += 37777) {
+    TimePoint t = TimePoint::FromMicros(1000000 + us);
+    for (int64_t s = 0; s < geometry_.slot_count(); s += 97) {
+      SlotId slot(static_cast<uint32_t>(s));
+      int owners = 0;
+      for (int d = 0; d < geometry_.total_disks(); ++d) {
+        if (windows_.Owns(DiskId(static_cast<uint32_t>(d)), slot, t)) {
+          ++owners;
+        }
+      }
+      EXPECT_LE(owners, 1) << "slot " << s << " at " << t;
+    }
+  }
+}
+
+TEST_F(OwnershipTest, OwnsAgreesWithNextOwnership) {
+  DiskId disk(11);
+  auto event = windows_.NextOwnership(disk, TimePoint::FromMicros(9999999));
+  EXPECT_TRUE(windows_.Owns(disk, event.slot, event.window_start));
+  EXPECT_TRUE(windows_.Owns(disk, event.slot,
+                            event.window_end - Duration::Micros(1)));
+  EXPECT_FALSE(windows_.Owns(disk, event.slot, event.window_end));
+}
+
+TEST(GeometryTest, SoonestServingDiskMatchesExhaustiveSearch) {
+  ScheduleGeometry g = PaperGeometry();
+  for (int64_t s = 0; s < g.slot_count(); s += 41) {
+    for (int64_t t_us : {0LL, 999999LL, 123456789LL}) {
+      SlotId slot(static_cast<uint32_t>(s));
+      TimePoint t = TimePoint::FromMicros(t_us);
+      ScheduleGeometry::ServingEvent fast = g.SoonestServingDisk(slot, t);
+      // Exhaustive reference.
+      DiskId best_disk;
+      TimePoint best = TimePoint::Max();
+      for (int d = 0; d < g.total_disks(); ++d) {
+        TimePoint due = g.NextSlotStart(DiskId(static_cast<uint32_t>(d)), slot, t);
+        if (due < best) {
+          best = due;
+          best_disk = DiskId(static_cast<uint32_t>(d));
+        }
+      }
+      EXPECT_EQ(fast.due, best) << "slot " << s << " t " << t_us;
+      EXPECT_EQ(fast.disk, best_disk);
+      EXPECT_GE(fast.due, t);
+      EXPECT_LT(fast.due - t, Duration::Seconds(1) + Duration::Micros(1));
+    }
+  }
+}
+
+// Geometry must hold for many shapes, not just the paper's.
+class GeometrySweepTest : public ::testing::TestWithParam<std::tuple<int, int64_t>> {};
+
+TEST_P(GeometrySweepTest, BoundariesConsistent) {
+  const int disks = std::get<0>(GetParam());
+  const int64_t service_us = std::get<1>(GetParam());
+  ScheduleGeometry g(disks, Duration::Seconds(1), Duration::Micros(service_us));
+  EXPECT_EQ(g.SlotStartOffset(g.slot_count()), g.schedule_length());
+  for (int64_t s = 0; s < g.slot_count(); ++s) {
+    EXPECT_EQ(g.SlotAtOffset(g.SlotStartOffset(s)).value(), s);
+  }
+  // Boundary widths differ by at most 1us from the nominal service time.
+  for (int64_t s = 0; s + 1 < g.slot_count(); s += 7) {
+    int64_t width = (g.SlotStartOffset(s + 1) - g.SlotStartOffset(s)).micros();
+    EXPECT_GE(width, g.schedule_length().micros() / g.slot_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GeometrySweepTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 14, 56, 100),
+                       ::testing::Values(31250, 92957, 100000, 333333, 999999)));
+
+}  // namespace
+}  // namespace tiger

@@ -1,0 +1,217 @@
+// Striping, declustered mirroring, catalog, restriper.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "src/layout/restriper.h"
+#include "src/layout/shape.h"
+#include "src/layout/striping.h"
+
+namespace tiger {
+namespace {
+
+TEST(ShapeTest, CubMinorNumbering) {
+  // "Disk 0 is on cub 0, disk 1 is on cub 1, disk n is on cub 0..." (§2.2)
+  SystemShape shape{14, 4, 4};
+  EXPECT_EQ(shape.CubOfDisk(DiskId(0)), CubId(0));
+  EXPECT_EQ(shape.CubOfDisk(DiskId(1)), CubId(1));
+  EXPECT_EQ(shape.CubOfDisk(DiskId(14)), CubId(0));
+  EXPECT_EQ(shape.CubOfDisk(DiskId(55)), CubId(13));
+  EXPECT_EQ(shape.LocalDiskIndex(DiskId(14)), 1);
+  EXPECT_EQ(shape.GlobalDiskIndex(CubId(0), 1), DiskId(14));
+}
+
+TEST(ShapeTest, RingArithmetic) {
+  SystemShape shape{5, 2, 2};
+  EXPECT_EQ(shape.NextCub(CubId(4)), CubId(0));
+  EXPECT_EQ(shape.AdvanceCub(CubId(1), -3), CubId(3));
+  EXPECT_EQ(shape.AdvanceDisk(DiskId(9), 1), DiskId(0));
+  EXPECT_EQ(shape.AdvanceDisk(DiskId(0), -1), DiskId(9));
+  EXPECT_EQ(shape.CubDistance(CubId(3), CubId(1)), 3);
+  EXPECT_EQ(shape.CubDistance(CubId(1), CubId(1)), 0);
+}
+
+TEST(ShapeTest, ValidityRules) {
+  EXPECT_TRUE((SystemShape{14, 4, 4}).Valid());
+  EXPECT_FALSE((SystemShape{0, 4, 4}).Valid());
+  EXPECT_FALSE((SystemShape{1, 1, 1}).Valid())
+      << "decluster must be smaller than the disk count";
+  EXPECT_TRUE((SystemShape{2, 1, 1}).Valid());
+}
+
+class LayoutFixture : public ::testing::Test {
+ protected:
+  LayoutFixture()
+      : catalog_(Duration::Seconds(1), 262144, /*single_bitrate=*/true),
+        layout_(SystemShape{14, 4, 4}) {
+    file_ = catalog_.AddFile("movie", Megabits(2), Duration::Seconds(6000), DiskId(7)).value();
+  }
+  Catalog catalog_;
+  StripeLayout layout_;
+  FileId file_;
+};
+
+TEST_F(LayoutFixture, BlocksStrideAcrossConsecutiveDisks) {
+  const FileInfo& file = catalog_.Get(file_);
+  EXPECT_EQ(layout_.PrimaryDisk(file, 0), DiskId(7));
+  EXPECT_EQ(layout_.PrimaryDisk(file, 1), DiskId(8));
+  EXPECT_EQ(layout_.PrimaryDisk(file, 49), DiskId(0));  // 7 + 49 = 56 -> wraps.
+  EXPECT_EQ(layout_.PrimaryDisk(file, 56), DiskId(7));
+}
+
+TEST_F(LayoutFixture, SecondariesOnImmediatelyFollowingDisks) {
+  // "Tiger always stores the secondary parts of a block on the disks
+  // immediately following the disk holding the primary copy" (§2.3).
+  const FileInfo& file = catalog_.Get(file_);
+  for (int64_t block : {int64_t{0}, int64_t{30}, int64_t{55}, int64_t{100}}) {
+    DiskId primary = layout_.PrimaryDisk(file, block);
+    for (int j = 0; j < 4; ++j) {
+      BlockLocation loc = layout_.SecondaryLocation(file, block, j);
+      EXPECT_EQ(loc.disk, layout_.shape().AdvanceDisk(primary, 1 + j));
+      EXPECT_EQ(loc.zone, DiskZone::kInner);
+      EXPECT_EQ(loc.bytes, 65536);
+    }
+  }
+}
+
+TEST_F(LayoutFixture, MirroredDisksInverseOfSecondaries) {
+  const FileInfo& file = catalog_.Get(file_);
+  DiskId primary = layout_.PrimaryDisk(file, 12);
+  for (int j = 0; j < 4; ++j) {
+    DiskId frag_disk = layout_.SecondaryLocation(file, 12, j).disk;
+    std::vector<DiskId> mirrored = layout_.MirroredDisks(frag_disk);
+    EXPECT_NE(std::find(mirrored.begin(), mirrored.end(), primary), mirrored.end())
+        << "fragment disk must list the primary among the disks it mirrors";
+  }
+}
+
+TEST_F(LayoutFixture, FragmentsNeverOnPrimaryOrOnSameDisk) {
+  const FileInfo& file = catalog_.Get(file_);
+  for (int64_t block = 0; block < 200; ++block) {
+    DiskId primary = layout_.PrimaryDisk(file, block);
+    std::set<uint32_t> used;
+    for (int j = 0; j < 4; ++j) {
+      DiskId d = layout_.SecondaryLocation(file, block, j).disk;
+      EXPECT_NE(d, primary);
+      EXPECT_TRUE(used.insert(d.value()).second) << "fragments must use distinct disks";
+    }
+  }
+}
+
+TEST(CatalogTest, SingleBitrateInternalFragmentation) {
+  // "files of less than the configured maximum bitrate suffer internal
+  // fragmentation in their blocks" (§2.2).
+  Catalog catalog(Duration::Seconds(1), 262144, /*single_bitrate=*/true);
+  FileId slow = catalog.AddFile("slow", Megabits(1), Duration::Seconds(10), DiskId(0)).value();
+  EXPECT_EQ(catalog.Get(slow).content_bytes_per_block, 125000);
+  EXPECT_EQ(catalog.Get(slow).allocated_bytes_per_block, 262144);
+}
+
+TEST(CatalogTest, RejectsOverMaxBitrate) {
+  Catalog catalog(Duration::Seconds(1), 262144, true);
+  Result<FileId> too_fast =
+      catalog.AddFile("fast", Megabits(10), Duration::Seconds(10), DiskId(0));
+  EXPECT_FALSE(too_fast.ok());
+  Result<FileId> too_short = catalog.AddFile("s", Megabits(1), Duration::Millis(500), DiskId(0));
+  EXPECT_FALSE(too_short.ok());
+}
+
+TEST(CatalogTest, PaperCapacityHoldsSixtyFourHours) {
+  // §5: the 56-disk system "is capable of storing slightly more than 64
+  // hours of content at 2 Mbit/s" with 2.25 GB (decimal GB-ish) disks.
+  Catalog catalog(Duration::Seconds(1), 262144, true);
+  StripeLayout layout(SystemShape{14, 4, 4});
+  for (int i = 0; i < 64; ++i) {
+    Result<FileId> file = catalog.AddFile("h" + std::to_string(i), Megabits(2),
+                                          Duration::Seconds(3600),
+                                          DiskId(static_cast<uint32_t>(i % 56)));
+    ASSERT_TRUE(file.ok());
+  }
+  EXPECT_TRUE(layout.Fits(catalog, 2250LL * 1000 * 1000));
+}
+
+// Property sweep: layout invariants across shapes.
+class LayoutSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(LayoutSweep, InvariantsHold) {
+  auto [cubs, disks_per_cub, decluster] = GetParam();
+  SystemShape shape{cubs, disks_per_cub, decluster};
+  if (!shape.Valid()) {
+    GTEST_SKIP() << "invalid combination";
+  }
+  StripeLayout layout(shape);
+  Catalog catalog(Duration::Seconds(1), 262144, true);
+  const FileInfo& file =
+      catalog.Get(catalog.AddFile("f", Megabits(2),
+                                  Duration::Seconds(3 * shape.TotalDisks()), DiskId(1))
+                      .value());
+  for (int64_t block = 0; block < file.block_count; ++block) {
+    DiskId primary = layout.PrimaryDisk(file, block);
+    EXPECT_LT(static_cast<int>(primary.value()), shape.TotalDisks());
+    std::set<uint32_t> fragment_disks;
+    for (int j = 0; j < decluster; ++j) {
+      BlockLocation loc = layout.SecondaryLocation(file, block, j);
+      EXPECT_NE(loc.disk, primary);
+      EXPECT_TRUE(fragment_disks.insert(loc.disk.value()).second);
+      // Fragment bytes sum to at least the block.
+    }
+    EXPECT_GE(layout.FragmentBytes(file) * decluster, file.allocated_bytes_per_block);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LayoutSweep,
+                         ::testing::Combine(::testing::Values(2, 3, 5, 14),
+                                            ::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 2, 4, 7)));
+
+TEST(RestriperTest, GrowingSystemMovesMostButNotAllBlocks) {
+  Catalog catalog(Duration::Seconds(1), 262144, true);
+  (void)catalog.AddFile("m", Megabits(2), Duration::Seconds(560), DiskId(0));
+  StripeLayout old_layout(SystemShape{4, 2, 2});
+  StripeLayout new_layout(SystemShape{6, 2, 2});
+  RestripePlan plan = PlanRestripe(catalog, old_layout, new_layout);
+  EXPECT_GT(plan.total_bytes_moved, 0);
+  EXPECT_LT(plan.total_bytes_moved, plan.total_bytes_stored);
+  // Moves land where the new layout says they should.
+  const FileInfo& file = catalog.Get(FileId(0));
+  for (const BlockMove& move : plan.moves) {
+    if (move.fragment < 0) {
+      EXPECT_EQ(move.to, new_layout.PrimaryDisk(file, move.block));
+    } else {
+      EXPECT_EQ(move.to, new_layout.SecondaryLocation(file, move.block, move.fragment).disk);
+    }
+  }
+}
+
+TEST(RestriperTest, IdenticalShapesMoveNothing) {
+  Catalog catalog(Duration::Seconds(1), 262144, true);
+  (void)catalog.AddFile("m", Megabits(2), Duration::Seconds(100), DiskId(3));
+  StripeLayout layout(SystemShape{4, 2, 2});
+  RestripePlan plan = PlanRestripe(catalog, layout, layout);
+  EXPECT_TRUE(plan.moves.empty());
+  EXPECT_EQ(plan.total_bytes_moved, 0);
+  EXPECT_DOUBLE_EQ(plan.FractionMoved(), 0.0);
+}
+
+TEST(RestriperTest, EstimateIndependentOfSystemSize) {
+  // Same per-cub content, doubled system: estimated time within 20%.
+  auto estimate = [](int old_cubs, int new_cubs, int files) {
+    Catalog catalog(Duration::Seconds(1), 262144, true);
+    for (int i = 0; i < files; ++i) {
+      (void)catalog.AddFile("m" + std::to_string(i), Megabits(2), Duration::Seconds(600),
+                            DiskId(static_cast<uint32_t>(i % (old_cubs * 2))));
+    }
+    SystemShape old_shape{old_cubs, 2, 2};
+    SystemShape new_shape{new_cubs, 2, 2};
+    RestripePlan plan = PlanRestripe(catalog, StripeLayout(old_shape), StripeLayout(new_shape));
+    return EstimateRestripeSeconds(plan, new_shape, 5000000, 19000000);
+  };
+  double small = estimate(4, 6, 8);
+  double large = estimate(8, 12, 16);
+  EXPECT_NEAR(large / small, 1.0, 0.25);
+}
+
+}  // namespace
+}  // namespace tiger

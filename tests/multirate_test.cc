@@ -1,0 +1,174 @@
+// Multiple-bitrate Tiger: two-phase insertion and network-schedule views.
+
+#include <gtest/gtest.h>
+
+#include "src/client/viewer.h"
+#include "src/core/multirate_system.h"
+
+namespace tiger {
+namespace {
+
+TigerConfig SmallConfig() {
+  TigerConfig config;
+  config.shape = SystemShape{4, 1, 2};
+  config.block_play_time = Duration::Seconds(1);
+  config.block_bytes = 524288;  // Allows up to ~4 Mbit/s files.
+  config.max_stream_bps = Megabits(4);
+  return config;
+}
+
+class MultirateTestbed {
+ public:
+  explicit MultirateTestbed(TigerConfig config, uint64_t seed = 1)
+      : system_(config, seed) {}
+
+  ViewerClient& AddViewer(FileId file) {
+    auto viewer =
+        std::make_unique<ViewerClient>(&system_.sim(), ViewerId(next_id_++),
+                                       &system_.config(), &system_.catalog(), &system_.net());
+    viewer->SetAddressBook(&system_.addresses());
+    ViewerClient& ref = *viewer;
+    viewers_.push_back(std::move(viewer));
+    ref.RequestPlay(file);
+    return ref;
+  }
+
+  MultirateSystem& system() { return system_; }
+  const std::vector<std::unique_ptr<ViewerClient>>& viewers() const { return viewers_; }
+
+ private:
+  MultirateSystem system_;
+  uint32_t next_id_ = 1;
+  std::vector<std::unique_ptr<ViewerClient>> viewers_;
+};
+
+TEST(MultirateTest, MixedBitratesDeliverOnTime) {
+  MultirateTestbed testbed(SmallConfig(), 3);
+  MultirateSystem& system = testbed.system();
+  FileId slow = system.AddFile("slow", Megabits(1), Duration::Seconds(20)).value();
+  FileId medium = system.AddFile("medium", Megabits(2), Duration::Seconds(20)).value();
+  FileId fast = system.AddFile("fast", Megabits(4), Duration::Seconds(20)).value();
+  // Starts on the last disk, so the inserting cub is the highest-numbered
+  // one — regression coverage for the one-lap-late first-pass bug.
+  FileId last = system.AddFile("last", Megabits(2), Duration::Seconds(20)).value();
+  ASSERT_EQ(system.catalog().Get(last).start_disk.value(), 3u);
+  system.Start();
+
+  ViewerClient& v1 = testbed.AddViewer(slow);
+  ViewerClient& v2 = testbed.AddViewer(medium);
+  ViewerClient& v3 = testbed.AddViewer(fast);
+  ViewerClient& v4 = testbed.AddViewer(last);
+  system.sim().RunFor(Duration::Seconds(40));
+
+  for (ViewerClient* v : {&v1, &v2, &v3, &v4}) {
+    EXPECT_EQ(v->stats().plays_started, 1);
+    EXPECT_EQ(v->stats().plays_completed, 1);
+    EXPECT_EQ(v->stats().blocks_complete, 20);
+    EXPECT_EQ(v->stats().lost_blocks, 0);
+    // At idle load the start must not wait anywhere near a schedule lap.
+    EXPECT_LT(v->startup_latency().max(), 5.0);
+  }
+  MultirateCub::Counters totals = system.TotalCubCounters();
+  EXPECT_EQ(totals.inserts_committed, 4);
+  EXPECT_EQ(totals.server_missed_blocks, 0);
+}
+
+TEST(MultirateTest, BlockSizesProportionalToBitrate) {
+  MultirateTestbed testbed(SmallConfig());
+  MultirateSystem& system = testbed.system();
+  FileId slow = system.AddFile("slow", Megabits(1), Duration::Seconds(10)).value();
+  FileId fast = system.AddFile("fast", Megabits(4), Duration::Seconds(10)).value();
+  const FileInfo& s = system.catalog().Get(slow);
+  const FileInfo& f = system.catalog().Get(fast);
+  EXPECT_EQ(f.allocated_bytes_per_block, 4 * s.allocated_bytes_per_block);
+  // No single-bitrate internal fragmentation in a multirate catalog.
+  EXPECT_EQ(s.allocated_bytes_per_block, s.content_bytes_per_block);
+}
+
+TEST(MultirateTest, NicIsNeverOversubscribed) {
+  // Saturate admission with more offered load than a NIC can carry; the
+  // two-phase protocol must keep every cub's data plane within capacity.
+  TigerConfig config = SmallConfig();
+  config.cub_nic_bps = Megabits(10);  // Tiny NIC: ~2.5 streams of 4 Mbit/s per slot.
+  MultirateTestbed testbed(config, 11);
+  MultirateSystem& system = testbed.system();
+  std::vector<FileId> files;
+  for (int i = 0; i < 12; ++i) {
+    files.push_back(
+        system.AddFile("f" + std::to_string(i), Megabits(4), Duration::Seconds(30)).value());
+  }
+  system.Start();
+  for (int i = 0; i < 12; ++i) {
+    testbed.AddViewer(files[static_cast<size_t>(i)]);
+  }
+  system.sim().RunFor(Duration::Seconds(60));
+
+  for (int c = 0; c < system.cub_count(); ++c) {
+    NetAddress addr = system.cub(CubId(static_cast<uint32_t>(c))).address();
+    EXPECT_LE(system.net().PeakDataRate(addr), config.cub_nic_bps)
+        << "cub " << c << " oversubscribed its NIC";
+    EXPECT_EQ(system.net().OversubscriptionEvents(addr), 0);
+  }
+  // Offered load exceeded capacity, so some insertions must have been
+  // deferred or rejected locally at least once.
+  MultirateCub::Counters totals = system.TotalCubCounters();
+  EXPECT_GT(totals.admission_rejects_local + totals.reserve_rejections +
+                totals.inserts_aborted,
+            0);
+  EXPECT_GT(totals.inserts_committed, 0);
+}
+
+TEST(MultirateTest, ReservationExpiresIfOriginatorDies) {
+  // A reservation without a commit must not leak schedule space forever.
+  TigerConfig config = SmallConfig();
+  MultirateTestbed testbed(config, 5);
+  MultirateSystem& system = testbed.system();
+  FileId file = system.AddFile("f", Megabits(2), Duration::Seconds(30)).value();
+  system.Start();
+
+  // Drive a reservation directly into cub 1 as if cub 0 had asked, then
+  // never commit it.
+  auto request = std::make_shared<ReserveRequestMsg>();
+  request->from = CubId(0);
+  request->viewer = ViewerId(99);
+  request->instance = PlayInstanceId(999);
+  request->start_offset = Duration::Millis(500);
+  request->bitrate_bps = Megabits(2);
+  system.net().Send(system.cub(CubId(0)).address(), system.cub(CubId(1)).address(),
+                    ReserveRequestMsg::WireBytes(), request);
+  system.sim().RunFor(Duration::Seconds(1));
+  EXPECT_EQ(system.cub(CubId(1)).schedule_view().entry_count(), 1u);
+  system.sim().RunFor(Duration::Seconds(10));
+  EXPECT_EQ(system.cub(CubId(1)).schedule_view().entry_count(), 0u)
+      << "orphaned reservation should expire";
+  (void)file;
+}
+
+TEST(MultirateTest, StopPlayFreesBandwidth) {
+  TigerConfig config = SmallConfig();
+  config.cub_nic_bps = Megabits(8);
+  MultirateTestbed testbed(config, 7);
+  MultirateSystem& system = testbed.system();
+  FileId fat = system.AddFile("fat", Megabits(4), Duration::Seconds(60)).value();
+  system.Start();
+  ViewerClient& v = testbed.AddViewer(fat);
+  system.sim().RunFor(Duration::Seconds(10));
+  EXPECT_EQ(v.stats().plays_started, 1);
+
+  v.RequestStop();
+  system.sim().RunFor(Duration::Seconds(10));
+  MultirateCub::Counters totals = system.TotalCubCounters();
+  EXPECT_GT(totals.deschedules_applied, 0);
+  // All views eventually drop the stream's entry.
+  system.sim().RunFor(Duration::Seconds(10));
+  int64_t remaining = 0;
+  for (int c = 0; c < system.cub_count(); ++c) {
+    remaining +=
+        static_cast<int64_t>(system.cub(CubId(static_cast<uint32_t>(c))).schedule_view()
+                                 .entry_count());
+  }
+  EXPECT_EQ(remaining, 0);
+}
+
+}  // namespace
+}  // namespace tiger

@@ -1,0 +1,62 @@
+// The §5 ramp-experiment driver itself.
+
+#include <gtest/gtest.h>
+
+#include "src/client/ramp_experiment.h"
+
+namespace tiger {
+namespace {
+
+TEST(RampExperimentTest, StepsRampMonotonicallyAndMeasure) {
+  TigerConfig config;
+  config.shape = SystemShape{4, 1, 2};
+  Testbed testbed(config, 111);
+  testbed.AddContent(8, Duration::Seconds(600));
+
+  RampOptions options;
+  options.step_size = 5;
+  options.max_streams = 20;
+  options.step_interval = Duration::Seconds(15);
+  options.measure_window = Duration::Seconds(8);
+  options.stagger = Duration::Seconds(3);
+  RampResult result = RunRampExperiment(testbed, options);
+
+  ASSERT_EQ(result.steps.size(), 4u);
+  double previous_cpu = 0;
+  for (size_t i = 0; i < result.steps.size(); ++i) {
+    const RampStepResult& step = result.steps[i];
+    EXPECT_EQ(step.target_streams, static_cast<int>((i + 1) * 5));
+    EXPECT_EQ(step.active_streams, step.target_streams) << "long files never finish mid-run";
+    EXPECT_GT(step.mean_cub_cpu, previous_cpu) << "load must rise with streams";
+    previous_cpu = step.mean_cub_cpu;
+    EXPECT_GT(step.probe_control_bps, 0);
+  }
+  // Every start got a latency sample tagged with a plausible load.
+  EXPECT_EQ(result.starts.size(), 20u);
+  for (const RampResult::StartPoint& start : result.starts) {
+    EXPECT_GE(start.schedule_load, 0.0);
+    EXPECT_LE(start.schedule_load, 1.0);
+    EXPECT_GT(start.latency_seconds, 1.0);
+  }
+  EXPECT_EQ(result.client_totals.lost_blocks, 0);
+}
+
+TEST(RampExperimentTest, FinalPartialStepReachesExactTarget) {
+  TigerConfig config;
+  config.shape = SystemShape{4, 1, 2};
+  Testbed testbed(config, 113);
+  testbed.AddContent(4, Duration::Seconds(600));
+
+  RampOptions options;
+  options.step_size = 6;
+  options.max_streams = 14;  // 6 + 6 + 2.
+  options.step_interval = Duration::Seconds(12);
+  options.measure_window = Duration::Seconds(6);
+  RampResult result = RunRampExperiment(testbed, options);
+  ASSERT_EQ(result.steps.size(), 3u);
+  EXPECT_EQ(result.steps.back().target_streams, 14);
+  EXPECT_EQ(result.steps.back().active_streams, 14);
+}
+
+}  // namespace
+}  // namespace tiger

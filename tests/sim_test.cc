@@ -1,0 +1,117 @@
+// Discrete-event simulator: ordering, determinism, cancellation, actors.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/actor.h"
+#include "src/sim/simulator.h"
+
+namespace tiger {
+namespace {
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(TimePoint::FromMicros(300), [&] { order.push_back(3); });
+  sim.ScheduleAt(TimePoint::FromMicros(100), [&] { order.push_back(1); });
+  sim.ScheduleAt(TimePoint::FromMicros(200), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), TimePoint::FromMicros(300));
+}
+
+TEST(SimulatorTest, SameTimestampFifoOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(TimePoint::FromMicros(50), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  TimerId id = sim.ScheduleAfter(Duration::Seconds(1), [&] { fired = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(fired);
+  // Double-cancel and cancel-after-fire are harmless no-ops.
+  sim.Cancel(id);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockExactly) {
+  Simulator sim;
+  int count = 0;
+  sim.ScheduleAt(TimePoint::FromMicros(500), [&] { count++; });
+  sim.ScheduleAt(TimePoint::FromMicros(1500), [&] { count++; });
+  sim.RunUntil(TimePoint::FromMicros(1000));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.Now(), TimePoint::FromMicros(1000));
+  sim.RunUntil(TimePoint::FromMicros(2000));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 5) {
+      sim.ScheduleAfter(Duration::Millis(10), step);
+    }
+  };
+  sim.ScheduleAfter(Duration::Millis(10), step);
+  sim.Run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(sim.Now(), TimePoint::FromMicros(50000));
+  EXPECT_EQ(sim.processed_events(), 5u);
+}
+
+TEST(SimulatorTest, EventAtCurrentInstantRuns) {
+  Simulator sim;
+  sim.RunUntil(TimePoint::FromMicros(100));
+  bool fired = false;
+  sim.ScheduleAt(sim.Now(), [&] { fired = true; });
+  sim.Run();
+  EXPECT_TRUE(fired);
+}
+
+class CountingActor : public Actor {
+ public:
+  CountingActor(Simulator* sim) : Actor(sim, "counter") {}
+  void Go() {
+    After(Duration::Millis(10), [this] {
+      ++count;
+      Go();
+    });
+  }
+  int count = 0;
+};
+
+TEST(ActorTest, HaltSuppressesPendingCallbacks) {
+  Simulator sim;
+  CountingActor actor(&sim);
+  actor.Go();
+  sim.RunFor(Duration::Millis(35));
+  EXPECT_EQ(actor.count, 3);
+  actor.Halt();
+  sim.RunFor(Duration::Seconds(1));
+  EXPECT_EQ(actor.count, 3) << "halted actor must not run";
+  EXPECT_TRUE(actor.halted());
+}
+
+TEST(ActorTest, HaltedActorSchedulesNothing) {
+  Simulator sim;
+  CountingActor actor(&sim);
+  actor.Halt();
+  actor.Go();
+  size_t pending = sim.pending_events();
+  EXPECT_EQ(pending, 0u);
+}
+
+}  // namespace
+}  // namespace tiger

@@ -1,0 +1,96 @@
+// Statistics: histograms, meters, tables.
+
+#include <gtest/gtest.h>
+
+#include "src/stats/histogram.h"
+#include "src/stats/meter.h"
+#include "src/stats/table.h"
+
+namespace tiger {
+namespace {
+
+TEST(HistogramTest, BasicStatistics) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) {
+    h.Add(i);
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 1);
+  EXPECT_DOUBLE_EQ(h.max(), 100);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  EXPECT_NEAR(h.Percentile(50), 50.5, 0.5);
+  EXPECT_NEAR(h.Percentile(95), 95, 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 100);
+}
+
+TEST(HistogramTest, SingleSample) {
+  Histogram h;
+  h.Add(7.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 7.5);
+  EXPECT_DOUBLE_EQ(h.Stddev(), 0);
+}
+
+TEST(HistogramTest, AddAfterPercentileResorts) {
+  Histogram h;
+  h.Add(10);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 10);
+  h.Add(20);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 20);
+}
+
+TEST(CumulativeMeterTest, SumsWithinWindows) {
+  CumulativeMeter meter;
+  meter.Add(TimePoint::FromMicros(1000000), 10);
+  meter.Add(TimePoint::FromMicros(2000000), 20);
+  meter.Add(TimePoint::FromMicros(3000000), 30);
+  EXPECT_DOUBLE_EQ(meter.Total(), 60);
+  EXPECT_DOUBLE_EQ(
+      meter.SumBetween(TimePoint::FromMicros(1500000), TimePoint::FromMicros(2500000)), 20);
+  EXPECT_DOUBLE_EQ(meter.SumBetween(TimePoint::Zero(), TimePoint::FromMicros(5000000)), 60);
+  // Boundary semantics: (a, b] — an event exactly at `a` is excluded.
+  EXPECT_DOUBLE_EQ(
+      meter.SumBetween(TimePoint::FromMicros(1000000), TimePoint::FromMicros(3000000)), 50);
+}
+
+TEST(CumulativeMeterTest, RatePerSecond) {
+  CumulativeMeter meter;
+  for (int i = 1; i <= 10; ++i) {
+    meter.Add(TimePoint::FromMicros(i * 100000), 5);
+  }
+  // 50 units over 1 second.
+  EXPECT_DOUBLE_EQ(meter.RatePerSecond(TimePoint::Zero(), TimePoint::FromMicros(1000000)), 50);
+}
+
+TEST(BusyMeterTest, UtilizationWithPartialOverlap) {
+  BusyMeter meter;
+  meter.AddBusyInterval(TimePoint::FromMicros(0), TimePoint::FromMicros(500000));
+  meter.AddBusyInterval(TimePoint::FromMicros(1000000), TimePoint::FromMicros(1500000));
+  EXPECT_EQ(meter.TotalBusy(), Duration::Seconds(1));
+  // Window [250ms, 1250ms]: busy 250ms (tail of first) + 250ms (head of second).
+  EXPECT_EQ(meter.BusyBetween(TimePoint::FromMicros(250000), TimePoint::FromMicros(1250000)),
+            Duration::Millis(500));
+  EXPECT_DOUBLE_EQ(meter.UtilizationBetween(TimePoint::FromMicros(250000),
+                                            TimePoint::FromMicros(1250000)),
+                   0.5);
+}
+
+TEST(BusyMeterTest, WindowFullyInsideOneInterval) {
+  BusyMeter meter;
+  meter.AddBusyInterval(TimePoint::FromMicros(0), TimePoint::FromMicros(10000000));
+  EXPECT_DOUBLE_EQ(meter.UtilizationBetween(TimePoint::FromMicros(2000000),
+                                            TimePoint::FromMicros(3000000)),
+                   1.0);
+}
+
+TEST(TextTableTest, RendersAndCsv) {
+  TextTable table({"a", "bb"});
+  table.Row().Int(1).Double(2.5, 1);
+  table.Row().Str("x").Percent(0.5);
+  EXPECT_EQ(table.row_count(), 2u);
+  std::string csv = table.ToCsv();
+  EXPECT_EQ(csv, "a,bb\n1,2.5\nx,50.0%\n");
+}
+
+}  // namespace
+}  // namespace tiger

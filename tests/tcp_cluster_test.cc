@@ -1,0 +1,96 @@
+// End-to-end over real sockets: the unmodified protocol actors in threads,
+// framed TCP between them. Timing assertions are deliberately loose — this
+// runs against the wall clock — but delivery must be perfect.
+
+#include <gtest/gtest.h>
+
+#include "src/client/tcp_cluster.h"
+#include "src/sim/realtime.h"
+
+namespace tiger {
+namespace {
+
+TEST(RealtimeExecutorTest, EventsTrackTheWallClock) {
+  RealtimeExecutor executor(/*speedup=*/50.0);
+  std::vector<int64_t> fired_at;
+  for (int i = 1; i <= 5; ++i) {
+    executor.sim().ScheduleAt(TimePoint::FromMicros(i * 1000000), [&fired_at, &executor] {
+      fired_at.push_back(executor.sim().Now().micros());
+    });
+  }
+  auto wall_start = std::chrono::steady_clock::now();
+  executor.Run(TimePoint::FromMicros(5000000));
+  double wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+                      .count();
+  ASSERT_EQ(fired_at.size(), 5u);
+  EXPECT_EQ(fired_at.back(), 5000000);
+  // 5 simulated seconds at 50x ~= 0.1 wall seconds.
+  EXPECT_GT(wall_s, 0.05);
+  EXPECT_LT(wall_s, 1.0);
+}
+
+TEST(RealtimeExecutorTest, InjectionRunsOnExecutorThreadAtWallTime) {
+  RealtimeExecutor executor(/*speedup=*/100.0);
+  std::atomic<int64_t> injected_sim_time{-1};
+  std::thread outside([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));  // ~2 s sim.
+    executor.Inject(
+        [&] { injected_sim_time.store(executor.sim().Now().micros()); });
+  });
+  executor.Run(TimePoint::FromMicros(10000000));
+  outside.join();
+  // The injected event saw a clock near 2 simulated seconds, not 0 and not 10.
+  EXPECT_GT(injected_sim_time.load(), 500000);
+  EXPECT_LT(injected_sim_time.load(), 9000000);
+}
+
+TEST(TcpClusterTest, LiveClusterDeliversEveryBlock) {
+  TcpClusterOptions options;
+  options.cubs = 4;
+  options.file_blocks = 8;
+  options.speedup = 8.0;  // ~1.8 wall seconds.
+  options.run_time = Duration::Seconds(14);
+  options.base_port = 25600;
+
+  TcpClusterResult result = RunTcpCluster(options);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.plays_completed, 1);
+  EXPECT_EQ(result.blocks_complete, 8);
+  EXPECT_EQ(result.lost_blocks, 0);
+  EXPECT_EQ(result.cub_inserts, 1);
+  // The ring moved real traffic: starts, confirms, heartbeats, viewer-state
+  // batches and paced block frames.
+  EXPECT_GT(result.frames_on_the_wire, 100);
+  // Startup should resemble the simulated (and paper) floor of ~1.8 s; allow
+  // generous wall-clock slack.
+  EXPECT_GT(result.startup_latency_s, 1.0);
+  EXPECT_LT(result.startup_latency_s, 4.0);
+}
+
+TEST(TcpClusterTest, LiveClusterSurvivesCubPowerCut) {
+  // The full failure story — deadman detection, takeover, declustered
+  // mirror fragments — over real sockets: cub 2's thread stops mid-play and
+  // its connections drop, exactly like a power cut.
+  TcpClusterOptions options;
+  options.cubs = 4;
+  options.file_blocks = 24;
+  options.speedup = 8.0;  // ~4 wall seconds.
+  options.run_time = Duration::Seconds(32);
+  options.fail_cub = 2;
+  options.fail_at = Duration::Seconds(8);
+  options.base_port = 25700;
+
+  TcpClusterResult result = RunTcpCluster(options);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.plays_completed, 1);
+  // Everything is either delivered or confined to the detection window.
+  EXPECT_EQ(result.blocks_complete + result.lost_blocks, options.file_blocks);
+  EXPECT_GT(result.blocks_complete, options.file_blocks / 2);
+  EXPECT_LE(result.lost_blocks, 8);
+  EXPECT_GT(result.fragments_received, 0) << "mirror fragments must flow over TCP";
+  EXPECT_GT(result.takeovers, 0);
+  EXPECT_GT(result.failures_detected, 0) << "the deadman protocol must fire";
+}
+
+}  // namespace
+}  // namespace tiger
