@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_decluster.dir/ablation_decluster.cc.o"
+  "CMakeFiles/ablation_decluster.dir/ablation_decluster.cc.o.d"
+  "ablation_decluster"
+  "ablation_decluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_decluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_disk_edf.dir/ablation_disk_edf.cc.o"
+  "CMakeFiles/ablation_disk_edf.dir/ablation_disk_edf.cc.o.d"
+  "ablation_disk_edf"
+  "ablation_disk_edf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_disk_edf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_disk_edf.
+# This may be replaced when dependencies are built.

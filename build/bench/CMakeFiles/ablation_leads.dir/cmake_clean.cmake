@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_leads.dir/ablation_leads.cc.o"
+  "CMakeFiles/ablation_leads.dir/ablation_leads.cc.o.d"
+  "ablation_leads"
+  "ablation_leads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_leads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

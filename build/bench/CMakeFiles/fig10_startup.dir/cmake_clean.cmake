@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_startup.dir/fig10_startup.cc.o"
+  "CMakeFiles/fig10_startup.dir/fig10_startup.cc.o.d"
+  "fig10_startup"
+  "fig10_startup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

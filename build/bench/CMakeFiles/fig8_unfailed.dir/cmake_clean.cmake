@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_unfailed.dir/fig8_unfailed.cc.o"
+  "CMakeFiles/fig8_unfailed.dir/fig8_unfailed.cc.o.d"
+  "fig8_unfailed"
+  "fig8_unfailed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_unfailed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

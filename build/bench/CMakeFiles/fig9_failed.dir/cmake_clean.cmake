@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_failed.dir/fig9_failed.cc.o"
+  "CMakeFiles/fig9_failed.dir/fig9_failed.cc.o.d"
+  "fig9_failed"
+  "fig9_failed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_failed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

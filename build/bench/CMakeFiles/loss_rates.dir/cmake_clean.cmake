@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loss_rates.dir/loss_rates.cc.o"
+  "CMakeFiles/loss_rates.dir/loss_rates.cc.o.d"
+  "loss_rates"
+  "loss_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loss_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

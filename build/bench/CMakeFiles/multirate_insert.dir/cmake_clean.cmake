@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multirate_insert.dir/multirate_insert.cc.o"
+  "CMakeFiles/multirate_insert.dir/multirate_insert.cc.o.d"
+  "multirate_insert"
+  "multirate_insert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multirate_insert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restripe_time.dir/restripe_time.cc.o"
+  "CMakeFiles/restripe_time.dir/restripe_time.cc.o.d"
+  "restripe_time"
+  "restripe_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restripe_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_bitrate.dir/multi_bitrate.cpp.o"
+  "CMakeFiles/multi_bitrate.dir/multi_bitrate.cpp.o.d"
+  "multi_bitrate"
+  "multi_bitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_bitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restripe.dir/restripe.cpp.o"
+  "CMakeFiles/restripe.dir/restripe.cpp.o.d"
+  "restripe"
+  "restripe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restripe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_ring.dir/tcp_ring.cpp.o"
+  "CMakeFiles/tcp_ring.dir/tcp_ring.cpp.o.d"
+  "tcp_ring"
+  "tcp_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

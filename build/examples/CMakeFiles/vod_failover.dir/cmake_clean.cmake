@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vod_failover.dir/vod_failover.cpp.o"
+  "CMakeFiles/vod_failover.dir/vod_failover.cpp.o.d"
+  "vod_failover"
+  "vod_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vod_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

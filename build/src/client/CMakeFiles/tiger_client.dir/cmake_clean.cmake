@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiger_client.dir/ramp_experiment.cc.o"
+  "CMakeFiles/tiger_client.dir/ramp_experiment.cc.o.d"
+  "CMakeFiles/tiger_client.dir/tcp_cluster.cc.o"
+  "CMakeFiles/tiger_client.dir/tcp_cluster.cc.o.d"
+  "CMakeFiles/tiger_client.dir/testbed.cc.o"
+  "CMakeFiles/tiger_client.dir/testbed.cc.o.d"
+  "CMakeFiles/tiger_client.dir/viewer.cc.o"
+  "CMakeFiles/tiger_client.dir/viewer.cc.o.d"
+  "libtiger_client.a"
+  "libtiger_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiger_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

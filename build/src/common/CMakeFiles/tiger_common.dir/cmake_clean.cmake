@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiger_common.dir/check.cc.o"
+  "CMakeFiles/tiger_common.dir/check.cc.o.d"
+  "CMakeFiles/tiger_common.dir/logging.cc.o"
+  "CMakeFiles/tiger_common.dir/logging.cc.o.d"
+  "CMakeFiles/tiger_common.dir/time.cc.o"
+  "CMakeFiles/tiger_common.dir/time.cc.o.d"
+  "libtiger_common.a"
+  "libtiger_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiger_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/block_cache.cc" "src/core/CMakeFiles/tiger_core.dir/block_cache.cc.o" "gcc" "src/core/CMakeFiles/tiger_core.dir/block_cache.cc.o.d"
+  "/root/repo/src/core/central.cc" "src/core/CMakeFiles/tiger_core.dir/central.cc.o" "gcc" "src/core/CMakeFiles/tiger_core.dir/central.cc.o.d"
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/tiger_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/tiger_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/cub.cc" "src/core/CMakeFiles/tiger_core.dir/cub.cc.o" "gcc" "src/core/CMakeFiles/tiger_core.dir/cub.cc.o.d"
+  "/root/repo/src/core/multirate_cub.cc" "src/core/CMakeFiles/tiger_core.dir/multirate_cub.cc.o" "gcc" "src/core/CMakeFiles/tiger_core.dir/multirate_cub.cc.o.d"
+  "/root/repo/src/core/multirate_system.cc" "src/core/CMakeFiles/tiger_core.dir/multirate_system.cc.o" "gcc" "src/core/CMakeFiles/tiger_core.dir/multirate_system.cc.o.d"
+  "/root/repo/src/core/oracle.cc" "src/core/CMakeFiles/tiger_core.dir/oracle.cc.o" "gcc" "src/core/CMakeFiles/tiger_core.dir/oracle.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/tiger_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/tiger_core.dir/system.cc.o.d"
+  "/root/repo/src/core/tcp_bus.cc" "src/core/CMakeFiles/tiger_core.dir/tcp_bus.cc.o" "gcc" "src/core/CMakeFiles/tiger_core.dir/tcp_bus.cc.o.d"
+  "/root/repo/src/core/wire.cc" "src/core/CMakeFiles/tiger_core.dir/wire.cc.o" "gcc" "src/core/CMakeFiles/tiger_core.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tiger_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/tiger_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/tiger_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tiger_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/tiger_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tiger_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tiger_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

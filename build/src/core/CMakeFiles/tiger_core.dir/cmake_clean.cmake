@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiger_core.dir/block_cache.cc.o"
+  "CMakeFiles/tiger_core.dir/block_cache.cc.o.d"
+  "CMakeFiles/tiger_core.dir/central.cc.o"
+  "CMakeFiles/tiger_core.dir/central.cc.o.d"
+  "CMakeFiles/tiger_core.dir/controller.cc.o"
+  "CMakeFiles/tiger_core.dir/controller.cc.o.d"
+  "CMakeFiles/tiger_core.dir/cub.cc.o"
+  "CMakeFiles/tiger_core.dir/cub.cc.o.d"
+  "CMakeFiles/tiger_core.dir/multirate_cub.cc.o"
+  "CMakeFiles/tiger_core.dir/multirate_cub.cc.o.d"
+  "CMakeFiles/tiger_core.dir/multirate_system.cc.o"
+  "CMakeFiles/tiger_core.dir/multirate_system.cc.o.d"
+  "CMakeFiles/tiger_core.dir/oracle.cc.o"
+  "CMakeFiles/tiger_core.dir/oracle.cc.o.d"
+  "CMakeFiles/tiger_core.dir/system.cc.o"
+  "CMakeFiles/tiger_core.dir/system.cc.o.d"
+  "CMakeFiles/tiger_core.dir/tcp_bus.cc.o"
+  "CMakeFiles/tiger_core.dir/tcp_bus.cc.o.d"
+  "CMakeFiles/tiger_core.dir/wire.cc.o"
+  "CMakeFiles/tiger_core.dir/wire.cc.o.d"
+  "libtiger_core.a"
+  "libtiger_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiger_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

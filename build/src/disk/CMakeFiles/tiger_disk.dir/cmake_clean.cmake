@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiger_disk.dir/disk.cc.o"
+  "CMakeFiles/tiger_disk.dir/disk.cc.o.d"
+  "CMakeFiles/tiger_disk.dir/disk_model.cc.o"
+  "CMakeFiles/tiger_disk.dir/disk_model.cc.o.d"
+  "libtiger_disk.a"
+  "libtiger_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiger_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/catalog.cc" "src/layout/CMakeFiles/tiger_layout.dir/catalog.cc.o" "gcc" "src/layout/CMakeFiles/tiger_layout.dir/catalog.cc.o.d"
+  "/root/repo/src/layout/restripe_sim.cc" "src/layout/CMakeFiles/tiger_layout.dir/restripe_sim.cc.o" "gcc" "src/layout/CMakeFiles/tiger_layout.dir/restripe_sim.cc.o.d"
+  "/root/repo/src/layout/restriper.cc" "src/layout/CMakeFiles/tiger_layout.dir/restriper.cc.o" "gcc" "src/layout/CMakeFiles/tiger_layout.dir/restriper.cc.o.d"
+  "/root/repo/src/layout/striping.cc" "src/layout/CMakeFiles/tiger_layout.dir/striping.cc.o" "gcc" "src/layout/CMakeFiles/tiger_layout.dir/striping.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tiger_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/tiger_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tiger_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tiger_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

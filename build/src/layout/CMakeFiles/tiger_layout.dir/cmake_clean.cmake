@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiger_layout.dir/catalog.cc.o"
+  "CMakeFiles/tiger_layout.dir/catalog.cc.o.d"
+  "CMakeFiles/tiger_layout.dir/restripe_sim.cc.o"
+  "CMakeFiles/tiger_layout.dir/restripe_sim.cc.o.d"
+  "CMakeFiles/tiger_layout.dir/restriper.cc.o"
+  "CMakeFiles/tiger_layout.dir/restriper.cc.o.d"
+  "CMakeFiles/tiger_layout.dir/striping.cc.o"
+  "CMakeFiles/tiger_layout.dir/striping.cc.o.d"
+  "libtiger_layout.a"
+  "libtiger_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiger_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

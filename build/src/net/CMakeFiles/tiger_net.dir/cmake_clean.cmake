@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiger_net.dir/network.cc.o"
+  "CMakeFiles/tiger_net.dir/network.cc.o.d"
+  "CMakeFiles/tiger_net.dir/tcp_transport.cc.o"
+  "CMakeFiles/tiger_net.dir/tcp_transport.cc.o.d"
+  "libtiger_net.a"
+  "libtiger_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiger_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

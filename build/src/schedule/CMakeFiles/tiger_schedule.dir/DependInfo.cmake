@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schedule/geometry.cc" "src/schedule/CMakeFiles/tiger_schedule.dir/geometry.cc.o" "gcc" "src/schedule/CMakeFiles/tiger_schedule.dir/geometry.cc.o.d"
+  "/root/repo/src/schedule/network_schedule.cc" "src/schedule/CMakeFiles/tiger_schedule.dir/network_schedule.cc.o" "gcc" "src/schedule/CMakeFiles/tiger_schedule.dir/network_schedule.cc.o.d"
+  "/root/repo/src/schedule/schedule_view.cc" "src/schedule/CMakeFiles/tiger_schedule.dir/schedule_view.cc.o" "gcc" "src/schedule/CMakeFiles/tiger_schedule.dir/schedule_view.cc.o.d"
+  "/root/repo/src/schedule/viewer_state.cc" "src/schedule/CMakeFiles/tiger_schedule.dir/viewer_state.cc.o" "gcc" "src/schedule/CMakeFiles/tiger_schedule.dir/viewer_state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tiger_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

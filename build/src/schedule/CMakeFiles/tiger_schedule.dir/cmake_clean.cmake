@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiger_schedule.dir/geometry.cc.o"
+  "CMakeFiles/tiger_schedule.dir/geometry.cc.o.d"
+  "CMakeFiles/tiger_schedule.dir/network_schedule.cc.o"
+  "CMakeFiles/tiger_schedule.dir/network_schedule.cc.o.d"
+  "CMakeFiles/tiger_schedule.dir/schedule_view.cc.o"
+  "CMakeFiles/tiger_schedule.dir/schedule_view.cc.o.d"
+  "CMakeFiles/tiger_schedule.dir/viewer_state.cc.o"
+  "CMakeFiles/tiger_schedule.dir/viewer_state.cc.o.d"
+  "libtiger_schedule.a"
+  "libtiger_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiger_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiger_sim.dir/realtime.cc.o"
+  "CMakeFiles/tiger_sim.dir/realtime.cc.o.d"
+  "CMakeFiles/tiger_sim.dir/simulator.cc.o"
+  "CMakeFiles/tiger_sim.dir/simulator.cc.o.d"
+  "libtiger_sim.a"
+  "libtiger_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiger_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtiger_sim.a"
+)

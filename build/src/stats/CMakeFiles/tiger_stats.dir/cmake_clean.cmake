@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiger_stats.dir/histogram.cc.o"
+  "CMakeFiles/tiger_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/tiger_stats.dir/meter.cc.o"
+  "CMakeFiles/tiger_stats.dir/meter.cc.o.d"
+  "CMakeFiles/tiger_stats.dir/table.cc.o"
+  "CMakeFiles/tiger_stats.dir/table.cc.o.d"
+  "libtiger_stats.a"
+  "libtiger_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiger_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/central_test.cc" "tests/CMakeFiles/central_test.dir/central_test.cc.o" "gcc" "tests/CMakeFiles/central_test.dir/central_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/client/CMakeFiles/tiger_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tiger_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/tiger_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/tiger_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/tiger_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tiger_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tiger_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tiger_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tiger_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/central_test.dir/central_test.cc.o"
+  "CMakeFiles/central_test.dir/central_test.cc.o.d"
+  "central_test"
+  "central_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/central_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

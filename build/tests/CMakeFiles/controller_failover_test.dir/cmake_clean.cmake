@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_failover_test.dir/controller_failover_test.cc.o"
+  "CMakeFiles/controller_failover_test.dir/controller_failover_test.cc.o.d"
+  "controller_failover_test"
+  "controller_failover_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_failover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cub_protocol_test.dir/cub_protocol_test.cc.o"
+  "CMakeFiles/cub_protocol_test.dir/cub_protocol_test.cc.o.d"
+  "cub_protocol_test"
+  "cub_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cub_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_view_test.dir/failure_view_test.cc.o"
+  "CMakeFiles/failure_view_test.dir/failure_view_test.cc.o.d"
+  "failure_view_test"
+  "failure_view_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

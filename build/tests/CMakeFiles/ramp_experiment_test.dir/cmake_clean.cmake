@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ramp_experiment_test.dir/ramp_experiment_test.cc.o"
+  "CMakeFiles/ramp_experiment_test.dir/ramp_experiment_test.cc.o.d"
+  "ramp_experiment_test"
+  "ramp_experiment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ramp_experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_view_test.dir/schedule_view_test.cc.o"
+  "CMakeFiles/schedule_view_test.dir/schedule_view_test.cc.o.d"
+  "schedule_view_test"
+  "schedule_view_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for seek_and_cache_test.
+# This may be replaced when dependencies are built.

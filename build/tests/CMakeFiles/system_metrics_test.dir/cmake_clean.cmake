@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_metrics_test.dir/system_metrics_test.cc.o"
+  "CMakeFiles/system_metrics_test.dir/system_metrics_test.cc.o.d"
+  "system_metrics_test"
+  "system_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

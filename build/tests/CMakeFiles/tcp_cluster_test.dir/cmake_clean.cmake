@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_cluster_test.dir/tcp_cluster_test.cc.o"
+  "CMakeFiles/tcp_cluster_test.dir/tcp_cluster_test.cc.o.d"
+  "tcp_cluster_test"
+  "tcp_cluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

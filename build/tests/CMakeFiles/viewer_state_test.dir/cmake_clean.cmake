@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewer_state_test.dir/viewer_state_test.cc.o"
+  "CMakeFiles/viewer_state_test.dir/viewer_state_test.cc.o.d"
+  "viewer_state_test"
+  "viewer_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewer_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
