@@ -59,7 +59,7 @@ TcpClusterResult RunTcpCluster(const TcpClusterOptions& options) {
   // Controller node.
   threads.emplace_back([&] {
     RealtimeExecutor executor(options.speedup);
-    TcpBus bus(&executor, topology, /*my_index=*/0);
+    TcpBus bus(&executor, topology, /*my_index=*/0, config.tcp_retry);
     Controller controller(&executor.sim(), &config, &catalog, &layout, &bus);
     controller.SetAddressBook(&book);
     bus.Start();
@@ -73,7 +73,7 @@ TcpClusterResult RunTcpCluster(const TcpClusterOptions& options) {
   for (int c = 0; c < options.cubs; ++c) {
     threads.emplace_back([&, c] {
       RealtimeExecutor executor(options.speedup);
-      TcpBus bus(&executor, topology, static_cast<NetAddress>(c + 1));
+      TcpBus bus(&executor, topology, static_cast<NetAddress>(c + 1), config.tcp_retry);
       Rng rng(options.seed * 1000 + static_cast<uint64_t>(c));
       Cub cub(&executor.sim(), CubId(static_cast<uint32_t>(c)), &config, &catalog, &layout,
               &geometry, &bus, rng.Fork());
@@ -102,7 +102,7 @@ TcpClusterResult RunTcpCluster(const TcpClusterOptions& options) {
   // Client node.
   threads.emplace_back([&] {
     RealtimeExecutor executor(options.speedup);
-    TcpBus bus(&executor, topology, client_address);
+    TcpBus bus(&executor, topology, client_address, config.tcp_retry);
     ViewerClient viewer(&executor.sim(), ViewerId(1), &config, &catalog, &bus);
     viewer.SetAddressBook(&book);
     bus.Start();

@@ -65,7 +65,9 @@ void CentralCub::HandleMessage(const MessageEnvelope& envelope) {
   int local = config_->shape.LocalDiskIndex(serving);
   TIGER_CHECK(local < static_cast<int>(disks_.size()));
   disks_[local]->SubmitRead(DiskZone::kOuter, file.allocated_bytes_per_block,
-                            [this, record, send]() {
+                            [this, record, send](bool /*ok*/) {
+                              // The unmirrored central server has no fallback
+                              // for a failed read; it sends regardless.
                               At(std::max(record.due, Now()), send);
                             });
 }

@@ -41,6 +41,17 @@ struct CpuCostModel {
   }
 };
 
+// Reconnect policy for the live-cluster TCP bus. A cub that cannot reach a
+// peer backs off exponentially (with jitter, so a rebooted peer is not hit by
+// a synchronized thundering herd of reconnects) instead of hammering a flat
+// retry period.
+struct TcpRetryConfig {
+  Duration connect_backoff_initial = Duration::Millis(50);
+  Duration connect_backoff_cap = Duration::Seconds(2);
+  // Each delay is scaled by a uniform factor in [1 - jitter, 1 + jitter].
+  double backoff_jitter = 0.25;
+};
+
 struct TigerConfig {
   SystemShape shape{14, 4, 4};
   Duration block_play_time = Duration::Seconds(1);
@@ -128,6 +139,7 @@ struct TigerConfig {
 
   CpuCostModel cpu;
   NetworkConfig net;
+  TcpRetryConfig tcp_retry;
 
   // When false, disk reads and block transmission are skipped (control-plane
   // experiments such as the §3.3 scalability sweep).

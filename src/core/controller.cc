@@ -51,6 +51,15 @@ void Controller::HandleMessage(const MessageEnvelope& envelope) {
     case MsgKind::kFailureNotice:
       OnFailureNotice(static_cast<const FailureNoticeMsg&>(msg));
       break;
+    case MsgKind::kRejoinRequest: {
+      // A crashed cub restarted: route new starts to it again.
+      const auto& rejoin = static_cast<const RejoinRequestMsg&>(msg);
+      failure_view_.MarkCubAlive(rejoin.from);
+      for (int d = 0; d < config_->shape.disks_per_cub; ++d) {
+        failure_view_.MarkDiskAlive(config_->shape.GlobalDiskIndex(rejoin.from, d));
+      }
+      break;
+    }
     default:
       break;
   }

@@ -72,6 +72,38 @@ void Cub::Fail() {
   net_->SetNodeUp(address_, false);
 }
 
+void Cub::Rejoin() {
+  TIGER_CHECK(!halted()) << "TigerSystem must Restart() the actor before Rejoin()";
+  // A rebooted machine remembers nothing: every piece of protocol state is
+  // rebuilt from zero and repopulated by the living peers' rejoin replies.
+  view_ = ScheduleView(config_->deschedule_hold);
+  failure_view_ = FailureView(config_->shape);
+  cache_ = BlockCache(config_->block_cache_bytes);
+  free_buffer_bytes_ = config_->buffer_pool_bytes;
+  start_queues_.clear();
+  ticking_disks_.clear();
+  redundant_starts_.clear();
+  seen_instances_.clear();
+  last_heard_.clear();
+  counters_.rejoins++;
+  // Hold off inserting new viewers until the replies have repopulated the
+  // view; inserting into a seemingly-free slot before the occupancy proof
+  // arrives could double-book it.
+  insert_allowed_after_ = Now() + Duration::Seconds(1);
+  started_ = false;
+  Start();
+  auto req = std::make_shared<RejoinRequestMsg>();
+  req->from = id_;
+  for (int c = 0; c < config_->shape.num_cubs; ++c) {
+    CubId target(static_cast<uint32_t>(c));
+    if (target != id_) {
+      ChargeMessageCpu();
+      net_->Send(address_, addresses_->CubAddress(target), RejoinRequestMsg::WireBytes(), req);
+    }
+  }
+  net_->Send(address_, addresses_->controller, RejoinRequestMsg::WireBytes(), req);
+}
+
 void Cub::FailLocalDisk(int local_index) {
   TIGER_CHECK(local_index >= 0 && local_index < static_cast<int>(disks_.size()));
   disks_[local_index]->Halt();
@@ -114,6 +146,12 @@ void Cub::HandleMessage(const MessageEnvelope& envelope) {
       break;
     case MsgKind::kFailureNotice:
       OnFailureNotice(static_cast<const FailureNoticeMsg&>(msg));
+      break;
+    case MsgKind::kRejoinRequest:
+      OnRejoinRequest(static_cast<const RejoinRequestMsg&>(msg));
+      break;
+    case MsgKind::kRejoinReply:
+      OnRejoinReply(static_cast<const RejoinReplyMsg&>(msg));
       break;
     default:
       // Other kinds (block data, client requests, reservation traffic) are
@@ -251,10 +289,22 @@ void Cub::IssueRead(const ViewerStateRecord::Key& key) {
   entry->read_issued = true;
   entry->buffer_held = true;
   const DiskZone zone = record.is_mirror() ? DiskZone::kInner : DiskZone::kOuter;
-  disk->SubmitRead(zone, bytes, [this, key, bytes, cache_key] {
+  disk->SubmitRead(zone, bytes, [this, key, bytes, cache_key](bool ok) {
     ChargeCpu(config_->cpu.per_disk_completion);
-    cache_.Insert(cache_key, bytes);
     ScheduleEntry* e = view_.Find(key);
+    if (!ok) {
+      // Transient media error: the buffer held nothing useful. Fall back to
+      // the declustered mirror copy on other cubs' disks (§2.3) — the drive
+      // itself stays up, so no failure is declared.
+      counters_.disk_read_errors++;
+      FreeBuffer(bytes);
+      if (e != nullptr) {
+        e->buffer_held = false;
+      }
+      RecoverBlockViaMirrors(key);
+      return;
+    }
+    cache_.Insert(cache_key, bytes);
     if (e == nullptr || e->sent) {
       FreeBuffer(bytes);  // Descheduled, or the deadline passed before the read.
     } else {
@@ -280,9 +330,13 @@ void Cub::SendBlock(const ViewerStateRecord::Key& key) {
     oracle_->OnRemove(record.slot, record.instance, Now());
   }
   if (config_->simulate_data_plane && !had_block) {
-    // "The server failed to place the block on the network ... because the
-    // disk read hadn't completed in time" (§5).
-    counters_.server_missed_blocks++;
+    if (!entry->mirror_recovery) {
+      // "The server failed to place the block on the network ... because the
+      // disk read hadn't completed in time" (§5). When a transient read error
+      // triggered mirror recovery instead, the fragments cover this block and
+      // the primary's silence is expected, not a miss.
+      counters_.server_missed_blocks++;
+    }
     return;
   }
   int64_t content = file.content_bytes_per_block;
@@ -443,6 +497,41 @@ void Cub::TakeoverRecord(const ViewerStateRecord::Key& key) {
     }
     SendRecordsTo(owner, {*next});
     SendRecordsTo(failure_view_.FirstLivingSuccessor(owner), {*next});
+  }
+}
+
+void Cub::RecoverBlockViaMirrors(const ViewerStateRecord::Key& key) {
+  ScheduleEntry* entry = view_.Find(key);
+  if (entry == nullptr || entry->mirror_recovery) {
+    return;
+  }
+  const ViewerStateRecord record = entry->record;
+  if (record.is_mirror()) {
+    return;  // A failed fragment read has no second-level fallback.
+  }
+  if (record.due < Now() + kTakeoverMargin) {
+    return;  // Too close to the deadline; the send path counts the miss.
+  }
+  entry->mirror_recovery = true;
+  counters_.mirror_recoveries++;
+  if (fault_stats_ != nullptr) {
+    fault_stats_->Record(FaultStats::Kind::kMirrorRecovery, Now(), id_.value(),
+                         record.position);
+  }
+  // Dispatch the first living fragment of the declustered mirror chain; the
+  // chain self-propagates from there exactly as in a takeover (§2.3, §4.1.1).
+  const FileInfo& file = catalog_->Get(record.file);
+  Duration offset = Duration::Zero();
+  for (int j = 0; j < config_->shape.decluster_factor; ++j) {
+    BlockLocation loc = layout_->SecondaryLocation(file, record.position, j);
+    if (!failure_view_.IsDiskFailed(loc.disk)) {
+      ViewerStateRecord fragment = record;
+      fragment.mirror_fragment = j;
+      fragment.due = record.due + offset;
+      SendRecordsTo(config_->shape.CubOfDisk(loc.disk), {fragment});
+      break;
+    }
+    offset += MirrorFragmentSpacing(j);
   }
 }
 
@@ -675,7 +764,8 @@ void Cub::OwnershipTick(DiskId disk) {
     const Duration occupancy_lookback = config_->deadman_timeout +
                                         config_->heartbeat_interval * 2 +
                                         config_->block_play_time;
-    if (!view_.SlotBusyNear(event.slot, event.slot_start, occupancy_lookback)) {
+    if (Now() >= insert_allowed_after_ &&
+        !view_.SlotBusyNear(event.slot, event.slot_start, occupancy_lookback)) {
       PendingStart pending = queue_it->second.front();
       queue_it->second.pop_front();
       InsertViewer(disk, event.slot, event.slot_start, pending.msg);
@@ -790,6 +880,11 @@ void Cub::DeclareCubFailed(CubId cub) {
 
 void Cub::OnFailureNotice(const FailureNoticeMsg& msg) {
   ChargeMessageCpu();
+  if (msg.failed_cub.valid() && msg.failed_cub == id_) {
+    // A stale notice about our own death, still in flight from before we
+    // rejoined. Believing it would make us mark ourselves failed.
+    return;
+  }
   if (msg.failed_cub.valid()) {
     if (failure_view_.IsCubFailed(msg.failed_cub)) {
       return;
@@ -800,6 +895,66 @@ void Cub::OnFailureNotice(const FailureNoticeMsg& msg) {
       return;
     }
     HandleFailure(CubId::Invalid(), msg.failed_disk);
+  }
+}
+
+void Cub::OnRejoinRequest(const RejoinRequestMsg& msg) {
+  ChargeMessageCpu();
+  if (msg.from == id_) {
+    return;
+  }
+  failure_view_.MarkCubAlive(msg.from);
+  for (int d = 0; d < config_->shape.disks_per_cub; ++d) {
+    failure_view_.MarkDiskAlive(config_->shape.GlobalDiskIndex(msg.from, d));
+  }
+  // The rejoined cub may now be one of our predecessors: give it a fresh
+  // deadman grace period instead of judging it by its pre-crash silence.
+  for (CubId pred : failure_view_.PrevLivingPredecessors(id_, 2)) {
+    last_heard_.try_emplace(pred, Now());
+  }
+  // Answer with our failure beliefs and every not-yet-due primary record in
+  // our window. Failure vectors are sorted so identical beliefs produce
+  // byte-identical replies regardless of hash-set iteration order.
+  auto reply = std::make_shared<RejoinReplyMsg>();
+  reply->from = id_;
+  reply->failed_cubs.assign(failure_view_.failed_cubs().begin(),
+                            failure_view_.failed_cubs().end());
+  std::sort(reply->failed_cubs.begin(), reply->failed_cubs.end());
+  reply->failed_disks.assign(failure_view_.failed_disks().begin(),
+                             failure_view_.failed_disks().end());
+  std::sort(reply->failed_disks.begin(), reply->failed_disks.end());
+  view_.ForEachEntry([&](ScheduleEntry& entry) {
+    // Past-due records prove nothing the rejoiner needs (ongoing chains have
+    // future-due records too) and would only count as missed sends there.
+    if (!entry.record.is_mirror() && entry.record.due >= Now()) {
+      reply->Add(entry.record);
+    }
+  });
+  ChargeMessageCpu();
+  const int64_t bytes = reply->WireBytes();
+  net_->Send(address_, addresses_->CubAddress(msg.from), bytes, std::move(reply));
+}
+
+void Cub::OnRejoinReply(const RejoinReplyMsg& msg) {
+  ChargeMessageCpu();
+  // Merge failure beliefs first so the records below route takeovers and
+  // forwards against an up-to-date view.
+  for (CubId cub : msg.failed_cubs) {
+    if (cub != id_ && !failure_view_.IsCubFailed(cub)) {
+      HandleFailure(cub, DiskId::Invalid());
+    }
+  }
+  for (DiskId disk : msg.failed_disks) {
+    // Skip our own disks: TigerSystem restarted them along with us, and a
+    // peer's stale belief about them must not outlive the reboot.
+    if (config_->shape.CubOfDisk(disk) != id_ && !failure_view_.IsDiskFailed(disk)) {
+      HandleFailure(CubId::Invalid(), disk);
+    }
+  }
+  for (const ViewerStateRecord& record : msg.Decode()) {
+    if (record.due >= Now()) {
+      OnViewerState(record);
+    }
   }
 }
 

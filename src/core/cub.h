@@ -60,6 +60,9 @@ class Cub : public Actor, public NetworkEndpoint {
     int64_t takeovers = 0;
     int64_t buffer_stalls = 0;
     int64_t failures_detected = 0;
+    int64_t disk_read_errors = 0;
+    int64_t mirror_recoveries = 0;
+    int64_t rejoins = 0;
   };
 
   Cub(Simulator* sim, CubId id, const TigerConfig* config, const Catalog* catalog,
@@ -69,6 +72,7 @@ class Cub : public Actor, public NetworkEndpoint {
   void AttachDisks(std::vector<SimulatedDisk*> disks);
   void SetAddressBook(const AddressBook* addresses) { addresses_ = addresses; }
   void SetOracle(ScheduleOracle* oracle) { oracle_ = oracle; }
+  void SetFaultStats(FaultStats* stats) { fault_stats_ = stats; }
 
   // Begins heartbeats and periodic ticks.
   void Start();
@@ -76,6 +80,13 @@ class Cub : public Actor, public NetworkEndpoint {
   // Power loss: stop all activity and take the node off the network. The
   // caller (TigerSystem) also halts the cub's disks.
   void Fail();
+
+  // Restart after a Fail(). The caller (TigerSystem) has already restarted
+  // the actor epoch, the cub's disks, and the network endpoint. The cub
+  // forgets all protocol state (a rebooted machine remembers nothing),
+  // restarts heartbeats, and broadcasts a RejoinRequest so living peers mark
+  // it alive and send it the schedule window it is responsible for.
+  void Rejoin();
 
   // Fails one local drive; the cub stays up.
   void FailLocalDisk(int local_index);
@@ -112,6 +123,8 @@ class Cub : public Actor, public NetworkEndpoint {
   void OnStartPlay(const StartPlayMsg& msg);
   void OnHeartbeat(const HeartbeatMsg& msg);
   void OnFailureNotice(const FailureNoticeMsg& msg);
+  void OnRejoinRequest(const RejoinRequestMsg& msg);
+  void OnRejoinReply(const RejoinReplyMsg& msg);
 
   // --- record processing ---
   // Routes a freshly accepted record: serve it, take over mirroring, or hold
@@ -121,6 +134,9 @@ class Cub : public Actor, public NetworkEndpoint {
   void IssueRead(const ViewerStateRecord::Key& key);
   void SendBlock(const ViewerStateRecord::Key& key);
   void TakeoverRecord(const ViewerStateRecord::Key& key);
+  // After a transient read error on the primary disk, dispatch the block's
+  // declustered mirror chain so the viewer is served from the secondaries.
+  void RecoverBlockViaMirrors(const ViewerStateRecord::Key& key);
   // Bytes of buffer a record's disk read occupies (allocated block size for
   // primaries, one fragment for mirrors).
   int64_t ReadBytesFor(const ViewerStateRecord& record) const;
@@ -175,6 +191,7 @@ class Cub : public Actor, public NetworkEndpoint {
   NetAddress address_ = kInvalidAddress;
   const AddressBook* addresses_ = nullptr;
   ScheduleOracle* oracle_ = nullptr;
+  FaultStats* fault_stats_ = nullptr;
   Rng rng_;
 
   std::vector<SimulatedDisk*> disks_;  // Index = local disk index.
@@ -192,6 +209,9 @@ class Cub : public Actor, public NetworkEndpoint {
   std::unordered_set<uint64_t> seen_instances_;
   std::unordered_map<CubId, TimePoint> last_heard_;
   bool started_ = false;
+  // A freshly rejoined cub holds off inserting new viewers until its view has
+  // been repopulated by rejoin replies (occupancy proof for its slots).
+  TimePoint insert_allowed_after_ = TimePoint::Zero();
 };
 
 }  // namespace tiger

@@ -96,6 +96,10 @@ class FailureView {
 
   const SystemShape& shape() const { return shape_; }
 
+  // The raw belief sets, exposed so a rejoin reply can carry them verbatim.
+  const std::unordered_set<CubId>& failed_cubs() const { return failed_cubs_; }
+  const std::unordered_set<DiskId>& failed_disks() const { return failed_disks_; }
+
  private:
   SystemShape shape_;
   std::unordered_set<CubId> failed_cubs_;

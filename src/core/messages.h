@@ -36,6 +36,8 @@ enum class MsgKind {
   kCentralCommand,
   kReserveRequest,
   kReserveReply,
+  kRejoinRequest,
+  kRejoinReply,
 };
 
 struct TigerMessage : Payload {
@@ -178,6 +180,47 @@ struct ReserveReplyMsg : TigerMessage {
   PlayInstanceId instance;
   bool ok = false;
   static constexpr int64_t WireBytes() { return kMessageHeaderBytes + 16; }
+};
+
+// Broadcast by a restarted cub: "I am back; tell me what the schedule looks
+// like." Receivers mark the cub (and its disks) alive and answer with a
+// RejoinReplyMsg.
+struct RejoinRequestMsg : TigerMessage {
+  RejoinRequestMsg() : TigerMessage(MsgKind::kRejoinRequest) {}
+  CubId from;
+  static constexpr int64_t WireBytes() { return kMessageHeaderBytes + 8; }
+};
+
+// A living peer's answer to a rejoin: its current failure beliefs plus every
+// not-yet-due viewer-state record in its schedule window. The rejoiner merges
+// the failure sets first, then applies the records through the normal
+// viewer-state path, so takeovers and dedup behave exactly as for forwarded
+// records.
+struct RejoinReplyMsg : TigerMessage {
+  RejoinReplyMsg() : TigerMessage(MsgKind::kRejoinReply) {}
+  CubId from;
+  std::vector<CubId> failed_cubs;
+  std::vector<DiskId> failed_disks;
+  std::vector<std::array<uint8_t, kViewerStateWireBytes>> wire_records;
+
+  void Add(const ViewerStateRecord& record) { wire_records.push_back(record.Encode()); }
+
+  std::vector<ViewerStateRecord> Decode() const {
+    std::vector<ViewerStateRecord> records;
+    records.reserve(wire_records.size());
+    for (const auto& wire : wire_records) {
+      auto record = ViewerStateRecord::Decode(wire);
+      TIGER_CHECK(record.has_value()) << "corrupt viewer state on the wire";
+      records.push_back(*record);
+    }
+    return records;
+  }
+
+  int64_t WireBytes() const {
+    return kMessageHeaderBytes + 8 +
+           static_cast<int64_t>(failed_cubs.size() + failed_disks.size()) * 4 +
+           static_cast<int64_t>(wire_records.size()) * kViewerStateWireBytes;
+  }
 };
 
 }  // namespace tiger

@@ -171,7 +171,7 @@ void MultirateCub::TryInsertHead() {
       config_->shape.CubOfDisk(first_disk) == id_) {
     int local = config_->shape.LocalDiskIndex(first_disk);
     const int64_t bytes = BytesForDuration(config_->block_play_time, msg.bitrate_bps);
-    disks_[local]->SubmitRead(DiskZone::kOuter, std::max<int64_t>(bytes, 1), [] {},
+    disks_[local]->SubmitRead(DiskZone::kOuter, std::max<int64_t>(bytes, 1), [](bool) {},
                               pending.first_due);
     pending.read_started = true;
   }
@@ -365,7 +365,7 @@ void MultirateCub::ScheduleService(const ViewerStateRecord& record) {
     TimePoint due = record.due;
     At(std::max(read_at, Now()), [this, serving, bytes, due] {
       int local = config_->shape.LocalDiskIndex(serving);
-      disks_[local]->SubmitRead(DiskZone::kOuter, bytes, [] {}, due);
+      disks_[local]->SubmitRead(DiskZone::kOuter, bytes, [](bool) {}, due);
     });
   }
   At(std::max(record.due, Now()), [this, instance, position] {

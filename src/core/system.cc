@@ -34,11 +34,13 @@ TigerSystem::TigerSystem(TigerConfig config, uint64_t seed)
           &sim_, "disk" + std::to_string(global.value()), global, config_.disk_model,
           rng_.Fork());
       disk->set_discipline(config_.disk_discipline);
+      disk->set_fault_stats(&fault_stats_);
       cub_disks.push_back(disk.get());
       disks_[global.value()] = std::move(disk);
     }
     cubs_[static_cast<size_t>(c)]->AttachDisks(std::move(cub_disks));
     cubs_[static_cast<size_t>(c)]->SetAddressBook(&addresses_);
+    cubs_[static_cast<size_t>(c)]->SetFaultStats(&fault_stats_);
   }
   controller_->SetAddressBook(&addresses_);
   failed_cubs_.assign(static_cast<size_t>(config_.shape.num_cubs), false);
@@ -56,6 +58,20 @@ void TigerSystem::EnableOracle() {
     for (auto& cub : cubs_) {
       cub->SetOracle(oracle_.get());
     }
+  }
+}
+
+void TigerSystem::EnableInvariantChecker() {
+  if (!invariant_checker_) {
+    invariant_checker_ = std::make_unique<InvariantChecker>(&sim_, this);
+    invariant_checker_->Start();
+  }
+}
+
+void TigerSystem::EnableNetFaultPlan() {
+  if (!net_fault_plan_) {
+    net_fault_plan_ = std::make_unique<NetFaultPlan>(rng_.Fork(), &fault_stats_);
+    net_->SetFaultPlan(net_fault_plan_.get());
   }
 }
 
@@ -96,6 +112,36 @@ void TigerSystem::FailCubNow(CubId cub_id) {
 
 void TigerSystem::FailCubAt(TimePoint when, CubId cub_id) {
   sim_.ScheduleAt(when, [this, cub_id] { FailCubNow(cub_id); });
+}
+
+void TigerSystem::ReviveCubNow(CubId cub_id) {
+  TIGER_CHECK(cub_id.value() < cubs_.size());
+  TIGER_CHECK(failed_cubs_[cub_id.value()]) << "revive of a cub that is not failed";
+  failed_cubs_[cub_id.value()] = false;
+  for (int local = 0; local < config_.shape.disks_per_cub; ++local) {
+    DiskId global = config_.shape.GlobalDiskIndex(cub_id, local);
+    disks_[global.value()]->Restart();
+  }
+  net_->SetNodeUp(cubs_[cub_id.value()]->address(), true);
+  // Restart() bumps the actor epoch: timers scheduled before the crash can
+  // never fire into the rebooted state.
+  cubs_[cub_id.value()]->Restart();
+  fault_stats_.Record(FaultStats::Kind::kCubRejoin, sim_.Now(), cub_id.value());
+  cubs_[cub_id.value()]->Rejoin();
+}
+
+void TigerSystem::ReviveCubAt(TimePoint when, CubId cub_id) {
+  sim_.ScheduleAt(when, [this, cub_id] { ReviveCubNow(cub_id); });
+}
+
+void TigerSystem::InjectDiskErrorBurst(DiskId disk_id, TimePoint start, TimePoint end,
+                                       double probability) {
+  disk(disk_id).InjectTransientErrors(start, end, probability);
+}
+
+void TigerSystem::InjectDiskLimp(DiskId disk_id, TimePoint start, TimePoint end, int64_t num,
+                                 int64_t den) {
+  disk(disk_id).InjectLimp(start, end, num, den);
 }
 
 void TigerSystem::FailDiskAt(TimePoint when, DiskId disk_id) {
@@ -239,6 +285,9 @@ Cub::Counters TigerSystem::TotalCubCounters() const {
     total.takeovers += c.takeovers;
     total.buffer_stalls += c.buffer_stalls;
     total.failures_detected += c.failures_detected;
+    total.disk_read_errors += c.disk_read_errors;
+    total.mirror_recoveries += c.mirror_recoveries;
+    total.rejoins += c.rejoins;
   }
   return total;
 }

@@ -18,8 +18,11 @@
 #include "src/core/config.h"
 #include "src/core/controller.h"
 #include "src/core/cub.h"
+#include "src/core/invariant_checker.h"
 #include "src/core/oracle.h"
 #include "src/disk/disk.h"
+#include "src/net/fault_plan.h"
+#include "src/stats/fault_stats.h"
 #include "src/layout/catalog.h"
 #include "src/layout/striping.h"
 #include "src/net/network.h"
@@ -41,6 +44,15 @@ class TigerSystem {
   // Attaches the oracle invariant checker to every cub (call before Start).
   void EnableOracle();
 
+  // Attaches the schedule invariant checker (periodic omniscient audit of
+  // every living cub's view). Call before Start().
+  void EnableInvariantChecker();
+
+  // Installs a seeded network fault plan (drops, delays, duplicates,
+  // partitions). Rules are added by the caller via net_fault_plan(). The
+  // plan's dice fork off the system rng, so one seed fixes the whole run.
+  void EnableNetFaultPlan();
+
   // Adds a warm-standby controller that takes over the controller address if
   // the primary dies (the fault-tolerance work the paper left to the product
   // team). Call before Start().
@@ -54,6 +66,16 @@ class TigerSystem {
   void FailDiskAt(TimePoint when, DiskId disk);
   // Fails the cub immediately (must be called from within simulation time).
   void FailCubNow(CubId cub);
+  // Crash-restart recovery: brings a failed cub (and its disks) back up. The
+  // cub forgets everything and rebuilds its window from living peers via the
+  // rejoin protocol.
+  void ReviveCubAt(TimePoint when, CubId cub);
+  void ReviveCubNow(CubId cub);
+  // Transient disk faults (the disk stays alive; mirror fallback covers it).
+  void InjectDiskErrorBurst(DiskId disk, TimePoint start, TimePoint end,
+                            double probability);
+  void InjectDiskLimp(DiskId disk, TimePoint start, TimePoint end, int64_t num,
+                      int64_t den = 1);
   // Power-cuts the primary controller. With a backup enabled the standby
   // takes over after its detection timeout; without one, new starts and
   // stops are lost while running streams continue untouched.
@@ -79,6 +101,9 @@ class TigerSystem {
   int cub_count() const { return static_cast<int>(cubs_.size()); }
   SimulatedDisk& disk(DiskId id);
   ScheduleOracle* oracle() { return oracle_.get(); }
+  InvariantChecker* invariant_checker() { return invariant_checker_.get(); }
+  NetFaultPlan* net_fault_plan() { return net_fault_plan_.get(); }
+  FaultStats& fault_stats() { return fault_stats_; }
   Rng& rng() { return rng_; }
 
   // --- aggregate metrics over a window ---
@@ -106,6 +131,9 @@ class TigerSystem {
   std::unique_ptr<StripeLayout> layout_;
   std::unique_ptr<ScheduleGeometry> geometry_;
   std::unique_ptr<ScheduleOracle> oracle_;
+  std::unique_ptr<InvariantChecker> invariant_checker_;
+  std::unique_ptr<NetFaultPlan> net_fault_plan_;
+  FaultStats fault_stats_;
   std::vector<std::unique_ptr<SimulatedDisk>> disks_;  // Index = global disk id.
   std::vector<std::unique_ptr<Cub>> cubs_;
   std::unique_ptr<Controller> controller_;

@@ -7,8 +7,13 @@
 
 namespace tiger {
 
-TcpBus::TcpBus(RealtimeExecutor* executor, std::vector<uint16_t> topology, NetAddress my_index)
-    : executor_(executor), topology_(std::move(topology)), my_index_(my_index) {
+TcpBus::TcpBus(RealtimeExecutor* executor, std::vector<uint16_t> topology, NetAddress my_index,
+               TcpRetryConfig retry)
+    : executor_(executor),
+      topology_(std::move(topology)),
+      my_index_(my_index),
+      retry_config_(retry),
+      backoff_rng_(std::random_device{}()) {
   TIGER_CHECK(executor != nullptr);
   TIGER_CHECK(my_index < topology_.size());
 }
@@ -104,22 +109,39 @@ TcpSocket* TcpBus::ConnectionTo(NetAddress dst) {
     return it->second.get();
   }
   const auto now = std::chrono::steady_clock::now();
-  auto retry = retry_after_.find(dst);
-  if (retry != retry_after_.end() && now < retry->second) {
-    return nullptr;  // Peer recently unreachable; do not stall the executor.
+  auto backoff = backoff_.find(dst);
+  if (backoff != backoff_.end() && now < backoff->second.not_before) {
+    return nullptr;  // Peer in backoff; do not stall the executor.
   }
-  // Short single attempt: at startup every listener is already up (the
-  // cluster gates on that), so failure means a dead peer.
-  TcpSocket socket = TcpConnect(topology_[dst], /*retries=*/2, /*retry_ms=*/20);
+  // Single short attempt: at startup every listener is already up (the
+  // cluster gates on that), so failure means a dead peer. The backoff gate
+  // paces retries, so no inner sleep is needed on the executor thread.
+  TcpSocket socket = TcpConnect(topology_[dst], /*retries=*/1, /*retry_ms=*/0);
   if (!socket.valid()) {
-    retry_after_[dst] = now + std::chrono::seconds(1);
+    NoteConnectFailure(dst);
     return nullptr;
   }
-  retry_after_.erase(dst);
+  backoff_.erase(dst);
   auto owned = std::make_unique<TcpSocket>(std::move(socket));
   TcpSocket* raw = owned.get();
   outgoing_[dst] = std::move(owned);
   return raw;
+}
+
+void TcpBus::NoteConnectFailure(NetAddress dst) {
+  const auto initial =
+      std::chrono::microseconds(retry_config_.connect_backoff_initial.micros());
+  const auto cap = std::chrono::microseconds(retry_config_.connect_backoff_cap.micros());
+  auto [it, inserted] = backoff_.try_emplace(dst, BackoffState{{}, initial});
+  auto delay = it->second.next_delay;
+  const double jitter = retry_config_.backoff_jitter;
+  if (jitter > 0.0) {
+    std::uniform_real_distribution<double> scale(1.0 - jitter, 1.0 + jitter);
+    delay = std::chrono::microseconds(
+        static_cast<int64_t>(static_cast<double>(delay.count()) * scale(backoff_rng_)));
+  }
+  it->second.not_before = std::chrono::steady_clock::now() + delay;
+  it->second.next_delay = std::min(it->second.next_delay * 2, cap);
 }
 
 void TcpBus::WriteFrame(NetAddress src, NetAddress dst, const Payload& payload) {
@@ -133,9 +155,9 @@ void TcpBus::WriteFrame(NetAddress src, NetAddress dst, const Payload& payload) 
     frames_sent_++;
   } else if (socket != nullptr) {
     // Write failure: the peer died. Drop the connection so the next send
-    // goes through the negative cache instead of a broken pipe.
+    // goes through the backoff gate instead of a broken pipe.
     outgoing_.erase(dst);
-    retry_after_[dst] = std::chrono::steady_clock::now() + std::chrono::seconds(1);
+    NoteConnectFailure(dst);
   }
 }
 

@@ -21,10 +21,12 @@
 #include <chrono>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/config.h"
 #include "src/net/network.h"
 #include "src/net/tcp_transport.h"
 #include "src/sim/realtime.h"
@@ -35,7 +37,8 @@ class TcpBus : public MessageBus {
  public:
   // `topology[i]` is the loopback port of node i; this bus is node
   // `my_index` and listens on its own port.
-  TcpBus(RealtimeExecutor* executor, std::vector<uint16_t> topology, NetAddress my_index);
+  TcpBus(RealtimeExecutor* executor, std::vector<uint16_t> topology, NetAddress my_index,
+         TcpRetryConfig retry = {});
   ~TcpBus() override;
 
   // Begins listening and accepting peers. Call before the executor runs.
@@ -62,6 +65,9 @@ class TcpBus : public MessageBus {
   void DispatchFrame(std::vector<uint8_t> frame);
   TcpSocket* ConnectionTo(NetAddress dst);
   void WriteFrame(NetAddress src, NetAddress dst, const Payload& payload);
+  // Records a failed connect/write to dst: arms the jittered backoff gate and
+  // doubles the next delay toward the configured cap.
+  void NoteConnectFailure(NetAddress dst);
 
   RealtimeExecutor* executor_;
   std::vector<uint16_t> topology_;
@@ -76,9 +82,18 @@ class TcpBus : public MessageBus {
 
   // Outgoing connections; used only from the executor thread.
   std::unordered_map<NetAddress, std::unique_ptr<TcpSocket>> outgoing_;
-  // Dead-peer negative cache: wall time before which we will not try to
-  // reconnect (a dead machine must not stall the executor thread).
-  std::unordered_map<NetAddress, std::chrono::steady_clock::time_point> retry_after_;
+  // Dead-peer negative cache with exponential backoff: wall time before which
+  // we will not try to reconnect (a dead machine must not stall the executor
+  // thread), and the delay to arm on the next consecutive failure.
+  struct BackoffState {
+    std::chrono::steady_clock::time_point not_before;
+    std::chrono::microseconds next_delay;
+  };
+  std::unordered_map<NetAddress, BackoffState> backoff_;
+  TcpRetryConfig retry_config_;
+  // Jitter source for backoff delays. Wall-clock reconnects are inherently
+  // non-deterministic, so a per-bus seed is fine.
+  std::minstd_rand backoff_rng_;
 
   int64_t frames_sent_ = 0;
   std::atomic<int64_t> frames_received_{0};

@@ -135,6 +135,28 @@ std::vector<uint8_t> EncodeMessage(const TigerMessage& message) {
       w.Put<uint8_t>(msg.ok ? 1 : 0);
       break;
     }
+    case MsgKind::kRejoinRequest: {
+      const auto& msg = static_cast<const RejoinRequestMsg&>(message);
+      PutId(w, msg.from);
+      break;
+    }
+    case MsgKind::kRejoinReply: {
+      const auto& msg = static_cast<const RejoinReplyMsg&>(message);
+      PutId(w, msg.from);
+      w.Put<uint32_t>(static_cast<uint32_t>(msg.failed_cubs.size()));
+      for (CubId cub : msg.failed_cubs) {
+        PutId(w, cub);
+      }
+      w.Put<uint32_t>(static_cast<uint32_t>(msg.failed_disks.size()));
+      for (DiskId disk : msg.failed_disks) {
+        PutId(w, disk);
+      }
+      w.Put<uint32_t>(static_cast<uint32_t>(msg.wire_records.size()));
+      for (const auto& record : msg.wire_records) {
+        w.PutBytes(record.data(), record.size());
+      }
+      break;
+    }
   }
   return w.Take();
 }
@@ -142,7 +164,7 @@ std::vector<uint8_t> EncodeMessage(const TigerMessage& message) {
 std::shared_ptr<TigerMessage> DecodeMessage(const std::vector<uint8_t>& frame) {
   ByteReader r(frame);
   uint8_t kind_byte = 0;
-  if (!r.Get(&kind_byte) || kind_byte > static_cast<uint8_t>(MsgKind::kReserveReply)) {
+  if (!r.Get(&kind_byte) || kind_byte > static_cast<uint8_t>(MsgKind::kRejoinReply)) {
     return nullptr;
   }
   const MsgKind kind = static_cast<MsgKind>(kind_byte);
@@ -259,6 +281,48 @@ std::shared_ptr<TigerMessage> DecodeMessage(const std::vector<uint8_t>& frame) {
         return nullptr;
       }
       msg->ok = ok != 0;
+      return msg;
+    }
+    case MsgKind::kRejoinRequest: {
+      auto msg = std::make_shared<RejoinRequestMsg>();
+      if (!GetId32(r, &msg->from)) {
+        return nullptr;
+      }
+      return msg;
+    }
+    case MsgKind::kRejoinReply: {
+      auto msg = std::make_shared<RejoinReplyMsg>();
+      uint32_t count = 0;
+      if (!GetId32(r, &msg->from) || !r.Get(&count)) {
+        return nullptr;
+      }
+      msg->failed_cubs.resize(count);
+      for (CubId& cub : msg->failed_cubs) {
+        if (!GetId32(r, &cub)) {
+          return nullptr;
+        }
+      }
+      if (!r.Get(&count)) {
+        return nullptr;
+      }
+      msg->failed_disks.resize(count);
+      for (DiskId& disk : msg->failed_disks) {
+        if (!GetId32(r, &disk)) {
+          return nullptr;
+        }
+      }
+      if (!r.Get(&count)) {
+        return nullptr;
+      }
+      msg->wire_records.resize(count);
+      for (auto& record : msg->wire_records) {
+        if (!r.GetBytes(record.data(), record.size())) {
+          return nullptr;
+        }
+        if (!ViewerStateRecord::Decode(record).has_value()) {
+          return nullptr;
+        }
+      }
       return msg;
     }
   }

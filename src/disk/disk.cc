@@ -40,15 +40,34 @@ void SimulatedDisk::StartNext() {
   Request request = PopNext();
   busy_ = true;
   const TimePoint start = Now();
-  const Duration service = model_.DrawReadTime(request.zone, request.bytes, rng_);
-  After(service, [this, start, request = std::move(request)]() mutable {
+  Duration service = model_.DrawReadTime(request.zone, request.bytes, rng_);
+  if (limp_window_.Contains(start)) {
+    service = Duration::Micros(service.micros() * limp_num_ / limp_den_);
+    if (fault_stats_ != nullptr) {
+      fault_stats_->Record(FaultStats::Kind::kLimpedRead, start, id_.value());
+    }
+  }
+  // A media error is only reported after the drive has tried (and retried),
+  // so a failed read costs its full service time.
+  bool ok = true;
+  if (error_window_.Contains(start) && rng_.Bernoulli(error_probability_)) {
+    ok = false;
+    if (fault_stats_ != nullptr) {
+      fault_stats_->Record(FaultStats::Kind::kTransientDiskError, start, id_.value());
+    }
+  }
+  After(service, [this, start, ok, request = std::move(request)]() mutable {
     busy_ = false;
     busy_meter_.AddBusyInterval(start, Now());
-    reads_completed_++;
-    bytes_read_ += request.bytes;
+    if (ok) {
+      reads_completed_++;
+      bytes_read_ += request.bytes;
+    } else {
+      read_errors_++;
+    }
     Completion done = std::move(request.done);
     StartNext();
-    done();
+    done(ok);
   });
 }
 
@@ -56,6 +75,19 @@ void SimulatedDisk::Halt() {
   Actor::Halt();
   queue_.clear();
   busy_ = false;
+}
+
+void SimulatedDisk::InjectTransientErrors(TimePoint start, TimePoint end, double probability) {
+  TIGER_CHECK(probability >= 0.0 && probability <= 1.0);
+  error_window_ = Window{start, end};
+  error_probability_ = probability;
+}
+
+void SimulatedDisk::InjectLimp(TimePoint start, TimePoint end, int64_t num, int64_t den) {
+  TIGER_CHECK(num > 0 && den > 0);
+  limp_window_ = Window{start, end};
+  limp_num_ = num;
+  limp_den_ = den;
 }
 
 }  // namespace tiger

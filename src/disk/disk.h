@@ -18,6 +18,7 @@
 #include "src/common/rng.h"
 #include "src/disk/disk_model.h"
 #include "src/sim/actor.h"
+#include "src/stats/fault_stats.h"
 #include "src/stats/meter.h"
 
 namespace tiger {
@@ -33,7 +34,10 @@ enum class DiskQueueDiscipline { kFifo, kEarliestDeadlineFirst };
 
 class SimulatedDisk : public Actor {
  public:
-  using Completion = std::function<void()>;
+  // Invoked at completion time. `ok` is false when the read failed (injected
+  // transient error): the caller got no data and should fall back to the
+  // declustered mirror copies.
+  using Completion = std::function<void(bool ok)>;
 
   SimulatedDisk(Simulator* sim, std::string name, DiskId id, DiskModel model, Rng rng)
       : Actor(sim, std::move(name)), id_(id), model_(model), rng_(std::move(rng)) {}
@@ -41,6 +45,7 @@ class SimulatedDisk : public Actor {
   DiskId id() const { return id_; }
   const DiskModel& model() const { return model_; }
   void set_discipline(DiskQueueDiscipline discipline) { discipline_ = discipline; }
+  void set_fault_stats(FaultStats* stats) { fault_stats_ = stats; }
 
   // Queues a read of `bytes` from `zone`; invokes `done` at completion time.
   // Reads queued on a halted (failed) disk are silently dropped. `deadline`
@@ -53,8 +58,22 @@ class SimulatedDisk : public Actor {
 
   void Halt() override;
 
+  // --- fault injection ------------------------------------------------------
+
+  // During [start, end), each read fails with `probability` after its full
+  // service time (a media error is reported only once the drive has tried).
+  // The disk itself stays alive — this is the fault that exercises mirror
+  // fallback without a permanent disk death.
+  void InjectTransientErrors(TimePoint start, TimePoint end, double probability);
+
+  // During [start, end), every read's service time is multiplied by
+  // num/den (integer math; e.g. 3/1 = a disk limping at a third of its
+  // usual throughput after entering thermal recalibration).
+  void InjectLimp(TimePoint start, TimePoint end, int64_t num, int64_t den = 1);
+
   size_t queue_depth() const { return queue_.size() + (busy_ ? 1 : 0); }
   int64_t reads_completed() const { return reads_completed_; }
+  int64_t read_errors() const { return read_errors_; }
   int64_t bytes_read() const { return bytes_read_; }
   const BusyMeter& busy_meter() const { return busy_meter_; }
 
@@ -64,6 +83,11 @@ class SimulatedDisk : public Actor {
     int64_t bytes;
     Completion done;
     TimePoint deadline;
+  };
+  struct Window {
+    TimePoint start;
+    TimePoint end;
+    bool Contains(TimePoint t) const { return t >= start && t < end; }
   };
 
   void StartNext();
@@ -76,8 +100,15 @@ class SimulatedDisk : public Actor {
   std::deque<Request> queue_;
   bool busy_ = false;
   int64_t reads_completed_ = 0;
+  int64_t read_errors_ = 0;
   int64_t bytes_read_ = 0;
   BusyMeter busy_meter_;
+  FaultStats* fault_stats_ = nullptr;
+  Window error_window_{TimePoint::Zero(), TimePoint::Zero()};
+  double error_probability_ = 0.0;
+  Window limp_window_{TimePoint::Zero(), TimePoint::Zero()};
+  int64_t limp_num_ = 1;
+  int64_t limp_den_ = 1;
 };
 
 }  // namespace tiger

@@ -1,0 +1,69 @@
+#include "src/net/fault_plan.h"
+
+namespace tiger {
+
+void NetFaultPlan::AddPartition(const std::vector<FaultNetAddress>& side_a,
+                                const std::vector<FaultNetAddress>& side_b, TimePoint start,
+                                TimePoint end) {
+  for (FaultNetAddress a : side_a) {
+    for (FaultNetAddress b : side_b) {
+      Rule rule;
+      rule.kind = RuleKind::kDrop;
+      rule.start = start;
+      rule.end = end;
+      rule.probability = 1.0;
+      rule.src = a;
+      rule.dst = b;
+      rules_.push_back(rule);
+      rule.src = b;
+      rule.dst = a;
+      rules_.push_back(rule);
+    }
+  }
+}
+
+NetFaultPlan::Decision NetFaultPlan::Apply(TimePoint now, FaultNetAddress src,
+                                           FaultNetAddress dst) {
+  Decision decision;
+  for (const Rule& rule : rules_) {
+    if (now < rule.start || now >= rule.end) {
+      continue;
+    }
+    if (!Matches(rule.src, src) || !Matches(rule.dst, dst)) {
+      continue;
+    }
+    if (rule.probability < 1.0 && !rng_.Bernoulli(rule.probability)) {
+      continue;
+    }
+    switch (rule.kind) {
+      case RuleKind::kDrop:
+        decision.drop = true;
+        break;
+      case RuleKind::kDelay:
+        decision.extra_delay += rule.delay;
+        break;
+      case RuleKind::kDuplicate:
+        decision.duplicates += rule.copies;
+        decision.duplicate_spacing = rule.delay;
+        break;
+    }
+    if (decision.drop) {
+      break;  // Nothing downstream matters for a dropped message.
+    }
+  }
+  if (stats_ != nullptr) {
+    if (decision.drop) {
+      stats_->Record(FaultStats::Kind::kMessageDropped, now, src, dst);
+    } else {
+      if (decision.extra_delay > Duration::Zero()) {
+        stats_->Record(FaultStats::Kind::kMessageDelayed, now, src, dst);
+      }
+      for (int i = 0; i < decision.duplicates; ++i) {
+        stats_->Record(FaultStats::Kind::kMessageDuplicated, now, src, dst);
+      }
+    }
+  }
+  return decision;
+}
+
+}  // namespace tiger

@@ -39,10 +39,21 @@ void Network::Send(NetAddress src, NetAddress dst, int64_t bytes,
   sender.control_bytes_sent.Add(sim_->Now(), static_cast<double>(bytes));
   sender.control_messages_sent++;
 
+  NetFaultPlan::Decision fault;
+  if (fault_plan_ != nullptr) {
+    fault = fault_plan_->Apply(sim_->Now(), src, dst);
+    if (fault.drop) {
+      return;  // Injected loss: the fabric ate it.
+    }
+  }
+
   Duration delay = config_.base_latency + TransferTime(bytes, config_.control_channel_bps);
   if (config_.jitter > Duration::Zero()) {
     delay += rng_.UniformDuration(Duration::Zero(), config_.jitter);
   }
+  // Injected extra latency lands before the FIFO clamp below, so delaying one
+  // message pushes everything after it on the same pair: ordering holds.
+  delay += fault.extra_delay;
   TimePoint arrival = sim_->Now() + delay;
 
   // TCP ordering: never deliver before (or at the same instant as) an earlier
@@ -54,8 +65,18 @@ void Network::Send(NetAddress src, NetAddress dst, int64_t bytes,
   }
   last_delivery_[key] = arrival;
 
-  MessageEnvelope envelope{src, dst, bytes, std::move(payload)};
+  MessageEnvelope envelope{src, dst, bytes, payload};
   sim_->ScheduleAt(arrival, [this, envelope = std::move(envelope)]() { Deliver(envelope); });
+
+  // Injected duplicates deliver after the original, spaced by the rule's
+  // delay, and also advance the FIFO clock (a retransmitted TCP segment still
+  // arrives in order; the duplication is visible only at the receiver).
+  for (int i = 0; i < fault.duplicates; ++i) {
+    arrival += config_.fifo_spacing + fault.duplicate_spacing;
+    last_delivery_[key] = arrival;
+    MessageEnvelope copy{src, dst, bytes, payload};
+    sim_->ScheduleAt(arrival, [this, copy = std::move(copy)]() { Deliver(copy); });
+  }
 }
 
 void Network::SendPaced(NetAddress src, NetAddress dst, int64_t bytes, int64_t pace_bps,

@@ -24,12 +24,14 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "src/common/check.h"
 #include "src/common/rng.h"
 #include "src/common/time.h"
 #include "src/common/units.h"
+#include "src/net/fault_plan.h"
 #include "src/sim/simulator.h"
 #include "src/stats/meter.h"
 
@@ -37,6 +39,8 @@ namespace tiger {
 
 using NetAddress = uint32_t;
 constexpr NetAddress kInvalidAddress = static_cast<NetAddress>(-1);
+static_assert(std::is_same_v<NetAddress, FaultNetAddress>,
+              "fault_plan.h mirrors NetAddress to avoid a header cycle");
 
 // Base class for anything carried by the network. Protocol modules derive
 // their message structs from this.
@@ -126,6 +130,12 @@ class Network : public MessageBus {
   // the moral equivalent of IP takeover during controller failover.
   void Reassign(NetAddress node, NetworkEndpoint* endpoint) override;
 
+  // Installs a fault-injection plan consulted on every control-plane Send.
+  // The plan is not owned and may be null (no injection). Injected delay is
+  // applied before the per-pair FIFO clamp, so ordering is preserved; drops
+  // and duplicates are the plan's labeled contract violations.
+  void SetFaultPlan(NetFaultPlan* plan) { fault_plan_ = plan; }
+
   // --- statistics ----------------------------------------------------------
 
   // Control-plane bytes sent by `node` (message payloads incl. headers).
@@ -164,6 +174,7 @@ class Network : public MessageBus {
   Simulator* sim_;
   NetworkConfig config_;
   Rng rng_;
+  NetFaultPlan* fault_plan_ = nullptr;
   std::vector<Node> nodes_;
   // Last scheduled delivery time per ordered (src,dst) pair; enforces FIFO.
   std::map<std::pair<NetAddress, NetAddress>, TimePoint> last_delivery_;

@@ -7,8 +7,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <random>
 #include <thread>
 
 namespace tiger {
@@ -158,7 +160,9 @@ TcpSocket TcpListener::Accept() {
   return TcpSocket(client);
 }
 
-TcpSocket TcpConnect(uint16_t port, int retries, int retry_ms) {
+TcpSocket TcpConnect(uint16_t port, int retries, int retry_ms, int retry_cap_ms) {
+  std::minstd_rand jitter_rng(std::random_device{}());
+  int delay_ms = std::max(retry_ms, 0);
   for (int attempt = 0; attempt < retries; ++attempt) {
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) {
@@ -174,7 +178,12 @@ TcpSocket TcpConnect(uint16_t port, int retries, int retry_ms) {
       return TcpSocket(fd);
     }
     ::close(fd);
-    std::this_thread::sleep_for(std::chrono::milliseconds(retry_ms));
+    if (attempt + 1 < retries && delay_ms > 0) {
+      // Sleep uniform in [delay/2, delay] (jitter), then double toward the cap.
+      std::uniform_int_distribution<int> dist(delay_ms / 2, delay_ms);
+      std::this_thread::sleep_for(std::chrono::milliseconds(dist(jitter_rng)));
+      delay_ms = std::min(delay_ms * 2, std::max(retry_cap_ms, retry_ms));
+    }
   }
   return TcpSocket();
 }

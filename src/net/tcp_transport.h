@@ -75,8 +75,11 @@ class TcpListener {
 };
 
 // Connects to 127.0.0.1:port, retrying briefly (the peer process may still be
-// starting). Returns an invalid socket on failure.
-TcpSocket TcpConnect(uint16_t port, int retries = 50, int retry_ms = 100);
+// starting). The inter-attempt sleep starts at retry_ms, doubles after each
+// failure up to retry_cap_ms, and is jittered so many connectors retrying
+// against one rebooting peer spread out. Returns an invalid socket on failure.
+TcpSocket TcpConnect(uint16_t port, int retries = 50, int retry_ms = 100,
+                     int retry_cap_ms = 1000);
 
 }  // namespace tiger
 

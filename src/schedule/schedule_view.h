@@ -41,6 +41,9 @@ struct ScheduleEntry {
   bool backup_only = false;
   // Set when a failure makes this cub responsible for mirror generation.
   bool takeover_processed = false;
+  // Set when a transient read error made the serving cub dispatch this
+  // block's declustered mirror chain; the primary's missed send is covered.
+  bool mirror_recovery = false;
 };
 
 class ScheduleView {
@@ -88,6 +91,15 @@ class ScheduleView {
   void ForEachEntry(Fn&& fn) {
     for (auto& [slot, bucket] : buckets_) {
       for (ScheduleEntry& entry : bucket.entries) {
+        fn(entry);
+      }
+    }
+  }
+
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    for (const auto& [slot, bucket] : buckets_) {
+      for (const ScheduleEntry& entry : bucket.entries) {
         fn(entry);
       }
     }

@@ -38,6 +38,14 @@ class Actor {
   virtual void Halt() { halted_ = true; }
   bool halted() const { return halted_; }
 
+  // Brings a halted actor back to life. Bumping the epoch invalidates every
+  // callback scheduled before the restart: a revived machine must not be
+  // driven by timers armed in its previous incarnation.
+  virtual void Restart() {
+    ++epoch_;
+    halted_ = false;
+  }
+
  protected:
   // Schedules a member callback that is automatically suppressed if the actor
   // halts before it fires.
@@ -51,8 +59,8 @@ class Actor {
     if (halted_) {
       return kInvalidTimer;
     }
-    return sim_->ScheduleAt(t, [this, fn = std::forward<Fn>(fn)]() mutable {
-      if (!halted_) {
+    return sim_->ScheduleAt(t, [this, e = epoch_, fn = std::forward<Fn>(fn)]() mutable {
+      if (!halted_ && e == epoch_) {
         fn();
       }
     });
@@ -64,6 +72,8 @@ class Actor {
   Simulator* sim_;
   std::string name_;
   bool halted_ = false;
+  // Incremented on Restart(); callbacks scheduled in an older epoch never fire.
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace tiger

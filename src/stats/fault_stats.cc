@@ -1,0 +1,64 @@
+#include "src/stats/fault_stats.h"
+
+#include <cinttypes>
+
+#include "src/common/check.h"
+#include "src/stats/table.h"
+
+namespace tiger {
+
+void FaultStats::Record(Kind kind, TimePoint when, int64_t a, int64_t b) {
+  TIGER_DCHECK(kind < Kind::kKindCount);
+  events_.push_back(Event{kind, when, a, b});
+  counts_[static_cast<int>(kind)]++;
+}
+
+int64_t FaultStats::Count(Kind kind) const {
+  TIGER_DCHECK(kind < Kind::kKindCount);
+  return counts_[static_cast<int>(kind)];
+}
+
+const char* FaultStats::KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kMessageDropped:
+      return "DROP";
+    case Kind::kMessageDelayed:
+      return "DELAY";
+    case Kind::kMessageDuplicated:
+      return "DUP";
+    case Kind::kTransientDiskError:
+      return "DISK_ERR";
+    case Kind::kLimpedRead:
+      return "LIMP";
+    case Kind::kCubRejoin:
+      return "REJOIN";
+    case Kind::kMirrorRecovery:
+      return "MIRROR_RECOVERY";
+    case Kind::kKindCount:
+      break;
+  }
+  return "?";
+}
+
+std::string FaultStats::EventLog() const {
+  std::string log;
+  char line[128];
+  for (const Event& event : events_) {
+    int n = std::snprintf(line, sizeof(line), "t=%" PRId64 "us %s %" PRId64 "->%" PRId64 "\n",
+                          event.when.micros(), KindName(event.kind), event.a, event.b);
+    TIGER_DCHECK(n > 0 && static_cast<size_t>(n) < sizeof(line));
+    log.append(line, static_cast<size_t>(n));
+  }
+  return log;
+}
+
+void FaultStats::PrintSummary(std::FILE* out) const {
+  TextTable table({"fault", "count"});
+  for (int k = 0; k < static_cast<int>(Kind::kKindCount); ++k) {
+    table.Row().Str(KindName(static_cast<Kind>(k))).Int(counts_[k]);
+  }
+  table.Row().Str("total").Int(total());
+  table.Print(out);
+}
+
+}  // namespace tiger

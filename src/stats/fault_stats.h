@@ -1,0 +1,68 @@
+// Per-run fault accounting.
+//
+// Every fault the harness injects (and every recovery action the system takes
+// in response) is recorded here with its simulated timestamp and the ids it
+// involved. Two uses:
+//
+//  * Counters: the chaos test prints a summary table so regressions in fault
+//    handling are visible, not silent.
+//  * Determinism: EventLog() renders the exact injected-fault sequence as
+//    text; two runs with the same seed must produce byte-identical logs.
+
+#ifndef SRC_STATS_FAULT_STATS_H_
+#define SRC_STATS_FAULT_STATS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace tiger {
+
+class FaultStats {
+ public:
+  enum class Kind {
+    kMessageDropped = 0,
+    kMessageDelayed,
+    kMessageDuplicated,
+    kTransientDiskError,
+    kLimpedRead,
+    kCubRejoin,
+    kMirrorRecovery,
+    kKindCount,  // sentinel
+  };
+
+  // Records one fault event. `a` and `b` are kind-dependent ids: for network
+  // faults they are (src,dst) addresses; for disk faults `a` is the disk id;
+  // for rejoins `a` is the cub id. Pass -1 when unused.
+  void Record(Kind kind, TimePoint when, int64_t a = -1, int64_t b = -1);
+
+  int64_t Count(Kind kind) const;
+  int64_t total() const { return static_cast<int64_t>(events_.size()); }
+
+  // One line per event, e.g. "t=12.345678 DROP 3->5". Deterministic given a
+  // deterministic run; used by the chaos test's same-seed comparison.
+  std::string EventLog() const;
+
+  // Prints a counter-per-kind summary table.
+  void PrintSummary(std::FILE* out = stdout) const;
+
+  static const char* KindName(Kind kind);
+
+ private:
+  struct Event {
+    Kind kind;
+    TimePoint when;
+    int64_t a;
+    int64_t b;
+  };
+
+  std::vector<Event> events_;
+  int64_t counts_[static_cast<int>(Kind::kKindCount)] = {};
+};
+
+}  // namespace tiger
+
+#endif  // SRC_STATS_FAULT_STATS_H_

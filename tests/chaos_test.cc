@@ -1,0 +1,194 @@
+// Chaos harness: one seeded scenario combining message delay/duplication, a
+// transient disk-error burst, a limping disk, and a cub crash-restart —
+// replayed under the schedule invariant checker and the oracle.
+//
+// What it proves:
+//  * the §4 coherence invariants hold through every injected fault;
+//  * losses stay inside the analyzable windows (deadman detection + the
+//    blocks that died with the crashed copies), never open-ended;
+//  * a revived cub rejoins the distributed schedule and serves new viewers;
+//  * the whole run is deterministic: one seed fixes the exact fault sequence.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/client/testbed.h"
+
+namespace tiger {
+namespace {
+
+TigerConfig ChaosConfig() {
+  TigerConfig config;
+  config.shape = SystemShape{8, 1, 2};
+  return config;
+}
+
+struct ChaosOutcome {
+  std::string event_log;
+  int64_t invariant_violations = 0;
+  int64_t checks_run = 0;
+  int64_t oracle_conflicts = 0;
+  ViewerClient::Stats totals;
+  Cub::Counters counters;
+  int64_t delayed = 0;
+  int64_t duplicated = 0;
+  int64_t disk_errors = 0;
+  int64_t limped = 0;
+  int64_t rejoin_events = 0;
+  // The viewer started after the revive, on a file whose start disk belongs
+  // to the revived cub.
+  int64_t late_plays_started = 0;
+  int64_t late_inserts_at_revived_cub = 0;
+  double late_startup_seconds = 0.0;
+};
+
+ChaosOutcome RunChaosScenario(uint64_t seed, bool print_summary) {
+  Testbed testbed(ChaosConfig(), seed);
+  TigerSystem& system = testbed.system();
+  system.EnableOracle();
+  system.EnableInvariantChecker();
+  system.EnableNetFaultPlan();
+
+  const TimePoint t0 = TimePoint::Zero();
+  // Delay and duplicate cub-originated control messages for overlapping
+  // windows. Sources are restricted to cubs so a duplicated ClientRequest
+  // cannot make the controller create a second play instance — that would be
+  // a client-retry semantic this scenario does not model.
+  NetFaultPlan* plan = system.net_fault_plan();
+  for (int c = 0; c < system.cub_count(); ++c) {
+    NetFaultPlan::Rule delay;
+    delay.kind = NetFaultPlan::RuleKind::kDelay;
+    delay.src = system.cub(CubId(static_cast<uint32_t>(c))).address();
+    delay.start = t0 + Duration::Seconds(10);
+    delay.end = t0 + Duration::Seconds(25);
+    delay.probability = 0.3;
+    delay.delay = Duration::Millis(40);
+    plan->AddRule(delay);
+
+    NetFaultPlan::Rule dup;
+    dup.kind = NetFaultPlan::RuleKind::kDuplicate;
+    dup.src = delay.src;
+    dup.start = t0 + Duration::Seconds(12);
+    dup.end = t0 + Duration::Seconds(30);
+    dup.probability = 0.2;
+    dup.copies = 1;
+    plan->AddRule(dup);
+  }
+
+  // Files 0..7 start on disks 0..7 (round-robin); with one disk per cub,
+  // file 4 starts on the disk of cub 4 — the cub this scenario crashes.
+  testbed.AddContent(8, Duration::Seconds(60));
+  testbed.Start();
+  for (int i = 0; i < 4; ++i) {
+    testbed.AddViewer(FileId(static_cast<uint32_t>(i)));
+  }
+
+  // One transient-error burst: disk 2 reports media errors on most reads for
+  // three seconds, then recovers. The disk never dies.
+  system.InjectDiskErrorBurst(DiskId(2), t0 + Duration::Seconds(15),
+                              t0 + Duration::Seconds(18), 0.6);
+  // Disk 5 limps at half throughput for a few seconds (thermal recal).
+  system.InjectDiskLimp(DiskId(5), t0 + Duration::Seconds(12), t0 + Duration::Seconds(16),
+                        2, 1);
+  // Cub 4 loses power at 20 s and is rebooted at 35 s — well after the
+  // deadman protocol has declared it dead and takeovers have engaged.
+  system.FailCubAt(t0 + Duration::Seconds(20), CubId(4));
+  system.ReviveCubAt(t0 + Duration::Seconds(35), CubId(4));
+
+  testbed.RunFor(Duration::Seconds(40));
+
+  // The rejoined cub must serve brand-new viewers: start a play whose first
+  // block lives on its disk.
+  const int64_t inserts_before = system.cub(CubId(4)).counters().inserts;
+  ViewerClient& late = testbed.AddViewer(FileId(4));
+  testbed.RunFor(Duration::Seconds(70));
+
+  ChaosOutcome out;
+  out.event_log = system.fault_stats().EventLog();
+  out.invariant_violations =
+      static_cast<int64_t>(system.invariant_checker()->violations().size());
+  out.checks_run = system.invariant_checker()->checks_run();
+  out.oracle_conflicts = system.oracle()->conflict_count();
+  out.totals = testbed.TotalClientStats();
+  out.counters = system.TotalCubCounters();
+  out.delayed = system.fault_stats().Count(FaultStats::Kind::kMessageDelayed);
+  out.duplicated = system.fault_stats().Count(FaultStats::Kind::kMessageDuplicated);
+  out.disk_errors = system.fault_stats().Count(FaultStats::Kind::kTransientDiskError);
+  out.limped = system.fault_stats().Count(FaultStats::Kind::kLimpedRead);
+  out.rejoin_events = system.fault_stats().Count(FaultStats::Kind::kCubRejoin);
+  out.late_plays_started = late.stats().plays_started;
+  out.late_inserts_at_revived_cub = system.cub(CubId(4)).counters().inserts - inserts_before;
+  if (late.startup_latency().count() > 0) {
+    out.late_startup_seconds = late.startup_latency().Mean();
+  }
+  if (print_summary) {
+    for (const auto& violation : system.invariant_checker()->violations()) {
+      ADD_FAILURE() << "invariant violated at " << violation.when << ": " << violation.what;
+    }
+    system.fault_stats().PrintSummary();
+  }
+  return out;
+}
+
+TEST(ChaosTest, SeededFaultPlanHoldsInvariantsAndBoundsGlitches) {
+  ChaosOutcome out = RunChaosScenario(97, /*print_summary=*/true);
+
+  // Every planned fault class actually fired.
+  EXPECT_GT(out.delayed, 0);
+  EXPECT_GT(out.duplicated, 0);
+  EXPECT_GT(out.disk_errors, 0);
+  EXPECT_GT(out.limped, 0);
+  EXPECT_EQ(out.rejoin_events, 1);
+  EXPECT_EQ(out.counters.rejoins, 1);
+  EXPECT_GT(out.counters.disk_read_errors, 0);
+  EXPECT_GT(out.counters.mirror_recoveries, 0)
+      << "transient read errors must engage the mirror fallback";
+  EXPECT_GT(out.counters.takeovers, 0) << "the crash must engage takeovers";
+
+  // Schedule coherence held throughout.
+  EXPECT_GT(out.checks_run, 100);
+  EXPECT_EQ(out.invariant_violations, 0);
+  EXPECT_EQ(out.oracle_conflicts, 0);
+  EXPECT_EQ(out.counters.records_conflict, 0);
+
+  // Every committed viewer was served or its loss is accounted: all five
+  // plays ran to completion, and losses stay inside the detection window
+  // (deadman timeout of blocks per live stream) plus the crashed copies.
+  EXPECT_EQ(out.totals.plays_completed, 5);
+  EXPECT_LE(out.totals.lost_blocks, 4 * 15);
+  EXPECT_LE(out.totals.late_blocks, 20);
+
+  // The revived cub rejoined the hallucination: it inserted and served a
+  // brand-new viewer within a schedule revolution or two of the request.
+  EXPECT_EQ(out.late_plays_started, 1);
+  EXPECT_GE(out.late_inserts_at_revived_cub, 1)
+      << "the start must be inserted by the revived cub itself";
+  EXPECT_GT(out.late_startup_seconds, 0.0);
+  EXPECT_LT(out.late_startup_seconds, 5.0);
+}
+
+TEST(ChaosTest, IdenticalSeedsProduceIdenticalFaultSequences) {
+  ChaosOutcome a = RunChaosScenario(1234, /*print_summary=*/false);
+  ChaosOutcome b = RunChaosScenario(1234, /*print_summary=*/false);
+  EXPECT_FALSE(a.event_log.empty());
+  EXPECT_EQ(a.event_log, b.event_log) << "same seed must replay the same faults";
+  EXPECT_EQ(a.totals.blocks_complete, b.totals.blocks_complete);
+  EXPECT_EQ(a.totals.lost_blocks, b.totals.lost_blocks);
+  EXPECT_EQ(a.counters.records_received, b.counters.records_received);
+  EXPECT_EQ(a.invariant_violations, 0);
+  EXPECT_EQ(b.invariant_violations, 0);
+}
+
+TEST(ChaosTest, DifferentSeedsDiverge) {
+  ChaosOutcome a = RunChaosScenario(1, /*print_summary=*/false);
+  ChaosOutcome b = RunChaosScenario(2, /*print_summary=*/false);
+  // Both hold the invariants...
+  EXPECT_EQ(a.invariant_violations, 0);
+  EXPECT_EQ(b.invariant_violations, 0);
+  // ...but the dice differ, so the fault sequences do too.
+  EXPECT_NE(a.event_log, b.event_log);
+}
+
+}  // namespace
+}  // namespace tiger

@@ -16,7 +16,7 @@ TEST(DiskTest, ReadsCompleteInFifoOrder) {
   SimulatedDisk disk(&sim, "d0", DiskId(0), UltrastarModel(), Rng(1));
   std::vector<int> order;
   for (int i = 0; i < 5; ++i) {
-    disk.SubmitRead(DiskZone::kOuter, 262144, [&order, i] { order.push_back(i); });
+    disk.SubmitRead(DiskZone::kOuter, 262144, [&order, i](bool) { order.push_back(i); });
   }
   EXPECT_EQ(disk.queue_depth(), 5u);
   sim.Run();
@@ -31,7 +31,7 @@ TEST(DiskTest, ServiceTimeWithinModelBounds) {
   DiskModel model = UltrastarModel();
   SimulatedDisk disk(&sim, "d0", DiskId(0), model, Rng(2));
   TimePoint done;
-  disk.SubmitRead(DiskZone::kOuter, 262144, [&] { done = sim.Now(); });
+  disk.SubmitRead(DiskZone::kOuter, 262144, [&](bool) { done = sim.Now(); });
   sim.Run();
   Duration elapsed = done - TimePoint::Zero();
   EXPECT_GE(elapsed, model.seek_min + model.TransferTime(DiskZone::kOuter, 262144));
@@ -44,7 +44,7 @@ TEST(DiskTest, UtilizationTracksBusyTime) {
   // 10 back-to-back reads: the disk is busy the whole stretch.
   TimePoint finished;
   for (int i = 0; i < 10; ++i) {
-    disk.SubmitRead(DiskZone::kOuter, 262144, [&] { finished = sim.Now(); });
+    disk.SubmitRead(DiskZone::kOuter, 262144, [&](bool) { finished = sim.Now(); });
   }
   sim.Run();
   double util = disk.busy_meter().UtilizationBetween(TimePoint::Zero(), finished);
@@ -56,13 +56,13 @@ TEST(DiskTest, HaltDropsQueueSilently) {
   SimulatedDisk disk(&sim, "d0", DiskId(0), UltrastarModel(), Rng(4));
   int completions = 0;
   for (int i = 0; i < 5; ++i) {
-    disk.SubmitRead(DiskZone::kOuter, 262144, [&] { completions++; });
+    disk.SubmitRead(DiskZone::kOuter, 262144, [&](bool) { completions++; });
   }
   disk.Halt();
   sim.Run();
   EXPECT_EQ(completions, 0);
   // New reads on a dead disk are ignored.
-  disk.SubmitRead(DiskZone::kOuter, 262144, [&] { completions++; });
+  disk.SubmitRead(DiskZone::kOuter, 262144, [&](bool) { completions++; });
   sim.Run();
   EXPECT_EQ(completions, 0);
 }
@@ -77,7 +77,7 @@ TEST(DiskTest, BlipsLengthenSomeReads) {
   int slow = 0;
   TimePoint last = TimePoint::Zero();
   for (int i = 0; i < 200; ++i) {
-    disk.SubmitRead(DiskZone::kOuter, 262144, [&, i] {
+    disk.SubmitRead(DiskZone::kOuter, 262144, [&, i](bool) {
       Duration service = sim.Now() - last;
       last = sim.Now();
       if (service > model.WorstCaseReadTime(DiskZone::kOuter, 262144)) {
@@ -97,13 +97,13 @@ TEST(DiskTest, EdfDisciplineServesNearestDeadlineFirst) {
   disk.set_discipline(DiskQueueDiscipline::kEarliestDeadlineFirst);
   std::vector<int> order;
   // First read starts immediately; the rest queue with inverted deadlines.
-  disk.SubmitRead(DiskZone::kOuter, 262144, [&] { order.push_back(0); },
+  disk.SubmitRead(DiskZone::kOuter, 262144, [&](bool) { order.push_back(0); },
                   TimePoint::FromMicros(9000000));
-  disk.SubmitRead(DiskZone::kOuter, 262144, [&] { order.push_back(1); },
+  disk.SubmitRead(DiskZone::kOuter, 262144, [&](bool) { order.push_back(1); },
                   TimePoint::FromMicros(8000000));
-  disk.SubmitRead(DiskZone::kOuter, 262144, [&] { order.push_back(2); },
+  disk.SubmitRead(DiskZone::kOuter, 262144, [&](bool) { order.push_back(2); },
                   TimePoint::FromMicros(2000000));
-  disk.SubmitRead(DiskZone::kOuter, 262144, [&] { order.push_back(3); },
+  disk.SubmitRead(DiskZone::kOuter, 262144, [&](bool) { order.push_back(3); },
                   TimePoint::FromMicros(5000000));
   sim.Run();
   EXPECT_EQ(order, (std::vector<int>{0, 2, 3, 1}));
@@ -113,11 +113,11 @@ TEST(DiskTest, FifoIgnoresDeadlines) {
   Simulator sim;
   SimulatedDisk disk(&sim, "d0", DiskId(0), UltrastarModel(), Rng(6));
   std::vector<int> order;
-  disk.SubmitRead(DiskZone::kOuter, 262144, [&] { order.push_back(0); },
+  disk.SubmitRead(DiskZone::kOuter, 262144, [&](bool) { order.push_back(0); },
                   TimePoint::FromMicros(9000000));
-  disk.SubmitRead(DiskZone::kOuter, 262144, [&] { order.push_back(1); },
+  disk.SubmitRead(DiskZone::kOuter, 262144, [&](bool) { order.push_back(1); },
                   TimePoint::FromMicros(1000000));
-  disk.SubmitRead(DiskZone::kOuter, 262144, [&] { order.push_back(2); },
+  disk.SubmitRead(DiskZone::kOuter, 262144, [&](bool) { order.push_back(2); },
                   TimePoint::FromMicros(5000000));
   sim.Run();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));

@@ -38,6 +38,66 @@ TEST(FailureViewTest, SuccessorsWrapAndExcludeSelf) {
   EXPECT_EQ(successors[1], CubId(1));
 }
 
+TEST(FailureViewTest, SuccessorsBridgeGapWiderThanDeclusterFactor) {
+  // A run of failed cubs at least as long as the decluster factor: the paper's
+  // mirroring no longer covers the gap, but successor computation must still
+  // bridge it so schedule forwarding keeps flowing.
+  FailureView view(SystemShape{8, 1, 2});
+  view.MarkCubFailed(CubId(2));
+  view.MarkCubFailed(CubId(3));
+  view.MarkCubFailed(CubId(4));
+  auto successors = view.NextLivingSuccessors(CubId(1), 2);
+  ASSERT_EQ(successors.size(), 2u);
+  EXPECT_EQ(successors[0], CubId(5));
+  EXPECT_EQ(successors[1], CubId(6));
+  // The gap also shifts the mirror decision maker three places.
+  EXPECT_TRUE(view.AmFirstLivingSuccessorOfDisk(CubId(5), DiskId(2)));
+}
+
+TEST(FailureViewTest, AllButOneFailed) {
+  FailureView view(SystemShape{5, 1, 2});
+  for (uint32_t c = 0; c < 5; ++c) {
+    if (c != 3) {
+      view.MarkCubFailed(CubId(c));
+    }
+  }
+  EXPECT_EQ(view.live_cub_count(), 1);
+  // The sole survivor has no living peers: every successor/predecessor list
+  // is empty rather than containing the survivor itself.
+  EXPECT_TRUE(view.NextLivingSuccessors(CubId(3), 2).empty());
+  EXPECT_TRUE(view.PrevLivingPredecessors(CubId(3), 2).empty());
+  // From a dead cub's vantage the survivor is the only successor.
+  auto successors = view.NextLivingSuccessors(CubId(0), 2);
+  ASSERT_EQ(successors.size(), 1u);
+  EXPECT_EQ(successors[0], CubId(3));
+  EXPECT_EQ(view.FirstLivingSuccessor(CubId(0)), CubId(3));
+}
+
+TEST(FailureViewTest, SuccessorsWrapPastCubZero) {
+  // Failures straddling the ring seam: the walk from the highest-numbered cub
+  // must skip dead cubs on both sides of the wraparound.
+  FailureView view(SystemShape{6, 1, 2});
+  view.MarkCubFailed(CubId(5));
+  view.MarkCubFailed(CubId(0));
+  auto successors = view.NextLivingSuccessors(CubId(4), 2);
+  ASSERT_EQ(successors.size(), 2u);
+  EXPECT_EQ(successors[0], CubId(1));
+  EXPECT_EQ(successors[1], CubId(2));
+  EXPECT_EQ(view.FirstLivingSuccessor(CubId(4)), CubId(1));
+  // And back across the seam in the other direction.
+  auto predecessors = view.PrevLivingPredecessors(CubId(1), 2);
+  ASSERT_EQ(predecessors.size(), 2u);
+  EXPECT_EQ(predecessors[0], CubId(4));
+  EXPECT_EQ(predecessors[1], CubId(3));
+  // Reviving the seam cubs restores the direct neighbors.
+  view.MarkCubAlive(CubId(5));
+  view.MarkCubAlive(CubId(0));
+  auto restored = view.NextLivingSuccessors(CubId(4), 2);
+  ASSERT_EQ(restored.size(), 2u);
+  EXPECT_EQ(restored[0], CubId(5));
+  EXPECT_EQ(restored[1], CubId(0));
+}
+
 TEST(FailureViewTest, PredecessorsMirrorSuccessors) {
   FailureView view(SystemShape{6, 1, 2});
   view.MarkCubFailed(CubId(5));
