@@ -38,6 +38,13 @@ Cub::Cub(Simulator* sim, CubId id, const TigerConfig* config, const Catalog* cat
   address_ = net_->Attach(this, name(), config->cub_nic_bps);
 }
 
+void Cub::SetTrace(Tracer* tracer, TraceTrackId track, MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  trace_track_ = track;
+  vstate_lead_ms_ = metrics != nullptr ? &metrics->Hist("vstate.lead_ms") : nullptr;
+  view_.SetTrace(tracer_, trace_track_);
+}
+
 void Cub::AttachDisks(std::vector<SimulatedDisk*> disks) {
   TIGER_CHECK(static_cast<int>(disks.size()) == config_->shape.disks_per_cub);
   disks_ = std::move(disks);
@@ -77,6 +84,8 @@ void Cub::Rejoin() {
   // A rebooted machine remembers nothing: every piece of protocol state is
   // rebuilt from zero and repopulated by the living peers' rejoin replies.
   view_ = ScheduleView(config_->deschedule_hold);
+  view_.SetTrace(tracer_, trace_track_);
+  TIGER_TRACE_INSTANT(tracer_, trace_track_, TraceEventType::kRejoin);
   failure_view_ = FailureView(config_->shape);
   cache_ = BlockCache(config_->block_cache_bytes);
   free_buffer_bytes_ = config_->buffer_pool_bytes;
@@ -162,6 +171,8 @@ void Cub::HandleMessage(const MessageEnvelope& envelope) {
 
 void Cub::OnViewerStateBatch(const ViewerStateBatchMsg& msg) {
   ChargeMessageCpu();
+  TIGER_TRACE_END_FLOW(tracer_, trace_track_, TraceEventType::kVStateHop, msg.trace_flow,
+                       TraceArgs{.a = static_cast<int64_t>(msg.wire_records.size())});
   for (const ViewerStateRecord& record : msg.Decode()) {
     OnViewerState(record);
   }
@@ -170,9 +181,18 @@ void Cub::OnViewerStateBatch(const ViewerStateBatchMsg& msg) {
 void Cub::OnViewerState(const ViewerStateRecord& record) {
   ChargeCpu(config_->cpu.per_viewer_state);
   counters_.records_received++;
+  TIGER_TRACE_INSTANT(tracer_, trace_track_, TraceEventType::kVStateReceive,
+                      TraceArgs{.viewer = record.viewer.value(),
+                                .slot = record.slot.value(),
+                                .a = record.position,
+                                .b = record.mirror_fragment});
   switch (view_.ApplyViewerState(record, Now())) {
     case ScheduleView::ApplyResult::kNew: {
       counters_.records_new++;
+      if (vstate_lead_ms_ != nullptr && tracer_ != nullptr && tracer_->enabled()) {
+        // How far ahead of its due time the record arrived (§4.1.1 lead).
+        vstate_lead_ms_->Add(static_cast<double>((record.due - Now()).micros()) / 1000.0);
+      }
       seen_instances_.insert(record.instance.value());
       redundant_starts_.erase(record.instance.value());
       ProcessAcceptedRecord(record.DedupKey());
@@ -258,6 +278,9 @@ void Cub::IssueRead(const ViewerStateRecord::Key& key) {
   if (entry == nullptr || entry->read_issued) {
     return;  // Descheduled or already in flight.
   }
+  if (entry->service_start == TimePoint::Max()) {
+    entry->service_start = Now();
+  }
   if (!config_->simulate_data_plane) {
     entry->block_ready = true;
     return;
@@ -323,6 +346,16 @@ void Cub::SendBlock(const ViewerStateRecord::Key& key) {
   const FileInfo& file = catalog_->Get(record.file);
   const bool mirror = record.is_mirror();
   const bool had_block = entry->block_ready;
+  // The slot's service interval on this cub: first read attempt (or the due
+  // instant when no read ever started) through the block send decision.
+  const TimePoint service_start =
+      entry->service_start == TimePoint::Max() ? Now() : entry->service_start;
+  TIGER_TRACE_COMPLETE(tracer_, trace_track_, TraceEventType::kSlotService, service_start,
+                       Now() - service_start,
+                       TraceArgs{.viewer = record.viewer.value(),
+                                 .slot = record.slot.value(),
+                                 .a = record.position,
+                                 .b = had_block ? 1 : 0});
   // End of file: whether or not this last block makes it out, the viewer
   // leaves the schedule and the slot becomes free.
   const bool eof = !mirror && record.position + 1 >= file.block_count;
@@ -336,6 +369,10 @@ void Cub::SendBlock(const ViewerStateRecord::Key& key) {
       // triggered mirror recovery instead, the fragments cover this block and
       // the primary's silence is expected, not a miss.
       counters_.server_missed_blocks++;
+      TIGER_TRACE_INSTANT(tracer_, trace_track_, TraceEventType::kBlockMissed,
+                          TraceArgs{.viewer = record.viewer.value(),
+                                    .slot = record.slot.value(),
+                                    .a = record.position});
     }
     return;
   }
@@ -355,6 +392,11 @@ void Cub::SendBlock(const ViewerStateRecord::Key& key) {
                              Now());
     }
   }
+  TIGER_TRACE_INSTANT(tracer_, trace_track_, TraceEventType::kBlockSent,
+                      TraceArgs{.viewer = record.viewer.value(),
+                                .slot = record.slot.value(),
+                                .a = record.position,
+                                .b = record.mirror_fragment});
   if (config_->simulate_data_plane) {
     auto data = std::make_shared<BlockDataMsg>();
     data->viewer = record.viewer;
@@ -425,6 +467,10 @@ void Cub::TakeoverRecord(const ViewerStateRecord::Key& key) {
   counters_.takeovers++;
   const ViewerStateRecord record = entry->record;
   TIGER_DCHECK(!record.is_mirror());
+  TIGER_TRACE_INSTANT(tracer_, trace_track_, TraceEventType::kTakeover,
+                      TraceArgs{.viewer = record.viewer.value(),
+                                .slot = record.slot.value(),
+                                .a = record.position});
 
   auto apply_local = [this](const ViewerStateRecord& r) {
     ScheduleView::ApplyResult result = view_.ApplyViewerState(r, Now());
@@ -514,9 +560,15 @@ void Cub::RecoverBlockViaMirrors(const ViewerStateRecord::Key& key) {
   }
   entry->mirror_recovery = true;
   counters_.mirror_recoveries++;
+  // Rendered as a span covering the window the declustered fragments must
+  // fill: from the failed read's completion to the block's due time.
+  TIGER_TRACE_COMPLETE(tracer_, trace_track_, TraceEventType::kMirrorFallback, Now(),
+                       record.due - Now(),
+                       TraceArgs{.viewer = record.viewer.value(),
+                                 .slot = record.slot.value(),
+                                 .a = record.position});
   if (fault_stats_ != nullptr) {
-    fault_stats_->Record(FaultStats::Kind::kMirrorRecovery, Now(), id_.value(),
-                         record.position);
+    fault_stats_->RecordMirrorRecovery(Now(), id_, record.position);
   }
   // Dispatch the first living fragment of the declustered mirror chain; the
   // chain self-propagates from there exactly as in a takeover (§2.3, §4.1.1).
@@ -579,9 +631,19 @@ void Cub::MaybeForwardEntry(ScheduleEntry& entry,
     return;
   }
   entry.forwarded = true;
+  int targets = 0;
   for (CubId target : failure_view_.NextLivingSuccessors(id_, config_->forward_copies)) {
     batches[addresses_->CubAddress(target)].Add(*next);
+    ++targets;
   }
+  TIGER_TRACE_INSTANT(tracer_, trace_track_, TraceEventType::kVStateForward,
+                      TraceArgs{.viewer = next->viewer.value(),
+                                .slot = next->slot.value(),
+                                .a = next->position,
+                                .b = targets});
+#if !TIGER_TRACING_ENABLED
+  (void)targets;
+#endif
 }
 
 void Cub::FlushBatches(std::unordered_map<NetAddress, ViewerStateBatchMsg>& batches) {
@@ -591,6 +653,9 @@ void Cub::FlushBatches(std::unordered_map<NetAddress, ViewerStateBatchMsg>& batc
     }
     ChargeMessageCpu();
     auto msg = std::make_shared<ViewerStateBatchMsg>(std::move(batch));
+    TIGER_TRACE_BEGIN_FLOW(msg->trace_flow, tracer_, trace_track_, TraceEventType::kVStateHop,
+                           TraceArgs{.a = static_cast<int64_t>(msg->wire_records.size()),
+                                     .b = static_cast<int64_t>(target)});
     const int64_t bytes = msg->WireBytes();
     net_->Send(address_, target, bytes, std::move(msg));
   }
@@ -618,6 +683,9 @@ void Cub::SendRecordsTo(CubId target, const std::vector<ViewerStateRecord>& reco
   for (const ViewerStateRecord& record : records) {
     msg->Add(record);
   }
+  TIGER_TRACE_BEGIN_FLOW(msg->trace_flow, tracer_, trace_track_, TraceEventType::kVStateHop,
+                         TraceArgs{.a = static_cast<int64_t>(msg->wire_records.size()),
+                                   .b = static_cast<int64_t>(target.value())});
   const int64_t bytes = msg->WireBytes();
   net_->Send(address_, addresses_->CubAddress(target), bytes, std::move(msg));
 }
@@ -794,6 +862,10 @@ void Cub::InsertViewer(DiskId disk, SlotId slot, TimePoint due, const StartPlayM
       << "insertion into slot " << slot << " rejected: result " << static_cast<int>(result);
   counters_.inserts++;
   seen_instances_.insert(record.instance.value());
+  TIGER_TRACE_INSTANT(tracer_, trace_track_, TraceEventType::kSlotInsert,
+                      TraceArgs{.viewer = record.viewer.value(),
+                                .slot = slot.value(),
+                                .a = record.position});
   if (oracle_ != nullptr) {
     oracle_->OnInsert(slot, record.viewer, record.instance, Now());
   }
@@ -862,6 +934,8 @@ void Cub::DeclareCubFailed(CubId cub) {
     return;
   }
   counters_.failures_detected++;
+  TIGER_TRACE_INSTANT(tracer_, trace_track_, TraceEventType::kDeadmanFire,
+                      TraceArgs{.a = cub.value()});
   TIGER_LOG(kWarning, name()) << "deadman: declaring cub " << cub << " failed";
   HandleFailure(cub, DiskId::Invalid());
   auto notice = std::make_shared<FailureNoticeMsg>();

@@ -39,6 +39,8 @@
 #include "src/schedule/schedule_view.h"
 #include "src/sim/actor.h"
 #include "src/stats/meter.h"
+#include "src/trace/metrics.h"
+#include "src/trace/trace.h"
 
 namespace tiger {
 
@@ -73,6 +75,9 @@ class Cub : public Actor, public NetworkEndpoint {
   void SetAddressBook(const AddressBook* addresses) { addresses_ = addresses; }
   void SetOracle(ScheduleOracle* oracle) { oracle_ = oracle; }
   void SetFaultStats(FaultStats* stats) { fault_stats_ = stats; }
+  // Wires the observability layer: protocol steps land on `track`, the
+  // viewer-state lead distribution feeds `metrics`. Survives Rejoin().
+  void SetTrace(Tracer* tracer, TraceTrackId track, MetricsRegistry* metrics);
 
   // Begins heartbeats and periodic ticks.
   void Start();
@@ -192,6 +197,9 @@ class Cub : public Actor, public NetworkEndpoint {
   const AddressBook* addresses_ = nullptr;
   ScheduleOracle* oracle_ = nullptr;
   FaultStats* fault_stats_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  TraceTrackId trace_track_ = 0;
+  Histogram* vstate_lead_ms_ = nullptr;
   Rng rng_;
 
   std::vector<SimulatedDisk*> disks_;  // Index = local disk index.

@@ -52,6 +52,9 @@ struct TigerMessage : Payload {
 struct ViewerStateBatchMsg : TigerMessage {
   ViewerStateBatchMsg() : TigerMessage(MsgKind::kViewerStateBatch) {}
   std::vector<std::array<uint8_t, kViewerStateWireBytes>> wire_records;
+  // Tracing metadata, not part of the wire image: pairs the sender's
+  // VSTATE_HOP begin with the receiver's end. 0 when tracing is off.
+  uint64_t trace_flow = 0;
 
   void Add(const ViewerStateRecord& record) { wire_records.push_back(record.Encode()); }
 

@@ -84,6 +84,74 @@ void TigerSystem::EnableBackupController() {
   }
 }
 
+void TigerSystem::EnableTracing(size_t ring_capacity) {
+  if (tracer_) {
+    return;
+  }
+  tracer_ = std::make_unique<Tracer>(&sim_, Tracer::Options{ring_capacity, true});
+  metrics_ = std::make_unique<MetricsRegistry>();
+  // Track registration order fixes track ids (and thus the rendered track
+  // layout): network first, then cubs, then disks.
+  const TraceTrackId net_track = tracer_->RegisterTrack("net");
+  net_->SetTrace(tracer_.get(), net_track, metrics_.get());
+  for (auto& cub : cubs_) {
+    const TraceTrackId track = tracer_->RegisterTrack("cub" + std::to_string(cub->id().value()));
+    cub->SetTrace(tracer_.get(), track, metrics_.get());
+  }
+  for (auto& disk : disks_) {
+    const TraceTrackId track = tracer_->RegisterTrack("disk" + std::to_string(disk->id().value()));
+    disk->SetTrace(tracer_.get(), track);
+  }
+}
+
+void TigerSystem::SnapshotMetrics(TimePoint a, TimePoint b) {
+  if (!metrics_) {
+    return;
+  }
+  MetricsRegistry& m = *metrics_;
+  int64_t entries_total = 0;
+  int64_t entries_max = 0;
+  for (size_t c = 0; c < cubs_.size(); ++c) {
+    if (failed_cubs_[c]) {
+      continue;
+    }
+    const int64_t entries = static_cast<int64_t>(cubs_[c]->view().entry_count());
+    entries_total += entries;
+    entries_max = entries > entries_max ? entries : entries_max;
+  }
+  m.Gauge("schedule.entries.total") = static_cast<double>(entries_total);
+  m.Gauge("schedule.entries.max_per_cub") = static_cast<double>(entries_max);
+  m.Gauge("cub.cpu.mean") = MeanCubCpu(a, b);
+  m.Gauge("disk.busy.mean") = MeanDiskUtilization(a, b);
+  Histogram& busy = m.Hist("disk.busy_fraction");
+  for (size_t c = 0; c < cubs_.size(); ++c) {
+    if (failed_cubs_[c]) {
+      continue;
+    }
+    for (int local = 0; local < config_.shape.disks_per_cub; ++local) {
+      DiskId global = config_.shape.GlobalDiskIndex(CubId(static_cast<uint32_t>(c)), local);
+      busy.Add(disks_[global.value()]->busy_meter().UtilizationBetween(a, b));
+    }
+  }
+  const Cub::Counters totals = TotalCubCounters();
+  m.Counter("cub.blocks_sent") = totals.blocks_sent;
+  m.Counter("cub.missed_blocks") = totals.server_missed_blocks;
+  m.Counter("cub.mirror_recoveries") = totals.mirror_recoveries;
+  m.Counter("cub.takeovers") = totals.takeovers;
+  m.Counter("cub.inserts") = totals.inserts;
+  m.Counter("cub.records_received") = totals.records_received;
+  int64_t control_msgs = 0;
+  for (const auto& cub : cubs_) {
+    control_msgs += net_->ControlMessagesSent(cub->address());
+  }
+  control_msgs += net_->ControlMessagesSent(controller_->address());
+  m.Counter("net.control_msgs") = control_msgs;
+}
+
+bool TigerSystem::WriteChromeTrace(const std::string& path) const {
+  return tracer_ != nullptr && tracer_->WriteChromeJson(path);
+}
+
 void TigerSystem::Start() {
   for (auto& cub : cubs_) {
     cub->Start();
@@ -126,7 +194,7 @@ void TigerSystem::ReviveCubNow(CubId cub_id) {
   // Restart() bumps the actor epoch: timers scheduled before the crash can
   // never fire into the rebooted state.
   cubs_[cub_id.value()]->Restart();
-  fault_stats_.Record(FaultStats::Kind::kCubRejoin, sim_.Now(), cub_id.value());
+  fault_stats_.RecordCubRejoin(sim_.Now(), cub_id);
   cubs_[cub_id.value()]->Rejoin();
 }
 

@@ -28,6 +28,8 @@
 #include "src/net/network.h"
 #include "src/schedule/geometry.h"
 #include "src/sim/simulator.h"
+#include "src/trace/metrics.h"
+#include "src/trace/trace.h"
 
 namespace tiger {
 
@@ -57,6 +59,12 @@ class TigerSystem {
   // the primary dies (the fault-tolerance work the paper left to the product
   // team). Call before Start().
   void EnableBackupController();
+
+  // Attaches the structured tracer and the metrics registry: one track for
+  // the network, one per cub, one per disk. Call before Start(). Tracing off
+  // means simply never calling this — the hot paths then pay one null check
+  // per trace point.
+  void EnableTracing(size_t ring_capacity = 32768);
 
   // Begins cub heartbeats and ticks. Call once, before running the simulator.
   void Start();
@@ -105,6 +113,15 @@ class TigerSystem {
   NetFaultPlan* net_fault_plan() { return net_fault_plan_.get(); }
   FaultStats& fault_stats() { return fault_stats_; }
   Rng& rng() { return rng_; }
+  Tracer* tracer() { return tracer_.get(); }
+  MetricsRegistry* metrics() { return metrics_.get(); }
+
+  // Folds the current schedule/utilization state over [a, b) into the
+  // metrics registry (no-op unless EnableTracing was called).
+  void SnapshotMetrics(TimePoint a, TimePoint b);
+  // Exports the merged trace as Chrome trace_event JSON for chrome://tracing
+  // or Perfetto. Returns false if tracing is not enabled or the write failed.
+  bool WriteChromeTrace(const std::string& path) const;
 
   // --- aggregate metrics over a window ---
   // Mean CPU utilization across living cubs, in [0, ~1].
@@ -133,6 +150,8 @@ class TigerSystem {
   std::unique_ptr<ScheduleOracle> oracle_;
   std::unique_ptr<InvariantChecker> invariant_checker_;
   std::unique_ptr<NetFaultPlan> net_fault_plan_;
+  std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<MetricsRegistry> metrics_;
   FaultStats fault_stats_;
   std::vector<std::unique_ptr<SimulatedDisk>> disks_;  // Index = global disk id.
   std::vector<std::unique_ptr<Cub>> cubs_;

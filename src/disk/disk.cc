@@ -44,7 +44,7 @@ void SimulatedDisk::StartNext() {
   if (limp_window_.Contains(start)) {
     service = Duration::Micros(service.micros() * limp_num_ / limp_den_);
     if (fault_stats_ != nullptr) {
-      fault_stats_->Record(FaultStats::Kind::kLimpedRead, start, id_.value());
+      fault_stats_->RecordDiskFault(FaultStats::Kind::kLimpedRead, start, id_);
     }
   }
   // A media error is only reported after the drive has tried (and retried),
@@ -53,12 +53,14 @@ void SimulatedDisk::StartNext() {
   if (error_window_.Contains(start) && rng_.Bernoulli(error_probability_)) {
     ok = false;
     if (fault_stats_ != nullptr) {
-      fault_stats_->Record(FaultStats::Kind::kTransientDiskError, start, id_.value());
+      fault_stats_->RecordDiskFault(FaultStats::Kind::kTransientDiskError, start, id_);
     }
   }
   After(service, [this, start, ok, request = std::move(request)]() mutable {
     busy_ = false;
     busy_meter_.AddBusyInterval(start, Now());
+    TIGER_TRACE_COMPLETE(tracer_, trace_track_, TraceEventType::kDiskService, start,
+                         Now() - start, TraceArgs{.a = request.bytes, .b = ok ? 1 : 0});
     if (ok) {
       reads_completed_++;
       bytes_read_ += request.bytes;

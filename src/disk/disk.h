@@ -20,6 +20,7 @@
 #include "src/sim/actor.h"
 #include "src/stats/fault_stats.h"
 #include "src/stats/meter.h"
+#include "src/trace/trace.h"
 
 namespace tiger {
 
@@ -46,6 +47,11 @@ class SimulatedDisk : public Actor {
   const DiskModel& model() const { return model_; }
   void set_discipline(DiskQueueDiscipline discipline) { discipline_ = discipline; }
   void set_fault_stats(FaultStats* stats) { fault_stats_ = stats; }
+  // Emits a DISK_SERVICE span per completed read on this drive's track.
+  void SetTrace(Tracer* tracer, TraceTrackId track) {
+    tracer_ = tracer;
+    trace_track_ = track;
+  }
 
   // Queues a read of `bytes` from `zone`; invokes `done` at completion time.
   // Reads queued on a halted (failed) disk are silently dropped. `deadline`
@@ -104,6 +110,8 @@ class SimulatedDisk : public Actor {
   int64_t bytes_read_ = 0;
   BusyMeter busy_meter_;
   FaultStats* fault_stats_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  TraceTrackId trace_track_ = 0;
   Window error_window_{TimePoint::Zero(), TimePoint::Zero()};
   double error_probability_ = 0.0;
   Window limp_window_{TimePoint::Zero(), TimePoint::Zero()};

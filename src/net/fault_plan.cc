@@ -53,13 +53,13 @@ NetFaultPlan::Decision NetFaultPlan::Apply(TimePoint now, FaultNetAddress src,
   }
   if (stats_ != nullptr) {
     if (decision.drop) {
-      stats_->Record(FaultStats::Kind::kMessageDropped, now, src, dst);
+      stats_->RecordMessageFault(FaultStats::Kind::kMessageDropped, now, src, dst);
     } else {
       if (decision.extra_delay > Duration::Zero()) {
-        stats_->Record(FaultStats::Kind::kMessageDelayed, now, src, dst);
+        stats_->RecordMessageFault(FaultStats::Kind::kMessageDelayed, now, src, dst);
       }
       for (int i = 0; i < decision.duplicates; ++i) {
-        stats_->Record(FaultStats::Kind::kMessageDuplicated, now, src, dst);
+        stats_->RecordMessageFault(FaultStats::Kind::kMessageDuplicated, now, src, dst);
       }
     }
   }

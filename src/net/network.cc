@@ -39,11 +39,22 @@ void Network::Send(NetAddress src, NetAddress dst, int64_t bytes,
   sender.control_bytes_sent.Add(sim_->Now(), static_cast<double>(bytes));
   sender.control_messages_sent++;
 
+  uint64_t flow = 0;
+  TIGER_TRACE_BEGIN_FLOW(flow, tracer_, trace_track_, TraceEventType::kMsgHop,
+                         TraceArgs{.a = static_cast<int64_t>(src), .b = static_cast<int64_t>(dst)});
+
   NetFaultPlan::Decision fault;
   if (fault_plan_ != nullptr) {
     fault = fault_plan_->Apply(sim_->Now(), src, dst);
     if (fault.drop) {
-      return;  // Injected loss: the fabric ate it.
+      // Injected loss: the fabric ate it. The span closes at the send instant
+      // with the dropped marker.
+      TIGER_TRACE_END_FLOW(tracer_, trace_track_, TraceEventType::kMsgHop, flow,
+                           TraceArgs{.b = 1});
+      if (dropped_msgs_ != nullptr) {
+        ++*dropped_msgs_;
+      }
+      return;
     }
   }
 
@@ -66,7 +77,10 @@ void Network::Send(NetAddress src, NetAddress dst, int64_t bytes,
   last_delivery_[key] = arrival;
 
   MessageEnvelope envelope{src, dst, bytes, payload};
-  sim_->ScheduleAt(arrival, [this, envelope = std::move(envelope)]() { Deliver(envelope); });
+  const TimePoint sent = sim_->Now();
+  sim_->ScheduleAt(arrival, [this, envelope = std::move(envelope), flow, sent]() {
+    Deliver(envelope, flow, sent);
+  });
 
   // Injected duplicates deliver after the original, spaced by the rule's
   // delay, and also advance the FIFO clock (a retransmitted TCP segment still
@@ -75,7 +89,9 @@ void Network::Send(NetAddress src, NetAddress dst, int64_t bytes,
     arrival += config_.fifo_spacing + fault.duplicate_spacing;
     last_delivery_[key] = arrival;
     MessageEnvelope copy{src, dst, bytes, payload};
-    sim_->ScheduleAt(arrival, [this, copy = std::move(copy)]() { Deliver(copy); });
+    sim_->ScheduleAt(arrival, [this, copy = std::move(copy)]() {
+      Deliver(copy, /*flow=*/0, TimePoint::Zero());
+    });
   }
 }
 
@@ -116,15 +132,35 @@ void Network::SendPaced(NetAddress src, NetAddress dst, int64_t bytes, int64_t p
     arrival += rng_.UniformDuration(Duration::Zero(), config_.jitter);
   }
   MessageEnvelope envelope{src, dst, bytes, std::move(payload)};
-  sim_->ScheduleAt(arrival, [this, envelope = std::move(envelope)]() { Deliver(envelope); });
+  sim_->ScheduleAt(arrival, [this, envelope = std::move(envelope)]() {
+    Deliver(envelope, /*flow=*/0, TimePoint::Zero());
+  });
 }
 
-void Network::Deliver(MessageEnvelope envelope) {
+void Network::Deliver(MessageEnvelope envelope, uint64_t flow, TimePoint sent) {
   Node& receiver = NodeRef(envelope.dst);
   if (!receiver.up) {
-    return;  // Messages to a dead machine vanish.
+    // Messages to a dead machine vanish.
+    TIGER_TRACE_END_FLOW(tracer_, trace_track_, TraceEventType::kMsgHop, flow,
+                         TraceArgs{.b = 1});
+    if (flow != 0 && dropped_msgs_ != nullptr) {
+      ++*dropped_msgs_;
+    }
+    return;
+  }
+  TIGER_TRACE_END_FLOW(tracer_, trace_track_, TraceEventType::kMsgHop, flow,
+                       TraceArgs{.a = envelope.bytes});
+  if (flow != 0 && hop_latency_us_ != nullptr) {
+    hop_latency_us_->Add(static_cast<double>((sim_->Now() - sent).micros()));
   }
   receiver.endpoint->HandleMessage(envelope);
+}
+
+void Network::SetTrace(Tracer* tracer, TraceTrackId track, MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  trace_track_ = track;
+  hop_latency_us_ = metrics != nullptr ? &metrics->Hist("net.hop_latency_us") : nullptr;
+  dropped_msgs_ = metrics != nullptr ? &metrics->Counter("net.msgs_dropped") : nullptr;
 }
 
 void Network::SetNodeUp(NetAddress node, bool up) { NodeRef(node).up = up; }

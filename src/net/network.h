@@ -34,6 +34,8 @@
 #include "src/net/fault_plan.h"
 #include "src/sim/simulator.h"
 #include "src/stats/meter.h"
+#include "src/trace/metrics.h"
+#include "src/trace/trace.h"
 
 namespace tiger {
 
@@ -136,6 +138,13 @@ class Network : public MessageBus {
   // and duplicates are the plan's labeled contract violations.
   void SetFaultPlan(NetFaultPlan* plan) { fault_plan_ = plan; }
 
+  // Wires the observability layer: every control-plane message becomes a
+  // MSG_HOP span on `track` (begin at Send, end at delivery; ended with b=1
+  // when the fabric or a dead receiver ate it), and per-hop latency feeds the
+  // metrics histogram. Injected duplicate copies are not given flows of their
+  // own. All pointers may be null.
+  void SetTrace(Tracer* tracer, TraceTrackId track, MetricsRegistry* metrics);
+
   // --- statistics ----------------------------------------------------------
 
   // Control-plane bytes sent by `node` (message payloads incl. headers).
@@ -169,12 +178,18 @@ class Network : public MessageBus {
 
   Node& NodeRef(NetAddress addr);
   const Node& NodeRef(NetAddress addr) const;
-  void Deliver(MessageEnvelope envelope);
+  // `flow`/`sent` carry the MSG_HOP span of a traced control message; paced
+  // (data-plane) deliveries pass flow 0.
+  void Deliver(MessageEnvelope envelope, uint64_t flow, TimePoint sent);
 
   Simulator* sim_;
   NetworkConfig config_;
   Rng rng_;
   NetFaultPlan* fault_plan_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  TraceTrackId trace_track_ = 0;
+  Histogram* hop_latency_us_ = nullptr;
+  int64_t* dropped_msgs_ = nullptr;
   std::vector<Node> nodes_;
   // Last scheduled delivery time per ordered (src,dst) pair; enforces FIFO.
   std::map<std::pair<NetAddress, NetAddress>, TimePoint> last_delivery_;

@@ -8,6 +8,17 @@ namespace tiger {
 
 ScheduleView::ApplyResult ScheduleView::ApplyViewerState(const ViewerStateRecord& record,
                                                          TimePoint now) {
+  const ApplyResult result = ApplyViewerStateImpl(record, now);
+  TIGER_TRACE_INSTANT(tracer_, trace_track_, TraceEventType::kVStateApply,
+                      TraceArgs{.viewer = record.viewer.value(),
+                                .slot = record.slot.value(),
+                                .a = record.position,
+                                .b = static_cast<int64_t>(result)});
+  return result;
+}
+
+ScheduleView::ApplyResult ScheduleView::ApplyViewerStateImpl(const ViewerStateRecord& record,
+                                                             TimePoint now) {
   if (record.due + late_horizon_ < now) {
     // So late that any deschedule for it would already have been discarded;
     // accepting it could resurrect a dead viewer. Drop it (§4.1.2).
@@ -65,6 +76,11 @@ ScheduleView::DescheduleOutcome ScheduleView::ApplyDeschedule(const DescheduleRe
     bucket.holds.push_back(Hold{deschedule, hold_until});
     outcome.new_hold = true;
   }
+  TIGER_TRACE_INSTANT(tracer_, trace_track_, TraceEventType::kDescheduleApply,
+                      TraceArgs{.viewer = deschedule.viewer.value(),
+                                .slot = deschedule.slot.value(),
+                                .a = static_cast<int64_t>(outcome.removed.size()),
+                                .b = outcome.new_hold ? 1 : 0});
   (void)now;
   return outcome;
 }
@@ -141,6 +157,10 @@ int ScheduleView::EvictBefore(TimePoint entry_horizon, TimePoint now) {
     } else {
       ++it;
     }
+  }
+  if (evicted > 0) {
+    TIGER_TRACE_INSTANT(tracer_, trace_track_, TraceEventType::kViewEvict,
+                        TraceArgs{.a = evicted});
   }
   return evicted;
 }

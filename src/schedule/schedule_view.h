@@ -22,6 +22,7 @@
 #include "src/common/ids.h"
 #include "src/common/time.h"
 #include "src/schedule/viewer_state.h"
+#include "src/trace/trace.h"
 
 namespace tiger {
 
@@ -32,6 +33,8 @@ struct ScheduleEntry {
   // --- cub-managed state ---
   bool read_issued = false;
   bool block_ready = false;
+  // When servicing began (first read attempt); anchors the slot-service span.
+  TimePoint service_start = TimePoint::Max();
   // A block buffer is charged to this entry (false for cache hits).
   bool buffer_held = false;
   bool sent = false;
@@ -59,6 +62,13 @@ class ScheduleView {
   // `late_horizon` mirrors the deschedule hold duration: records whose due
   // time is more than this far in the past are rejected (kTooLate).
   explicit ScheduleView(Duration late_horizon) : late_horizon_(late_horizon) {}
+
+  // Emits an event for every apply/deschedule/evict on the owning cub's
+  // track. The owning cub re-wires this after rebuilding its view on rejoin.
+  void SetTrace(Tracer* tracer, TraceTrackId track) {
+    tracer_ = tracer;
+    trace_track_ = track;
+  }
 
   ApplyResult ApplyViewerState(const ViewerStateRecord& record, TimePoint now);
 
@@ -122,8 +132,12 @@ class ScheduleView {
     std::vector<Hold> holds;
   };
 
+  ApplyResult ApplyViewerStateImpl(const ViewerStateRecord& record, TimePoint now);
+
   Duration late_horizon_;
   std::unordered_map<SlotId, SlotBucket> buckets_;
+  Tracer* tracer_ = nullptr;
+  TraceTrackId trace_track_ = 0;
 };
 
 }  // namespace tiger

@@ -13,6 +13,25 @@ void FaultStats::Record(Kind kind, TimePoint when, int64_t a, int64_t b) {
   counts_[static_cast<int>(kind)]++;
 }
 
+void FaultStats::RecordMessageFault(Kind kind, TimePoint when, uint32_t src, uint32_t dst) {
+  TIGER_DCHECK(kind == Kind::kMessageDropped || kind == Kind::kMessageDelayed ||
+               kind == Kind::kMessageDuplicated);
+  Record(kind, when, src, dst);
+}
+
+void FaultStats::RecordDiskFault(Kind kind, TimePoint when, DiskId disk) {
+  TIGER_DCHECK(kind == Kind::kTransientDiskError || kind == Kind::kLimpedRead);
+  Record(kind, when, disk.value());
+}
+
+void FaultStats::RecordCubRejoin(TimePoint when, CubId cub) {
+  Record(Kind::kCubRejoin, when, cub.value());
+}
+
+void FaultStats::RecordMirrorRecovery(TimePoint when, CubId cub, int64_t block) {
+  Record(Kind::kMirrorRecovery, when, cub.value(), block);
+}
+
 int64_t FaultStats::Count(Kind kind) const {
   TIGER_DCHECK(kind < Kind::kKindCount);
   return counts_[static_cast<int>(kind)];

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/ids.h"
 #include "src/common/time.h"
 
 namespace tiger {
@@ -34,10 +35,20 @@ class FaultStats {
     kKindCount,  // sentinel
   };
 
-  // Records one fault event. `a` and `b` are kind-dependent ids: for network
-  // faults they are (src,dst) addresses; for disk faults `a` is the disk id;
-  // for rejoins `a` is the cub id. Pass -1 when unused.
-  void Record(Kind kind, TimePoint when, int64_t a = -1, int64_t b = -1);
+  // The id columns of an event are kind-dependent, so recording goes through
+  // typed helpers — passing a DiskId where a CubId belongs is a compile
+  // error, not a silently wrong log line.
+
+  // kMessageDropped / kMessageDelayed / kMessageDuplicated. `src` and `dst`
+  // are network addresses (plain integers by design: the stats layer sits
+  // below the network layer that defines NetAddress).
+  void RecordMessageFault(Kind kind, TimePoint when, uint32_t src, uint32_t dst);
+  // kTransientDiskError / kLimpedRead.
+  void RecordDiskFault(Kind kind, TimePoint when, DiskId disk);
+  void RecordCubRejoin(TimePoint when, CubId cub);
+  // A block served through the declustered mirror chain: which cub fell back,
+  // and for which block position.
+  void RecordMirrorRecovery(TimePoint when, CubId cub, int64_t block);
 
   int64_t Count(Kind kind) const;
   int64_t total() const { return static_cast<int64_t>(events_.size()); }
@@ -58,6 +69,10 @@ class FaultStats {
     int64_t a;
     int64_t b;
   };
+
+  // Untyped core the helpers funnel into. `a`/`b` are the kind-dependent id
+  // columns of EventLog(); -1 means unused.
+  void Record(Kind kind, TimePoint when, int64_t a = -1, int64_t b = -1);
 
   std::vector<Event> events_;
   int64_t counts_[static_cast<int>(Kind::kKindCount)] = {};

@@ -1,0 +1,207 @@
+// Structured event tracing for the simulated Tiger system.
+//
+// Every interesting protocol step — viewer-state receive/apply/forward, slot
+// insertion, deschedules, deadman fires, mirror fallback, disk service
+// intervals, control-message hops — is recorded as a typed event carrying the
+// simulated timestamp, the track (cub/disk/net) it happened on, and the
+// viewer/slot ids involved. Three consumers:
+//
+//  * ChromeJson() renders a chrome://tracing / Perfetto-loadable timeline of
+//    all cubs and disks (async begin/end pairs draw message hops as spans).
+//  * TextDump() renders a deterministic text form: same seed, same binary,
+//    byte-identical output — the golden-trace tests diff it directly,
+//    extending the FaultStats::EventLog same-seed idea to the whole protocol.
+//  * MetricsRegistry (src/trace/metrics.h) aggregates distributions.
+//
+// Events land in per-track ring buffers (drop-oldest beyond the capacity) and
+// carry a global sequence number so the merged view reproduces exact recording
+// order across tracks.
+//
+// Cost model: instrumented call sites hold a `Tracer*` that is null unless
+// TigerSystem::EnableTracing() ran, and the TIGER_TRACE_* macros compile to a
+// single null check in that case. Defining TIGER_TRACING_ENABLED=0 strips the
+// call sites entirely. bench/scalability prints the measured overhead of both
+// configurations.
+
+#ifndef SRC_TRACE_TRACE_H_
+#define SRC_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/sim/simulator.h"
+
+// Compile-time switch: 0 strips every TIGER_TRACE_* call site.
+#ifndef TIGER_TRACING_ENABLED
+#define TIGER_TRACING_ENABLED 1
+#endif
+
+namespace tiger {
+
+// Index of a registered track (one per cub, one per disk, one for the
+// network fabric). Dense and assigned in registration order.
+using TraceTrackId = uint32_t;
+
+enum class TraceEventType : uint8_t {
+  // --- viewer-state propagation (§4.1.1) ---
+  kVStateReceive = 0,  // A record arrived at a cub (pre-apply).
+  kVStateApply,        // ScheduleView::ApplyViewerState verdict (b = result).
+  kVStateForward,      // A successor record was batched toward b successors.
+  kVStateHop,          // Async span: batch left sender / reached receiver.
+  // --- schedule maintenance (§4.1.2, §4.1.3) ---
+  kSlotInsert,       // Ownership-window insertion of a queued start.
+  kDescheduleApply,  // ScheduleView::ApplyDeschedule (a = removed, b = new hold).
+  kViewEvict,        // EvictBefore dropped a entries.
+  kSlotService,      // Complete span: first read attempt -> block send.
+  // --- failure handling (§2.3, §4.1.1) ---
+  kDeadmanFire,     // This cub declared cub a failed.
+  kTakeover,        // Mirror/successor generation assumed for a dead peer.
+  kMirrorFallback,  // Transient read error: declustered mirror chain dispatched.
+  kRejoin,          // This cub rebooted and broadcast a RejoinRequest.
+  // --- transport & data path ---
+  kMsgHop,       // Async span: any control message in the fabric (a=bytes).
+  kDiskService,  // Complete span: one disk read's service interval.
+  kBlockSent,    // A block (b=-1) or mirror fragment (b>=0) went to the client.
+  kBlockMissed,  // The send deadline passed without a block ready.
+  kTypeCount,  // sentinel
+};
+
+enum class TracePhase : uint8_t {
+  kInstant = 0,
+  kBegin,     // Opens a flow (async span); paired by flow id.
+  kEnd,       // Closes a flow.
+  kComplete,  // Self-contained span [when, when+dur].
+};
+
+// Optional ids attached to an event. -1 means "not set" and is omitted from
+// renderings; `a`/`b` are type-dependent (documented per type above).
+struct TraceArgs {
+  int64_t viewer = -1;
+  int64_t slot = -1;
+  int64_t a = -1;
+  int64_t b = -1;
+};
+
+struct TraceEvent {
+  uint64_t seq = 0;  // Global recording order across all tracks.
+  TimePoint when;
+  Duration dur;       // kComplete only.
+  uint64_t flow = 0;  // kBegin/kEnd pairing id; 0 = none.
+  TraceTrackId track = 0;
+  TraceEventType type = TraceEventType::kVStateReceive;
+  TracePhase phase = TracePhase::kInstant;
+  TraceArgs args;
+};
+
+class Tracer {
+ public:
+  struct Options {
+    // Events retained per track; older events are overwritten (and counted as
+    // dropped) beyond this.
+    size_t ring_capacity = 32768;
+    bool enabled = true;
+  };
+
+  // Two overloads instead of a defaulted Options argument: GCC rejects
+  // nested-class NSDMIs used in a default argument of the enclosing class.
+  explicit Tracer(const Simulator* sim) : Tracer(sim, Options()) {}
+  Tracer(const Simulator* sim, Options options);
+
+  // Registration order fixes track ids (and therefore the exported timeline
+  // layout); TigerSystem registers net, then cubs, then disks.
+  TraceTrackId RegisterTrack(std::string name);
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  void Instant(TraceTrackId track, TraceEventType type, TraceArgs args = {});
+  // Opens an async span; returns its flow id (0 when disabled) which the
+  // matching EndFlow — possibly on another track — must pass back.
+  uint64_t BeginFlow(TraceTrackId track, TraceEventType type, TraceArgs args = {});
+  void EndFlow(TraceTrackId track, TraceEventType type, uint64_t flow, TraceArgs args = {});
+  // Records a self-contained span that ended now (or spans [start, start+dur]).
+  void Complete(TraceTrackId track, TraceEventType type, TimePoint start, Duration dur,
+                TraceArgs args = {});
+
+  uint64_t recorded() const { return recorded_; }
+  // Events overwritten by ring wrap-around (not in any export).
+  uint64_t dropped() const { return dropped_; }
+  size_t track_count() const { return tracks_.size(); }
+  const std::string& TrackName(TraceTrackId track) const;
+
+  // All retained events merged across tracks, in global recording order.
+  std::vector<TraceEvent> MergedEvents() const;
+
+  // One line per retained event; deterministic for a deterministic run.
+  std::string TextDump() const;
+
+  // Chrome trace_event JSON (the "JSON Array Format" plus displayTimeUnit),
+  // loadable in chrome://tracing and https://ui.perfetto.dev.
+  std::string ChromeJson() const;
+  bool WriteChromeJson(const std::string& path) const;
+
+  static const char* TypeName(TraceEventType type);
+  static const char* TypeCategory(TraceEventType type);
+
+ private:
+  struct Track {
+    std::string name;
+    std::vector<TraceEvent> ring;  // Grows to capacity, then wraps.
+    size_t next = 0;               // Overwrite cursor once full.
+  };
+
+  void Push(TraceTrackId track, TraceEvent event);
+
+  const Simulator* sim_;
+  Options options_;
+  bool enabled_;
+  std::vector<Track> tracks_;
+  uint64_t next_seq_ = 1;
+  uint64_t next_flow_ = 1;
+  uint64_t recorded_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace tiger
+
+// Call-site macros: one pointer null check when tracing is compiled in, and
+// nothing at all when TIGER_TRACING_ENABLED=0. `tracer` is evaluated once.
+#if TIGER_TRACING_ENABLED
+#define TIGER_TRACE_INSTANT(tracer, track, type, ...)                \
+  do {                                                               \
+    ::tiger::Tracer* tiger_tr_ = (tracer);                           \
+    if (tiger_tr_ != nullptr) {                                      \
+      tiger_tr_->Instant((track), (type), ##__VA_ARGS__);            \
+    }                                                                \
+  } while (0)
+#define TIGER_TRACE_COMPLETE(tracer, track, type, start, dur, ...)   \
+  do {                                                               \
+    ::tiger::Tracer* tiger_tr_ = (tracer);                           \
+    if (tiger_tr_ != nullptr) {                                      \
+      tiger_tr_->Complete((track), (type), (start), (dur), ##__VA_ARGS__); \
+    }                                                                \
+  } while (0)
+#define TIGER_TRACE_BEGIN_FLOW(out_flow, tracer, track, type, ...)   \
+  do {                                                               \
+    ::tiger::Tracer* tiger_tr_ = (tracer);                           \
+    if (tiger_tr_ != nullptr) {                                      \
+      (out_flow) = tiger_tr_->BeginFlow((track), (type), ##__VA_ARGS__); \
+    }                                                                \
+  } while (0)
+#define TIGER_TRACE_END_FLOW(tracer, track, type, flow, ...)         \
+  do {                                                               \
+    ::tiger::Tracer* tiger_tr_ = (tracer);                           \
+    if (tiger_tr_ != nullptr) {                                      \
+      tiger_tr_->EndFlow((track), (type), (flow), ##__VA_ARGS__);    \
+    }                                                                \
+  } while (0)
+#else
+#define TIGER_TRACE_INSTANT(tracer, track, type, ...) ((void)0)
+#define TIGER_TRACE_COMPLETE(tracer, track, type, start, dur, ...) ((void)0)
+#define TIGER_TRACE_BEGIN_FLOW(out_flow, tracer, track, type, ...) ((void)0)
+#define TIGER_TRACE_END_FLOW(tracer, track, type, flow, ...) ((void)0)
+#endif
+
+#endif  // SRC_TRACE_TRACE_H_

@@ -1,0 +1,267 @@
+// Property-based schedule tests: a seeded randomized sweep over system
+// geometries (cubs × disks/cub × decluster factor × block play time)
+// asserting the arithmetic invariants the distributed schedule rests on.
+// Example-based tests pin specific shapes; these sweep the space so a
+// boundary-rounding bug in an untested shape cannot hide.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/layout/striping.h"
+#include "src/schedule/geometry.h"
+#include "src/schedule/network_schedule.h"
+
+namespace tiger {
+namespace {
+
+constexpr uint64_t kSweepSeed = 0x7139e5;
+
+// One randomly drawn system geometry, guaranteed valid (service time fits in
+// a block play time, ownership windows fit in a slot).
+struct DrawnGeometry {
+  TigerConfig config;
+  ScheduleGeometry geometry;
+  OwnershipParams ownership;
+};
+
+DrawnGeometry DrawGeometry(std::mt19937_64& rng) {
+  for (;;) {
+    TigerConfig config;
+    config.shape.num_cubs = static_cast<int>(rng() % 15) + 2;        // 2..16
+    config.shape.disks_per_cub = static_cast<int>(rng() % 4) + 1;    // 1..4
+    const int total = config.shape.TotalDisks();
+    config.shape.decluster_factor =
+        static_cast<int>(rng() % static_cast<uint64_t>(std::min(total - 1, 6))) + 1;
+    config.block_play_time = Duration::Millis(static_cast<int64_t>(rng() % 1500) + 500);
+    if (!config.shape.Valid() ||
+        config.RawBlockServiceTime() >= config.block_play_time ||
+        !config.MakeOwnershipParams().ValidFor(config.MakeGeometry())) {
+      continue;  // Overcommitted draw; the constructor would CHECK.
+    }
+    return DrawnGeometry{config, config.MakeGeometry(), config.MakeOwnershipParams()};
+  }
+}
+
+TEST(GeometryPropertyTest, SlotOffsetRoundTrips) {
+  std::mt19937_64 rng(kSweepSeed);
+  for (int iter = 0; iter < 60; ++iter) {
+    DrawnGeometry d = DrawGeometry(rng);
+    const ScheduleGeometry& g = d.geometry;
+    const int64_t slots = g.slot_count();
+    ASSERT_GE(slots, 1);
+    for (int probe = 0; probe < 25; ++probe) {
+      // Slot -> start offset -> slot is the identity.
+      const SlotId slot(static_cast<uint32_t>(rng() % static_cast<uint64_t>(slots)));
+      EXPECT_EQ(g.SlotAtOffset(g.SlotStartOffset(slot.value())), slot)
+          << "shape " << d.config.shape.num_cubs << "x" << d.config.shape.disks_per_cub;
+
+      // Offset -> slot puts the offset inside that slot's half-open range.
+      const Duration pos =
+          Duration::Micros(static_cast<int64_t>(rng() % static_cast<uint64_t>(
+                                                    g.schedule_length().micros())));
+      const SlotId at = g.SlotAtOffset(pos);
+      const Duration start = g.SlotStartOffset(at.value());
+      const Duration end = static_cast<int64_t>(at.value()) + 1 == slots
+                               ? g.schedule_length()
+                               : g.SlotStartOffset(at.value() + 1);
+      EXPECT_GE(pos, start);
+      EXPECT_LT(pos, end);
+    }
+  }
+}
+
+TEST(GeometryPropertyTest, NextSlotStartLandsOnTheSlotWithinOneLap) {
+  std::mt19937_64 rng(kSweepSeed + 1);
+  for (int iter = 0; iter < 40; ++iter) {
+    DrawnGeometry d = DrawGeometry(rng);
+    const ScheduleGeometry& g = d.geometry;
+    for (int probe = 0; probe < 20; ++probe) {
+      const DiskId disk(static_cast<uint32_t>(rng() % static_cast<uint64_t>(g.total_disks())));
+      const SlotId slot(
+          static_cast<uint32_t>(rng() % static_cast<uint64_t>(g.slot_count())));
+      const TimePoint t =
+          TimePoint::Zero() + Duration::Micros(static_cast<int64_t>(rng() % 100000000));
+      const TimePoint due = g.NextSlotStart(disk, slot, t);
+      EXPECT_GE(due, t);
+      EXPECT_LT(due - t, g.schedule_length()) << "the pointer laps once per revolution";
+      EXPECT_EQ(g.DiskPointer(disk, due).micros(), g.SlotStartOffset(slot.value()).micros());
+    }
+  }
+}
+
+TEST(GeometryPropertyTest, SoonestServingDiskMatchesBruteForce) {
+  std::mt19937_64 rng(kSweepSeed + 2);
+  for (int iter = 0; iter < 40; ++iter) {
+    DrawnGeometry d = DrawGeometry(rng);
+    const ScheduleGeometry& g = d.geometry;
+    for (int probe = 0; probe < 15; ++probe) {
+      const SlotId slot(
+          static_cast<uint32_t>(rng() % static_cast<uint64_t>(g.slot_count())));
+      const TimePoint t =
+          TimePoint::Zero() + Duration::Micros(static_cast<int64_t>(rng() % 50000000));
+      const ScheduleGeometry::ServingEvent fast = g.SoonestServingDisk(slot, t);
+
+      TimePoint best = TimePoint::Max();
+      DiskId best_disk;
+      for (int k = 0; k < g.total_disks(); ++k) {
+        const DiskId disk(static_cast<uint32_t>(k));
+        const TimePoint due = g.NextSlotStart(disk, slot, t);
+        if (due < best) {
+          best = due;
+          best_disk = disk;
+        }
+      }
+      EXPECT_EQ(fast.due, best);
+      EXPECT_EQ(fast.disk, best_disk);
+    }
+  }
+}
+
+TEST(GeometryPropertyTest, AtMostOneDiskOwnsASlotAtATime) {
+  std::mt19937_64 rng(kSweepSeed + 3);
+  for (int iter = 0; iter < 30; ++iter) {
+    DrawnGeometry d = DrawGeometry(rng);
+    OwnershipWindows windows(&d.geometry, d.ownership);
+    for (int probe = 0; probe < 25; ++probe) {
+      const SlotId slot(
+          static_cast<uint32_t>(rng() % static_cast<uint64_t>(d.geometry.slot_count())));
+      const TimePoint t =
+          TimePoint::Zero() + Duration::Micros(static_cast<int64_t>(rng() % 60000000));
+      int owners = 0;
+      for (int k = 0; k < d.geometry.total_disks(); ++k) {
+        owners += windows.Owns(DiskId(static_cast<uint32_t>(k)), slot, t) ? 1 : 0;
+      }
+      EXPECT_LE(owners, 1) << "two cubs owning one slot would race the insertion";
+    }
+  }
+}
+
+TEST(GeometryPropertyTest, OwnershipWindowPrecedesItsSlotByTheLead) {
+  std::mt19937_64 rng(kSweepSeed + 4);
+  for (int iter = 0; iter < 30; ++iter) {
+    DrawnGeometry d = DrawGeometry(rng);
+    OwnershipWindows windows(&d.geometry, d.ownership);
+    const DiskId disk(
+        static_cast<uint32_t>(rng() % static_cast<uint64_t>(d.geometry.total_disks())));
+    const TimePoint t =
+        TimePoint::Zero() + Duration::Micros(static_cast<int64_t>(rng() % 60000000));
+    const OwnershipWindows::OwnershipEvent event = windows.NextOwnership(disk, t);
+    // An in-progress window counts as "next", so window_start may be in the
+    // past — but then t must actually be inside it.
+    EXPECT_GT(event.window_end, t);
+    if (event.window_start < t) {
+      EXPECT_TRUE(windows.Owns(disk, event.slot, t));
+    }
+    EXPECT_EQ(event.slot_start - event.window_end, d.ownership.scheduling_lead)
+        << "window ends one scheduling lead before the block is due";
+    EXPECT_EQ(event.window_end - event.window_start, d.ownership.duration);
+    // Owning inside the window is consistent with Owns().
+    const TimePoint mid =
+        event.window_start + Duration::Micros((event.window_end - event.window_start).micros() / 2);
+    EXPECT_TRUE(windows.Owns(disk, event.slot, mid));
+  }
+}
+
+TEST(StripingPropertyTest, MirrorPlacementNeverTouchesThePrimary) {
+  std::mt19937_64 rng(kSweepSeed + 5);
+  for (int iter = 0; iter < 60; ++iter) {
+    DrawnGeometry d = DrawGeometry(rng);
+    const SystemShape& shape = d.config.shape;
+    StripeLayout layout(shape);
+
+    FileInfo file;
+    file.id = FileId(0);
+    file.bitrate_bps = d.config.max_stream_bps;
+    file.block_count = shape.TotalDisks() * 2;
+    file.start_disk = DiskId(static_cast<uint32_t>(rng() % static_cast<uint64_t>(shape.TotalDisks())));
+    file.allocated_bytes_per_block = d.config.block_bytes;
+    file.content_bytes_per_block = d.config.block_bytes;
+
+    for (int64_t block = 0; block < file.block_count; ++block) {
+      const DiskId primary = layout.PrimaryDisk(file, block);
+      for (int j = 0; j < shape.decluster_factor; ++j) {
+        const BlockLocation frag = layout.SecondaryLocation(file, block, j);
+        // A fragment on the primary's own disk (or drive zone) would die with
+        // it — the whole point of mirroring.
+        EXPECT_NE(frag.disk, primary);
+        EXPECT_EQ(frag.zone, DiskZone::kInner);
+        if (shape.decluster_factor < shape.num_cubs) {
+          // With fewer fragments than cubs, declustering also survives the
+          // loss of the primary's whole cub.
+          EXPECT_NE(shape.CubOfDisk(frag.disk), shape.CubOfDisk(primary))
+              << "decluster " << shape.decluster_factor << " cubs " << shape.num_cubs;
+        }
+      }
+
+      // MirroredDisks round-trips: each fragment's host disk lists the
+      // primary among the disks it mirrors.
+      for (int j = 0; j < shape.decluster_factor; ++j) {
+        const BlockLocation frag = layout.SecondaryLocation(file, block, j);
+        const std::vector<DiskId> mirrored = layout.MirroredDisks(frag.disk);
+        EXPECT_NE(std::find(mirrored.begin(), mirrored.end(), primary), mirrored.end());
+      }
+    }
+
+    // Fragment sizing is the ceiling division of the block: the fragments
+    // cover the block, and no smaller uniform fragment would.
+    const int64_t frag_bytes = layout.FragmentBytes(file);
+    EXPECT_GE(frag_bytes * shape.decluster_factor, file.allocated_bytes_per_block);
+    EXPECT_LT((frag_bytes - 1) * shape.decluster_factor, file.allocated_bytes_per_block);
+  }
+}
+
+// §3.2's fragmentation rule: when every entry starts on the quantization
+// grid (block_play_time / decluster), the load profile is piecewise-constant
+// between grid points, so the peak over any grid-aligned window is the max
+// of the point loads at grid offsets — free bandwidth cannot hide in
+// sub-grid slivers.
+TEST(NetworkSchedulePropertyTest, QuantizedStartsMakeGridLoadsExact) {
+  std::mt19937_64 rng(kSweepSeed + 6);
+  for (int iter = 0; iter < 25; ++iter) {
+    const int num_cubs = static_cast<int>(rng() % 7) + 2;  // 2..8
+    const int decluster = static_cast<int>(rng() % 4) + 1;  // 1..4
+    // A play time divisible by the decluster factor (in whole ms) keeps the
+    // grid itself on integer microseconds.
+    const Duration play = Duration::Millis((static_cast<int64_t>(rng() % 4) + 1) * decluster * 250);
+    const int64_t capacity = 155000000;
+    NetworkSchedule schedule(play, num_cubs, capacity);
+    const Duration grid = Duration::Micros(play.micros() / decluster);
+    const int64_t grid_points = schedule.length().micros() / grid.micros();
+
+    // Fill with random grid-aligned entries (skip ones that would overflow).
+    for (int i = 0; i < 40; ++i) {
+      const Duration start =
+          Duration::Micros(static_cast<int64_t>(rng() % static_cast<uint64_t>(grid_points)) *
+                           grid.micros());
+      const int64_t bps = static_cast<int64_t>(rng() % 6000000) + 1000000;
+      if (schedule.CanInsert(start, bps)) {
+        schedule.Insert(start, bps, /*reservation=*/false, ViewerId(static_cast<uint32_t>(i)),
+                        PlayInstanceId(static_cast<uint64_t>(i)));
+      }
+    }
+
+    for (int probe = 0; probe < 30; ++probe) {
+      const Duration start =
+          Duration::Micros(static_cast<int64_t>(rng() % static_cast<uint64_t>(grid_points)) *
+                           grid.micros());
+      const int64_t windows = static_cast<int64_t>(rng() % static_cast<uint64_t>(decluster)) + 1;
+      const Duration width = Duration::Micros(grid.micros() * windows);
+
+      int64_t brute = 0;
+      for (int64_t w = 0; w < windows; ++w) {
+        const Duration offset =
+            schedule.WrapOffset(start + Duration::Micros(grid.micros() * w));
+        brute = std::max(brute, schedule.LoadAt(offset));
+      }
+      EXPECT_EQ(schedule.PeakLoad(start, width), brute)
+          << "peak over a grid-aligned window must equal the max grid-point load";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tiger

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/stats/fault_stats.h"
 #include "src/stats/histogram.h"
 #include "src/stats/meter.h"
 #include "src/stats/table.h"
@@ -81,6 +82,37 @@ TEST(BusyMeterTest, WindowFullyInsideOneInterval) {
   EXPECT_DOUBLE_EQ(meter.UtilizationBetween(TimePoint::FromMicros(2000000),
                                             TimePoint::FromMicros(3000000)),
                    1.0);
+}
+
+TEST(FaultStatsTest, TypedHelpersCoverEveryKindInTheEventLog) {
+  FaultStats stats;
+  // One event of every Kind, via the typed helpers only — the untyped core
+  // is private, so a mixed-up id type cannot reach the log.
+  stats.RecordMessageFault(FaultStats::Kind::kMessageDropped, TimePoint::FromMicros(1),
+                           /*src=*/3, /*dst=*/5);
+  stats.RecordMessageFault(FaultStats::Kind::kMessageDelayed, TimePoint::FromMicros(2),
+                           /*src=*/4, /*dst=*/6);
+  stats.RecordMessageFault(FaultStats::Kind::kMessageDuplicated, TimePoint::FromMicros(3),
+                           /*src=*/7, /*dst=*/8);
+  stats.RecordDiskFault(FaultStats::Kind::kTransientDiskError, TimePoint::FromMicros(4),
+                        DiskId(9));
+  stats.RecordDiskFault(FaultStats::Kind::kLimpedRead, TimePoint::FromMicros(5), DiskId(10));
+  stats.RecordCubRejoin(TimePoint::FromMicros(6), CubId(2));
+  stats.RecordMirrorRecovery(TimePoint::FromMicros(7), CubId(1), /*block=*/42);
+
+  EXPECT_EQ(stats.total(), static_cast<int64_t>(FaultStats::Kind::kKindCount));
+  for (int k = 0; k < static_cast<int>(FaultStats::Kind::kKindCount); ++k) {
+    EXPECT_EQ(stats.Count(static_cast<FaultStats::Kind>(k)), 1)
+        << "kind " << FaultStats::KindName(static_cast<FaultStats::Kind>(k));
+  }
+  EXPECT_EQ(stats.EventLog(),
+            "t=1us DROP 3->5\n"
+            "t=2us DELAY 4->6\n"
+            "t=3us DUP 7->8\n"
+            "t=4us DISK_ERR 9->-1\n"
+            "t=5us LIMP 10->-1\n"
+            "t=6us REJOIN 2->-1\n"
+            "t=7us MIRROR_RECOVERY 1->42\n");
 }
 
 TEST(TextTableTest, RendersAndCsv) {
