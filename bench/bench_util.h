@@ -5,14 +5,18 @@
 //   --seed=N           RNG seed (default 1)
 //   --max-streams=N    override the ramp target
 //   --csv              also dump rows as CSV after the table
+//   --json=PATH        write machine-readable results to PATH (benches that
+//                      support it; see EXPERIMENTS.md for each schema)
 
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 namespace tiger {
 
@@ -21,6 +25,7 @@ struct BenchArgs {
   bool csv = false;
   uint64_t seed = 1;
   int max_streams = -1;  // -1: bench default.
+  std::string json_path;  // Empty: bench-specific default (may be "no JSON").
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -34,9 +39,13 @@ struct BenchArgs {
         args.seed = std::strtoull(a + 7, nullptr, 10);
       } else if (std::strncmp(a, "--max-streams=", 14) == 0) {
         args.max_streams = std::atoi(a + 14);
+      } else if (std::strncmp(a, "--json=", 7) == 0) {
+        args.json_path = a + 7;
       } else if (std::strcmp(a, "--help") == 0) {
         std::fprintf(stderr,
-                     "usage: %s [--quick] [--csv] [--seed=N] [--max-streams=N]\n", argv[0]);
+                     "usage: %s [--quick] [--csv] [--seed=N] [--max-streams=N] "
+                     "[--json=PATH]\n",
+                     argv[0]);
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag %s (try --help)\n", a);
@@ -45,6 +54,134 @@ struct BenchArgs {
     }
     return args;
   }
+};
+
+// Minimal streaming JSON writer for machine-readable bench output
+// (BENCH_*.json files consumed by CI and by humans diffing runs). Values are
+// emitted in call order; the writer tracks commas and nesting so call sites
+// stay linear. Keys must be plain identifiers (no escaping is performed on
+// keys; string *values* are escaped).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() {
+    Sep();
+    out_ += '{';
+    stack_.push_back(false);
+    return *this;
+  }
+  JsonWriter& EndObject() {
+    out_ += '}';
+    stack_.pop_back();
+    return *this;
+  }
+  JsonWriter& BeginArray() {
+    Sep();
+    out_ += '[';
+    stack_.push_back(false);
+    return *this;
+  }
+  JsonWriter& EndArray() {
+    out_ += ']';
+    stack_.pop_back();
+    return *this;
+  }
+  JsonWriter& Key(const char* k) {
+    Sep();
+    out_ += '"';
+    out_ += k;
+    out_ += "\":";
+    pending_value_ = true;
+    return *this;
+  }
+  JsonWriter& String(const std::string& v) {
+    Sep();
+    out_ += '"';
+    for (char c : v) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+    return *this;
+  }
+  JsonWriter& Int(int64_t v) {
+    Sep();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& Uint(uint64_t v) {
+    Sep();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& Double(double v) {
+    Sep();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& Bool(bool v) {
+    Sep();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+
+  // Convenience: Key() + value in one call.
+  JsonWriter& Kv(const char* k, const std::string& v) { return Key(k).String(v); }
+  JsonWriter& Kv(const char* k, const char* v) { return Key(k).String(std::string(v)); }
+  JsonWriter& Kv(const char* k, int64_t v) { return Key(k).Int(v); }
+  JsonWriter& Kv(const char* k, uint64_t v) { return Key(k).Uint(v); }
+  JsonWriter& Kv(const char* k, int v) { return Key(k).Int(v); }
+  JsonWriter& Kv(const char* k, double v) { return Key(k).Double(v); }
+  JsonWriter& Kv(const char* k, bool v) { return Key(k).Bool(v); }
+
+  const std::string& Str() const { return out_; }
+
+  // Writes the accumulated document (plus a trailing newline) to `path`.
+  // Returns false (with a note on stderr) on I/O failure.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fwrite(out_.data(), 1, out_.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  // Emits a comma when this value follows a sibling at the same nesting
+  // level; key-value pairs count as one sibling.
+  void Sep() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!stack_.empty()) {
+      if (stack_.back()) {
+        out_ += ',';
+      }
+      stack_.back() = true;
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> stack_;
+  bool pending_value_ = false;
 };
 
 inline void PrintHeader(const char* title, const char* paper_artifact) {

@@ -1,0 +1,305 @@
+// Event-engine and message-path microbenchmarks.
+//
+// The discrete-event core is the bottleneck of every Tiger experiment, so its
+// throughput gets a machine-readable baseline: this bench emits
+// BENCH_sim.json (schema in EXPERIMENTS.md) so CI can archive a number per
+// commit and humans can diff runs. Three workloads:
+//
+//   schedule_fire         pure schedule+dispatch churn (self-rescheduling
+//                         timers), the simulator's absolute hot path;
+//   schedule_cancel_fire  the deadman pattern — every dispatch cancels and
+//                         re-arms a pending timer — which stresses O(1)
+//                         cancel and tombstone compaction;
+//   message_hop           control-plane ping-pong through the simulated
+//                         Network (payload allocation, FIFO clamp, delivery
+//                         event per hop);
+//   cub_ring_90pct        end-to-end distributed-schedule system at 90%
+//                         load, the workload behind bench/scalability.
+//
+// Every workload runs `warmup + reps` times and reports the best wall time
+// (minimum is the stable estimator at millisecond scale). With a
+// -DTIGER_COUNT_ALLOCS=ON build it also reports steady-state heap
+// allocations per event, which the engine contract says must be zero for the
+// timer workloads.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/alloc_counter.h"
+#include "src/core/messages.h"
+#include "src/core/system.h"
+#include "src/net/network.h"
+#include "src/net/payload_pool.h"
+#include "src/sim/simulator.h"
+#include "src/stats/table.h"
+
+namespace tiger {
+namespace {
+
+struct WorkloadResult {
+  std::string name;
+  int reps = 0;
+  int warmup_reps = 1;
+  uint64_t events = 0;       // Events dispatched per rep.
+  double best_wall_s = 0;    // Minimum over reps.
+  double events_per_sec = 0;
+  uint64_t steady_allocs = 0;  // Minimum allocs over reps (steady state).
+  double allocs_per_event = 0;
+};
+
+double Seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+// Runs `body` warmup+reps times; keeps the best wall time and the minimum
+// alloc count (the steady-state figure — first reps pay one-time pool and
+// vector growth).
+template <typename Body>
+WorkloadResult Measure(const char* name, uint64_t events, int reps, Body&& body) {
+  WorkloadResult r;
+  r.name = name;
+  r.reps = reps;
+  r.events = events;
+  r.best_wall_s = 1e30;
+  r.steady_allocs = ~0ull;
+  for (int i = 0; i < r.warmup_reps + reps; ++i) {
+    const uint64_t allocs_before = AllocCount();
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const auto end = std::chrono::steady_clock::now();
+    if (i < r.warmup_reps) {
+      continue;
+    }
+    r.best_wall_s = std::min(r.best_wall_s, Seconds(end - start));
+    r.steady_allocs = std::min(r.steady_allocs, AllocCount() - allocs_before);
+  }
+  r.events_per_sec = static_cast<double>(r.events) / r.best_wall_s;
+  r.allocs_per_event =
+      static_cast<double>(r.steady_allocs) / static_cast<double>(r.events);
+  return r;
+}
+
+// --- workload 1: schedule + fire -------------------------------------------
+
+WorkloadResult ScheduleFire(bool quick) {
+  const uint64_t kEvents = quick ? 400'000 : 4'000'000;
+  const int kChains = 64;  // Pending-queue depth while running.
+  // The simulator persists across reps so the non-warmup reps measure true
+  // steady state: slab, heap and callback storage are all at capacity and
+  // per-event allocations must be zero.
+  Simulator sim;
+  uint64_t remaining = 0;
+  struct Chain {
+    Simulator* sim;
+    uint64_t* remaining;
+    void Tick() {
+      if (*remaining == 0) {
+        return;
+      }
+      --*remaining;
+      sim->ScheduleAfter(Duration::Micros(100), [this] { Tick(); });
+    }
+  };
+  std::vector<Chain> chains(kChains, Chain{&sim, &remaining});
+  return Measure("schedule_fire", kEvents, quick ? 3 : 5, [&] {
+    remaining = kEvents;
+    for (auto& c : chains) {
+      c.Tick();
+    }
+    sim.Run();
+    TIGER_CHECK(remaining == 0);
+  });
+}
+
+// --- workload 2: schedule + cancel + fire (deadman re-arm) ------------------
+
+WorkloadResult ScheduleCancelFire(bool quick) {
+  const uint64_t kEvents = quick ? 200'000 : 2'000'000;
+  Simulator sim;
+  uint64_t remaining = 0;
+  // The deadman pattern of src/core/cub.cc: each heartbeat cancels the
+  // pending timeout and re-arms it far in the future; the timeout itself
+  // almost never fires. Stresses O(1) cancel plus tombstone compaction.
+  struct Node {
+    Simulator* sim;
+    uint64_t* remaining;
+    TimerId deadman = kInvalidTimer;
+    void Beat() {
+      if (*remaining == 0) {
+        sim->Cancel(deadman);
+        return;
+      }
+      --*remaining;
+      sim->Cancel(deadman);
+      deadman = sim->ScheduleAfter(Duration::Seconds(10), [] {});
+      sim->ScheduleAfter(Duration::Micros(100), [this] { Beat(); });
+    }
+  };
+  std::vector<Node> nodes(32, Node{&sim, &remaining, kInvalidTimer});
+  return Measure("schedule_cancel_fire", kEvents, quick ? 3 : 5, [&] {
+    remaining = kEvents;
+    for (auto& n : nodes) {
+      n.Beat();
+    }
+    sim.Run();
+    TIGER_CHECK(remaining == 0);
+  });
+}
+
+// --- workload 3: control-plane message hops ---------------------------------
+
+class PingPonger : public NetworkEndpoint {
+ public:
+  void Init(Network* net, NetAddress self, NetAddress peer, uint64_t* remaining) {
+    net_ = net;
+    self_ = self;
+    peer_ = peer;
+    remaining_ = remaining;
+  }
+  void Kick() { SendOne(); }
+  void HandleMessage(const MessageEnvelope& envelope) override {
+    (void)envelope;
+    SendOne();
+  }
+
+ private:
+  void SendOne() {
+    if (*remaining_ == 0) {
+      return;
+    }
+    --*remaining_;
+    auto msg = MakePooledMessage<HeartbeatMsg>();
+    msg->from = CubId(static_cast<int32_t>(self_));
+    net_->Send(self_, peer_, HeartbeatMsg::WireBytes(), std::move(msg));
+  }
+
+  Network* net_ = nullptr;
+  NetAddress self_ = kInvalidAddress;
+  NetAddress peer_ = kInvalidAddress;
+  uint64_t* remaining_ = nullptr;
+};
+
+WorkloadResult MessageHop(bool quick, uint64_t seed) {
+  const uint64_t kHops = quick ? 100'000 : 1'000'000;
+  const int kPairs = 8;
+  Simulator sim;
+  Network net(&sim, NetworkConfig{}, Rng(seed));
+  uint64_t remaining = 0;
+  std::vector<PingPonger> nodes(2 * kPairs);
+  std::vector<NetAddress> addrs;
+  for (auto& n : nodes) {
+    addrs.push_back(net.Attach(&n, "bench", Megabits(1000)));
+  }
+  for (int p = 0; p < kPairs; ++p) {
+    nodes[2 * p].Init(&net, addrs[2 * p], addrs[2 * p + 1], &remaining);
+    nodes[2 * p + 1].Init(&net, addrs[2 * p + 1], addrs[2 * p], &remaining);
+  }
+  return Measure("message_hop", kHops, quick ? 3 : 5, [&] {
+    remaining = kHops;
+    for (int p = 0; p < kPairs; ++p) {
+      nodes[2 * p].Kick();
+    }
+    sim.Run();
+    TIGER_CHECK(remaining == 0);
+  });
+}
+
+// --- workload 4: end-to-end 90%-load cub ring -------------------------------
+
+WorkloadResult CubRing(bool quick, uint64_t seed) {
+  const Duration kRun = Duration::Seconds(quick ? 4 : 12);
+  const int kCubs = 14;
+  // Events per rep are only known after the first run; measure one run to
+  // size it, then measure normally (the sizing run doubles as extra warmup).
+  uint64_t events = 0;
+  auto run_once = [&]() -> uint64_t {
+    TigerConfig config;
+    config.shape.num_cubs = kCubs;
+    config.simulate_data_plane = false;
+    TigerSystem dist(config, seed);
+    SinkEndpoint sink;
+    NetAddress sink_addr = dist.net().Attach(&sink, "sink", config.client_nic_bps);
+    const int streams =
+        static_cast<int>(static_cast<double>(config.MaxStreams()) * 0.9);
+    FileId file =
+        dist.AddFile("content", config.max_stream_bps,
+                     config.block_play_time * (config.shape.TotalDisks() + 600))
+            .value();
+    int made = dist.BootstrapStreams(streams, sink_addr, file, config.max_stream_bps);
+    TIGER_CHECK(made == streams);
+    dist.Start();
+    dist.sim().RunUntil(TimePoint::Zero() + kRun);
+    return dist.sim().processed_events();
+  };
+  events = run_once();
+  WorkloadResult r = Measure("cub_ring_90pct", events, quick ? 2 : 3,
+                             [&] { (void)run_once(); });
+  return r;
+}
+
+int Main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  PrintHeader("sim_microbench: event-engine + message-path throughput",
+              "perf baseline (no paper figure); BENCH_sim.json");
+  if (!AllocCountingEnabled()) {
+    std::printf("note: built without -DTIGER_COUNT_ALLOCS, allocs/event reads 0\n");
+  }
+
+  std::vector<WorkloadResult> results;
+  results.push_back(ScheduleFire(args.quick));
+  results.push_back(ScheduleCancelFire(args.quick));
+  results.push_back(MessageHop(args.quick, args.seed));
+  results.push_back(CubRing(args.quick, args.seed));
+
+  TextTable table({"workload", "events", "best_wall_s", "events/sec", "allocs/event"});
+  for (const WorkloadResult& r : results) {
+    table.Row()
+        .Str(r.name)
+        .Int(static_cast<int64_t>(r.events))
+        .Double(r.best_wall_s, 4)
+        .Double(r.events_per_sec, 0)
+        .Double(r.allocs_per_event, 4);
+  }
+  table.Print();
+  if (args.csv) {
+    std::printf("\n%s", table.ToCsv().c_str());
+  }
+
+  const std::string json_path =
+      args.json_path.empty() ? "BENCH_sim.json" : args.json_path;
+  JsonWriter json;
+  json.BeginObject()
+      .Kv("bench", "sim_microbench")
+      .Kv("schema_version", 1)
+      .Kv("seed", args.seed)
+      .Kv("quick", args.quick)
+      .Kv("alloc_counting_enabled", AllocCountingEnabled());
+  json.Key("results").BeginArray();
+  for (const WorkloadResult& r : results) {
+    json.BeginObject()
+        .Kv("name", r.name)
+        .Kv("reps", r.reps)
+        .Kv("warmup_reps", r.warmup_reps)
+        .Kv("events", r.events)
+        .Kv("best_wall_s", r.best_wall_s)
+        .Kv("events_per_sec", r.events_per_sec)
+        .Kv("steady_allocs", r.steady_allocs)
+        .Kv("allocs_per_event", r.allocs_per_event)
+        .EndObject();
+  }
+  json.EndArray().EndObject();
+  if (json.WriteFile(json_path)) {
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tiger
+
+int main(int argc, char** argv) { return tiger::Main(argc, argv); }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/net/payload_pool.h"
 
 namespace tiger {
 
@@ -41,7 +42,7 @@ void ViewerClient::RequestPlay(FileId file, int64_t start_position) {
   play_ = std::move(play);
   stats_.plays_requested++;
 
-  auto request = std::make_shared<ClientRequestMsg>();
+  auto request = MakePooledMessage<ClientRequestMsg>();
   request->op = ClientRequestMsg::Op::kStart;
   request->viewer = id_;
   request->client_address = address_;
@@ -67,7 +68,7 @@ void ViewerClient::RequestStop() {
   if (!play_.has_value()) {
     return;
   }
-  auto request = std::make_shared<ClientRequestMsg>();
+  auto request = MakePooledMessage<ClientRequestMsg>();
   request->op = ClientRequestMsg::Op::kStop;
   request->viewer = id_;
   request->client_address = address_;

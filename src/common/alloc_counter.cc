@@ -1,0 +1,82 @@
+#include "src/common/alloc_counter.h"
+
+#ifdef TIGER_COUNT_ALLOCS
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace tiger {
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+
+void* CountedAlloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) {
+    size = 1;
+  }
+  void* p = std::malloc(size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* CountedAllocAligned(std::size_t size, std::size_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) {
+    size = align;
+  }
+  // aligned_alloc requires size to be a multiple of alignment.
+  std::size_t rounded = (size + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, rounded);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+}  // namespace
+
+uint64_t AllocCount() { return g_alloc_count.load(std::memory_order_relaxed); }
+bool AllocCountingEnabled() { return true; }
+
+}  // namespace tiger
+
+// Global replacements. Deletes are deliberately uncounted: the metric of
+// interest is allocation pressure, and news == deletes in steady state.
+void* operator new(std::size_t size) { return tiger::CountedAlloc(size); }
+void* operator new[](std::size_t size) { return tiger::CountedAlloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  tiger::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  tiger::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return tiger::CountedAllocAligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return tiger::CountedAllocAligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+#else  // !TIGER_COUNT_ALLOCS
+
+namespace tiger {
+uint64_t AllocCount() { return 0; }
+bool AllocCountingEnabled() { return false; }
+}  // namespace tiger
+
+#endif  // TIGER_COUNT_ALLOCS

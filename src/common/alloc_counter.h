@@ -1,0 +1,29 @@
+// Process-wide allocation counter for perf regression checks.
+//
+// When the build defines TIGER_COUNT_ALLOCS (cmake -DTIGER_COUNT_ALLOCS=ON),
+// every global operator new is counted in a relaxed atomic. The microbench
+// reads the counter around its hot loops to report allocs/event, and the
+// sanitizer CI job builds with the hook on so a heap allocation sneaking back
+// into the event hot path shows up as a nonzero steady-state number.
+//
+// Without the define, the functions below compile to a constant-zero stub so
+// call sites need no #ifdefs.
+
+#ifndef SRC_COMMON_ALLOC_COUNTER_H_
+#define SRC_COMMON_ALLOC_COUNTER_H_
+
+#include <cstdint>
+
+namespace tiger {
+
+// Total global operator-new calls since process start. Monotone; subtract two
+// readings to count allocations in a region. Always 0 when counting is off.
+uint64_t AllocCount();
+
+// True when the binary was built with -DTIGER_COUNT_ALLOCS, i.e. AllocCount()
+// readings are meaningful.
+bool AllocCountingEnabled();
+
+}  // namespace tiger
+
+#endif  // SRC_COMMON_ALLOC_COUNTER_H_

@@ -1,6 +1,7 @@
 #include "src/core/central.h"
 
 #include <utility>
+#include "src/net/payload_pool.h"
 
 namespace tiger {
 
@@ -45,7 +46,7 @@ void CentralCub::HandleMessage(const MessageEnvelope& envelope) {
     blocks_sent_++;
     if (config_->simulate_data_plane) {
       cpu_.Add(Now(), static_cast<double>(config_->cpu.DataSendCost(content_bytes).micros()));
-      auto data = std::make_shared<BlockDataMsg>();
+      auto data = MakePooledMessage<BlockDataMsg>();
       data->viewer = record.viewer;
       data->instance = record.instance;
       data->file = record.file;
@@ -163,7 +164,7 @@ void CentralController::IssueCommand(SlotState& slot) {
   // Per-command work: form and push one reliable message (§3.3 costs this at
   // ~100 bytes through TCP).
   cpu_.Add(Now(), static_cast<double>(config_->cpu.per_control_message.micros()));
-  auto msg = std::make_shared<CentralCommandMsg>();
+  auto msg = MakePooledMessage<CentralCommandMsg>();
   msg->record = slot.record;
   CubId target = config_->shape.CubOfDisk(slot.next_disk);
   net_->Send(address_, addresses_->CubAddress(target), CentralCommandMsg::WireBytes(),

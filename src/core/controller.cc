@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/net/payload_pool.h"
 
 namespace tiger {
 
@@ -30,7 +31,7 @@ void Controller::HandleMessage(const MessageEnvelope& envelope) {
   if (msg.kind == MsgKind::kHeartbeat) {
     if (active_) {
       // Echo standby pings so the standby knows we are alive.
-      auto echo = std::make_shared<HeartbeatMsg>();
+      auto echo = MakePooledMessage<HeartbeatMsg>();
       echo->from = CubId::Invalid();
       net_->Send(address_, envelope.src, HeartbeatMsg::WireBytes(), std::move(echo));
     } else {
@@ -79,7 +80,7 @@ void Controller::MonitorTick() {
   if (active_) {
     return;
   }
-  auto ping = std::make_shared<HeartbeatMsg>();
+  auto ping = MakePooledMessage<HeartbeatMsg>();
   ping->from = CubId::Invalid();
   net_->Send(address_, primary_address_, HeartbeatMsg::WireBytes(), std::move(ping));
   if (Now() - last_primary_echo_ > config_->deadman_timeout) {
@@ -131,7 +132,7 @@ void Controller::RouteStart(const ClientRequestMsg& msg) {
   PlayInstanceId instance(next_instance_++);
   plays_.emplace(instance.value(), stub);
 
-  auto start = std::make_shared<StartPlayMsg>();
+  auto start = MakePooledMessage<StartPlayMsg>();
   start->viewer = msg.viewer;
   start->client_address = msg.client_address;
   start->instance = instance;
@@ -144,7 +145,7 @@ void Controller::RouteStart(const ClientRequestMsg& msg) {
   net_->Send(address_, addresses_->CubAddress(primary), StartPlayMsg::WireBytes(), start);
 
   // Redundant copy to the successor, used if the primary cub fails (§4.1.3).
-  auto redundant = std::make_shared<StartPlayMsg>(*start);
+  auto redundant = MakePooledMessage<StartPlayMsg>(*start);
   redundant->redundant = true;
   CubId backup = failure_view_.FirstLivingSuccessor(primary);
   net_->Send(address_, addresses_->CubAddress(backup), StartPlayMsg::WireBytes(),
@@ -168,7 +169,7 @@ void Controller::RouteStop(const ClientRequestMsg& msg) {
     // recovers the slot from its own view (§4.1.2's semantics make stray
     // copies harmless). Stops are rare, so n messages once is cheap.
     if (msg.instance.valid()) {
-      auto deschedule = std::make_shared<DescheduleMsg>();
+      auto deschedule = MakePooledMessage<DescheduleMsg>();
       deschedule->record =
           DescheduleRecord{msg.viewer, msg.instance, SlotId::Invalid()};
       for (int cub = 0; cub < config_->shape.num_cubs; ++cub) {
@@ -210,7 +211,7 @@ void Controller::RouteStop(const ClientRequestMsg& msg) {
   }
   plays_.erase(play);
 
-  auto deschedule = std::make_shared<DescheduleMsg>();
+  auto deschedule = MakePooledMessage<DescheduleMsg>();
   deschedule->record = record;
   net_->Send(address_, addresses_->CubAddress(target), DescheduleMsg::WireBytes(), deschedule);
   CubId backup = failure_view_.FirstLivingSuccessor(target);

@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/units.h"
+#include "src/net/payload_pool.h"
 
 namespace tiger {
 
@@ -101,7 +102,7 @@ void Cub::Rejoin() {
   insert_allowed_after_ = Now() + Duration::Seconds(1);
   started_ = false;
   Start();
-  auto req = std::make_shared<RejoinRequestMsg>();
+  auto req = MakePooledMessage<RejoinRequestMsg>();
   req->from = id_;
   for (int c = 0; c < config_->shape.num_cubs; ++c) {
     CubId target(static_cast<uint32_t>(c));
@@ -119,7 +120,7 @@ void Cub::FailLocalDisk(int local_index) {
   DiskId global = GlobalDiskId(local_index);
   failure_view_.MarkDiskFailed(global);
   // The cub notices its own drive erroring out and tells the world.
-  auto notice = std::make_shared<FailureNoticeMsg>();
+  auto notice = MakePooledMessage<FailureNoticeMsg>();
   notice->failed_disk = global;
   notice->reporter = id_;
   for (int c = 0; c < config_->shape.num_cubs; ++c) {
@@ -173,7 +174,8 @@ void Cub::OnViewerStateBatch(const ViewerStateBatchMsg& msg) {
   ChargeMessageCpu();
   TIGER_TRACE_END_FLOW(tracer_, trace_track_, TraceEventType::kVStateHop, msg.trace_flow,
                        TraceArgs{.a = static_cast<int64_t>(msg.wire_records.size())});
-  for (const ViewerStateRecord& record : msg.Decode()) {
+  msg.DecodeInto(&decode_scratch_);
+  for (const ViewerStateRecord& record : decode_scratch_) {
     OnViewerState(record);
   }
 }
@@ -398,7 +400,7 @@ void Cub::SendBlock(const ViewerStateRecord::Key& key) {
                                 .a = record.position,
                                 .b = record.mirror_fragment});
   if (config_->simulate_data_plane) {
-    auto data = std::make_shared<BlockDataMsg>();
+    auto data = MakePooledMessage<BlockDataMsg>();
     data->viewer = record.viewer;
     data->instance = record.instance;
     data->file = record.file;
@@ -652,7 +654,7 @@ void Cub::FlushBatches(std::unordered_map<NetAddress, ViewerStateBatchMsg>& batc
       continue;
     }
     ChargeMessageCpu();
-    auto msg = std::make_shared<ViewerStateBatchMsg>(std::move(batch));
+    auto msg = MakePooledMessage<ViewerStateBatchMsg>(std::move(batch));
     TIGER_TRACE_BEGIN_FLOW(msg->trace_flow, tracer_, trace_track_, TraceEventType::kVStateHop,
                            TraceArgs{.a = static_cast<int64_t>(msg->wire_records.size()),
                                      .b = static_cast<int64_t>(target)});
@@ -679,7 +681,7 @@ void Cub::SendRecordsTo(CubId target, const std::vector<ViewerStateRecord>& reco
     return;
   }
   ChargeMessageCpu();
-  auto msg = std::make_shared<ViewerStateBatchMsg>();
+  auto msg = MakePooledMessage<ViewerStateBatchMsg>();
   for (const ViewerStateRecord& record : records) {
     msg->Add(record);
   }
@@ -755,7 +757,7 @@ void Cub::OnDeschedule(const DescheduleMsg& msg) {
   if (my_lead > config_->max_vstate_lead + config_->block_play_time) {
     return;
   }
-  auto forward = std::make_shared<DescheduleMsg>();
+  auto forward = MakePooledMessage<DescheduleMsg>();
   forward->record = record;
   for (CubId target : failure_view_.NextLivingSuccessors(id_, config_->forward_copies)) {
     ChargeMessageCpu();
@@ -870,7 +872,7 @@ void Cub::InsertViewer(DiskId disk, SlotId slot, TimePoint due, const StartPlayM
     oracle_->OnInsert(slot, record.viewer, record.instance, Now());
   }
 
-  auto confirm = std::make_shared<StartConfirmMsg>();
+  auto confirm = MakePooledMessage<StartConfirmMsg>();
   confirm->viewer = record.viewer;
   confirm->instance = record.instance;
   confirm->slot = slot;
@@ -906,7 +908,7 @@ void Cub::OnHeartbeat(const HeartbeatMsg& msg) {
 }
 
 void Cub::HeartbeatTick() {
-  auto beat = std::make_shared<HeartbeatMsg>();
+  auto beat = MakePooledMessage<HeartbeatMsg>();
   beat->from = id_;
   for (CubId target : failure_view_.NextLivingSuccessors(id_, 2)) {
     ChargeMessageCpu();
@@ -938,7 +940,7 @@ void Cub::DeclareCubFailed(CubId cub) {
                       TraceArgs{.a = cub.value()});
   TIGER_LOG(kWarning, name()) << "deadman: declaring cub " << cub << " failed";
   HandleFailure(cub, DiskId::Invalid());
-  auto notice = std::make_shared<FailureNoticeMsg>();
+  auto notice = MakePooledMessage<FailureNoticeMsg>();
   notice->failed_cub = cub;
   notice->reporter = id_;
   for (int c = 0; c < config_->shape.num_cubs; ++c) {
@@ -989,7 +991,7 @@ void Cub::OnRejoinRequest(const RejoinRequestMsg& msg) {
   // Answer with our failure beliefs and every not-yet-due primary record in
   // our window. Failure vectors are sorted so identical beliefs produce
   // byte-identical replies regardless of hash-set iteration order.
-  auto reply = std::make_shared<RejoinReplyMsg>();
+  auto reply = MakePooledMessage<RejoinReplyMsg>();
   reply->from = id_;
   reply->failed_cubs.assign(failure_view_.failed_cubs().begin(),
                             failure_view_.failed_cubs().end());

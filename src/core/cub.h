@@ -216,6 +216,9 @@ class Cub : public Actor, public NetworkEndpoint {
   // Instances whose viewer states this cub has seen (clears redundant copies).
   std::unordered_set<uint64_t> seen_instances_;
   std::unordered_map<CubId, TimePoint> last_heard_;
+  // Reused by batch decodes (ViewerStateBatchMsg::DecodeInto) so the per-hop
+  // receive path stops allocating a fresh record vector per message.
+  std::vector<ViewerStateRecord> decode_scratch_;
   bool started_ = false;
   // A freshly rejoined cub holds off inserting new viewers until its view has
   // been repopulated by rejoin replies (occupancy proof for its slots).

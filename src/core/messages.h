@@ -17,12 +17,19 @@
 #include "src/common/ids.h"
 #include "src/common/time.h"
 #include "src/net/network.h"
+#include "src/net/payload_pool.h"
 #include "src/schedule/viewer_state.h"
 
 namespace tiger {
 
 // Fixed per-message overhead (transport headers, framing).
 inline constexpr int64_t kMessageHeaderBytes = 40;
+
+// Encoded viewer-state records ride in pool-backed vectors so batch
+// construction and decode recycle their buffers instead of hitting the heap
+// per message (see src/net/payload_pool.h).
+using WireRecord = std::array<uint8_t, kViewerStateWireBytes>;
+using WireRecordVec = std::vector<WireRecord, PoolAllocator<WireRecord>>;
 
 enum class MsgKind {
   kViewerStateBatch,
@@ -50,24 +57,37 @@ struct TigerMessage : Payload {
 // their 100-byte wire encoding — serialization is load-bearing, not
 // decorative.
 struct ViewerStateBatchMsg : TigerMessage {
-  ViewerStateBatchMsg() : TigerMessage(MsgKind::kViewerStateBatch) {}
-  std::vector<std::array<uint8_t, kViewerStateWireBytes>> wire_records;
+  // Typical forwarding batches are a handful of records; reserving at
+  // construction makes the common case exactly one pooled buffer.
+  static constexpr size_t kReserveRecords = 8;
+
+  ViewerStateBatchMsg() : TigerMessage(MsgKind::kViewerStateBatch) {
+    wire_records.reserve(kReserveRecords);
+  }
+  WireRecordVec wire_records;
   // Tracing metadata, not part of the wire image: pairs the sender's
   // VSTATE_HOP begin with the receiver's end. 0 when tracing is off.
   uint64_t trace_flow = 0;
 
   void Add(const ViewerStateRecord& record) { wire_records.push_back(record.Encode()); }
 
-  // Decodes every record; corrupt entries are CHECK failures (the simulated
-  // transport is reliable, so corruption means a bug).
-  std::vector<ViewerStateRecord> Decode() const {
-    std::vector<ViewerStateRecord> records;
-    records.reserve(wire_records.size());
+  // Decodes every record into `*out` (cleared first); corrupt entries are
+  // CHECK failures (the simulated transport is reliable, so corruption means
+  // a bug). Receivers on the hot path pass a reused scratch vector so a
+  // batch's decode allocates nothing in steady state.
+  void DecodeInto(std::vector<ViewerStateRecord>* out) const {
+    out->clear();
+    out->reserve(wire_records.size());
     for (const auto& wire : wire_records) {
       auto record = ViewerStateRecord::Decode(wire);
       TIGER_CHECK(record.has_value()) << "corrupt viewer state on the wire";
-      records.push_back(*record);
+      out->push_back(*record);
     }
+  }
+
+  std::vector<ViewerStateRecord> Decode() const {
+    std::vector<ViewerStateRecord> records;
+    DecodeInto(&records);
     return records;
   }
 
@@ -204,7 +224,7 @@ struct RejoinReplyMsg : TigerMessage {
   CubId from;
   std::vector<CubId> failed_cubs;
   std::vector<DiskId> failed_disks;
-  std::vector<std::array<uint8_t, kViewerStateWireBytes>> wire_records;
+  WireRecordVec wire_records;
 
   void Add(const ViewerStateRecord& record) { wire_records.push_back(record.Encode()); }
 

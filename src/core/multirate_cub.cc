@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/units.h"
+#include "src/net/payload_pool.h"
 
 namespace tiger {
 
@@ -177,7 +178,7 @@ void MultirateCub::TryInsertHead() {
   }
   pending_insertion_ = pending;
 
-  auto request = std::make_shared<ReserveRequestMsg>();
+  auto request = MakePooledMessage<ReserveRequestMsg>();
   request->from = id_;
   request->viewer = msg.viewer;
   request->instance = msg.instance;
@@ -197,7 +198,7 @@ void MultirateCub::TryInsertHead() {
 }
 
 void MultirateCub::OnReserveRequest(const ReserveRequestMsg& msg) {
-  auto reply = std::make_shared<ReserveReplyMsg>();
+  auto reply = MakePooledMessage<ReserveReplyMsg>();
   reply->from = id_;
   reply->instance = msg.instance;
   const bool net_ok = net_schedule_.CanInsert(msg.start_offset, msg.bitrate_bps);
@@ -260,7 +261,7 @@ void MultirateCub::CommitInsertion(PendingInsertion& pending) {
   streams_[record.instance.value()] = stream;
   ScheduleService(record);
 
-  auto confirm = std::make_shared<StartConfirmMsg>();
+  auto confirm = MakePooledMessage<StartConfirmMsg>();
   confirm->viewer = record.viewer;
   confirm->instance = record.instance;
   confirm->slot = record.slot;
@@ -398,7 +399,7 @@ void MultirateCub::ServeBlock(PlayInstanceId instance, int64_t position) {
   counters_.blocks_sent++;
   if (config_->simulate_data_plane) {
     ChargeCpu(config_->cpu.DataSendCost(content));
-    auto data = std::make_shared<BlockDataMsg>();
+    auto data = MakePooledMessage<BlockDataMsg>();
     data->viewer = record.viewer;
     data->instance = instance;
     data->file = record.file;
@@ -412,7 +413,7 @@ void MultirateCub::ServeBlock(PlayInstanceId instance, int64_t position) {
 }
 
 void MultirateCub::ForwardRecord(const ViewerStateRecord& record) {
-  auto msg = std::make_shared<ViewerStateBatchMsg>();
+  auto msg = MakePooledMessage<ViewerStateBatchMsg>();
   msg->Add(record);
   const int64_t bytes = msg->WireBytes();
   for (CubId target : failure_view_.NextLivingSuccessors(id_, config_->forward_copies)) {
@@ -458,7 +459,7 @@ void MultirateCub::OnDeschedule(const DescheduleMsg& msg) {
   RemoveStream(instance);
   // Mark so late records for the dead play are ignored.
   last_scheduled_position_[instance.value()] = INT64_MAX;
-  auto forward = std::make_shared<DescheduleMsg>(msg);
+  auto forward = MakePooledMessage<DescheduleMsg>(msg);
   for (CubId target : failure_view_.NextLivingSuccessors(id_, config_->forward_copies)) {
     net_->Send(address_, addresses_->CubAddress(target), DescheduleMsg::WireBytes(), forward);
   }

@@ -1,5 +1,7 @@
 #include "src/core/wire.h"
 
+#include "src/net/payload_pool.h"
+
 namespace tiger {
 
 namespace {
@@ -170,7 +172,7 @@ std::shared_ptr<TigerMessage> DecodeMessage(const std::vector<uint8_t>& frame) {
   const MsgKind kind = static_cast<MsgKind>(kind_byte);
   switch (kind) {
     case MsgKind::kViewerStateBatch: {
-      auto msg = std::make_shared<ViewerStateBatchMsg>();
+      auto msg = MakePooledMessage<ViewerStateBatchMsg>();
       uint32_t count = 0;
       if (!r.Get(&count)) {
         return nullptr;
@@ -187,14 +189,14 @@ std::shared_ptr<TigerMessage> DecodeMessage(const std::vector<uint8_t>& frame) {
       return msg;
     }
     case MsgKind::kDeschedule: {
-      auto msg = std::make_shared<DescheduleMsg>();
+      auto msg = MakePooledMessage<DescheduleMsg>();
       if (!GetDeschedule(r, &msg->record)) {
         return nullptr;
       }
       return msg;
     }
     case MsgKind::kStartPlay: {
-      auto msg = std::make_shared<StartPlayMsg>();
+      auto msg = MakePooledMessage<StartPlayMsg>();
       uint8_t redundant = 0;
       if (!GetId32(r, &msg->viewer) || !r.Get(&msg->client_address) ||
           !GetId64(r, &msg->instance) || !GetId32(r, &msg->file) ||
@@ -205,7 +207,7 @@ std::shared_ptr<TigerMessage> DecodeMessage(const std::vector<uint8_t>& frame) {
       return msg;
     }
     case MsgKind::kStartConfirm: {
-      auto msg = std::make_shared<StartConfirmMsg>();
+      auto msg = MakePooledMessage<StartConfirmMsg>();
       int64_t due = 0;
       if (!GetId32(r, &msg->viewer) || !GetId64(r, &msg->instance) ||
           !GetId32(r, &msg->slot) || !GetId32(r, &msg->file) || !r.Get(&due)) {
@@ -215,14 +217,14 @@ std::shared_ptr<TigerMessage> DecodeMessage(const std::vector<uint8_t>& frame) {
       return msg;
     }
     case MsgKind::kHeartbeat: {
-      auto msg = std::make_shared<HeartbeatMsg>();
+      auto msg = MakePooledMessage<HeartbeatMsg>();
       if (!GetId32(r, &msg->from)) {
         return nullptr;
       }
       return msg;
     }
     case MsgKind::kFailureNotice: {
-      auto msg = std::make_shared<FailureNoticeMsg>();
+      auto msg = MakePooledMessage<FailureNoticeMsg>();
       if (!GetId32(r, &msg->failed_cub) || !GetId32(r, &msg->failed_disk) ||
           !GetId32(r, &msg->reporter)) {
         return nullptr;
@@ -230,7 +232,7 @@ std::shared_ptr<TigerMessage> DecodeMessage(const std::vector<uint8_t>& frame) {
       return msg;
     }
     case MsgKind::kBlockData: {
-      auto msg = std::make_shared<BlockDataMsg>();
+      auto msg = MakePooledMessage<BlockDataMsg>();
       int64_t due = 0;
       if (!GetId32(r, &msg->viewer) || !GetId64(r, &msg->instance) ||
           !GetId32(r, &msg->file) || !r.Get(&msg->position) || !r.Get(&msg->mirror_fragment) ||
@@ -241,7 +243,7 @@ std::shared_ptr<TigerMessage> DecodeMessage(const std::vector<uint8_t>& frame) {
       return msg;
     }
     case MsgKind::kClientRequest: {
-      auto msg = std::make_shared<ClientRequestMsg>();
+      auto msg = MakePooledMessage<ClientRequestMsg>();
       uint8_t op = 0;
       if (!r.Get(&op) || !GetId32(r, &msg->viewer) || !r.Get(&msg->client_address) ||
           !GetId32(r, &msg->file) || !r.Get(&msg->start_position) ||
@@ -252,7 +254,7 @@ std::shared_ptr<TigerMessage> DecodeMessage(const std::vector<uint8_t>& frame) {
       return msg;
     }
     case MsgKind::kCentralCommand: {
-      auto msg = std::make_shared<CentralCommandMsg>();
+      auto msg = MakePooledMessage<CentralCommandMsg>();
       std::array<uint8_t, kViewerStateWireBytes> wire{};
       if (!r.GetBytes(wire.data(), wire.size())) {
         return nullptr;
@@ -265,7 +267,7 @@ std::shared_ptr<TigerMessage> DecodeMessage(const std::vector<uint8_t>& frame) {
       return msg;
     }
     case MsgKind::kReserveRequest: {
-      auto msg = std::make_shared<ReserveRequestMsg>();
+      auto msg = MakePooledMessage<ReserveRequestMsg>();
       int64_t offset = 0;
       if (!GetId32(r, &msg->from) || !GetId32(r, &msg->viewer) ||
           !GetId64(r, &msg->instance) || !r.Get(&offset) || !r.Get(&msg->bitrate_bps)) {
@@ -275,7 +277,7 @@ std::shared_ptr<TigerMessage> DecodeMessage(const std::vector<uint8_t>& frame) {
       return msg;
     }
     case MsgKind::kReserveReply: {
-      auto msg = std::make_shared<ReserveReplyMsg>();
+      auto msg = MakePooledMessage<ReserveReplyMsg>();
       uint8_t ok = 0;
       if (!GetId32(r, &msg->from) || !GetId64(r, &msg->instance) || !r.Get(&ok)) {
         return nullptr;
@@ -284,14 +286,14 @@ std::shared_ptr<TigerMessage> DecodeMessage(const std::vector<uint8_t>& frame) {
       return msg;
     }
     case MsgKind::kRejoinRequest: {
-      auto msg = std::make_shared<RejoinRequestMsg>();
+      auto msg = MakePooledMessage<RejoinRequestMsg>();
       if (!GetId32(r, &msg->from)) {
         return nullptr;
       }
       return msg;
     }
     case MsgKind::kRejoinReply: {
-      auto msg = std::make_shared<RejoinReplyMsg>();
+      auto msg = MakePooledMessage<RejoinReplyMsg>();
       uint32_t count = 0;
       if (!GetId32(r, &msg->from) || !r.Get(&count)) {
         return nullptr;

@@ -1,0 +1,139 @@
+// Pooled allocation for network message payloads.
+//
+// Every control-plane hop used to cost a make_shared (object + control block)
+// plus, for batches, a fresh wire-record vector — malloc/free churn on the
+// hottest message path in the tree. MakePooledMessage<T>() keeps the
+// std::shared_ptr<const Payload> bus contract but draws the combined
+// object+control-block allocation from a recycling free list, and
+// PoolAllocator<T> does the same for message-internal vectors, so in steady
+// state a message hop performs zero heap allocations.
+//
+// Design: per-thread free lists of 64-byte-granular size classes up to 4 KiB
+// (bigger blocks fall through to plain operator new). Thread-local lists need
+// no locks, which matters because TcpBus sends from node threads and its
+// reader threads decode concurrently; each block is an independent
+// operator-new allocation, so a block may be freed on a different thread than
+// the one that allocated it — it is simply recycled (or released) by the
+// freeing thread. Lists are capped so a burst cannot pin unbounded memory,
+// and each thread releases its retained blocks at exit.
+
+#ifndef SRC_NET_PAYLOAD_POOL_H_
+#define SRC_NET_PAYLOAD_POOL_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace tiger {
+
+namespace pool_internal {
+
+inline constexpr size_t kGranularity = 64;
+inline constexpr size_t kMaxPooledBytes = 4096;
+inline constexpr size_t kNumClasses = kMaxPooledBytes / kGranularity;
+// Per class per thread; overflow blocks are released to the heap.
+inline constexpr size_t kMaxFreePerClass = 1024;
+
+struct FreeBlock {
+  FreeBlock* next;
+};
+
+struct ClassList {
+  FreeBlock* head = nullptr;
+  size_t count = 0;
+  ~ClassList() {
+    while (head != nullptr) {
+      FreeBlock* next = head->next;
+      ::operator delete(head);
+      head = next;
+    }
+  }
+};
+
+struct ThreadCache {
+  ClassList classes[kNumClasses];
+};
+
+inline ThreadCache& Cache() {
+  thread_local ThreadCache cache;
+  return cache;
+}
+
+inline size_t ClassOf(size_t bytes) { return (bytes - 1) / kGranularity; }
+inline size_t ClassBytes(size_t cls) { return (cls + 1) * kGranularity; }
+
+inline void* PoolAlloc(size_t bytes) {
+  if (bytes == 0) {
+    bytes = 1;
+  }
+  if (bytes > kMaxPooledBytes) {
+    return ::operator new(bytes);
+  }
+  ClassList& list = Cache().classes[ClassOf(bytes)];
+  if (list.head != nullptr) {
+    FreeBlock* block = list.head;
+    list.head = block->next;
+    --list.count;
+    return block;
+  }
+  return ::operator new(ClassBytes(ClassOf(bytes)));
+}
+
+inline void PoolFree(void* p, size_t bytes) {
+  if (bytes == 0) {
+    bytes = 1;
+  }
+  if (bytes > kMaxPooledBytes) {
+    ::operator delete(p);
+    return;
+  }
+  ClassList& list = Cache().classes[ClassOf(bytes)];
+  if (list.count >= kMaxFreePerClass) {
+    ::operator delete(p);
+    return;
+  }
+  auto* block = static_cast<FreeBlock*>(p);
+  block->next = list.head;
+  list.head = block;
+  ++list.count;
+}
+
+}  // namespace pool_internal
+
+// Standard allocator over the thread-local pool. Stateless: any instance can
+// free any other instance's blocks. Alignment note: blocks come from plain
+// operator new, so over-aligned types (> alignof(std::max_align_t)) must not
+// use this allocator — no message type is.
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+  static_assert(alignof(T) <= alignof(std::max_align_t),
+                "PoolAllocator cannot serve over-aligned types");
+
+  PoolAllocator() noexcept = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) noexcept {}  // NOLINT: converting
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(pool_internal::PoolAlloc(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t n) noexcept { pool_internal::PoolFree(p, n * sizeof(T)); }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+// Drop-in replacement for std::make_shared on message payloads: one pooled
+// block holds the control block and the object, recycled on the last
+// shared_ptr release.
+template <typename T, typename... Args>
+std::shared_ptr<T> MakePooledMessage(Args&&... args) {
+  return std::allocate_shared<T>(PoolAllocator<T>(), std::forward<Args>(args)...);
+}
+
+}  // namespace tiger
+
+#endif  // SRC_NET_PAYLOAD_POOL_H_

@@ -1,5 +1,6 @@
 #include "src/sim/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace tiger {
@@ -7,10 +8,23 @@ namespace tiger {
 TimerId Simulator::ScheduleAt(TimePoint t, Callback cb) {
   TIGER_CHECK(t >= now_) << "event scheduled in the past: " << t << " < " << now_;
   TIGER_CHECK(cb != nullptr);
-  TimerId id = next_id_++;
-  queue_.push(QueueEntry{t, id});
-  callbacks_.emplace(id, std::move(cb));
-  return id;
+  uint32_t slot;
+  if (free_head_ != kNilSlot) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    TIGER_CHECK(slots_.size() < kLiveSlot) << "event slab exhausted";
+    slots_.emplace_back();
+    slot = static_cast<uint32_t>(slots_.size() - 1);
+  }
+  EventSlot& s = slots_[slot];
+  s.next_free = kLiveSlot;
+  s.seq = next_seq_++;
+  s.cb = std::move(cb);
+  heap_.push_back(HeapEntry{t, s.seq, slot, s.generation});
+  std::push_heap(heap_.begin(), heap_.end(), HeapAfter{});
+  ++live_events_;
+  return MakeId(s.generation, slot);
 }
 
 TimerId Simulator::ScheduleAfter(Duration d, Callback cb) {
@@ -18,39 +32,73 @@ TimerId Simulator::ScheduleAfter(Duration d, Callback cb) {
   return ScheduleAt(now_ + d, std::move(cb));
 }
 
+void Simulator::FreeSlot(uint32_t slot) {
+  EventSlot& s = slots_[slot];
+  s.cb.Reset();
+  if (++s.generation == 0) {
+    s.generation = 1;  // Generation 0 is reserved so kInvalidTimer stays invalid.
+  }
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
 void Simulator::Cancel(TimerId id) {
-  callbacks_.erase(id);
-  // The heap entry is left behind and skipped when popped.
+  const uint32_t slot = SlotOf(id);
+  if (slot >= slots_.size() || slots_[slot].generation != GenOf(id) ||
+      slots_[slot].next_free != kLiveSlot) {
+    return;  // Already fired, already cancelled, or never issued.
+  }
+  FreeSlot(slot);  // Heap entry becomes a tombstone via the generation bump.
+  --live_events_;
+  ++dead_in_heap_;
+  MaybeCompact();
+  SkimCancelledTop();
+}
+
+void Simulator::PopHeap() {
+  std::pop_heap(heap_.begin(), heap_.end(), HeapAfter{});
+  heap_.pop_back();
+}
+
+void Simulator::SkimCancelledTop() {
+  while (!heap_.empty() && IsStale(heap_.front())) {
+    PopHeap();
+    --dead_in_heap_;
+  }
+}
+
+void Simulator::MaybeCompact() {
+  if (dead_in_heap_ < kCompactMinTombstones || dead_in_heap_ * 2 < heap_.size()) {
+    return;
+  }
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const HeapEntry& e) { return IsStale(e); }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), HeapAfter{});
+  dead_in_heap_ = 0;
 }
 
 bool Simulator::Step() {
-  while (!queue_.empty()) {
-    QueueEntry entry = queue_.top();
-    queue_.pop();
-    auto it = callbacks_.find(entry.id);
-    if (it == callbacks_.end()) {
-      continue;  // Cancelled.
-    }
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
-    TIGER_DCHECK(entry.time >= now_);
-    now_ = entry.time;
-    ++processed_;
-    cb();
-    return true;
+  // Invariant: the heap top is never a tombstone (SkimCancelledTop runs after
+  // every pop and cancel), so an empty heap means an empty queue.
+  if (heap_.empty()) {
+    return false;
   }
-  return false;
-}
-
-std::optional<TimePoint> Simulator::PeekNextEventTime() {
-  while (!queue_.empty()) {
-    const QueueEntry& entry = queue_.top();
-    if (callbacks_.contains(entry.id)) {
-      return entry.time;
-    }
-    queue_.pop();  // Cancelled; discard.
-  }
-  return std::nullopt;
+  const HeapEntry top = heap_.front();
+  PopHeap();
+  TIGER_DCHECK(!IsStale(top));
+  TIGER_DCHECK(top.time >= now_);
+  // Move the callback out and free the slot *before* invoking: cancelling the
+  // currently-firing id is then a no-op (its generation is gone), and the
+  // callback may freely schedule events that reuse the slot.
+  Callback cb = std::move(slots_[top.slot].cb);
+  FreeSlot(top.slot);
+  --live_events_;
+  now_ = top.time;
+  ++processed_;
+  SkimCancelledTop();
+  cb();
+  return true;
 }
 
 void Simulator::Run() {
@@ -60,21 +108,8 @@ void Simulator::Run() {
 
 void Simulator::RunUntil(TimePoint t) {
   TIGER_CHECK(t >= now_);
-  while (!queue_.empty()) {
-    QueueEntry entry = queue_.top();
-    if (entry.time > t) {
-      break;
-    }
-    queue_.pop();
-    auto it = callbacks_.find(entry.id);
-    if (it == callbacks_.end()) {
-      continue;
-    }
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
-    now_ = entry.time;
-    ++processed_;
-    cb();
+  while (!heap_.empty() && heap_.front().time <= t) {
+    Step();
   }
   now_ = t;
 }

@@ -4,29 +4,43 @@
 // callbacks scheduled on one Simulator. Events that share a timestamp fire in
 // scheduling order (FIFO tie-break on a monotone sequence number), which makes
 // every run bit-for-bit reproducible from its seed.
+//
+// The engine is allocation-free in steady state (DESIGN.md §6c):
+//
+//  * Event records live in a slab with an intrusive free list. A TimerId is a
+//    generation-checked handle (slot index in the low 32 bits, slot
+//    generation in the high 32), so Cancel is an O(1) generation compare —
+//    no map lookup — and a stale handle from a fired or cancelled timer can
+//    never touch a reused slot.
+//  * Callbacks are stored in a small-buffer-optimized InlineFunction: captures
+//    up to 64 bytes (every hot-path closure in the tree) cost no heap
+//    allocation; larger ones transparently box.
+//  * The binary heap holds plain (time, seq, handle) PODs. Cancelled events
+//    leave tombstones that are skimmed off the top eagerly — the heap top is
+//    always a live event, which is what lets PeekNextEventTime be const —
+//    and compacted in bulk once they exceed half the heap.
 
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
 #include <optional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/check.h"
 #include "src/common/time.h"
+#include "src/sim/inline_function.h"
 
 namespace tiger {
 
-// Identifies a scheduled event so it can be cancelled. Ids are never reused.
+// Identifies a scheduled event so it can be cancelled. A handle is never
+// valid twice: the generation half changes whenever its slot is reused.
 using TimerId = uint64_t;
 constexpr TimerId kInvalidTimer = 0;
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineFunction;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -55,32 +69,88 @@ class Simulator {
   // Executes at most one event; returns false if the queue was empty.
   bool Step();
 
-  // Earliest pending event's timestamp (skimming off cancelled entries), or
-  // nullopt when the queue is empty.
-  std::optional<TimePoint> PeekNextEventTime();
+  // Earliest pending event's timestamp, or nullopt when the queue is empty.
+  // Tombstones are skimmed eagerly on Cancel/dispatch, so this never needs to
+  // mutate the queue and is callable on a const Simulator.
+  std::optional<TimePoint> PeekNextEventTime() const {
+    if (heap_.empty()) {
+      return std::nullopt;
+    }
+    return heap_.front().time;
+  }
 
-  size_t pending_events() const { return callbacks_.size(); }
+  // Live (not cancelled, not yet fired) events.
+  size_t pending_events() const { return live_events_; }
   uint64_t processed_events() const { return processed_; }
+  // Cancelled entries still occupying heap space (bounded by compaction;
+  // exposed for tests).
+  size_t tombstones() const { return dead_in_heap_; }
 
  private:
-  struct QueueEntry {
+  static constexpr uint32_t kNilSlot = 0xffffffffu;   // Free-list terminator.
+  static constexpr uint32_t kLiveSlot = 0xfffffffeu;  // next_free of a live slot.
+  // Compact once tombstones pass this count AND half the heap.
+  static constexpr size_t kCompactMinTombstones = 64;
+
+  struct EventSlot {
+    uint32_t generation = 1;      // Bumped on free; 0 is never used.
+    uint32_t next_free = kNilSlot;  // Free-list link, or kLiveSlot when live.
+    uint64_t seq = 0;             // FIFO tie-break, monotone per ScheduleAt.
+    Callback cb;
+  };
+
+  struct HeapEntry {
     TimePoint time;
-    TimerId id;
-    // Later-scheduled events at the same instant fire later: min-heap, so the
-    // "greater" entry is the one with larger (time, id).
-    bool operator>(const QueueEntry& o) const {
-      if (time != o.time) {
-        return time > o.time;
+    uint64_t seq;
+    uint32_t slot;
+    uint32_t generation;
+  };
+
+  // Min-heap on (time, seq): later-scheduled events at the same instant fire
+  // later. seq is unique, so the order is total and compaction-invariant.
+  struct HeapAfter {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
       }
-      return id > o.id;
+      return a.seq > b.seq;
     }
   };
 
+  static constexpr uint32_t SlotOf(TimerId id) { return static_cast<uint32_t>(id); }
+  static constexpr uint32_t GenOf(TimerId id) { return static_cast<uint32_t>(id >> 32); }
+  static constexpr TimerId MakeId(uint32_t gen, uint32_t slot) {
+    return (static_cast<TimerId>(gen) << 32) | slot;
+  }
+
+  // A heap entry whose slot generation moved on is a tombstone.
+  bool IsStale(const HeapEntry& e) const {
+    return slots_[e.slot].generation != e.generation;
+  }
+
+  // Destroys the callback, bumps the generation (invalidating every
+  // outstanding handle) and returns the slot to the free list.
+  void FreeSlot(uint32_t slot);
+
+  // Removes the top heap entry, maintaining the heap property.
+  void PopHeap();
+
+  // Mutable half of the cancelled-entry skim: pops tombstones off the top
+  // until a live event (or nothing) remains. Called after every operation
+  // that can expose one, which is the invariant PeekNextEventTime relies on.
+  void SkimCancelledTop();
+
+  // Rebuilds the heap without tombstones once they exceed the threshold.
+  void MaybeCompact();
+
   TimePoint now_;
-  TimerId next_id_ = 1;
+  uint64_t next_seq_ = 1;
   uint64_t processed_ = 0;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
-  std::unordered_map<TimerId, Callback> callbacks_;
+  size_t live_events_ = 0;
+  size_t dead_in_heap_ = 0;
+  uint32_t free_head_ = kNilSlot;
+  std::vector<EventSlot> slots_;
+  std::vector<HeapEntry> heap_;
 };
 
 }  // namespace tiger

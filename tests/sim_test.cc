@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/sim/actor.h"
+#include "src/sim/inline_function.h"
 #include "src/sim/simulator.h"
 
 namespace tiger {
@@ -78,6 +83,224 @@ TEST(SimulatorTest, EventAtCurrentInstantRuns) {
   sim.ScheduleAt(sim.Now(), [&] { fired = true; });
   sim.Run();
   EXPECT_TRUE(fired);
+}
+
+// --- timer edge cases (locked in before the slab-engine swap) ---------------
+
+TEST(SimulatorTest, CancelCurrentlyFiringIdIsNoOp) {
+  Simulator sim;
+  bool later_fired = false;
+  TimerId id = kInvalidTimer;
+  id = sim.ScheduleAfter(Duration::Millis(1), [&] {
+    // Cancelling the id that is firing right now must not disturb anything —
+    // in particular not a timer scheduled immediately afterwards that might
+    // reuse the same internal slot.
+    sim.Cancel(id);
+    sim.ScheduleAfter(Duration::Millis(1), [&] { later_fired = true; });
+    sim.Cancel(id);  // Still a no-op, even after the slot was reused.
+  });
+  sim.Run();
+  EXPECT_TRUE(later_fired);
+}
+
+TEST(SimulatorTest, CancelThenRescheduleSameCallsite) {
+  // The deadman pattern: every tick re-arms the same logical timer. Only the
+  // final arming may fire, no matter how many times it was re-armed.
+  Simulator sim;
+  int fired = 0;
+  TimerId deadman = kInvalidTimer;
+  for (int i = 0; i < 10000; ++i) {
+    sim.Cancel(deadman);
+    deadman = sim.ScheduleAt(TimePoint::FromMicros(1000000 + i), [&] { fired++; });
+  }
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), TimePoint::FromMicros(1000000 + 9999));
+}
+
+TEST(SimulatorTest, SameTimestampFifoOrderManyTies) {
+  // >1000 events at one instant, with every third cancelled: survivors must
+  // still fire in exact scheduling order.
+  Simulator sim;
+  constexpr int kTies = 1500;
+  std::vector<int> order;
+  std::vector<TimerId> ids;
+  ids.reserve(kTies);
+  for (int i = 0; i < kTies; ++i) {
+    ids.push_back(sim.ScheduleAt(TimePoint::FromMicros(777), [&order, i] {
+      order.push_back(i);
+    }));
+  }
+  for (int i = 0; i < kTies; i += 3) {
+    sim.Cancel(ids[static_cast<size_t>(i)]);
+  }
+  sim.Run();
+  std::vector<int> expected;
+  for (int i = 0; i < kTies; ++i) {
+    if (i % 3 != 0) {
+      expected.push_back(i);
+    }
+  }
+  EXPECT_EQ(order, expected);
+}
+
+TEST(SimulatorTest, RunUntilEmptyQueueAdvancesClock) {
+  Simulator sim;
+  sim.RunUntil(TimePoint::FromMicros(12345));
+  EXPECT_EQ(sim.Now(), TimePoint::FromMicros(12345));
+  EXPECT_EQ(sim.processed_events(), 0u);
+  sim.Run();  // Still empty; must return immediately with the clock untouched.
+  EXPECT_EQ(sim.Now(), TimePoint::FromMicros(12345));
+}
+
+TEST(SimulatorTest, PendingEventsReportsLiveNotTombstones) {
+  Simulator sim;
+  std::vector<TimerId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sim.ScheduleAt(TimePoint::FromMicros(100 + i), [] {}));
+  }
+  for (int i = 0; i < 60; ++i) {
+    sim.Cancel(ids[static_cast<size_t>(i)]);
+  }
+  EXPECT_EQ(sim.pending_events(), 40u);
+  sim.Run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.processed_events(), 40u);
+}
+
+TEST(SimulatorTest, CancelPeerAtSameInstant) {
+  // First event at an instant cancels the second at the same instant: the
+  // second must not fire even though it is already at the top of the queue.
+  Simulator sim;
+  bool second_fired = false;
+  TimerId second = kInvalidTimer;
+  sim.ScheduleAt(TimePoint::FromMicros(10), [&] { sim.Cancel(second); });
+  second = sim.ScheduleAt(TimePoint::FromMicros(10), [&] { second_fired = true; });
+  sim.Run();
+  EXPECT_FALSE(second_fired);
+}
+
+TEST(SimulatorTest, PeekSkipsCancelledEntries) {
+  Simulator sim;
+  TimerId a = sim.ScheduleAt(TimePoint::FromMicros(100), [] {});
+  sim.ScheduleAt(TimePoint::FromMicros(200), [] {});
+  sim.Cancel(a);
+  ASSERT_TRUE(sim.PeekNextEventTime().has_value());
+  EXPECT_EQ(*sim.PeekNextEventTime(), TimePoint::FromMicros(200));
+}
+
+TEST(SimulatorTest, StaleIdAfterFireNeverCancelsNewTimer) {
+  Simulator sim;
+  TimerId first = sim.ScheduleAfter(Duration::Millis(1), [] {});
+  sim.Run();
+  bool fired = false;
+  sim.ScheduleAfter(Duration::Millis(1), [&] { fired = true; });
+  sim.Cancel(first);  // Long dead; must not hit whatever reused its storage.
+  sim.Run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, HeavyCancelChurnKeepsOrderAndCounts) {
+  // Cancel/re-arm churn far beyond any compaction threshold, interleaved with
+  // live traffic: event order and bookkeeping must be unaffected.
+  Simulator sim;
+  std::vector<int64_t> fire_times;
+  TimerId churn = kInvalidTimer;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 500; ++i) {
+      sim.Cancel(churn);
+      churn = sim.ScheduleAt(sim.Now() + Duration::Seconds(3600), [] {});
+    }
+    sim.ScheduleAfter(Duration::Millis(round + 1), [&] {
+      fire_times.push_back(sim.Now().micros());
+    });
+    sim.RunFor(Duration::Millis(round + 1));
+  }
+  sim.Cancel(churn);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(fire_times.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(fire_times.begin(), fire_times.end()));
+}
+
+// --- slab-engine specifics --------------------------------------------------
+
+TEST(SimulatorTest, PeekNextEventTimeIsConstCallable) {
+  Simulator sim;
+  TimerId a = sim.ScheduleAt(TimePoint::FromMicros(100), [] {});
+  sim.ScheduleAt(TimePoint::FromMicros(200), [] {});
+  sim.Cancel(a);
+  const Simulator& csim = sim;
+  ASSERT_TRUE(csim.PeekNextEventTime().has_value());
+  EXPECT_EQ(*csim.PeekNextEventTime(), TimePoint::FromMicros(200));
+}
+
+TEST(SimulatorTest, CancelledEntriesAreCompacted) {
+  Simulator sim;
+  std::vector<TimerId> ids;
+  constexpr int kTimers = 10000;
+  for (int i = 0; i < kTimers; ++i) {
+    ids.push_back(sim.ScheduleAt(TimePoint::FromMicros(1000 + i), [] {}));
+  }
+  for (int i = 1; i < kTimers; i += 2) {
+    sim.Cancel(ids[static_cast<size_t>(i)]);
+  }
+  EXPECT_EQ(sim.pending_events(), static_cast<size_t>(kTimers) / 2);
+  // Compaction bounds tombstones to (about) the number of live events; 5000
+  // cancels must not leave 5000 dead heap entries behind.
+  EXPECT_LT(sim.tombstones(), static_cast<size_t>(kTimers) / 4);
+  sim.Run();
+  EXPECT_EQ(sim.tombstones(), 0u);
+  EXPECT_EQ(sim.processed_events(), static_cast<uint64_t>(kTimers) / 2);
+}
+
+TEST(InlineFunctionTest, SmallCapturesStayInline) {
+  int x = 0;
+  InlineFunction f([&x] { ++x; });
+  EXPECT_TRUE(f.is_inline());
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  EXPECT_EQ(x, 1);
+}
+
+TEST(InlineFunctionTest, LargeCapturesBoxAndStillRun) {
+  std::array<int64_t, 16> big{};
+  big[0] = 41;
+  int sink = 0;
+  InlineFunction f([big, &sink] { sink = static_cast<int>(big[0]) + 1; });
+  EXPECT_FALSE(f.is_inline());
+  f();
+  EXPECT_EQ(sink, 42);
+}
+
+TEST(InlineFunctionTest, MoveTransfersOwnership) {
+  int calls = 0;
+  InlineFunction a([&calls] { ++calls; });
+  InlineFunction b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT: testing moved-from state
+  b();
+  EXPECT_EQ(calls, 1);
+  InlineFunction c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFunctionTest, MoveOnlyCaptureSupported) {
+  auto owned = std::make_unique<int>(7);
+  int got = 0;
+  InlineFunction f([p = std::move(owned), &got] { got = *p; });
+  f();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(InlineFunctionTest, DestroysCaptureWithoutInvocation) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    InlineFunction f([t = std::move(token)] { (void)t; });
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired()) << "capture must be destroyed with the function";
 }
 
 class CountingActor : public Actor {
