@@ -1,0 +1,372 @@
+// Perf regression gate: diff a fresh BENCH_sim.json against a committed
+// baseline and exit nonzero when a workload regressed.
+//
+//   bench_compare --baseline=bench/baselines/BENCH_sim.json
+//                 --current=BENCH_sim.json [--threshold=0.7]
+//
+// Two gates per workload, chosen for CI survival:
+//
+//  * allocs_per_event: strict (current must not exceed baseline by more than
+//    kAllocSlack). Allocation counts are machine-independent, so this is the
+//    sharp edge that actually catches "someone added a per-event allocation"
+//    — the regression class PR 3's rework was about. Only enforced when BOTH
+//    files were produced with TIGER_COUNT_ALLOCS=ON.
+//  * events_per_sec: current must reach threshold x baseline. CI hardware is
+//    noisy and differs from the machine that produced the baseline, so the
+//    default threshold is deliberately generous; it catches order-of-
+//    magnitude cliffs, not percent-level drift.
+//
+// To regenerate the baseline after an intentional change (documented in
+// EXPERIMENTS.md):
+//   cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release -DTIGER_COUNT_ALLOCS=ON
+//   cmake --build build-rel -j
+//   build-rel/bench/sim_microbench --quick --seed=1 --json=bench/baselines/BENCH_sim.json
+//
+// Only standard library; the parser below handles exactly the JSON subset
+// bench_util.h's JsonWriter emits (flat objects/arrays, no escapes in the
+// strings we read).
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// Allocations are integers divided by event counts; allow float fuzz only.
+constexpr double kAllocSlack = 1e-6;
+constexpr double kDefaultThreshold = 0.7;
+
+// --- minimal JSON reader -----------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject } type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) { return ParseValue(out) && (SkipSpace(), pos_ == text_.size()); }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      pos_++;
+    }
+  }
+
+  bool Literal(const char* s) {
+    const size_t n = std::strlen(s);
+    if (text_.compare(pos_, n, s) != 0) {
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->str);
+      case 't':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = false;
+        return Literal("false");
+      case 'n':
+        out->type = JsonValue::Type::kNull;
+        return Literal("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (text_[pos_] != '"') {
+      return false;
+    }
+    pos_++;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {  // Benchmark names have no escapes; pass through.
+        pos_++;
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+      }
+      out->push_back(text_[pos_++]);
+    }
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    pos_++;  // closing quote
+    return true;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      pos_++;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      pos_++;
+    }
+    if (pos_ == start) {
+      return false;
+    }
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    pos_++;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      pos_++;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      if (!ParseValue(&element)) {
+        return false;
+      }
+      out->array.push_back(std::move(element));
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        pos_++;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        pos_++;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    pos_++;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      pos_++;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (pos_ >= text_.size() || !ParseString(&key)) {
+        return false;
+      }
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return false;
+      }
+      pos_++;
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->object.emplace(std::move(key), std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        pos_++;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        pos_++;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// --- bench schema ------------------------------------------------------------
+
+struct BenchResult {
+  double events_per_sec = 0;
+  double allocs_per_event = 0;
+};
+
+struct BenchFile {
+  bool alloc_counting_enabled = false;
+  std::map<std::string, BenchResult> results;
+};
+
+bool LoadBenchFile(const std::string& path, BenchFile* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  JsonValue root;
+  if (!JsonParser(text).Parse(&root) || root.type != JsonValue::Type::kObject) {
+    *error = path + ": not valid JSON";
+    return false;
+  }
+  const JsonValue* schema = root.Find("schema_version");
+  if (schema == nullptr || schema->number != 1) {
+    *error = path + ": missing or unsupported schema_version";
+    return false;
+  }
+  const JsonValue* alloc = root.Find("alloc_counting_enabled");
+  out->alloc_counting_enabled = alloc != nullptr && alloc->boolean;
+  const JsonValue* results = root.Find("results");
+  if (results == nullptr || results->type != JsonValue::Type::kArray) {
+    *error = path + ": missing results array";
+    return false;
+  }
+  for (const JsonValue& entry : results->array) {
+    const JsonValue* name = entry.Find("name");
+    const JsonValue* eps = entry.Find("events_per_sec");
+    const JsonValue* ape = entry.Find("allocs_per_event");
+    if (name == nullptr || eps == nullptr || ape == nullptr) {
+      *error = path + ": result entry missing name/events_per_sec/allocs_per_event";
+      return false;
+    }
+    out->results[name->str] = BenchResult{eps->number, ape->number};
+  }
+  if (out->results.empty()) {
+    *error = path + ": no results";
+    return false;
+  }
+  return true;
+}
+
+std::string FlagValue(int argc, char** argv, const std::string& flag) {
+  const std::string prefix = "--" + flag + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind(prefix, 0) == 0) {
+      return std::string(argv[i]).substr(prefix.size());
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string baseline_path = FlagValue(argc, argv, "baseline");
+  const std::string current_path = FlagValue(argc, argv, "current");
+  const std::string threshold_str = FlagValue(argc, argv, "threshold");
+  if (baseline_path.empty() || current_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_compare --baseline=<json> --current=<json> "
+                 "[--threshold=%.2f]\n",
+                 kDefaultThreshold);
+    return 2;
+  }
+  const double threshold =
+      threshold_str.empty() ? kDefaultThreshold : std::strtod(threshold_str.c_str(), nullptr);
+  if (!(threshold > 0 && threshold <= 1)) {
+    std::fprintf(stderr, "bench_compare: threshold must be in (0, 1]\n");
+    return 2;
+  }
+
+  BenchFile baseline;
+  BenchFile current;
+  std::string error;
+  if (!LoadBenchFile(baseline_path, &baseline, &error) ||
+      !LoadBenchFile(current_path, &current, &error)) {
+    std::fprintf(stderr, "bench_compare: %s\n", error.c_str());
+    return 2;
+  }
+
+  const bool gate_allocs = baseline.alloc_counting_enabled && current.alloc_counting_enabled;
+  if (!gate_allocs) {
+    std::printf("bench_compare: alloc gate OFF (alloc counting: baseline=%d current=%d)\n",
+                baseline.alloc_counting_enabled ? 1 : 0,
+                current.alloc_counting_enabled ? 1 : 0);
+  }
+
+  int regressions = 0;
+  int compared = 0;
+  for (const auto& [name, base] : baseline.results) {
+    auto it = current.results.find(name);
+    if (it == current.results.end()) {
+      std::printf("MISSING  %-24s (in baseline, not in current run)\n", name.c_str());
+      regressions++;
+      continue;
+    }
+    const BenchResult& cur = it->second;
+    compared++;
+    const double speed_ratio = base.events_per_sec > 0
+                                   ? cur.events_per_sec / base.events_per_sec
+                                   : 1.0;
+    const bool speed_ok = speed_ratio >= threshold;
+    const bool allocs_ok = !gate_allocs ||
+                           cur.allocs_per_event <= base.allocs_per_event + kAllocSlack;
+    std::printf("%-8s %-24s events/s %12.0f -> %12.0f (%5.2fx)  allocs/ev %.4f -> %.4f\n",
+                speed_ok && allocs_ok ? "OK" : "REGRESS", name.c_str(),
+                base.events_per_sec, cur.events_per_sec, speed_ratio,
+                base.allocs_per_event, cur.allocs_per_event);
+    if (!speed_ok) {
+      std::printf("         ^ throughput below %.2fx of baseline\n", threshold);
+      regressions++;
+    }
+    if (!allocs_ok) {
+      std::printf("         ^ allocs_per_event above baseline (machine-independent gate)\n");
+      regressions++;
+    }
+  }
+  for (const auto& [name, r] : current.results) {
+    (void)r;
+    if (baseline.results.find(name) == baseline.results.end()) {
+      std::printf("NEW      %-24s (not in baseline; informational)\n", name.c_str());
+    }
+  }
+
+  if (regressions > 0) {
+    std::printf("bench_compare: %d regression(s) across %d compared workload(s)\n",
+                regressions, compared);
+    return 1;
+  }
+  std::printf("bench_compare: no regressions across %d workload(s)\n", compared);
+  return 0;
+}

@@ -26,6 +26,7 @@ ViewerClient& Testbed::AddLoopingViewer() {
                                                &system_.config(), &system_.catalog(),
                                                &system_.net());
   viewer->SetAddressBook(&system_.addresses());
+  viewer->SetQosLedger(&system_.qos_ledger());
   ViewerClient& ref = *viewer;
   viewers_.push_back(std::move(viewer));
   ref.StartLooping([this] { return PickRandomFile(); });
@@ -37,6 +38,7 @@ ViewerClient& Testbed::AddViewer(FileId file) {
                                                &system_.config(), &system_.catalog(),
                                                &system_.net());
   viewer->SetAddressBook(&system_.addresses());
+  viewer->SetQosLedger(&system_.qos_ledger());
   ViewerClient& ref = *viewer;
   viewers_.push_back(std::move(viewer));
   ref.RequestPlay(file);
@@ -49,6 +51,7 @@ void Testbed::AddLoopingViewers(int count, Duration stagger, bool steady_state) 
                                                  &system_.config(), &system_.catalog(),
                                                  &system_.net());
     viewer->SetAddressBook(&system_.addresses());
+    viewer->SetQosLedger(&system_.qos_ledger());
     ViewerClient* raw = viewer.get();
     viewers_.push_back(std::move(viewer));
     Duration delay = stagger > Duration::Zero()

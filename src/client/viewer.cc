@@ -146,6 +146,9 @@ void ViewerClient::OnBlockData(const BlockDataMsg& msg) {
   }
   progress.complete = true;
   stats_.blocks_complete++;
+  if (qos_ != nullptr) {
+    qos_->RecordClientBlock(id_);
+  }
 
   if (!play.first_block_complete.has_value()) {
     play.first_block_complete = Now();
@@ -158,6 +161,11 @@ void ViewerClient::OnBlockData(const BlockDataMsg& msg) {
         *play.first_block_complete + config_->block_play_time * position;
     if (Now() > expected + kLateTolerance) {
       stats_.late_blocks++;
+      if (qos_ != nullptr) {
+        // Ledger positions are absolute block indexes — the key the serving
+        // cub annotated.
+        qos_->RecordClientLate(Now(), id_, msg.position);
+      }
     }
   }
   RetireBlocks();
@@ -188,6 +196,9 @@ void ViewerClient::RetireBlocks() {
     stats_.lost_blocks++;
     loss_times_.push_back(*play.first_block_complete +
                           config_->block_play_time * play.check_cursor);
+    if (qos_ != nullptr) {
+      qos_->RecordClientLost(Now(), id_, play.start_position + play.check_cursor);
+    }
     if (it != play.progress.end()) {
       play.progress.erase(it);
     }

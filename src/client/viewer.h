@@ -22,6 +22,7 @@
 #include "src/net/network.h"
 #include "src/sim/actor.h"
 #include "src/stats/histogram.h"
+#include "src/stats/qos.h"
 
 namespace tiger {
 
@@ -41,6 +42,9 @@ class ViewerClient : public Actor, public NetworkEndpoint {
                MessageBus* net);
 
   void SetAddressBook(const AddressBook* addresses) { addresses_ = addresses; }
+  // Reports observed glitches (and the complete-block denominator) to the
+  // system's QoS ledger, where they join the cubs' cause annotations.
+  void SetQosLedger(QosLedger* qos) { qos_ = qos; }
 
   // Requests one play of `file` now, from `start_position` (0 = beginning).
   // The client tracks it to completion.
@@ -111,6 +115,7 @@ class ViewerClient : public Actor, public NetworkEndpoint {
   MessageBus* net_;
   NetAddress address_ = kInvalidAddress;
   const AddressBook* addresses_ = nullptr;
+  QosLedger* qos_ = nullptr;
 
   std::optional<ActivePlay> play_;
   std::function<FileId()> picker_;

@@ -42,7 +42,7 @@ Cub::Cub(Simulator* sim, CubId id, const TigerConfig* config, const Catalog* cat
 void Cub::SetTrace(Tracer* tracer, TraceTrackId track, MetricsRegistry* metrics) {
   tracer_ = tracer;
   trace_track_ = track;
-  vstate_lead_ms_ = metrics != nullptr ? &metrics->Hist("vstate.lead_ms") : nullptr;
+  vstate_lead_ms_ = metrics != nullptr ? &metrics->BoundedHist("vstate.lead_ms") : nullptr;
   view_.SetTrace(tracer_, trace_track_);
 }
 
@@ -205,9 +205,21 @@ void Cub::OnViewerState(const ViewerStateRecord& record) {
       break;
     case ScheduleView::ApplyResult::kKilledByDeschedule:
       counters_.records_killed_by_deschedule++;
+      if (qos_ != nullptr) {
+        // A held deschedule killed this record; if the viewer still expected
+        // the block (stop raced the play), the glitch traces back here.
+        qos_->AnnotateServerCause(Now(), record.viewer, record.position,
+                                  GlitchCause::kDescheduleRace, id_.value());
+      }
       break;
     case ScheduleView::ApplyResult::kTooLate:
       counters_.records_too_late++;
+      if (qos_ != nullptr) {
+        // The record reached us after its service window: the control message
+        // that should have carried it arrived late or was dropped upstream.
+        qos_->AnnotateServerCause(Now(), record.viewer, record.position,
+                                  GlitchCause::kDroppedControl, id_.value());
+      }
       break;
     case ScheduleView::ApplyResult::kConflict:
       counters_.records_conflict++;
@@ -371,6 +383,10 @@ void Cub::SendBlock(const ViewerStateRecord::Key& key) {
       // triggered mirror recovery instead, the fragments cover this block and
       // the primary's silence is expected, not a miss.
       counters_.server_missed_blocks++;
+      if (qos_ != nullptr) {
+        qos_->AnnotateServerCause(Now(), record.viewer, record.position,
+                                  GlitchCause::kPrimaryDiskOverload, id_.value());
+      }
       TIGER_TRACE_INSTANT(tracer_, trace_track_, TraceEventType::kBlockMissed,
                           TraceArgs{.viewer = record.viewer.value(),
                                     .slot = record.slot.value(),
@@ -562,6 +578,12 @@ void Cub::RecoverBlockViaMirrors(const ViewerStateRecord::Key& key) {
   }
   entry->mirror_recovery = true;
   counters_.mirror_recoveries++;
+  if (qos_ != nullptr) {
+    // The block will arrive as declustered fragments. Often still on time —
+    // this annotation only surfaces if the client actually glitches.
+    qos_->AnnotateServerCause(Now(), record.viewer, record.position,
+                              GlitchCause::kMirrorFallback, id_.value());
+  }
   // Rendered as a span covering the window the declustered fragments must
   // fill: from the failed read's completion to the block's due time.
   TIGER_TRACE_COMPLETE(tracer_, trace_track_, TraceEventType::kMirrorFallback, Now(),

@@ -39,6 +39,7 @@
 #include "src/schedule/schedule_view.h"
 #include "src/sim/actor.h"
 #include "src/stats/meter.h"
+#include "src/stats/qos.h"
 #include "src/trace/metrics.h"
 #include "src/trace/trace.h"
 
@@ -75,6 +76,11 @@ class Cub : public Actor, public NetworkEndpoint {
   void SetAddressBook(const AddressBook* addresses) { addresses_ = addresses; }
   void SetOracle(ScheduleOracle* oracle) { oracle_ = oracle; }
   void SetFaultStats(FaultStats* stats) { fault_stats_ = stats; }
+  // QoS cause attribution: the cub annotates blocks it knows it degraded
+  // (missed deadline, mirror chain, too-late record, deschedule kill) so the
+  // ledger can name the root cause when the client reports the glitch.
+  // Survives Rejoin().
+  void SetQosLedger(QosLedger* qos) { qos_ = qos; }
   // Wires the observability layer: protocol steps land on `track`, the
   // viewer-state lead distribution feeds `metrics`. Survives Rejoin().
   void SetTrace(Tracer* tracer, TraceTrackId track, MetricsRegistry* metrics);
@@ -197,9 +203,10 @@ class Cub : public Actor, public NetworkEndpoint {
   const AddressBook* addresses_ = nullptr;
   ScheduleOracle* oracle_ = nullptr;
   FaultStats* fault_stats_ = nullptr;
+  QosLedger* qos_ = nullptr;
   Tracer* tracer_ = nullptr;
   TraceTrackId trace_track_ = 0;
-  Histogram* vstate_lead_ms_ = nullptr;
+  BoundedHistogram* vstate_lead_ms_ = nullptr;
   Rng rng_;
 
   std::vector<SimulatedDisk*> disks_;  // Index = local disk index.

@@ -41,6 +41,7 @@ TigerSystem::TigerSystem(TigerConfig config, uint64_t seed)
     cubs_[static_cast<size_t>(c)]->AttachDisks(std::move(cub_disks));
     cubs_[static_cast<size_t>(c)]->SetAddressBook(&addresses_);
     cubs_[static_cast<size_t>(c)]->SetFaultStats(&fault_stats_);
+    cubs_[static_cast<size_t>(c)]->SetQosLedger(&qos_ledger_);
   }
   controller_->SetAddressBook(&addresses_);
   failed_cubs_.assign(static_cast<size_t>(config_.shape.num_cubs), false);
@@ -104,6 +105,26 @@ void TigerSystem::EnableTracing(size_t ring_capacity) {
   }
 }
 
+void TigerSystem::EnableTimeSeries(Duration cadence, size_t ring_capacity) {
+  if (timeseries_) {
+    return;
+  }
+  EnableTracing();  // The sampler reads the registry; make sure one exists.
+  TimeSeriesSampler::Options options;
+  options.interval = cadence;
+  options.ring_capacity = ring_capacity;
+  timeseries_ = std::make_unique<TimeSeriesSampler>(&sim_, metrics_.get(), options);
+  // Refresh derived gauges/counters over the window since the last tick so
+  // meter-based rates (cpu, disk busy) describe the interval, not the run.
+  timeseries_->SetRefreshCallback([this] {
+    const TimePoint now = sim_.Now();
+    if (now > last_sample_window_start_) {
+      SnapshotMetrics(last_sample_window_start_, now);
+      last_sample_window_start_ = now;
+    }
+  });
+}
+
 void TigerSystem::SnapshotMetrics(TimePoint a, TimePoint b) {
   if (!metrics_) {
     return;
@@ -146,15 +167,34 @@ void TigerSystem::SnapshotMetrics(TimePoint a, TimePoint b) {
   }
   control_msgs += net_->ControlMessagesSent(controller_->address());
   m.Counter("net.control_msgs") = control_msgs;
+  // QoS surface: server-side degradation counters (formerly dark — readable
+  // only via Cub::Counters) and the client-observed ledger, under one qos.*
+  // namespace with the unit spelled in the name.
+  m.Counter("qos.records_too_late_count") = totals.records_too_late;
+  m.Counter("qos.server_missed_blocks_count") = totals.server_missed_blocks;
+  m.Counter("qos.deschedule_kills_count") = totals.records_killed_by_deschedule;
+  m.Counter("qos.client_late_blocks_count") = qos_ledger_.total_late();
+  m.Counter("qos.client_lost_blocks_count") = qos_ledger_.total_lost();
+  m.Counter("qos.client_blocks_complete_count") = qos_ledger_.total_blocks();
+  m.Gauge("qos.glitch_rate") = qos_ledger_.FleetRollup().GlitchRate();
 }
 
 bool TigerSystem::WriteChromeTrace(const std::string& path) const {
-  return tracer_ != nullptr && tracer_->WriteChromeJson(path);
+  if (tracer_ == nullptr) {
+    return false;
+  }
+  // Counter tracks from the sampler ride along in the same trace file so
+  // Perfetto draws rates under the event swimlanes.
+  return tracer_->WriteChromeJson(
+      path, timeseries_ ? timeseries_->ChromeCounterEvents() : std::string());
 }
 
 void TigerSystem::Start() {
   for (auto& cub : cubs_) {
     cub->Start();
+  }
+  if (timeseries_) {
+    timeseries_->Start();
   }
 }
 

@@ -23,12 +23,14 @@
 #include "src/disk/disk.h"
 #include "src/net/fault_plan.h"
 #include "src/stats/fault_stats.h"
+#include "src/stats/qos.h"
 #include "src/layout/catalog.h"
 #include "src/layout/striping.h"
 #include "src/net/network.h"
 #include "src/schedule/geometry.h"
 #include "src/sim/simulator.h"
 #include "src/trace/metrics.h"
+#include "src/trace/timeseries.h"
 #include "src/trace/trace.h"
 
 namespace tiger {
@@ -65,6 +67,13 @@ class TigerSystem {
   // means simply never calling this — the hot paths then pay one null check
   // per trace point.
   void EnableTracing(size_t ring_capacity = 32768);
+
+  // Attaches the continuous time-series sampler: every registered metric is
+  // snapshotted at `cadence` into bounded ring-buffer series (counters as
+  // per-interval deltas, gauges as values, histograms as quantiles). Implies
+  // EnableTracing(). Call before Start(); sampling begins when Start() runs.
+  void EnableTimeSeries(Duration cadence = Duration::Seconds(1),
+                        size_t ring_capacity = 4096);
 
   // Begins cub heartbeats and ticks. Call once, before running the simulator.
   void Start();
@@ -112,9 +121,14 @@ class TigerSystem {
   InvariantChecker* invariant_checker() { return invariant_checker_.get(); }
   NetFaultPlan* net_fault_plan() { return net_fault_plan_.get(); }
   FaultStats& fault_stats() { return fault_stats_; }
+  // Always-on per-viewer QoS ledger (src/stats/qos.h): cubs annotate causes,
+  // viewer clients report observed glitches. Cheap enough to never gate.
+  QosLedger& qos_ledger() { return qos_ledger_; }
+  const QosLedger& qos_ledger() const { return qos_ledger_; }
   Rng& rng() { return rng_; }
   Tracer* tracer() { return tracer_.get(); }
   MetricsRegistry* metrics() { return metrics_.get(); }
+  TimeSeriesSampler* timeseries() { return timeseries_.get(); }
 
   // Folds the current schedule/utilization state over [a, b) into the
   // metrics registry (no-op unless EnableTracing was called).
@@ -152,7 +166,10 @@ class TigerSystem {
   std::unique_ptr<NetFaultPlan> net_fault_plan_;
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<TimeSeriesSampler> timeseries_;
   FaultStats fault_stats_;
+  QosLedger qos_ledger_;
+  TimePoint last_sample_window_start_;  // SnapshotMetrics window low edge.
   std::vector<std::unique_ptr<SimulatedDisk>> disks_;  // Index = global disk id.
   std::vector<std::unique_ptr<Cub>> cubs_;
   std::unique_ptr<Controller> controller_;

@@ -159,7 +159,7 @@ void Network::Deliver(MessageEnvelope envelope, uint64_t flow, TimePoint sent) {
 void Network::SetTrace(Tracer* tracer, TraceTrackId track, MetricsRegistry* metrics) {
   tracer_ = tracer;
   trace_track_ = track;
-  hop_latency_us_ = metrics != nullptr ? &metrics->Hist("net.hop_latency_us") : nullptr;
+  hop_latency_us_ = metrics != nullptr ? &metrics->BoundedHist("net.hop_latency_us") : nullptr;
   dropped_msgs_ = metrics != nullptr ? &metrics->Counter("net.msgs_dropped") : nullptr;
 }
 

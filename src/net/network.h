@@ -188,7 +188,7 @@ class Network : public MessageBus {
   NetFaultPlan* fault_plan_ = nullptr;
   Tracer* tracer_ = nullptr;
   TraceTrackId trace_track_ = 0;
-  Histogram* hop_latency_us_ = nullptr;
+  BoundedHistogram* hop_latency_us_ = nullptr;
   int64_t* dropped_msgs_ = nullptr;
   std::vector<Node> nodes_;
   // Last scheduled delivery time per ordered (src,dst) pair; enforces FIFO.

@@ -1,0 +1,129 @@
+#include "src/stats/bounded_histogram.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace tiger {
+
+BoundedHistogram::BoundedHistogram(Options options) : options_(options) {
+  TIGER_CHECK(options_.min_value > 0);
+  TIGER_CHECK(options_.max_value > options_.min_value);
+  TIGER_CHECK(options_.buckets_per_decade > 0);
+  log_min_ = std::log10(options_.min_value);
+  inv_decade_ = static_cast<double>(options_.buckets_per_decade);
+  const double decades = std::log10(options_.max_value) - log_min_;
+  const size_t log_buckets =
+      static_cast<size_t>(std::ceil(decades * inv_decade_ - 1e-9));
+  buckets_.assign(log_buckets + 2, 0);  // + underflow + overflow
+}
+
+namespace {
+
+size_t BucketIndexImpl(double value, double min_value, double max_value, double log_min,
+                       double per_decade, size_t n) {
+  if (!(value >= min_value)) {  // Also catches NaN: count it as underflow.
+    return 0;
+  }
+  if (value >= max_value) {
+    return n - 1;
+  }
+  const size_t i = static_cast<size_t>((std::log10(value) - log_min) * per_decade);
+  // Rounding at an exact bucket edge can land one past the last log bucket.
+  return i + 1 >= n - 1 ? n - 2 : i + 1;
+}
+
+}  // namespace
+
+size_t BoundedHistogram::BucketIndex(double value) const {
+  return BucketIndexImpl(value, options_.min_value, options_.max_value, log_min_,
+                         inv_decade_, buckets_.size());
+}
+
+double BoundedHistogram::BucketLowerBound(size_t i) const {
+  TIGER_CHECK(i < buckets_.size());
+  if (i == 0) {
+    return options_.min_value;  // Underflow: everything below this.
+  }
+  return std::pow(10.0, log_min_ + static_cast<double>(i - 1) / inv_decade_);
+}
+
+void BoundedHistogram::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = value < min_ ? value : min_;
+    max_ = value > max_ ? value : max_;
+  }
+  count_++;
+  sum_ += value;
+  buckets_[BucketIndex(value)]++;
+}
+
+double BoundedHistogram::min() const {
+  TIGER_CHECK(count_ > 0);
+  return min_;
+}
+
+double BoundedHistogram::max() const {
+  TIGER_CHECK(count_ > 0);
+  return max_;
+}
+
+double BoundedHistogram::Mean() const {
+  TIGER_CHECK(count_ > 0);
+  return sum_ / static_cast<double>(count_);
+}
+
+double BoundedHistogram::Percentile(double p) const {
+  TIGER_CHECK(count_ > 0);
+  TIGER_CHECK(p >= 0 && p <= 100);
+  const double rank = p / 100.0 * static_cast<double>(count_ - 1);
+  int64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    const int64_t in_bucket = buckets_[i];
+    if (rank < static_cast<double>(seen + in_bucket)) {
+      // Clamp the estimate to the exact extremes; this also gives the
+      // underflow and overflow buckets (whose width is unbounded) a finite,
+      // honest answer.
+      if (i == 0) {
+        return min_;
+      }
+      if (i + 1 == buckets_.size()) {
+        return max_;
+      }
+      const double lo = BucketLowerBound(i);
+      const double hi = std::pow(10.0, log_min_ + static_cast<double>(i) / inv_decade_);
+      const double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      double estimate = lo * std::pow(hi / lo, frac);
+      if (estimate < min_) {
+        estimate = min_;
+      }
+      if (estimate > max_) {
+        estimate = max_;
+      }
+      return estimate;
+    }
+    seen += in_bucket;
+  }
+  return max_;
+}
+
+std::string BoundedHistogram::Summary() const {
+  if (count_ == 0) {
+    return "n=0";
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%lld mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f",
+                static_cast<long long>(count_), Mean(), Percentile(50), Percentile(95),
+                Percentile(99), max());
+  return buf;
+}
+
+}  // namespace tiger

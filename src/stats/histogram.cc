@@ -8,9 +8,41 @@
 
 namespace tiger {
 
+namespace {
+
+// splitmix64: tiny, deterministic, and statistically fine for reservoir picks.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
 void Histogram::Add(double value) {
-  samples_.push_back(value);
-  sorted_valid_ = false;
+  if (total_count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = value < min_ ? value : min_;
+    max_ = value > max_ ? value : max_;
+  }
+  total_count_++;
+  sum_ += value;
+  if (samples_.size() < kMaxRetained) {
+    samples_.push_back(value);
+    sorted_valid_ = false;
+    return;
+  }
+  // Reservoir (algorithm R): keep this sample with probability cap/total,
+  // evicting a uniformly random resident, so the retained set stays a uniform
+  // subsample of everything ever added.
+  const uint64_t r = NextRandom(&reservoir_state_) % total_count_;
+  if (r < kMaxRetained) {
+    samples_[static_cast<size_t>(r)] = value;
+    sorted_valid_ = false;
+  }
 }
 
 void Histogram::EnsureSorted() const {
@@ -22,29 +54,28 @@ void Histogram::EnsureSorted() const {
 }
 
 double Histogram::min() const {
-  TIGER_CHECK(!samples_.empty());
-  EnsureSorted();
-  return sorted_.front();
+  TIGER_CHECK(total_count_ > 0);
+  return min_;
 }
 
 double Histogram::max() const {
-  TIGER_CHECK(!samples_.empty());
-  EnsureSorted();
-  return sorted_.back();
+  TIGER_CHECK(total_count_ > 0);
+  return max_;
 }
 
 double Histogram::Mean() const {
-  TIGER_CHECK(!samples_.empty());
-  double sum = 0;
-  for (double v : samples_) {
-    sum += v;
-  }
-  return sum / static_cast<double>(samples_.size());
+  TIGER_CHECK(total_count_ > 0);
+  return sum_ / static_cast<double>(total_count_);
 }
 
 double Histogram::Stddev() const {
-  TIGER_CHECK(!samples_.empty());
-  double mean = Mean();
+  TIGER_CHECK(total_count_ > 0);
+  // Two-pass over the retained set (a uniform subsample past the cap).
+  double mean = 0;
+  for (double v : samples_) {
+    mean += v;
+  }
+  mean /= static_cast<double>(samples_.size());
   double sq = 0;
   for (double v : samples_) {
     sq += (v - mean) * (v - mean);
@@ -53,7 +84,7 @@ double Histogram::Stddev() const {
 }
 
 double Histogram::Percentile(double p) const {
-  TIGER_CHECK(!samples_.empty());
+  TIGER_CHECK(total_count_ > 0);
   TIGER_CHECK(p >= 0 && p <= 100);
   EnsureSorted();
   if (sorted_.size() == 1) {
@@ -67,7 +98,7 @@ double Histogram::Percentile(double p) const {
 }
 
 std::string Histogram::Summary() const {
-  if (samples_.empty()) {
+  if (total_count_ == 0) {
     return "n=0";
   }
   char buf[160];

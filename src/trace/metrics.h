@@ -17,6 +17,7 @@
 #include <map>
 #include <string>
 
+#include "src/stats/bounded_histogram.h"
 #include "src/stats/histogram.h"
 
 namespace tiger {
@@ -28,8 +29,20 @@ class MetricsRegistry {
   int64_t& Counter(const std::string& name) { return counters_[name]; }
   double& Gauge(const std::string& name) { return gauges_[name]; }
   Histogram& Hist(const std::string& name) { return hists_[name]; }
+  // Fixed-memory variant for metrics fed from per-message paths.
+  BoundedHistogram& BoundedHist(const std::string& name) { return bounded_hists_[name]; }
 
-  size_t size() const { return counters_.size() + gauges_.size() + hists_.size(); }
+  size_t size() const {
+    return counters_.size() + gauges_.size() + hists_.size() + bounded_hists_.size();
+  }
+
+  // Read-only views for samplers/exporters (std::map: deterministic order).
+  const std::map<std::string, int64_t>& counters() const { return counters_; }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& hists() const { return hists_; }
+  const std::map<std::string, BoundedHistogram>& bounded_hists() const {
+    return bounded_hists_;
+  }
 
   // One "name kind value" line per metric, sorted by name within each kind
   // (std::map order), so two identical runs print byte-identical summaries.
@@ -41,6 +54,7 @@ class MetricsRegistry {
   std::map<std::string, int64_t> counters_;
   std::map<std::string, double> gauges_;
   std::map<std::string, Histogram> hists_;
+  std::map<std::string, BoundedHistogram> bounded_hists_;
 };
 
 }  // namespace tiger

@@ -242,7 +242,7 @@ std::string Tracer::TextDump() const {
   return out;
 }
 
-std::string Tracer::ChromeJson() const {
+std::string Tracer::ChromeJson(const std::string& extra_events) const {
   // All tracks live in one process; each track is a thread so Perfetto lays
   // cubs/disks/net out as parallel swimlanes.
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
@@ -316,16 +316,18 @@ std::string Tracer::ChromeJson() const {
     }
     out += "}}";
   }
+  out += extra_events;
   out += "\n]}\n";
   return out;
 }
 
-bool Tracer::WriteChromeJson(const std::string& path) const {
+bool Tracer::WriteChromeJson(const std::string& path,
+                             const std::string& extra_events) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return false;
   }
-  const std::string json = ChromeJson();
+  const std::string json = ChromeJson(extra_events);
   const size_t written = std::fwrite(json.data(), 1, json.size(), f);
   const int closed = std::fclose(f);
   return written == json.size() && closed == 0;

@@ -138,9 +138,16 @@ class Tracer {
   std::string TextDump() const;
 
   // Chrome trace_event JSON (the "JSON Array Format" plus displayTimeUnit),
-  // loadable in chrome://tracing and https://ui.perfetto.dev.
-  std::string ChromeJson() const;
-  bool WriteChromeJson(const std::string& path) const;
+  // loadable in chrome://tracing and https://ui.perfetto.dev. `extra_events`
+  // is an optional fragment of ",\n{...}" event objects spliced into the
+  // event array before it closes — TimeSeriesSampler::ChromeCounterEvents()
+  // produces one, adding counter tracks under the event timeline.
+  std::string ChromeJson() const { return ChromeJson(std::string()); }
+  std::string ChromeJson(const std::string& extra_events) const;
+  bool WriteChromeJson(const std::string& path) const {
+    return WriteChromeJson(path, std::string());
+  }
+  bool WriteChromeJson(const std::string& path, const std::string& extra_events) const;
 
   static const char* TypeName(TraceEventType type);
   static const char* TypeCategory(TraceEventType type);

@@ -43,6 +43,16 @@ struct ChaosOutcome {
   int64_t late_plays_started = 0;
   int64_t late_inserts_at_revived_cub = 0;
   double late_startup_seconds = 0.0;
+  // --- QoS ledger (src/stats/qos.h) ---
+  QosLedger::Rollup qos_fleet;
+  int64_t qos_glitches_retained = 0;
+  int64_t qos_failure_window_glitches = 0;
+  int64_t qos_mirror_annotations = 0;
+  int64_t qos_overload_annotations = 0;
+  // --- time-series sampler ---
+  size_t ts_series = 0;
+  size_t ts_ticks = 0;
+  std::string ts_csv;
 };
 
 ChaosOutcome RunChaosScenario(uint64_t seed, bool print_summary) {
@@ -52,6 +62,9 @@ ChaosOutcome RunChaosScenario(uint64_t seed, bool print_summary) {
   system.EnableInvariantChecker();
   system.EnableNetFaultPlan();
   system.EnableTracing();
+  // Continuous telemetry: one metrics snapshot per simulated second, exported
+  // below as CSV next to the trace when CI collects artifacts.
+  system.EnableTimeSeries(Duration::Seconds(1));
 
   const TimePoint t0 = TimePoint::Zero();
   // Delay and duplicate cub-originated control messages for overlapping
@@ -120,6 +133,17 @@ ChaosOutcome RunChaosScenario(uint64_t seed, bool print_summary) {
   out.disk_errors = system.fault_stats().Count(FaultStats::Kind::kTransientDiskError);
   out.limped = system.fault_stats().Count(FaultStats::Kind::kLimpedRead);
   out.rejoin_events = system.fault_stats().Count(FaultStats::Kind::kCubRejoin);
+  out.qos_fleet = system.qos_ledger().FleetRollup();
+  out.qos_glitches_retained = static_cast<int64_t>(system.qos_ledger().glitches().size());
+  out.qos_failure_window_glitches =
+      system.qos_ledger().GlitchesByCause(GlitchCause::kFailureWindow);
+  out.qos_mirror_annotations =
+      system.qos_ledger().AnnotationsByCause(GlitchCause::kMirrorFallback);
+  out.qos_overload_annotations =
+      system.qos_ledger().AnnotationsByCause(GlitchCause::kPrimaryDiskOverload);
+  out.ts_series = system.timeseries()->series_count();
+  out.ts_ticks = system.timeseries()->tick_count();
+  out.ts_csv = system.timeseries()->Csv();
   out.late_plays_started = late.stats().plays_started;
   out.late_inserts_at_revived_cub = system.cub(CubId(4)).counters().inserts - inserts_before;
   if (late.startup_latency().count() > 0) {
@@ -138,6 +162,8 @@ ChaosOutcome RunChaosScenario(uint64_t seed, bool print_summary) {
     if (const char* dir = std::getenv("TIGER_ARTIFACT_DIR"); dir != nullptr) {
       EXPECT_TRUE(system.WriteChromeTrace(std::string(dir) + "/chaos_trace.json"));
       EXPECT_TRUE(system.metrics()->WriteSummary(std::string(dir) + "/chaos_metrics.txt"));
+      EXPECT_TRUE(system.timeseries()->WriteCsv(std::string(dir) + "/chaos_timeseries.csv"));
+      EXPECT_TRUE(system.qos_ledger().WriteCsv(std::string(dir) + "/chaos_qos.csv"));
     }
   }
   return out;
@@ -178,6 +204,33 @@ TEST(ChaosTest, SeededFaultPlanHoldsInvariantsAndBoundsGlitches) {
       << "the start must be inserted by the revived cub itself";
   EXPECT_GT(out.late_startup_seconds, 0.0);
   EXPECT_LT(out.late_startup_seconds, 5.0);
+
+  // --- QoS ledger: every client-observed glitch is attributed to a cause ---
+  EXPECT_EQ(out.qos_fleet.blocks, out.totals.blocks_complete)
+      << "ledger denominator must match the clients' own count";
+  EXPECT_EQ(out.qos_fleet.late, out.totals.late_blocks);
+  EXPECT_EQ(out.qos_fleet.lost, out.totals.lost_blocks);
+  int64_t attributed = 0;
+  for (size_t c = 0; c < static_cast<size_t>(GlitchCause::kCauseCount); ++c) {
+    attributed += out.qos_fleet.by_cause[c];
+  }
+  EXPECT_EQ(attributed, out.qos_fleet.late + out.qos_fleet.lost)
+      << "every glitch must carry exactly one cause";
+  EXPECT_EQ(out.qos_glitches_retained, out.qos_fleet.late + out.qos_fleet.lost)
+      << "no glitches were dropped in this scenario";
+  // The injected faults show up as correctly attributed entries: the cub-4
+  // crash loses blocks whose server died without annotating (failure window),
+  // and the disk-error burst / limp force server-side annotations.
+  EXPECT_GT(out.qos_fleet.lost, 0);
+  EXPECT_GT(out.qos_failure_window_glitches, 0)
+      << "crash-window losses must be attributed to the failure window";
+  EXPECT_GT(out.qos_mirror_annotations, 0)
+      << "the disk-error burst must annotate mirror fallbacks";
+
+  // --- time-series sampler: continuous and exported ---
+  EXPECT_GE(out.ts_series, 3u) << "counters, gauges and quantiles must all sample";
+  EXPECT_GE(out.ts_ticks, 100u) << "one tick per simulated second for 110 s";
+  EXPECT_EQ(out.ts_csv.compare(0, 7, "time_s,"), 0);
 }
 
 TEST(ChaosTest, IdenticalSeedsProduceIdenticalFaultSequences) {
@@ -190,6 +243,10 @@ TEST(ChaosTest, IdenticalSeedsProduceIdenticalFaultSequences) {
   EXPECT_EQ(a.counters.records_received, b.counters.records_received);
   EXPECT_EQ(a.invariant_violations, 0);
   EXPECT_EQ(b.invariant_violations, 0);
+  // The continuous telemetry is part of the determinism contract too.
+  EXPECT_EQ(a.ts_csv, b.ts_csv) << "same seed must sample identical time series";
+  EXPECT_EQ(a.qos_fleet.late, b.qos_fleet.late);
+  EXPECT_EQ(a.qos_fleet.lost, b.qos_fleet.lost);
 }
 
 // The single-seed test above proves one scripted run in depth; this sweep
