@@ -13,6 +13,10 @@
 //   message_hop           control-plane ping-pong through the simulated
 //                         Network (payload allocation, FIFO clamp, delivery
 //                         event per hop);
+//   message_hop_lineage   the same hops carrying lineage-tagged viewer-state
+//                         records through the wire codec (Lamport merge,
+//                         successor restamp, encode/decode) — prices the
+//                         audit lineage machinery against message_hop;
 //   cub_ring_90pct        end-to-end distributed-schedule system at 90%
 //                         load, the workload behind bench/scalability.
 //
@@ -209,6 +213,95 @@ WorkloadResult MessageHop(bool quick, uint64_t seed) {
   });
 }
 
+// --- workload 3b: message hops with lineage tagging -------------------------
+//
+// The same ping-pong, but each hop carries a full lineage-tagged viewer-state
+// record through the real wire path: merge the Lamport clock on receive,
+// advance the successor (sequence, position, due, hop count), restamp, encode
+// into a batch message. Diffing against message_hop prices the audit lineage
+// machinery; the acceptance bar is zero steady-state allocations per hop.
+
+class LineagePingPonger : public NetworkEndpoint {
+ public:
+  void Init(Network* net, NetAddress self, NetAddress peer, uint64_t* remaining) {
+    net_ = net;
+    self_ = self;
+    peer_ = peer;
+    remaining_ = remaining;
+    record_.viewer = ViewerId(static_cast<uint32_t>(self));
+    record_.instance = PlayInstanceId(self);
+    record_.slot = SlotId(static_cast<uint32_t>(self));
+    record_.due = TimePoint::Zero() + Duration::Seconds(5);
+    record_.lineage.origin_cub = static_cast<uint32_t>(self);
+    record_.lineage.epoch = 1;
+    record_.lineage.MarkTagged();
+    scratch_.reserve(ViewerStateBatchMsg::kReserveRecords);
+  }
+  void Kick() { SendOne(); }
+  void HandleMessage(const MessageEnvelope& envelope) override {
+    const auto& batch = static_cast<const ViewerStateBatchMsg&>(*envelope.payload);
+    batch.DecodeInto(&scratch_);
+    for (const ViewerStateRecord& record : scratch_) {
+      // Cub::MergeLineageClock's merge rule.
+      if (record.lineage.lamport > lamport_) {
+        lamport_ = record.lineage.lamport;
+      }
+      record_ = record;
+    }
+    SendOne();
+  }
+
+ private:
+  void SendOne() {
+    if (*remaining_ == 0) {
+      return;
+    }
+    --*remaining_;
+    // Successor + restamp, as in Cub::MaybeForwardEntry.
+    record_.sequence++;
+    record_.position++;
+    record_.due += Duration::Seconds(1);
+    record_.lineage.hop_count++;
+    record_.lineage.lamport = ++lamport_;
+    auto msg = MakePooledMessage<ViewerStateBatchMsg>();
+    msg->Add(record_);
+    net_->Send(self_, peer_, kViewerStateWireBytes + 16, std::move(msg));
+  }
+
+  Network* net_ = nullptr;
+  NetAddress self_ = kInvalidAddress;
+  NetAddress peer_ = kInvalidAddress;
+  uint64_t* remaining_ = nullptr;
+  ViewerStateRecord record_;
+  std::vector<ViewerStateRecord> scratch_;
+  uint64_t lamport_ = 0;
+};
+
+WorkloadResult MessageHopLineage(bool quick, uint64_t seed) {
+  const uint64_t kHops = quick ? 100'000 : 1'000'000;
+  const int kPairs = 8;
+  Simulator sim;
+  Network net(&sim, NetworkConfig{}, Rng(seed));
+  uint64_t remaining = 0;
+  std::vector<LineagePingPonger> nodes(2 * kPairs);
+  std::vector<NetAddress> addrs;
+  for (auto& n : nodes) {
+    addrs.push_back(net.Attach(&n, "bench", Megabits(1000)));
+  }
+  for (int p = 0; p < kPairs; ++p) {
+    nodes[2 * p].Init(&net, addrs[2 * p], addrs[2 * p + 1], &remaining);
+    nodes[2 * p + 1].Init(&net, addrs[2 * p + 1], addrs[2 * p], &remaining);
+  }
+  return Measure("message_hop_lineage", kHops, quick ? 3 : 5, [&] {
+    remaining = kHops;
+    for (int p = 0; p < kPairs; ++p) {
+      nodes[2 * p].Kick();
+    }
+    sim.Run();
+    TIGER_CHECK(remaining == 0);
+  });
+}
+
 // --- workload 4: end-to-end 90%-load cub ring -------------------------------
 
 WorkloadResult CubRing(bool quick, uint64_t seed) {
@@ -254,6 +347,7 @@ int Main(int argc, char** argv) {
   results.push_back(ScheduleFire(args.quick));
   results.push_back(ScheduleCancelFire(args.quick));
   results.push_back(MessageHop(args.quick, args.seed));
+  results.push_back(MessageHopLineage(args.quick, args.seed));
   results.push_back(CubRing(args.quick, args.seed));
 
   TextTable table({"workload", "events", "best_wall_s", "events/sec", "allocs/event"});

@@ -82,6 +82,15 @@ struct TigerConfig {
   // consecutive failures. The forwarding ablation turns it off to expose the
   // §4.1.1 tradeoff.
   bool reforward_on_failure = true;
+  // TTL guard on forwarded viewer states. A record whose lineage hop count
+  // exceeds its own sequence number by more than this slack has been around
+  // the ring more times than the schedule can explain (a re-forward loop
+  // under partition + rejoin); the receiving cub drops it instead of
+  // applying. In a healthy ring hop_count tracks sequence (+1 each per
+  // successor hop), so the slack only needs to absorb re-sends: failure
+  // re-forwarding, rejoin replays, and mirror fragment synthesis. 0 disables
+  // the guard. Only enforced on lineage-tagged records.
+  int max_hop_slack = 64;
 
   // --- insertion (§4.1.3) ---
   // Gap between winning a slot and the block being due at the network; covers

@@ -109,6 +109,15 @@ void Controller::OnClientRequest(const ClientRequestMsg& msg) {
   }
 }
 
+RecordLineage Controller::MintMessageLineage() {
+  RecordLineage lineage;
+  lineage.origin_cub = kControllerLineageOrigin;
+  lineage.epoch = next_msg_epoch_++;
+  lineage.MarkTagged();
+  lineage.lamport = ++lamport_;
+  return lineage;
+}
+
 CubId Controller::TargetCubForDisk(DiskId disk) const {
   CubId owner = config_->shape.CubOfDisk(disk);
   if (failure_view_.IsCubFailed(owner)) {
@@ -139,6 +148,7 @@ void Controller::RouteStart(const ClientRequestMsg& msg) {
   start->file = msg.file;
   start->bitrate_bps = file.bitrate_bps;
   start->start_position = msg.start_position;
+  start->lineage = MintMessageLineage();
 
   DiskId first_disk = layout_->PrimaryDisk(file, msg.start_position);
   CubId primary = TargetCubForDisk(first_disk);
@@ -172,6 +182,7 @@ void Controller::RouteStop(const ClientRequestMsg& msg) {
       auto deschedule = MakePooledMessage<DescheduleMsg>();
       deschedule->record =
           DescheduleRecord{msg.viewer, msg.instance, SlotId::Invalid()};
+      deschedule->lineage = MintMessageLineage();
       for (int cub = 0; cub < config_->shape.num_cubs; ++cub) {
         CubId target(static_cast<uint32_t>(cub));
         if (!failure_view_.IsCubFailed(target)) {
@@ -213,6 +224,7 @@ void Controller::RouteStop(const ClientRequestMsg& msg) {
 
   auto deschedule = MakePooledMessage<DescheduleMsg>();
   deschedule->record = record;
+  deschedule->lineage = MintMessageLineage();
   net_->Send(address_, addresses_->CubAddress(target), DescheduleMsg::WireBytes(), deschedule);
   CubId backup = failure_view_.FirstLivingSuccessor(target);
   net_->Send(address_, addresses_->CubAddress(backup), DescheduleMsg::WireBytes(),

@@ -91,6 +91,10 @@ class Controller : public Actor, public NetworkEndpoint {
   // First living cub responsible for `disk`'s requests.
   CubId TargetCubForDisk(DiskId disk) const;
 
+  // Mints message-level lineage for an outgoing start/kill (audit trail;
+  // zero protocol effect).
+  RecordLineage MintMessageLineage();
+
   const TigerConfig* config_;
   const Catalog* catalog_;
   const StripeLayout* layout_;
@@ -102,6 +106,9 @@ class Controller : public Actor, public NetworkEndpoint {
   Counters counters_;
   CumulativeMeter cpu_;
   uint64_t next_instance_ = 1;
+  // Lineage state for controller-minted start/kill messages.
+  uint64_t lamport_ = 0;
+  uint32_t next_msg_epoch_ = 1;
   std::unordered_map<uint64_t, PlayStub> plays_;  // By instance id.
   std::function<void(const StartConfirmMsg&)> confirm_callback_;
   // Standby / failover state.

@@ -39,6 +39,31 @@ Cub::Cub(Simulator* sim, CubId id, const TigerConfig* config, const Catalog* cat
   address_ = net_->Attach(this, name(), config->cub_nic_bps);
 }
 
+// ---------------------------------------------------------------------------
+// Lineage (audit)
+// ---------------------------------------------------------------------------
+
+void Cub::MintLineage(ViewerStateRecord* record) {
+  record->lineage = RecordLineage{};
+  record->lineage.origin_cub = id_.value();
+  record->lineage.epoch = next_record_epoch_++;
+  record->lineage.MarkTagged();
+  record->lineage.lamport = ++lamport_;
+}
+
+void Cub::StampLineageForSend(ViewerStateRecord* record) {
+  if (!record->lineage.tagged()) {
+    return;  // Minted by a lineage-unaware peer; nothing to stamp.
+  }
+  record->lineage.lamport = ++lamport_;
+}
+
+void Cub::MergeLineageClock(const ViewerStateRecord& record) {
+  if (record.lineage.tagged() && record.lineage.lamport > lamport_) {
+    lamport_ = record.lineage.lamport;
+  }
+}
+
 void Cub::SetTrace(Tracer* tracer, TraceTrackId track, MetricsRegistry* metrics) {
   tracer_ = tracer;
   trace_track_ = track;
@@ -183,12 +208,45 @@ void Cub::OnViewerStateBatch(const ViewerStateBatchMsg& msg) {
 void Cub::OnViewerState(const ViewerStateRecord& record) {
   ChargeCpu(config_->cpu.per_viewer_state);
   counters_.records_received++;
+  MergeLineageClock(record);
+  if (config_->max_hop_slack > 0 && record.lineage.tagged() &&
+      static_cast<int64_t>(record.lineage.hop_count) >
+          record.sequence + config_->max_hop_slack) {
+    // In a healthy ring hop_count tracks sequence (both advance together per
+    // successor hop); a record far ahead of that has been re-forwarded in a
+    // loop (partition + rejoin pathology). Drop it before the view sees it.
+    counters_.records_ttl_dropped++;
+    TIGER_TRACE_INSTANT(tracer_, trace_track_, TraceEventType::kVStateTtlDrop,
+                        TraceArgs{.viewer = record.viewer.value(),
+                                  .slot = record.slot.value(),
+                                  .a = static_cast<int64_t>(record.lineage.ChainId()),
+                                  .b = record.lineage.hop_count});
+    if (qos_ != nullptr) {
+      qos_->AnnotateServerCause(Now(), record.viewer, record.position,
+                                GlitchCause::kHopTtlExceeded, id_.value());
+    }
+    if (auditor_ != nullptr) {
+      auditor_->OnRecordTtlDropped(Now(), id_.value(), record);
+    }
+    return;
+  }
   TIGER_TRACE_INSTANT(tracer_, trace_track_, TraceEventType::kVStateReceive,
                       TraceArgs{.viewer = record.viewer.value(),
                                 .slot = record.slot.value(),
                                 .a = record.position,
                                 .b = record.mirror_fragment});
-  switch (view_.ApplyViewerState(record, Now())) {
+  if (record.lineage.tagged()) {
+    TIGER_TRACE_INSTANT(tracer_, trace_track_, TraceEventType::kLineageHop,
+                        TraceArgs{.viewer = record.viewer.value(),
+                                  .slot = record.slot.value(),
+                                  .a = static_cast<int64_t>(record.lineage.ChainId()),
+                                  .b = record.lineage.hop_count});
+  }
+  const ScheduleView::ApplyResult apply_result = view_.ApplyViewerState(record, Now());
+  if (auditor_ != nullptr) {
+    auditor_->OnRecordReceived(Now(), id_.value(), record, apply_result);
+  }
+  switch (apply_result) {
     case ScheduleView::ApplyResult::kNew: {
       counters_.records_new++;
       if (vstate_lead_ms_ != nullptr && tracer_ != nullptr && tracer_->enabled()) {
@@ -458,6 +516,11 @@ std::optional<ViewerStateRecord> Cub::SuccessorRecord(const ViewerStateRecord& r
   const FileInfo& file = catalog_->Get(record.file);
   ViewerStateRecord next = record;
   next.sequence++;
+  if (next.lineage.tagged() && next.lineage.hop_count < UINT16_MAX) {
+    // Hop advances in lockstep with sequence; the TTL guard and the
+    // auditor's chain walk both rely on that pairing.
+    next.lineage.hop_count++;
+  }
   if (record.is_mirror()) {
     if (record.mirror_fragment + 1 >= config_->shape.decluster_factor) {
       return std::nullopt;  // Last fragment of this block's mirror chain.
@@ -516,6 +579,13 @@ void Cub::TakeoverRecord(const ViewerStateRecord::Key& key) {
         ViewerStateRecord fragment = record;
         fragment.mirror_fragment = j;
         fragment.due = record.due + offset;
+        if (fragment.lineage.tagged() && fragment.lineage.hop_count < UINT16_MAX) {
+          fragment.lineage.hop_count++;  // The chain branches: one synthesis hop.
+        }
+        if (auditor_ != nullptr) {
+          auditor_->OnRecordCreated(Now(), id_.value(),
+                                    AuditObserver::CreateKind::kTakeover, fragment);
+        }
         if (IsMyDisk(loc.disk)) {
           apply_local(fragment);
         } else {
@@ -542,6 +612,12 @@ void Cub::TakeoverRecord(const ViewerStateRecord::Key& key) {
     return;
   }
   DiskId next_disk = ServingDisk(*next);
+  if (auditor_ != nullptr) {
+    // The successor record is synthesized here on the dead cub's behalf,
+    // whether it is applied locally or handed to the owning cub below.
+    auditor_->OnRecordCreated(Now(), id_.value(), AuditObserver::CreateKind::kTakeover,
+                              *next);
+  }
   if (IsMyDisk(next_disk) && !failure_view_.IsDiskFailed(next_disk)) {
     // No explicit extra copy is needed for fault tolerance: our successor
     // already holds `record` (the predecessor state) as a backup, and its own
@@ -604,6 +680,13 @@ void Cub::RecoverBlockViaMirrors(const ViewerStateRecord::Key& key) {
       ViewerStateRecord fragment = record;
       fragment.mirror_fragment = j;
       fragment.due = record.due + offset;
+      if (fragment.lineage.tagged() && fragment.lineage.hop_count < UINT16_MAX) {
+        fragment.lineage.hop_count++;
+      }
+      if (auditor_ != nullptr) {
+        auditor_->OnRecordCreated(Now(), id_.value(),
+                                  AuditObserver::CreateKind::kMirrorRecovery, fragment);
+      }
       SendRecordsTo(config_->shape.CubOfDisk(loc.disk), {fragment});
       break;
     }
@@ -655,9 +738,22 @@ void Cub::MaybeForwardEntry(ScheduleEntry& entry,
     return;
   }
   entry.forwarded = true;
+  StampLineageForSend(&*next);
+  // Self-check corruption (InjectAuditCorruption): the forward evidence below
+  // describes the honest record, but the wire carries `out` — due shifted by
+  // 1ms. Same DedupKey, so the protocol at worst re-times one block; the
+  // auditor's shadow arithmetic must catch the disagreement.
+  ViewerStateRecord out = *next;
+  if (corrupt_next_forward_) {
+    corrupt_next_forward_ = false;
+    out.due = out.due + Duration::Millis(1);
+  }
   int targets = 0;
   for (CubId target : failure_view_.NextLivingSuccessors(id_, config_->forward_copies)) {
-    batches[addresses_->CubAddress(target)].Add(*next);
+    if (auditor_ != nullptr) {
+      auditor_->OnRecordForwarded(Now(), id_.value(), target.value(), *next);
+    }
+    batches[addresses_->CubAddress(target)].Add(out);
     ++targets;
   }
   TIGER_TRACE_INSTANT(tracer_, trace_track_, TraceEventType::kVStateForward,
@@ -704,7 +800,11 @@ void Cub::SendRecordsTo(CubId target, const std::vector<ViewerStateRecord>& reco
   }
   ChargeMessageCpu();
   auto msg = MakePooledMessage<ViewerStateBatchMsg>();
-  for (const ViewerStateRecord& record : records) {
+  for (ViewerStateRecord record : records) {
+    StampLineageForSend(&record);
+    if (auditor_ != nullptr) {
+      auditor_->OnRecordForwarded(Now(), id_.value(), target.value(), record);
+    }
     msg->Add(record);
   }
   TIGER_TRACE_BEGIN_FLOW(msg->trace_flow, tracer_, trace_track_, TraceEventType::kVStateHop,
@@ -721,6 +821,9 @@ void Cub::SendRecordsTo(CubId target, const std::vector<ViewerStateRecord>& reco
 void Cub::OnDeschedule(const DescheduleMsg& msg) {
   ChargeMessageCpu();
   counters_.deschedules_received++;
+  if (msg.lineage.tagged() && msg.lineage.lamport > lamport_) {
+    lamport_ = msg.lineage.lamport;
+  }
   DescheduleRecord record = msg.record;
 
   // Purge any queued (not yet inserted) start for this instance.
@@ -749,6 +852,10 @@ void Cub::OnDeschedule(const DescheduleMsg& msg) {
 
   const TimePoint hold_until = Now() + config_->max_vstate_lead + config_->deschedule_hold;
   ScheduleView::DescheduleOutcome outcome = view_.ApplyDeschedule(record, Now(), hold_until);
+  if (auditor_ != nullptr) {
+    auditor_->OnKill(Now(), id_.value(), record,
+                     static_cast<int>(outcome.removed.size()), outcome.new_hold);
+  }
   if (!outcome.removed.empty()) {
     counters_.deschedules_applied++;
     for (const ScheduleEntry& removed : outcome.removed) {
@@ -781,6 +888,13 @@ void Cub::OnDeschedule(const DescheduleMsg& msg) {
   }
   auto forward = MakePooledMessage<DescheduleMsg>();
   forward->record = record;
+  forward->lineage = msg.lineage;
+  if (forward->lineage.tagged()) {
+    if (forward->lineage.hop_count < UINT16_MAX) {
+      forward->lineage.hop_count++;
+    }
+    forward->lineage.lamport = ++lamport_;
+  }
   for (CubId target : failure_view_.NextLivingSuccessors(id_, config_->forward_copies)) {
     ChargeMessageCpu();
     net_->Send(address_, addresses_->CubAddress(target), DescheduleMsg::WireBytes(), forward);
@@ -880,6 +994,11 @@ void Cub::InsertViewer(DiskId disk, SlotId slot, TimePoint due, const StartPlayM
   record.sequence = 0;
   record.bitrate_bps = msg.bitrate_bps > 0 ? msg.bitrate_bps : file.bitrate_bps;
   record.due = due;
+  MintLineage(&record);
+  if (auditor_ != nullptr) {
+    auditor_->OnRecordCreated(Now(), id_.value(), AuditObserver::CreateKind::kInsert,
+                              record);
+  }
 
   ScheduleView::ApplyResult result = view_.ApplyViewerState(record, Now());
   TIGER_CHECK(result == ScheduleView::ApplyResult::kNew)
@@ -914,6 +1033,12 @@ void Cub::BootstrapRecord(const ViewerStateRecord& record) {
   ScheduleView::ApplyResult result = view_.ApplyViewerState(record, Now());
   TIGER_CHECK(result == ScheduleView::ApplyResult::kNew ||
               result == ScheduleView::ApplyResult::kDuplicate);
+  if (auditor_ != nullptr) {
+    // Bootstrap seeds the same record on the slot owner and its backup; the
+    // auditor treats the second creation as expected redundancy.
+    auditor_->OnRecordCreated(Now(), id_.value(), AuditObserver::CreateKind::kBootstrap,
+                              record);
+  }
   if (result == ScheduleView::ApplyResult::kNew) {
     seen_instances_.insert(record.instance.value());
     ProcessAcceptedRecord(record.DedupKey());

@@ -27,6 +27,7 @@
 #include "src/common/ids.h"
 #include "src/common/rng.h"
 #include "src/core/address_book.h"
+#include "src/core/audit_hooks.h"
 #include "src/core/block_cache.h"
 #include "src/core/config.h"
 #include "src/core/failure_view.h"
@@ -66,6 +67,8 @@ class Cub : public Actor, public NetworkEndpoint {
     int64_t disk_read_errors = 0;
     int64_t mirror_recoveries = 0;
     int64_t rejoins = 0;
+    // Records dropped by the lineage hop-count TTL guard (re-forward loops).
+    int64_t records_ttl_dropped = 0;
   };
 
   Cub(Simulator* sim, CubId id, const TigerConfig* config, const Catalog* catalog,
@@ -84,6 +87,14 @@ class Cub : public Actor, public NetworkEndpoint {
   // Wires the observability layer: protocol steps land on `track`, the
   // viewer-state lead distribution feeds `metrics`. Survives Rejoin().
   void SetTrace(Tracer* tracer, TraceTrackId track, MetricsRegistry* metrics);
+  // Passive audit evidence sink (see audit_hooks.h); null = no auditor.
+  // Survives Rejoin().
+  void SetAuditObserver(AuditObserver* auditor) { auditor_ = auditor; }
+
+  // Self-check: corrupt the next forwarded record's due time by 1ms (after
+  // the forward evidence is emitted, so the auditor's shadow disagrees with
+  // what actually arrived). One-shot; proves end-to-end divergence detection.
+  void InjectAuditCorruption() { corrupt_next_forward_ = true; }
 
   // Begins heartbeats and periodic ticks.
   void Start();
@@ -185,6 +196,16 @@ class Cub : public Actor, public NetworkEndpoint {
   void ScanForTakeovers();
   void ActivateRedundantStarts(CubId failed_cub);
 
+  // --- lineage (audit) ---
+  // Mints a fresh lineage chain on a locally created record: this cub as
+  // origin, a new epoch, hop 0, and a fresh Lamport stamp.
+  void MintLineage(ViewerStateRecord* record);
+  // Stamps a record about to leave this cub (Lamport tick). Untagged records
+  // (pre-lineage peers) are left untouched.
+  void StampLineageForSend(ViewerStateRecord* record);
+  // Merges a received record's Lamport stamp into the local clock.
+  void MergeLineageClock(const ViewerStateRecord& record);
+
   // --- housekeeping ---
   void EvictionTick();
   void ChargeCpu(Duration cost) { cpu_.Add(Now(), static_cast<double>(cost.micros())); }
@@ -204,6 +225,7 @@ class Cub : public Actor, public NetworkEndpoint {
   ScheduleOracle* oracle_ = nullptr;
   FaultStats* fault_stats_ = nullptr;
   QosLedger* qos_ = nullptr;
+  AuditObserver* auditor_ = nullptr;
   Tracer* tracer_ = nullptr;
   TraceTrackId trace_track_ = 0;
   BoundedHistogram* vstate_lead_ms_ = nullptr;
@@ -230,6 +252,14 @@ class Cub : public Actor, public NetworkEndpoint {
   // A freshly rejoined cub holds off inserting new viewers until its view has
   // been repopulated by rejoin replies (occupancy proof for its slots).
   TimePoint insert_allowed_after_ = TimePoint::Zero();
+  // Lamport clock over lineage-tagged control messages; survives Rejoin() via
+  // the merge on the first received record (a reboot forgetting the clock is
+  // safe: merged stamps only ever move it forward).
+  uint64_t lamport_ = 0;
+  // Next chain epoch for records minted here. Monotone per cub lifetime.
+  uint32_t next_record_epoch_ = 1;
+  // One-shot self-check flag (see InjectAuditCorruption).
+  bool corrupt_next_forward_ = false;
 };
 
 }  // namespace tiger

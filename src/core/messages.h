@@ -101,6 +101,11 @@ struct ViewerStateBatchMsg : TigerMessage {
 struct DescheduleMsg : TigerMessage {
   DescheduleMsg() : TigerMessage(MsgKind::kDeschedule) {}
   DescheduleRecord record;
+  // Message-level lineage: kills must be auditable (origin, hop chain)
+  // exactly like viewer states. It lives on the message, not the record —
+  // DescheduleRecord's defaulted comparison is what dedups kills, and
+  // lineage must never affect identity.
+  RecordLineage lineage;
   static constexpr int64_t WireBytes() { return kMessageHeaderBytes + kDescheduleWireBytes; }
 };
 
@@ -117,7 +122,10 @@ struct StartPlayMsg : TigerMessage {
   int64_t start_position = 0;
   // True for the redundant copy held against primary-cub failure.
   bool redundant = false;
-  static constexpr int64_t WireBytes() { return kMessageHeaderBytes + 48; }
+  // Message-level lineage minted by the controller (insertion requests are
+  // the third message class the auditor walks, §4.1.3).
+  RecordLineage lineage;
+  static constexpr int64_t WireBytes() { return kMessageHeaderBytes + 48 + 20; }
 };
 
 // Cub -> controller: a queued start request was inserted into the schedule.

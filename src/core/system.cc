@@ -125,6 +125,13 @@ void TigerSystem::EnableTimeSeries(Duration cadence, size_t ring_capacity) {
   });
 }
 
+void TigerSystem::SetAuditObserver(AuditObserver* auditor) {
+  audit_observer_ = auditor;
+  for (auto& cub : cubs_) {
+    cub->SetAuditObserver(auditor);
+  }
+}
+
 void TigerSystem::SnapshotMetrics(TimePoint a, TimePoint b) {
   if (!metrics_) {
     return;
@@ -177,16 +184,26 @@ void TigerSystem::SnapshotMetrics(TimePoint a, TimePoint b) {
   m.Counter("qos.client_lost_blocks_count") = qos_ledger_.total_lost();
   m.Counter("qos.client_blocks_complete_count") = qos_ledger_.total_blocks();
   m.Gauge("qos.glitch_rate") = qos_ledger_.FleetRollup().GlitchRate();
+  // Ring wrap-around loses evidence from every offline consumer (TextDump,
+  // ChromeJson, the golden diffs); surface the loss so nobody trusts a
+  // truncated trace silently.
+  if (tracer_) {
+    m.Counter("trace.dropped_events") = static_cast<int64_t>(tracer_->dropped());
+  }
 }
 
 bool TigerSystem::WriteChromeTrace(const std::string& path) const {
   if (tracer_ == nullptr) {
     return false;
   }
-  // Counter tracks from the sampler ride along in the same trace file so
-  // Perfetto draws rates under the event swimlanes.
-  return tracer_->WriteChromeJson(
-      path, timeseries_ ? timeseries_->ChromeCounterEvents() : std::string());
+  // Counter tracks from the sampler and the auditor's lineage flow arrows
+  // ride along in the same trace file so Perfetto draws rates under the
+  // event swimlanes and connects each record's hops around the ring.
+  std::string extra = timeseries_ ? timeseries_->ChromeCounterEvents() : std::string();
+  if (audit_observer_ != nullptr) {
+    extra += audit_observer_->ChromeFlowEvents();
+  }
+  return tracer_->WriteChromeJson(path, extra);
 }
 
 void TigerSystem::Start() {
@@ -296,6 +313,11 @@ int TigerSystem::BootstrapStreams(int count, NetAddress sink, FileId file,
     record.due = due;
 
     CubId owner = config_.shape.CubOfDisk(serving);
+    // Mint the lineage once, here, so owner and backup share one chain: the
+    // backup's copy is deliberate redundancy, not a second record.
+    record.lineage.origin_cub = owner.value();
+    record.lineage.epoch = next_bootstrap_epoch_++;
+    record.lineage.MarkTagged();
     cubs_[owner.value()]->BootstrapRecord(record);
     CubId backup = config_.shape.NextCub(owner);
     cubs_[backup.value()]->BootstrapRecord(record);

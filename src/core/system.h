@@ -15,6 +15,7 @@
 #include "src/common/result.h"
 #include "src/common/rng.h"
 #include "src/core/address_book.h"
+#include "src/core/audit_hooks.h"
 #include "src/core/config.h"
 #include "src/core/controller.h"
 #include "src/core/cub.h"
@@ -74,6 +75,13 @@ class TigerSystem {
   // EnableTracing(). Call before Start(); sampling begins when Start() runs.
   void EnableTimeSeries(Duration cadence = Duration::Seconds(1),
                         size_t ring_capacity = 4096);
+
+  // Attaches a passive audit observer (the ScheduleAuditor) to every cub and
+  // remembers it so WriteChromeTrace can splice its flow arrows. Purely
+  // observational: no protocol path reads it. Call before Start(); nullptr
+  // detaches.
+  void SetAuditObserver(AuditObserver* auditor);
+  AuditObserver* audit_observer() const { return audit_observer_; }
 
   // Begins cub heartbeats and ticks. Call once, before running the simulator.
   void Start();
@@ -175,9 +183,14 @@ class TigerSystem {
   std::unique_ptr<Controller> controller_;
   std::unique_ptr<Controller> backup_controller_;
   AddressBook addresses_;
+  AuditObserver* audit_observer_ = nullptr;
   std::vector<bool> failed_cubs_;
   int next_start_disk_ = 0;
   uint64_t next_bootstrap_instance_ = 1000000;
+  // Bootstrap lineage epochs live in the top half of the epoch space so they
+  // can never collide with the chains cubs mint themselves (which count up
+  // from 1 with the same origin id).
+  uint32_t next_bootstrap_epoch_ = 0x80000000u;
 };
 
 }  // namespace tiger

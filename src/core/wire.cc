@@ -43,6 +43,20 @@ bool GetDeschedule(ByteReader& r, DescheduleRecord* record) {
          GetId32(r, &record->slot);
 }
 
+void PutLineage(ByteWriter& w, const RecordLineage& lineage) {
+  w.Put<uint32_t>(lineage.origin_cub);
+  w.Put<uint32_t>(lineage.epoch);
+  w.Put<uint16_t>(lineage.hop_count);
+  w.Put<uint16_t>(lineage.flags);
+  w.Put<uint64_t>(lineage.lamport);
+}
+
+bool GetLineage(ByteReader& r, RecordLineage* lineage) {
+  return r.Get(&lineage->origin_cub) && r.Get(&lineage->epoch) &&
+         r.Get(&lineage->hop_count) && r.Get(&lineage->flags) &&
+         r.Get(&lineage->lamport);
+}
+
 }  // namespace
 
 std::vector<uint8_t> EncodeMessage(const TigerMessage& message) {
@@ -60,6 +74,7 @@ std::vector<uint8_t> EncodeMessage(const TigerMessage& message) {
     case MsgKind::kDeschedule: {
       const auto& msg = static_cast<const DescheduleMsg&>(message);
       PutDeschedule(w, msg.record);
+      PutLineage(w, msg.lineage);
       break;
     }
     case MsgKind::kStartPlay: {
@@ -71,6 +86,7 @@ std::vector<uint8_t> EncodeMessage(const TigerMessage& message) {
       w.Put<int64_t>(msg.bitrate_bps);
       w.Put<int64_t>(msg.start_position);
       w.Put<uint8_t>(msg.redundant ? 1 : 0);
+      PutLineage(w, msg.lineage);
       break;
     }
     case MsgKind::kStartConfirm: {
@@ -190,7 +206,7 @@ std::shared_ptr<TigerMessage> DecodeMessage(const std::vector<uint8_t>& frame) {
     }
     case MsgKind::kDeschedule: {
       auto msg = MakePooledMessage<DescheduleMsg>();
-      if (!GetDeschedule(r, &msg->record)) {
+      if (!GetDeschedule(r, &msg->record) || !GetLineage(r, &msg->lineage)) {
         return nullptr;
       }
       return msg;
@@ -200,7 +216,8 @@ std::shared_ptr<TigerMessage> DecodeMessage(const std::vector<uint8_t>& frame) {
       uint8_t redundant = 0;
       if (!GetId32(r, &msg->viewer) || !r.Get(&msg->client_address) ||
           !GetId64(r, &msg->instance) || !GetId32(r, &msg->file) ||
-          !r.Get(&msg->bitrate_bps) || !r.Get(&msg->start_position) || !r.Get(&redundant)) {
+          !r.Get(&msg->bitrate_bps) || !r.Get(&msg->start_position) || !r.Get(&redundant) ||
+          !GetLineage(r, &msg->lineage)) {
         return nullptr;
       }
       msg->redundant = redundant != 0;

@@ -43,7 +43,14 @@ std::array<uint8_t, kViewerStateWireBytes> ViewerStateRecord::Encode() const {
   Put(wire, offset, bitrate_bps);
   Put(wire, offset, mirror_fragment);
   Put(wire, offset, due.micros());
-  // Remaining bytes stay zero: the paper's "other bookkeeping information".
+  // The paper's "other bookkeeping information": audit lineage rides in the
+  // reserved tail, so the wire image stays exactly 100 bytes.
+  Put(wire, offset, lineage.origin_cub);
+  Put(wire, offset, lineage.epoch);
+  Put(wire, offset, lineage.hop_count);
+  Put(wire, offset, lineage.flags);
+  Put(wire, offset, lineage.lamport);
+  // Remaining bytes stay zero.
   return wire;
 }
 
@@ -68,6 +75,13 @@ std::optional<ViewerStateRecord> ViewerStateRecord::Decode(
   record.bitrate_bps = Get<int64_t>(wire, offset);
   record.mirror_fragment = Get<int32_t>(wire, offset);
   record.due = TimePoint::FromMicros(Get<int64_t>(wire, offset));
+  record.lineage.origin_cub = Get<uint32_t>(wire, offset);
+  record.lineage.epoch = Get<uint32_t>(wire, offset);
+  record.lineage.hop_count = Get<uint16_t>(wire, offset);
+  record.lineage.flags = Get<uint16_t>(wire, offset);
+  record.lineage.lamport = Get<uint64_t>(wire, offset);
+  // An all-zero tail (pre-lineage encoder) leaves the tagged flag clear, so
+  // old images decode as "no lineage" rather than a bogus chain.
   return record;
 }
 

@@ -29,6 +29,42 @@ namespace tiger {
 
 inline constexpr int64_t kViewerStateWireBytes = 100;
 
+// Causal lineage carried inside the record's reserved "other bookkeeping"
+// tail. Lets an offline auditor reconstruct each record's trip around the
+// ring: which cub minted the chain, how many hops it has taken, and a
+// Lamport stamp ordering it against every other control message it raced.
+// Zero protocol effect — the schedule never reads these fields — and zero
+// wire cost: the 100-byte image already reserved the space.
+struct RecordLineage {
+  // Set when the record was minted by a lineage-aware cub. A cleared flag
+  // (e.g. a record decoded from an all-zero tail written by an older peer)
+  // means every other field is meaningless.
+  static constexpr uint16_t kTagged = 1u << 0;
+
+  // Cub that minted the chain (insertion, bootstrap, or mirror takeover).
+  uint32_t origin_cub = 0;
+  // Monotone per-origin counter; (origin_cub, epoch) names the chain.
+  uint32_t epoch = 0;
+  // Successor hops since minting. In a healthy ring this tracks `sequence -
+  // first_sequence`, which is what the TTL guard in Cub::OnViewerState leans
+  // on to break re-forward loops.
+  uint16_t hop_count = 0;
+  uint16_t flags = 0;
+  // Lamport stamp of the most recent send; merged (max+1) at each receive.
+  uint64_t lamport = 0;
+
+  bool tagged() const { return (flags & kTagged) != 0; }
+  void MarkTagged() { flags |= kTagged; }
+  // Stable 64-bit chain name for maps and trace flow ids.
+  uint64_t ChainId() const {
+    return (static_cast<uint64_t>(origin_cub) << 32) | epoch;
+  }
+};
+
+// origin_cub value used for chains minted by the controller (start/kill
+// messages); real cub ids are small and can never collide with it.
+inline constexpr uint32_t kControllerLineageOrigin = 0xFFFFFFFFu;
+
 struct ViewerStateRecord {
   ViewerId viewer;
   // Network address of the client receiving the stream.
@@ -49,6 +85,9 @@ struct ViewerStateRecord {
   // from slot + geometry for primaries; explicit so mirror timing (spaced
   // play_time/decluster) uses the same machinery.
   TimePoint due;
+  // Audit-only causal lineage (see RecordLineage). Excluded from DedupKey so
+  // duplicate detection keeps working across hops that restamp it.
+  RecordLineage lineage;
 
   bool is_mirror() const { return mirror_fragment >= 0; }
 
@@ -82,7 +121,9 @@ struct DescheduleRecord {
   std::string ToString() const;
 };
 
-inline constexpr int64_t kDescheduleWireBytes = 32;
+// 32 bytes of kill record plus the 20-byte lineage header the carrying
+// message adds.
+inline constexpr int64_t kDescheduleWireBytes = 32 + 20;
 
 }  // namespace tiger
 

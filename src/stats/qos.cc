@@ -28,6 +28,8 @@ const char* QosLedger::CauseName(GlitchCause cause) {
       return "deschedule_race";
     case GlitchCause::kFailureWindow:
       return "failure_window";
+    case GlitchCause::kHopTtlExceeded:
+      return "hop_ttl_exceeded";
     case GlitchCause::kCauseCount:
       break;
   }

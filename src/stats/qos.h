@@ -49,6 +49,7 @@ enum class GlitchCause : uint8_t {
   kDroppedControl,           // Viewer-state record lost/late in the control plane.
   kDescheduleRace,           // Record killed by a held deschedule (§4.1.2).
   kFailureWindow,            // No server annotation: cub death / data-plane loss.
+  kHopTtlExceeded,           // Record dropped by the lineage hop-count TTL guard.
   kCauseCount,               // sentinel
 };
 

@@ -31,6 +31,9 @@ void Tracer::Push(TraceTrackId track, TraceEvent event) {
   event.seq = next_seq_++;
   event.track = track;
   recorded_++;
+  if (sink_ != nullptr) {
+    sink_->OnTraceEvent(event);
+  }
   Track& t = tracks_[track];
   if (t.ring.size() < options_.ring_capacity) {
     t.ring.push_back(event);
@@ -148,6 +151,10 @@ const char* Tracer::TypeName(TraceEventType type) {
       return "BLOCK_SENT";
     case TraceEventType::kBlockMissed:
       return "BLOCK_MISSED";
+    case TraceEventType::kLineageHop:
+      return "LINEAGE_HOP";
+    case TraceEventType::kVStateTtlDrop:
+      return "VSTATE_TTL_DROP";
     case TraceEventType::kTypeCount:
       break;
   }
@@ -178,6 +185,9 @@ const char* Tracer::TypeCategory(TraceEventType type) {
     case TraceEventType::kBlockSent:
     case TraceEventType::kBlockMissed:
       return "data";
+    case TraceEventType::kLineageHop:
+    case TraceEventType::kVStateTtlDrop:
+      return "lineage";
     case TraceEventType::kTypeCount:
       break;
   }
@@ -212,6 +222,16 @@ void AppendField(std::string* out, const char* name, int64_t value) {
 std::string Tracer::TextDump() const {
   std::string out;
   char line[160];
+  if (dropped_ > 0) {
+    // Audits reading this dump must know their evidence is incomplete: the
+    // rings wrapped and the oldest events are gone.
+    int n = std::snprintf(line, sizeof(line),
+                          "# WARNING: ring buffers dropped %" PRIu64
+                          " event(s); dump is incomplete\n",
+                          dropped_);
+    TIGER_DCHECK(n > 0 && static_cast<size_t>(n) < sizeof(line));
+    out.append(line, static_cast<size_t>(n));
+  }
   for (const TraceEvent& event : MergedEvents()) {
     int n = std::snprintf(line, sizeof(line), "%06" PRIu64 " t=%-10" PRId64 " %-7s %c %-15s",
                           event.seq, event.when.micros(),

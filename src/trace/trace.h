@@ -65,6 +65,9 @@ enum class TraceEventType : uint8_t {
   kDiskService,  // Complete span: one disk read's service interval.
   kBlockSent,    // A block (b=-1) or mirror fragment (b>=0) went to the client.
   kBlockMissed,  // The send deadline passed without a block ready.
+  // --- causal lineage (audit) ---
+  kLineageHop,    // A lineage-tagged record was received (a=chain, b=hop).
+  kVStateTtlDrop, // Hop-count TTL guard dropped a record (a=chain, b=hop).
   kTypeCount,  // sentinel
 };
 
@@ -93,6 +96,16 @@ struct TraceEvent {
   TraceEventType type = TraceEventType::kVStateReceive;
   TracePhase phase = TracePhase::kInstant;
   TraceArgs args;
+};
+
+// Live subscriber to every recorded event, invoked synchronously from the
+// recording path *before* the ring can drop it — so a subscriber (the
+// ScheduleAuditor) sees complete evidence even on runs long enough to wrap
+// the rings. Implementations must not call back into the Tracer.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnTraceEvent(const TraceEvent& event) = 0;
 };
 
 class Tracer {
@@ -124,6 +137,10 @@ class Tracer {
   // Records a self-contained span that ended now (or spans [start, start+dur]).
   void Complete(TraceTrackId track, TraceEventType type, TimePoint start, Duration dur,
                 TraceArgs args = {});
+
+  // At most one sink; nullptr detaches. The sink outlives the Tracer or is
+  // detached first.
+  void SetSink(TraceSink* sink) { sink_ = sink; }
 
   uint64_t recorded() const { return recorded_; }
   // Events overwritten by ring wrap-around (not in any export).
@@ -164,6 +181,7 @@ class Tracer {
   const Simulator* sim_;
   Options options_;
   bool enabled_;
+  TraceSink* sink_ = nullptr;
   std::vector<Track> tracks_;
   uint64_t next_seq_ = 1;
   uint64_t next_flow_ = 1;

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/audit/auditor.h"
 #include "src/client/testbed.h"
 
 namespace tiger {
@@ -53,6 +54,14 @@ struct ChaosOutcome {
   size_t ts_series = 0;
   size_t ts_ticks = 0;
   std::string ts_csv;
+  // --- schedule auditor (shadow global schedule) ---
+  int64_t audit_divergences = 0;
+  int64_t audit_chains = 0;
+  int64_t audit_rescued = 0;
+  int64_t audit_checks = 0;
+  int64_t audit_by_class[static_cast<size_t>(
+      ScheduleAuditor::DivergenceClass::kClassCount)] = {};
+  std::string audit_report;
 };
 
 ChaosOutcome RunChaosScenario(uint64_t seed, bool print_summary) {
@@ -65,6 +74,10 @@ ChaosOutcome RunChaosScenario(uint64_t seed, bool print_summary) {
   // Continuous telemetry: one metrics snapshot per simulated second, exported
   // below as CSV next to the trace when CI collects artifacts.
   system.EnableTimeSeries(Duration::Seconds(1));
+  // The shadow-schedule auditor rides along on every chaos run: lineage
+  // evidence in, divergence report out (uploaded as a CI artifact on failure).
+  ScheduleAuditor auditor(&system.sim(), &system.config());
+  auditor.Attach(&system);
 
   const TimePoint t0 = TimePoint::Zero();
   // Delay and duplicate cub-originated control messages for overlapping
@@ -96,6 +109,7 @@ ChaosOutcome RunChaosScenario(uint64_t seed, bool print_summary) {
   // file 4 starts on the disk of cub 4 — the cub this scenario crashes.
   testbed.AddContent(8, Duration::Seconds(60));
   testbed.Start();
+  auditor.Start();
   for (int i = 0; i < 4; ++i) {
     testbed.AddViewer(FileId(static_cast<uint32_t>(i)));
   }
@@ -146,6 +160,16 @@ ChaosOutcome RunChaosScenario(uint64_t seed, bool print_summary) {
   out.ts_csv = system.timeseries()->Csv();
   out.late_plays_started = late.stats().plays_started;
   out.late_inserts_at_revived_cub = system.cub(CubId(4)).counters().inserts - inserts_before;
+  out.audit_divergences = auditor.total_divergences();
+  out.audit_chains = auditor.chains_seen();
+  out.audit_rescued = auditor.rescued_by_second_successor();
+  out.audit_checks = auditor.checks_run();
+  for (size_t c = 0; c < static_cast<size_t>(ScheduleAuditor::DivergenceClass::kClassCount);
+       ++c) {
+    out.audit_by_class[c] =
+        auditor.CountFor(static_cast<ScheduleAuditor::DivergenceClass>(c));
+  }
+  out.audit_report = auditor.ReportJson();
   if (late.startup_latency().count() > 0) {
     out.late_startup_seconds = late.startup_latency().Mean();
   }
@@ -164,8 +188,46 @@ ChaosOutcome RunChaosScenario(uint64_t seed, bool print_summary) {
       EXPECT_TRUE(system.metrics()->WriteSummary(std::string(dir) + "/chaos_metrics.txt"));
       EXPECT_TRUE(system.timeseries()->WriteCsv(std::string(dir) + "/chaos_timeseries.csv"));
       EXPECT_TRUE(system.qos_ledger().WriteCsv(std::string(dir) + "/chaos_qos.csv"));
+      EXPECT_TRUE(auditor.WriteReportJson(std::string(dir) + "/divergence_report.json"));
+      EXPECT_TRUE(auditor.WriteLineageCsv(std::string(dir) + "/lineage.csv"));
     }
   }
+  return out;
+}
+
+// An all-healthy run (no injected faults) under the auditor: every record's
+// lineage must reassemble into a coherent shadow schedule with zero
+// divergence of any class.
+struct HealthyAuditOutcome {
+  int64_t divergences = 0;
+  int64_t chains = 0;
+  int64_t forwards = 0;
+  int64_t checks = 0;
+  std::string report;
+};
+
+HealthyAuditOutcome RunHealthyAuditScenario(uint64_t seed) {
+  Testbed testbed(ChaosConfig(), seed);
+  TigerSystem& system = testbed.system();
+  system.EnableInvariantChecker();
+  ScheduleAuditor auditor(&system.sim(), &system.config());
+  auditor.Attach(&system);
+  testbed.AddContent(8, Duration::Seconds(45));
+  testbed.Start();
+  auditor.Start();
+  // Seed-varied load: between 3 and 6 viewers across different files.
+  const int viewers = 3 + static_cast<int>(seed % 4);
+  for (int i = 0; i < viewers; ++i) {
+    testbed.AddViewer(FileId(static_cast<uint32_t>((seed + i) % 8)));
+  }
+  testbed.RunFor(Duration::Seconds(60));
+
+  HealthyAuditOutcome out;
+  out.divergences = auditor.total_divergences();
+  out.chains = auditor.chains_seen();
+  out.forwards = auditor.forwards_observed();
+  out.checks = auditor.checks_run();
+  out.report = auditor.ReportJson();
   return out;
 }
 
@@ -231,6 +293,24 @@ TEST(ChaosTest, SeededFaultPlanHoldsInvariantsAndBoundsGlitches) {
   EXPECT_GE(out.ts_series, 3u) << "counters, gauges and quantiles must all sample";
   EXPECT_GE(out.ts_ticks, 100u) << "one tick per simulated second for 110 s";
   EXPECT_EQ(out.ts_csv.compare(0, 7, "time_s,"), 0);
+
+  // --- shadow-schedule auditor: even under faults, the evidence reassembles
+  // into a coherent schedule. The crash can only produce the divergence
+  // classes the paper's failure analysis predicts (records that died with
+  // the crashed cub); the correctness classes stay silent.
+  EXPECT_GT(out.audit_chains, 0);
+  EXPECT_GT(out.audit_checks, 100);
+  EXPECT_GT(out.audit_rescued, 0)
+      << "the crash must exercise §4.1.1's second-successor rescue";
+  using DC = ScheduleAuditor::DivergenceClass;
+  for (size_t c = 0; c < static_cast<size_t>(DC::kClassCount); ++c) {
+    const auto cls = static_cast<DC>(c);
+    if (cls == DC::kTrulyLostRecord) {
+      continue;  // Blocks that died with the crash are bounded, not zero.
+    }
+    EXPECT_EQ(out.audit_by_class[c], 0)
+        << ScheduleAuditor::ClassName(cls) << "\n" << out.audit_report;
+  }
 }
 
 TEST(ChaosTest, IdenticalSeedsProduceIdenticalFaultSequences) {
@@ -247,6 +327,20 @@ TEST(ChaosTest, IdenticalSeedsProduceIdenticalFaultSequences) {
   EXPECT_EQ(a.ts_csv, b.ts_csv) << "same seed must sample identical time series";
   EXPECT_EQ(a.qos_fleet.late, b.qos_fleet.late);
   EXPECT_EQ(a.qos_fleet.lost, b.qos_fleet.lost);
+}
+
+// Ten different all-healthy interleavings: the shadow global schedule the
+// auditor reconstructs from lineage evidence must match every cub's local
+// window exactly — zero divergence on every seed.
+TEST(ChaosTest, AuditorTenSeedHealthySweepReportsZeroDivergence) {
+  const std::vector<uint64_t> seeds = {3, 17, 42, 97, 251, 1009, 4099, 20011, 65537, 999983};
+  for (uint64_t seed : seeds) {
+    HealthyAuditOutcome out = RunHealthyAuditScenario(seed);
+    EXPECT_EQ(out.divergences, 0) << "seed " << seed << "\n" << out.report;
+    EXPECT_GT(out.chains, 0) << "seed " << seed;
+    EXPECT_GT(out.forwards, 0) << "seed " << seed;
+    EXPECT_GT(out.checks, 100) << "seed " << seed;
+  }
 }
 
 // The single-seed test above proves one scripted run in depth; this sweep

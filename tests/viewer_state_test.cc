@@ -42,6 +42,33 @@ TEST(ViewerStateTest, EncodeDecodeRoundTrip) {
   EXPECT_EQ(decoded->DedupKey(), record.DedupKey());
 }
 
+TEST(ViewerStateTest, LineageRoundTrip) {
+  ViewerStateRecord record = SampleRecord();
+  record.lineage.origin_cub = 7;
+  record.lineage.epoch = 0x80000003u;
+  record.lineage.hop_count = 321;
+  record.lineage.lamport = 0x1122334455667788ULL;
+  record.lineage.MarkTagged();
+  auto decoded = ViewerStateRecord::Decode(record.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->lineage.tagged());
+  EXPECT_EQ(decoded->lineage.origin_cub, record.lineage.origin_cub);
+  EXPECT_EQ(decoded->lineage.epoch, record.lineage.epoch);
+  EXPECT_EQ(decoded->lineage.hop_count, record.lineage.hop_count);
+  EXPECT_EQ(decoded->lineage.lamport, record.lineage.lamport);
+  EXPECT_EQ(decoded->lineage.ChainId(), record.lineage.ChainId());
+  // Lineage is audit-only: it must never enter the idempotence identity.
+  EXPECT_EQ(decoded->DedupKey(), SampleRecord().DedupKey());
+}
+
+TEST(ViewerStateTest, UntaggedLineageStaysUntagged) {
+  // A record minted without lineage (an "older peer") round-trips with the
+  // tagged flag clear, which is what tells the auditor to ignore it.
+  auto decoded = ViewerStateRecord::Decode(SampleRecord().Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->lineage.tagged());
+}
+
 TEST(ViewerStateTest, MirrorRoundTrip) {
   ViewerStateRecord record = SampleRecord();
   record.mirror_fragment = 3;

@@ -44,9 +44,19 @@ TEST(WireTest, EveryControlMessageRoundTrips) {
   {
     DescheduleMsg msg;
     msg.record = DescheduleRecord{ViewerId(1), PlayInstanceId(2), SlotId(3)};
+    msg.lineage.origin_cub = kControllerLineageOrigin;
+    msg.lineage.epoch = 5;
+    msg.lineage.hop_count = 2;
+    msg.lineage.lamport = 99;
+    msg.lineage.MarkTagged();
     auto decoded = DecodeMessage(EncodeMessage(msg));
     ASSERT_NE(decoded, nullptr);
-    EXPECT_EQ(static_cast<DescheduleMsg&>(*decoded).record, msg.record);
+    auto& out = static_cast<DescheduleMsg&>(*decoded);
+    EXPECT_EQ(out.record, msg.record);
+    EXPECT_TRUE(out.lineage.tagged());
+    EXPECT_EQ(out.lineage.ChainId(), msg.lineage.ChainId());
+    EXPECT_EQ(out.lineage.hop_count, 2);
+    EXPECT_EQ(out.lineage.lamport, 99u);
   }
   {
     StartPlayMsg msg;
@@ -57,6 +67,10 @@ TEST(WireTest, EveryControlMessageRoundTrips) {
     msg.bitrate_bps = Megabits(4);
     msg.start_position = 55;
     msg.redundant = true;
+    msg.lineage.origin_cub = kControllerLineageOrigin;
+    msg.lineage.epoch = 8;
+    msg.lineage.lamport = 3;
+    msg.lineage.MarkTagged();
     auto decoded = DecodeMessage(EncodeMessage(msg));
     ASSERT_NE(decoded, nullptr);
     auto& out = static_cast<StartPlayMsg&>(*decoded);
@@ -64,6 +78,9 @@ TEST(WireTest, EveryControlMessageRoundTrips) {
     EXPECT_EQ(out.instance, msg.instance);
     EXPECT_EQ(out.start_position, 55);
     EXPECT_TRUE(out.redundant);
+    EXPECT_TRUE(out.lineage.tagged());
+    EXPECT_EQ(out.lineage.ChainId(), msg.lineage.ChainId());
+    EXPECT_EQ(out.lineage.lamport, 3u);
   }
   {
     StartConfirmMsg msg;
