@@ -100,6 +100,8 @@ const char* ScheduleAuditor::HopKindName(HopKind kind) {
       return "receive";
     case HopKind::kTtlDropped:
       return "ttl_drop";
+    case HopKind::kKillApplied:
+      return "kill";
   }
   return "?";
 }
@@ -258,13 +260,20 @@ void ScheduleAuditor::AppendHop(ChainState& chain, Hop hop) {
 // ---------------------------------------------------------------------------
 
 void ScheduleAuditor::OnRecordCreated(TimePoint when, uint32_t cub, CreateKind kind,
-                                      const ViewerStateRecord& record) {
+                                      const ViewerStateRecord& record,
+                                      const RecordLineage& request) {
   if (!record.lineage.tagged()) {
     untagged_records_++;
     return;
   }
   ChainState& chain = GetChain(record, when);
   chain.cubs_seen |= CubBit(cub);
+  if (request.tagged() && chain.request_chain == 0) {
+    // Link the minted record chain back to the controller request that asked
+    // for it, so a lineage query walks the full story: request -> insertion
+    // -> trip around the ring.
+    chain.request_chain = request.ChainId();
+  }
   AppendHop(chain, Hop{when, HopKind::kCreated, cub, -1, record.sequence,
                        record.mirror_fragment, record.lineage.hop_count,
                        record.lineage.lamport});
@@ -399,11 +408,12 @@ void ScheduleAuditor::OnRecordTtlDropped(TimePoint when, uint32_t at,
 }
 
 void ScheduleAuditor::OnKill(TimePoint when, uint32_t at, const DescheduleRecord& kill,
-                             int removed, bool new_hold) {
+                             const RecordLineage& lineage, int removed, bool new_hold) {
   kills_observed_++;
   auto [it, inserted] = kills_.try_emplace(kill.instance.value());
   KillState& state = it->second;
   if (inserted) {
+    kill_order_.push_back(kill.instance.value());
     state.first_when = when;
     state.viewer = kill.viewer.value();
     state.slot = kill.slot.valid() ? kill.slot.value() : -1;
@@ -417,6 +427,20 @@ void ScheduleAuditor::OnKill(TimePoint when, uint32_t at, const DescheduleRecord
   state.hold_until =
       std::max(state.hold_until, when + config_->max_vstate_lead + config_->deschedule_hold);
   state.applied_cubs |= CubBit(at);
+  if (lineage.tagged()) {
+    // Walk the kill's own trip: the message lineage names the controller
+    // chain and advances its hop count at every forward, exactly like a
+    // viewer state's.
+    if (state.kill_chain == 0) {
+      state.kill_chain = lineage.ChainId();
+    }
+    if (state.hops.size() < options_.max_hops_per_chain) {
+      state.hops.push_back(Hop{when, HopKind::kKillApplied, at, -1, -1, -1,
+                               lineage.hop_count, lineage.lamport});
+    } else {
+      state.hops_dropped++;
+    }
+  }
   if (new_hold) {
     if ((state.fresh_hold_cubs & CubBit(at)) != 0) {
       // Duplicate kills refresh holds with new_hold=false; a second *fresh*
@@ -457,7 +481,9 @@ void ScheduleAuditor::ResolvePendingForwards(TimePoint now) {
         ++it;
         continue;
       }
-      const int64_t sequence = (it->first - 1) / 256;
+      // Key layout is seq * 256 + (fragment + 1) with fragment + 1 in
+      // [0, 255], so plain division recovers the sequence exactly.
+      const int64_t sequence = it->first / 256;
       if (pending.received_mask == 0) {
         if (chain.max_seq_seen > sequence) {
           // Both copies vanished but the chain advanced past the record:
@@ -655,6 +681,15 @@ const std::vector<ScheduleAuditor::Hop>* ScheduleAuditor::ChainHops(uint64_t cha
   return &it->second.hops;
 }
 
+const std::vector<ScheduleAuditor::Hop>* ScheduleAuditor::KillHops(
+    PlayInstanceId instance) const {
+  auto it = kills_.find(instance.value());
+  if (it == kills_.end() || it->second.hops.empty()) {
+    return nullptr;
+  }
+  return &it->second.hops;
+}
+
 std::string ScheduleAuditor::ViewerLineage(ViewerId viewer) const {
   std::string out;
   Appendf(&out, "viewer %u\n", viewer.value());
@@ -665,9 +700,12 @@ std::string ScheduleAuditor::ViewerLineage(ViewerId viewer) const {
       continue;
     }
     const ChainState& chain = it->second;
-    Appendf(&out, "  chain 0x%" PRIx64 " origin cub %u epoch %u slot %" PRId64 " (%zu hops",
-            id, static_cast<uint32_t>(id >> 32), static_cast<uint32_t>(id),
-            chain.slot, chain.hops.size());
+    Appendf(&out, "  chain 0x%" PRIx64 " origin cub %u epoch %u slot %" PRId64,
+            id, static_cast<uint32_t>(id >> 32), static_cast<uint32_t>(id), chain.slot);
+    if (chain.request_chain != 0) {
+      Appendf(&out, " request 0x%" PRIx64, chain.request_chain);
+    }
+    Appendf(&out, " (%zu hops", chain.hops.size());
     if (chain.hops_dropped > 0) {
       Appendf(&out, ", %" PRId64 " dropped", chain.hops_dropped);
     }
@@ -702,6 +740,23 @@ std::string ScheduleAuditor::LineageCsv() const {
               id, static_cast<uint32_t>(id >> 32), static_cast<uint32_t>(id), chain.viewer,
               chain.instance, chain.slot, HopKindName(hop.kind), hop.when.micros(), hop.cub,
               hop.peer, hop.sequence, hop.fragment, hop.hop_count, hop.lamport);
+    }
+  }
+  // Kill messages' trips, keyed by their own controller-minted chains.
+  for (uint64_t instance : kill_order_) {
+    auto it = kills_.find(instance);
+    if (it == kills_.end()) {
+      continue;
+    }
+    const KillState& state = it->second;
+    for (const Hop& hop : state.hops) {
+      Appendf(&out,
+              "0x%" PRIx64 ",%u,%u,%" PRId64 ",%" PRIu64 ",%" PRId64 ",%s,%" PRId64
+              ",%u,%d,%" PRId64 ",%d,%u,%" PRIu64 "\n",
+              state.kill_chain, static_cast<uint32_t>(state.kill_chain >> 32),
+              static_cast<uint32_t>(state.kill_chain), state.viewer, instance, state.slot,
+              HopKindName(hop.kind), hop.when.micros(), hop.cub, hop.peer, hop.sequence,
+              hop.fragment, hop.hop_count, hop.lamport);
     }
   }
   return out;

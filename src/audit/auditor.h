@@ -95,8 +95,15 @@ class ScheduleAuditor : public Actor, public AuditObserver, public TraceSink {
     std::string detail;
   };
 
-  // One step of a record's trip around the ring.
-  enum class HopKind : uint8_t { kCreated = 0, kForwarded, kReceived, kTtlDropped };
+  // One step of a record's trip around the ring (kKillApplied: one cub
+  // applying a kill message's lineage-tagged trip, §4.1.2).
+  enum class HopKind : uint8_t {
+    kCreated = 0,
+    kForwarded,
+    kReceived,
+    kTtlDropped,
+    kKillApplied,
+  };
   static const char* HopKindName(HopKind kind);
   struct Hop {
     TimePoint when;
@@ -146,15 +153,16 @@ class ScheduleAuditor : public Actor, public AuditObserver, public TraceSink {
 
   // AuditObserver:
   void OnRecordCreated(TimePoint when, uint32_t cub, CreateKind kind,
-                       const ViewerStateRecord& record) override;
+                       const ViewerStateRecord& record,
+                       const RecordLineage& request) override;
   void OnRecordForwarded(TimePoint when, uint32_t from, uint32_t to,
                          const ViewerStateRecord& record) override;
   void OnRecordReceived(TimePoint when, uint32_t at, const ViewerStateRecord& record,
                         ScheduleView::ApplyResult result) override;
   void OnRecordTtlDropped(TimePoint when, uint32_t at,
                           const ViewerStateRecord& record) override;
-  void OnKill(TimePoint when, uint32_t at, const DescheduleRecord& kill, int removed,
-              bool new_hold) override;
+  void OnKill(TimePoint when, uint32_t at, const DescheduleRecord& kill,
+              const RecordLineage& lineage, int removed, bool new_hold) override;
   std::string ChromeFlowEvents() const override;
 
   // TraceSink: cross-checks the live event stream against the shadow.
@@ -180,6 +188,10 @@ class ScheduleAuditor : public Actor, public AuditObserver, public TraceSink {
   const std::vector<Hop>* ChainHops(uint64_t chain) const;
   // "Show viewer 17's record's full hop chain": human-readable trip log.
   std::string ViewerLineage(ViewerId viewer) const;
+  // The kill message's trip for an instance: one kKillApplied hop per cub
+  // application, carrying the DescheduleMsg lineage's hop count and Lamport
+  // stamp. nullptr if no kill evidence names the instance.
+  const std::vector<Hop>* KillHops(PlayInstanceId instance) const;
   // Full hop table as CSV (chain,origin,epoch,hop kind,time,cubs,...).
   std::string LineageCsv() const;
   bool WriteLineageCsv(const std::string& path) const;
@@ -219,6 +231,9 @@ class ScheduleAuditor : public Actor, public AuditObserver, public TraceSink {
     // Mirror lanes keyed by block position: fragments of one recovered block.
     std::map<int64_t, MirrorLane> mirror_lanes;
     uint64_t cubs_seen = 0;  // Bitmask of cubs holding direct evidence.
+    // Lineage chain of the controller request that minted this record chain
+    // (StartPlayMsg for insertions); 0 when no request message was involved.
+    uint64_t request_chain = 0;
     int64_t max_seq_seen = 0;
     TimePoint last_evidence;
     std::vector<Hop> hops;
@@ -235,6 +250,11 @@ class ScheduleAuditor : public Actor, public AuditObserver, public TraceSink {
     uint64_t fresh_hold_cubs = 0; // Cubs that installed a new hold (once each).
     bool orphan_candidate = false;
     TimePoint orphan_deadline;
+    // Message-level lineage of the kill: its controller-minted chain and one
+    // kKillApplied hop per application, in observation order.
+    uint64_t kill_chain = 0;
+    std::vector<Hop> hops;
+    int64_t hops_dropped = 0;
   };
   struct SlotClaim {
     int64_t due_us = 0;
@@ -275,6 +295,7 @@ class ScheduleAuditor : public Actor, public AuditObserver, public TraceSink {
   std::unordered_map<uint64_t, std::vector<uint64_t>> instance_chains_;
   std::vector<uint64_t> chain_order_;
   std::unordered_map<uint64_t, KillState> kills_;
+  std::vector<uint64_t> kill_order_;  // Instances in first-kill order.
   std::unordered_map<uint64_t, std::vector<SlotClaim>> slot_claims_;
 
   std::vector<Divergence> divergences_;

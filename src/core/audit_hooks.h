@@ -37,9 +37,13 @@ class AuditObserver {
 
   virtual ~AuditObserver() = default;
 
-  // A record was minted locally (not received off the wire).
+  // A record was minted locally (not received off the wire). `request` is the
+  // message-level lineage of the controller request that caused the mint
+  // (the StartPlayMsg chain for kInsert); untagged when the record was not
+  // minted on behalf of a message (bootstrap, takeover, mirror recovery).
   virtual void OnRecordCreated(TimePoint when, uint32_t cub, CreateKind kind,
-                               const ViewerStateRecord& record) = 0;
+                               const ViewerStateRecord& record,
+                               const RecordLineage& request) = 0;
   // `record` (the successor state) was sent from cub `from` toward cub `to`.
   virtual void OnRecordForwarded(TimePoint when, uint32_t from, uint32_t to,
                                  const ViewerStateRecord& record) = 0;
@@ -50,10 +54,13 @@ class AuditObserver {
   // The hop-count TTL guard dropped a record before it reached the view.
   virtual void OnRecordTtlDropped(TimePoint when, uint32_t at,
                                   const ViewerStateRecord& record) = 0;
-  // A deschedule (kill) was applied at cub `at`. `removed` is the number of
-  // entries it deleted; `new_hold` says a fresh hold was installed (§4.1.2).
+  // A deschedule (kill) was applied at cub `at`. `lineage` is the carrying
+  // DescheduleMsg's message-level lineage (controller-minted, hop-advanced at
+  // each forward), letting the auditor walk a kill's trip exactly like a
+  // viewer state's. `removed` is the number of entries it deleted; `new_hold`
+  // says a fresh hold was installed (§4.1.2).
   virtual void OnKill(TimePoint when, uint32_t at, const DescheduleRecord& kill,
-                      int removed, bool new_hold) = 0;
+                      const RecordLineage& lineage, int removed, bool new_hold) = 0;
 
   // Chrome trace_event fragment (",\n{...}" objects) of ph:"s"/"t"/"f" flow
   // arrows for record lineage; TigerSystem::WriteChromeTrace splices it into

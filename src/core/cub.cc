@@ -584,7 +584,8 @@ void Cub::TakeoverRecord(const ViewerStateRecord::Key& key) {
         }
         if (auditor_ != nullptr) {
           auditor_->OnRecordCreated(Now(), id_.value(),
-                                    AuditObserver::CreateKind::kTakeover, fragment);
+                                    AuditObserver::CreateKind::kTakeover, fragment,
+                                    RecordLineage{});
         }
         if (IsMyDisk(loc.disk)) {
           apply_local(fragment);
@@ -616,7 +617,7 @@ void Cub::TakeoverRecord(const ViewerStateRecord::Key& key) {
     // The successor record is synthesized here on the dead cub's behalf,
     // whether it is applied locally or handed to the owning cub below.
     auditor_->OnRecordCreated(Now(), id_.value(), AuditObserver::CreateKind::kTakeover,
-                              *next);
+                              *next, RecordLineage{});
   }
   if (IsMyDisk(next_disk) && !failure_view_.IsDiskFailed(next_disk)) {
     // No explicit extra copy is needed for fault tolerance: our successor
@@ -685,7 +686,8 @@ void Cub::RecoverBlockViaMirrors(const ViewerStateRecord::Key& key) {
       }
       if (auditor_ != nullptr) {
         auditor_->OnRecordCreated(Now(), id_.value(),
-                                  AuditObserver::CreateKind::kMirrorRecovery, fragment);
+                                  AuditObserver::CreateKind::kMirrorRecovery, fragment,
+                                  RecordLineage{});
       }
       SendRecordsTo(config_->shape.CubOfDisk(loc.disk), {fragment});
       break;
@@ -853,7 +855,7 @@ void Cub::OnDeschedule(const DescheduleMsg& msg) {
   const TimePoint hold_until = Now() + config_->max_vstate_lead + config_->deschedule_hold;
   ScheduleView::DescheduleOutcome outcome = view_.ApplyDeschedule(record, Now(), hold_until);
   if (auditor_ != nullptr) {
-    auditor_->OnKill(Now(), id_.value(), record,
+    auditor_->OnKill(Now(), id_.value(), record, msg.lineage,
                      static_cast<int>(outcome.removed.size()), outcome.new_hold);
   }
   if (!outcome.removed.empty()) {
@@ -997,7 +999,7 @@ void Cub::InsertViewer(DiskId disk, SlotId slot, TimePoint due, const StartPlayM
   MintLineage(&record);
   if (auditor_ != nullptr) {
     auditor_->OnRecordCreated(Now(), id_.value(), AuditObserver::CreateKind::kInsert,
-                              record);
+                              record, msg.lineage);
   }
 
   ScheduleView::ApplyResult result = view_.ApplyViewerState(record, Now());
@@ -1037,7 +1039,7 @@ void Cub::BootstrapRecord(const ViewerStateRecord& record) {
     // Bootstrap seeds the same record on the slot owner and its backup; the
     // auditor treats the second creation as expected redundancy.
     auditor_->OnRecordCreated(Now(), id_.value(), AuditObserver::CreateKind::kBootstrap,
-                              record);
+                              record, RecordLineage{});
   }
   if (result == ScheduleView::ApplyResult::kNew) {
     seen_instances_.insert(record.instance.value());

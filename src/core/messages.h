@@ -106,7 +106,9 @@ struct DescheduleMsg : TigerMessage {
   // DescheduleRecord's defaulted comparison is what dedups kills, and
   // lineage must never affect identity.
   RecordLineage lineage;
-  static constexpr int64_t WireBytes() { return kMessageHeaderBytes + kDescheduleWireBytes; }
+  static constexpr int64_t WireBytes() {
+    return kMessageHeaderBytes + kDescheduleWireBytes + kLineageWireBytes;
+  }
 };
 
 // Controller -> cub: start playing `file` for `viewer` (§4.1.3). Sent to the
@@ -125,7 +127,9 @@ struct StartPlayMsg : TigerMessage {
   // Message-level lineage minted by the controller (insertion requests are
   // the third message class the auditor walks, §4.1.3).
   RecordLineage lineage;
-  static constexpr int64_t WireBytes() { return kMessageHeaderBytes + 48 + 20; }
+  static constexpr int64_t WireBytes() {
+    return kMessageHeaderBytes + 48 + kLineageWireBytes;
+  }
 };
 
 // Cub -> controller: a queued start request was inserted into the schedule.

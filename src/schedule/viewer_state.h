@@ -65,6 +65,12 @@ struct RecordLineage {
 // messages); real cub ids are small and can never collide with it.
 inline constexpr uint32_t kControllerLineageOrigin = 0xFFFFFFFFu;
 
+// Wire size of a lineage header as PutLineage/GetLineage encode it:
+// origin(4) + epoch(4) + hop_count(2) + flags(2) + lamport(8). Records absorb
+// it inside their reserved 100-byte tail; messages that carry lineage beside
+// a payload (start/kill) pay it explicitly in their WireBytes().
+inline constexpr int64_t kLineageWireBytes = 20;
+
 struct ViewerStateRecord {
   ViewerId viewer;
   // Network address of the client receiving the stream.
@@ -121,9 +127,9 @@ struct DescheduleRecord {
   std::string ToString() const;
 };
 
-// 32 bytes of kill record plus the 20-byte lineage header the carrying
-// message adds.
-inline constexpr int64_t kDescheduleWireBytes = 32 + 20;
+// Wire size of the kill record itself. The carrying DescheduleMsg adds its
+// own lineage header on top (see DescheduleMsg::WireBytes).
+inline constexpr int64_t kDescheduleWireBytes = 32;
 
 }  // namespace tiger
 

@@ -71,7 +71,7 @@ TEST_F(AuditUnitTest, HealthyChainProducesNoDivergence) {
   // Mint at cub 0, forward 0->1, receive at 1, forward 1->2, receive at 2 —
   // a clean trip along the shared arithmetic.
   ViewerStateRecord r0 = MakeRecord(0);
-  auditor_.OnRecordCreated(sim_.Now(), 0, AuditObserver::CreateKind::kInsert, r0);
+  auditor_.OnRecordCreated(sim_.Now(), 0, AuditObserver::CreateKind::kInsert, r0, RecordLineage{});
   auditor_.OnRecordForwarded(sim_.Now(), 0, 1, r0);
   ViewerStateRecord r1 = MakeRecord(1);
   auditor_.OnRecordReceived(sim_.Now(), 1, r0, ScheduleView::ApplyResult::kNew);
@@ -88,7 +88,7 @@ TEST_F(AuditUnitTest, HealthyChainProducesNoDivergence) {
 
 TEST_F(AuditUnitTest, CorruptedDueIsFlaggedAsDueMismatchOnly) {
   ViewerStateRecord r0 = MakeRecord(0);
-  auditor_.OnRecordCreated(sim_.Now(), 0, AuditObserver::CreateKind::kInsert, r0);
+  auditor_.OnRecordCreated(sim_.Now(), 0, AuditObserver::CreateKind::kInsert, r0, RecordLineage{});
   // The successor record arrives 1 ms off the chain's linear arithmetic.
   ViewerStateRecord r1 = MakeRecord(1);
   r1.due = r1.due + Duration::Millis(1);
@@ -104,7 +104,7 @@ TEST_F(AuditUnitTest, CorruptedDueIsFlaggedAsDueMismatchOnly) {
 
 TEST_F(AuditUnitTest, CorruptedPositionIsAlsoADueMismatch) {
   ViewerStateRecord r0 = MakeRecord(0);
-  auditor_.OnRecordCreated(sim_.Now(), 0, AuditObserver::CreateKind::kInsert, r0);
+  auditor_.OnRecordCreated(sim_.Now(), 0, AuditObserver::CreateKind::kInsert, r0, RecordLineage{});
   ViewerStateRecord r1 = MakeRecord(1);
   r1.position += 7;  // Due is right, position is not: still incoherent.
   auditor_.OnRecordReceived(sim_.Now(), 1, r1, ScheduleView::ApplyResult::kNew);
@@ -150,10 +150,10 @@ TEST_F(AuditUnitTest, DoubleInsertionOfOneSlotPassIsStaleOwnership) {
   // Two different play instances inserted for the same slot at the same due
   // time — the §4.1.3 ownership race the protocol must prevent.
   ViewerStateRecord a = MakeRecord(0, /*chain_origin=*/0, /*epoch=*/1);
-  auditor_.OnRecordCreated(sim_.Now(), 0, AuditObserver::CreateKind::kInsert, a);
+  auditor_.OnRecordCreated(sim_.Now(), 0, AuditObserver::CreateKind::kInsert, a, RecordLineage{});
   ViewerStateRecord b = MakeRecord(0, /*chain_origin=*/5, /*epoch=*/1);
   b.instance = PlayInstanceId(501);
-  auditor_.OnRecordCreated(sim_.Now(), 5, AuditObserver::CreateKind::kInsert, b);
+  auditor_.OnRecordCreated(sim_.Now(), 5, AuditObserver::CreateKind::kInsert, b, RecordLineage{});
   EXPECT_EQ(auditor_.CountFor(DivergenceClass::kStaleOwnership), 1);
 }
 
@@ -166,10 +166,14 @@ TEST_F(AuditUnitTest, ExcessiveLeadIsFlagged) {
 }
 
 TEST_F(AuditUnitTest, LostForwardIsFlaggedOnlyWhenTheChainNeverAdvances) {
+  // Use a sequence >= 1: forwarding the successor record raises the chain's
+  // max seen sequence to exactly that sequence, and the lost-vs-rescued
+  // verdict must not read the chain as having advanced *past* it.
   ViewerStateRecord r0 = MakeRecord(0);
-  auditor_.OnRecordCreated(sim_.Now(), 0, AuditObserver::CreateKind::kInsert, r0);
-  auditor_.OnRecordForwarded(sim_.Now(), 0, 1, r0);
-  auditor_.OnRecordForwarded(sim_.Now(), 0, 2, r0);
+  auditor_.OnRecordCreated(sim_.Now(), 0, AuditObserver::CreateKind::kInsert, r0, RecordLineage{});
+  ViewerStateRecord r1 = MakeRecord(1);
+  auditor_.OnRecordForwarded(sim_.Now(), 0, 1, r1);
+  auditor_.OnRecordForwarded(sim_.Now(), 0, 2, r1);
 
   // Within the horizon nothing is judged yet.
   sim_.RunFor(Duration::Seconds(5));
@@ -181,11 +185,13 @@ TEST_F(AuditUnitTest, LostForwardIsFlaggedOnlyWhenTheChainNeverAdvances) {
   auditor_.CheckNow();
   EXPECT_EQ(auditor_.CountFor(DivergenceClass::kTrulyLostRecord), 1);
   EXPECT_EQ(auditor_.rescued_by_second_successor(), 0);
+  ASSERT_EQ(auditor_.divergences().size(), 1u);
+  EXPECT_EQ(auditor_.divergences()[0].sequence, 1);
 }
 
 TEST_F(AuditUnitTest, PartialDeliveryCountsAsRescuedNotLost) {
   ViewerStateRecord r0 = MakeRecord(0);
-  auditor_.OnRecordCreated(sim_.Now(), 0, AuditObserver::CreateKind::kInsert, r0);
+  auditor_.OnRecordCreated(sim_.Now(), 0, AuditObserver::CreateKind::kInsert, r0, RecordLineage{});
   auditor_.OnRecordForwarded(sim_.Now(), 0, 1, r0);
   auditor_.OnRecordForwarded(sim_.Now(), 0, 2, r0);
   // Only the second successor's copy arrives — §4.1.1's redundancy working.
@@ -199,7 +205,7 @@ TEST_F(AuditUnitTest, PartialDeliveryCountsAsRescuedNotLost) {
 
 TEST_F(AuditUnitTest, RegeneratedDownstreamCountsAsRescued) {
   ViewerStateRecord r0 = MakeRecord(0);
-  auditor_.OnRecordCreated(sim_.Now(), 0, AuditObserver::CreateKind::kInsert, r0);
+  auditor_.OnRecordCreated(sim_.Now(), 0, AuditObserver::CreateKind::kInsert, r0, RecordLineage{});
   auditor_.OnRecordForwarded(sim_.Now(), 0, 1, r0);
   // Both copies vanish, but takeover regenerated the chain past sequence 0.
   ViewerStateRecord r2 = MakeRecord(2);
@@ -214,17 +220,17 @@ TEST_F(AuditUnitTest, RegeneratedDownstreamCountsAsRescued) {
 TEST_F(AuditUnitTest, DuplicateFreshHoldIsFlagged) {
   // Anchor the instance in schedule evidence so the kill is not an orphan.
   ViewerStateRecord r0 = MakeRecord(0);
-  auditor_.OnRecordCreated(sim_.Now(), 0, AuditObserver::CreateKind::kInsert, r0);
+  auditor_.OnRecordCreated(sim_.Now(), 0, AuditObserver::CreateKind::kInsert, r0, RecordLineage{});
 
   DescheduleRecord kill{ViewerId(17), PlayInstanceId(500), SlotId(9)};
-  auditor_.OnKill(sim_.Now(), 1, kill, /*removed=*/1, /*new_hold=*/true);
-  auditor_.OnKill(sim_.Now(), 2, kill, /*removed=*/0, /*new_hold=*/true);
+  auditor_.OnKill(sim_.Now(), 1, kill, RecordLineage{}, /*removed=*/1, /*new_hold=*/true);
+  auditor_.OnKill(sim_.Now(), 2, kill, RecordLineage{}, /*removed=*/0, /*new_hold=*/true);
   // Refreshes (new_hold=false) and fresh holds at other cubs are benign.
-  auditor_.OnKill(sim_.Now(), 1, kill, /*removed=*/0, /*new_hold=*/false);
+  auditor_.OnKill(sim_.Now(), 1, kill, RecordLineage{}, /*removed=*/0, /*new_hold=*/false);
   EXPECT_TRUE(auditor_.healthy());
 
   // A second *fresh* hold at cub 1 means the kill outlived its own hold.
-  auditor_.OnKill(sim_.Now(), 1, kill, /*removed=*/0, /*new_hold=*/true);
+  auditor_.OnKill(sim_.Now(), 1, kill, RecordLineage{}, /*removed=*/0, /*new_hold=*/true);
   EXPECT_EQ(auditor_.CountFor(DivergenceClass::kDuplicateKill), 1);
   EXPECT_EQ(OtherClasses(DivergenceClass::kDuplicateKill), 0);
 }
@@ -232,7 +238,7 @@ TEST_F(AuditUnitTest, DuplicateFreshHoldIsFlagged) {
 TEST_F(AuditUnitTest, OrphanKillIsFlaggedAfterTheHorizon) {
   // A slot-targeted kill naming an instance no schedule evidence ever names.
   DescheduleRecord kill{ViewerId(40), PlayInstanceId(999), SlotId(4)};
-  auditor_.OnKill(sim_.Now(), 0, kill, /*removed=*/0, /*new_hold=*/true);
+  auditor_.OnKill(sim_.Now(), 0, kill, RecordLineage{}, /*removed=*/0, /*new_hold=*/true);
   auditor_.CheckNow();
   EXPECT_TRUE(auditor_.healthy()) << "not an orphan until the horizon passes";
 
@@ -245,7 +251,7 @@ TEST_F(AuditUnitTest, QueuePurgeKillWithoutSlotIsNeverAnOrphan) {
   // The controller's broadcast purge for unconfirmed plays carries no slot;
   // it legitimately names instances no schedule evidence knows.
   DescheduleRecord kill{ViewerId(41), PlayInstanceId(1000), SlotId::Invalid()};
-  auditor_.OnKill(sim_.Now(), 0, kill, /*removed=*/0, /*new_hold=*/true);
+  auditor_.OnKill(sim_.Now(), 0, kill, RecordLineage{}, /*removed=*/0, /*new_hold=*/true);
   sim_.RunFor(Duration::Seconds(11));
   auditor_.CheckNow();
   EXPECT_TRUE(auditor_.healthy());
@@ -253,9 +259,9 @@ TEST_F(AuditUnitTest, QueuePurgeKillWithoutSlotIsNeverAnOrphan) {
 
 TEST_F(AuditUnitTest, KilledInstanceReenteringAViewIsAResurrection) {
   ViewerStateRecord r0 = MakeRecord(0);
-  auditor_.OnRecordCreated(sim_.Now(), 0, AuditObserver::CreateKind::kInsert, r0);
+  auditor_.OnRecordCreated(sim_.Now(), 0, AuditObserver::CreateKind::kInsert, r0, RecordLineage{});
   DescheduleRecord kill{ViewerId(17), PlayInstanceId(500), SlotId(9)};
-  auditor_.OnKill(sim_.Now(), 1, kill, /*removed=*/1, /*new_hold=*/true);
+  auditor_.OnKill(sim_.Now(), 1, kill, RecordLineage{}, /*removed=*/1, /*new_hold=*/true);
 
   sim_.RunFor(Duration::Seconds(1));
   // Cub 2 never applied the kill: a late record applying there is benign
@@ -284,7 +290,7 @@ TEST_F(AuditUnitTest, TtlDropIsFlaggedAndResolvesThePendingForward) {
 
 TEST_F(AuditUnitTest, LineageReassemblyAndQueries) {
   ViewerStateRecord r0 = MakeRecord(0);
-  auditor_.OnRecordCreated(sim_.Now(), 0, AuditObserver::CreateKind::kInsert, r0);
+  auditor_.OnRecordCreated(sim_.Now(), 0, AuditObserver::CreateKind::kInsert, r0, RecordLineage{});
   auditor_.OnRecordForwarded(sim_.Now(), 0, 1, r0);
   sim_.RunFor(Duration::Millis(3));
   auditor_.OnRecordReceived(sim_.Now(), 1, r0, ScheduleView::ApplyResult::kNew);
@@ -317,9 +323,57 @@ TEST_F(AuditUnitTest, LineageReassemblyAndQueries) {
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
 }
 
+TEST_F(AuditUnitTest, KillMessageLineageIsReassembledAcrossCubs) {
+  ViewerStateRecord r0 = MakeRecord(0);
+  auditor_.OnRecordCreated(sim_.Now(), 0, AuditObserver::CreateKind::kInsert, r0, RecordLineage{});
+
+  // A controller-minted kill applied at cub 1, then forwarded (hop count
+  // advanced, Lamport restamped) and applied at cub 2.
+  RecordLineage kl;
+  kl.origin_cub = kControllerLineageOrigin;
+  kl.epoch = 3;
+  kl.lamport = 10;
+  kl.MarkTagged();
+  DescheduleRecord kill{ViewerId(17), PlayInstanceId(500), SlotId(9)};
+  auditor_.OnKill(sim_.Now(), 1, kill, kl, /*removed=*/1, /*new_hold=*/true);
+  kl.hop_count = 1;
+  kl.lamport = 11;
+  auditor_.OnKill(sim_.Now(), 2, kill, kl, /*removed=*/0, /*new_hold=*/true);
+
+  const auto* hops = auditor_.KillHops(PlayInstanceId(500));
+  ASSERT_NE(hops, nullptr);
+  ASSERT_EQ(hops->size(), 2u);
+  EXPECT_EQ((*hops)[0].kind, ScheduleAuditor::HopKind::kKillApplied);
+  EXPECT_EQ((*hops)[0].cub, 1u);
+  EXPECT_EQ((*hops)[0].hop_count, 0u);
+  EXPECT_EQ((*hops)[1].cub, 2u);
+  EXPECT_EQ((*hops)[1].hop_count, 1u);
+  EXPECT_EQ((*hops)[1].lamport, 11u);
+  EXPECT_EQ(auditor_.KillHops(PlayInstanceId(9999)), nullptr);
+
+  // The kill's trip exports under its own controller chain.
+  const std::string csv = auditor_.LineageCsv();
+  EXPECT_NE(csv.find(",kill,"), std::string::npos);
+  EXPECT_NE(csv.find("0xffffffff00000003"), std::string::npos);
+  EXPECT_TRUE(auditor_.healthy());
+}
+
+TEST_F(AuditUnitTest, InsertRequestChainIsLinkedToTheRecordChain) {
+  RecordLineage request;
+  request.origin_cub = kControllerLineageOrigin;
+  request.epoch = 42;
+  request.MarkTagged();
+  ViewerStateRecord r0 = MakeRecord(0);
+  auditor_.OnRecordCreated(sim_.Now(), 0, AuditObserver::CreateKind::kInsert, r0, request);
+
+  const std::string trip = auditor_.ViewerLineage(ViewerId(17));
+  EXPECT_NE(trip.find("request 0xffffffff0000002a"), std::string::npos)
+      << "the minting StartPlayMsg's chain must be linked:\n" << trip;
+}
+
 TEST_F(AuditUnitTest, ReportsAreDeterministicAndNameTheClass) {
   ViewerStateRecord r0 = MakeRecord(0);
-  auditor_.OnRecordCreated(sim_.Now(), 0, AuditObserver::CreateKind::kInsert, r0);
+  auditor_.OnRecordCreated(sim_.Now(), 0, AuditObserver::CreateKind::kInsert, r0, RecordLineage{});
   ViewerStateRecord r1 = MakeRecord(1);
   r1.due = r1.due + Duration::Millis(1);
   auditor_.OnRecordReceived(sim_.Now(), 1, r1, ScheduleView::ApplyResult::kNew);
@@ -377,8 +431,10 @@ TEST(AuditSystemTest, HealthyRunReportsZeroDivergence) {
   EXPECT_NE(auditor.ReportJson().find("\"healthy\": true"), std::string::npos);
 
   // Lineage query over a real run: every played viewer has a chain whose hop
-  // log includes the full create/forward/receive trip.
+  // log includes the full create/forward/receive trip, and inserted chains
+  // link back to the controller's StartPlayMsg request chain.
   bool found_full_trip = false;
+  bool found_request_link = false;
   for (const auto& viewer : testbed.viewers()) {
     const std::string trip = auditor.ViewerLineage(viewer->id());
     if (trip.find("create") != std::string::npos &&
@@ -386,8 +442,12 @@ TEST(AuditSystemTest, HealthyRunReportsZeroDivergence) {
         trip.find("receive") != std::string::npos) {
       found_full_trip = true;
     }
+    if (trip.find("request 0xffffffff") != std::string::npos) {
+      found_request_link = true;
+    }
   }
   EXPECT_TRUE(found_full_trip);
+  EXPECT_TRUE(found_request_link);
 
   // Flow arrows splice into the Chrome export (ph "s"/"f" with the lineage
   // category) without breaking the JSON envelope.
