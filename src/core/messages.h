@@ -50,6 +50,9 @@ enum class MsgKind {
 struct TigerMessage : Payload {
   explicit TigerMessage(MsgKind k) : kind(k) {}
   MsgKind kind;
+  // Lets phase-anchored NetFaultPlan rules key windows off message kinds
+  // ("drop everything for 5 ms after the first DescheduleMsg").
+  int fault_kind() const override { return static_cast<int>(kind); }
 };
 
 // A batch of viewer states forwarded cub-to-cub (§4.1.1). Batching amortizes

@@ -220,6 +220,10 @@ void TigerSystem::FailControllerNow() {
   net_->SetNodeUp(addresses_.controller, false);
 }
 
+void TigerSystem::FailControllerAt(TimePoint when) {
+  sim_.ScheduleAt(when, [this] { FailControllerNow(); });
+}
+
 SimulatedDisk& TigerSystem::disk(DiskId id) {
   TIGER_CHECK(id.value() < disks_.size());
   return *disks_[id.value()];

@@ -105,6 +105,7 @@ class TigerSystem {
   // takes over after its detection timeout; without one, new starts and
   // stops are lost while running streams continue untouched.
   void FailControllerNow();
+  void FailControllerAt(TimePoint when);
 
   // --- bootstrap (control-plane benches) ---
   // Injects `count` already-playing streams directly into schedule slots,

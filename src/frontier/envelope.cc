@@ -1,0 +1,461 @@
+#include "src/frontier/envelope.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+namespace tiger {
+namespace frontier {
+
+namespace {
+
+// --- canonical JSON emission -------------------------------------------------
+
+std::string Escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// --- minimal JSON reader (the subset EnvelopeJson emits) ---------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject } type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+  int64_t Int(const std::string& key, int64_t fallback = 0) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->type == Type::kNumber ? static_cast<int64_t>(v->number) : fallback;
+  }
+  bool Bool(const std::string& key, bool fallback = false) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->type == Type::kBool ? v->boolean : fallback;
+  }
+  std::string Str(const std::string& key) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->type == Type::kString ? v->str : std::string();
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) { return ParseValue(out) && (SkipSpace(), pos_ == text_.size()); }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      pos_++;
+    }
+  }
+
+  bool Literal(const char* s) {
+    const size_t n = std::strlen(s);
+    if (text_.compare(pos_, n, s) != 0) {
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->str);
+      case 't':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = false;
+        return Literal("false");
+      case 'n':
+        out->type = JsonValue::Type::kNull;
+        return Literal("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  // Unlike bench_compare's reader this one decodes escapes: the embedded
+  // scenario descriptors are multi-line strings.
+  bool ParseString(std::string* out) {
+    if (text_[pos_] != '"') {
+      return false;
+    }
+    pos_++;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return false;
+          }
+          const long code = std::strtol(text_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          out->push_back(static_cast<char>(code));  // Emitter only writes < 0x20.
+          break;
+        }
+        default:
+          out->push_back(esc);  // \" \\ \/
+      }
+    }
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    pos_++;  // closing quote
+    return true;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      pos_++;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      pos_++;
+    }
+    if (pos_ == start) {
+      return false;
+    }
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    pos_++;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      pos_++;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      if (!ParseValue(&element)) {
+        return false;
+      }
+      out->array.push_back(std::move(element));
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        pos_++;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        pos_++;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    pos_++;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      pos_++;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (pos_ >= text_.size() || !ParseString(&key)) {
+        return false;
+      }
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return false;
+      }
+      pos_++;
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->object.emplace(std::move(key), std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        pos_++;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        pos_++;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+int EnvelopeFamily::MinCounterexampleCardinality() const {
+  int best = 0;
+  for (const EnvelopeCounterexample& ce : counterexamples) {
+    if (best == 0 || ce.cardinality < best) {
+      best = ce.cardinality;
+    }
+  }
+  return best;
+}
+
+const EnvelopeFamily* FrontierEnvelope::Find(const std::string& name) const {
+  for (const EnvelopeFamily& family : families) {
+    if (family.name == name) {
+      return &family;
+    }
+  }
+  return nullptr;
+}
+
+std::string EnvelopeJson(const FrontierEnvelope& envelope) {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"tiger-frontier-v1\",\n";
+  out += "  \"seed\": " + std::to_string(envelope.seed) + ",\n";
+  out += "  \"shape\": {\"cubs\": " + std::to_string(envelope.cubs) +
+         ", \"disks_per_cub\": " + std::to_string(envelope.disks_per_cub) +
+         ", \"decluster\": " + std::to_string(envelope.decluster) + "},\n";
+  out += std::string("  \"quick\": ") + (envelope.quick ? "true" : "false") + ",\n";
+  out += "  \"runs\": " + std::to_string(envelope.runs) + ",\n";
+  out += "  \"families\": [";
+  for (size_t f = 0; f < envelope.families.size(); ++f) {
+    const EnvelopeFamily& family = envelope.families[f];
+    out += f == 0 ? "\n" : ",\n";
+    out += "    {\n";
+    out += "      \"name\": \"" + Escape(family.name) + "\",\n";
+    out += "      \"tested_cardinality\": " + std::to_string(family.tested_cardinality) + ",\n";
+    out += "      \"max_survivable\": " + std::to_string(family.max_survivable) + ",\n";
+    out += std::string("      \"saturated\": ") + (family.saturated ? "true" : "false") + ",\n";
+    out += "      \"gls_lower\": " + std::to_string(family.gls_lower) + ",\n";
+    out += "      \"gls_upper\": " + std::to_string(family.gls_upper) + ",\n";
+    out += "      \"verdicts\": {";
+    for (size_t v = 0; v < static_cast<size_t>(Verdict::kVerdictCount); ++v) {
+      if (v != 0) {
+        out += ", ";
+      }
+      out += "\"" + std::string(VerdictName(static_cast<Verdict>(v))) +
+             "\": " + std::to_string(family.verdict_counts[v]);
+    }
+    out += "},\n";
+    out += "      \"counterexamples\": [";
+    for (size_t c = 0; c < family.counterexamples.size(); ++c) {
+      const EnvelopeCounterexample& ce = family.counterexamples[c];
+      out += c == 0 ? "\n" : ",\n";
+      out += "        {\n";
+      out += "          \"cardinality\": " + std::to_string(ce.cardinality) + ",\n";
+      out += "          \"verdict\": \"" + Escape(ce.verdict) + "\",\n";
+      out += "          \"lost_blocks\": " + std::to_string(ce.lost_blocks) + ",\n";
+      out += std::string("          \"survivable\": ") + (ce.survivable ? "true" : "false") +
+             ",\n";
+      out += "          \"descriptor\": \"" + Escape(ce.descriptor) + "\"\n";
+      out += "        }";
+    }
+    out += family.counterexamples.empty() ? "]\n" : "\n      ]\n";
+    out += "    }";
+  }
+  out += envelope.families.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+Result<FrontierEnvelope> ParseEnvelopeJson(const std::string& json) {
+  JsonValue root;
+  if (!JsonParser(json).Parse(&root) || root.type != JsonValue::Type::kObject) {
+    return Status::Error("frontier envelope: not valid JSON");
+  }
+  if (root.Str("schema") != "tiger-frontier-v1") {
+    return Status::Error("frontier envelope: missing or unsupported schema");
+  }
+  FrontierEnvelope envelope;
+  envelope.seed = static_cast<uint64_t>(root.Int("seed"));
+  const JsonValue* shape = root.Find("shape");
+  if (shape == nullptr || shape->type != JsonValue::Type::kObject) {
+    return Status::Error("frontier envelope: missing shape");
+  }
+  envelope.cubs = static_cast<int>(shape->Int("cubs"));
+  envelope.disks_per_cub = static_cast<int>(shape->Int("disks_per_cub"));
+  envelope.decluster = static_cast<int>(shape->Int("decluster"));
+  envelope.quick = root.Bool("quick");
+  envelope.runs = root.Int("runs");
+  const JsonValue* families = root.Find("families");
+  if (families == nullptr || families->type != JsonValue::Type::kArray) {
+    return Status::Error("frontier envelope: missing families array");
+  }
+  for (const JsonValue& entry : families->array) {
+    if (entry.type != JsonValue::Type::kObject) {
+      return Status::Error("frontier envelope: family is not an object");
+    }
+    EnvelopeFamily family;
+    family.name = entry.Str("name");
+    if (family.name.empty()) {
+      return Status::Error("frontier envelope: family missing name");
+    }
+    family.tested_cardinality = static_cast<int>(entry.Int("tested_cardinality"));
+    family.max_survivable = static_cast<int>(entry.Int("max_survivable"));
+    family.saturated = entry.Bool("saturated");
+    family.gls_lower = static_cast<int>(entry.Int("gls_lower"));
+    family.gls_upper = static_cast<int>(entry.Int("gls_upper"));
+    if (const JsonValue* verdicts = entry.Find("verdicts");
+        verdicts != nullptr && verdicts->type == JsonValue::Type::kObject) {
+      for (size_t v = 0; v < static_cast<size_t>(Verdict::kVerdictCount); ++v) {
+        family.verdict_counts[v] = verdicts->Int(VerdictName(static_cast<Verdict>(v)));
+      }
+    }
+    if (const JsonValue* ces = entry.Find("counterexamples");
+        ces != nullptr && ces->type == JsonValue::Type::kArray) {
+      for (const JsonValue& ce_value : ces->array) {
+        EnvelopeCounterexample ce;
+        ce.cardinality = static_cast<int>(ce_value.Int("cardinality"));
+        ce.verdict = ce_value.Str("verdict");
+        ce.lost_blocks = ce_value.Int("lost_blocks");
+        ce.survivable = ce_value.Bool("survivable");
+        ce.descriptor = ce_value.Str("descriptor");
+        family.counterexamples.push_back(std::move(ce));
+      }
+    }
+    envelope.families.push_back(std::move(family));
+  }
+  return envelope;
+}
+
+std::string EnvelopeReport(const FrontierEnvelope& envelope) {
+  std::string out;
+  out += "frontier envelope: seed " + std::to_string(envelope.seed) + ", shape " +
+         std::to_string(envelope.cubs) + "x" + std::to_string(envelope.disks_per_cub) +
+         " decluster " + std::to_string(envelope.decluster) + ", " +
+         std::to_string(envelope.runs) + " runs\n";
+  for (const EnvelopeFamily& family : envelope.families) {
+    out += "\n" + family.name + ":\n";
+    out += "  max survivable cardinality " + std::to_string(family.max_survivable) +
+           " (tested up to " + std::to_string(family.tested_cardinality) +
+           (family.saturated ? ", saturated — no failure found inside the budget)" : ")") + "\n";
+    if (family.gls_upper > 0) {
+      out += "  GLS bounds for this shape: every " + std::to_string(family.gls_lower) +
+             "-fault set survivable, some " + std::to_string(family.gls_upper) +
+             "-fault set survivable\n";
+    }
+    out += "  verdicts:";
+    for (size_t v = 0; v < static_cast<size_t>(Verdict::kVerdictCount); ++v) {
+      if (family.verdict_counts[v] > 0) {
+        out += " " + std::string(VerdictName(static_cast<Verdict>(v))) + "=" +
+               std::to_string(family.verdict_counts[v]);
+      }
+    }
+    out += "\n";
+    for (const EnvelopeCounterexample& ce : family.counterexamples) {
+      out += "  counterexample at cardinality " + std::to_string(ce.cardinality) + ": " +
+             ce.verdict + ", " + std::to_string(ce.lost_blocks) + " lost blocks\n";
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> CompareEnvelopes(const FrontierEnvelope& baseline,
+                                          const FrontierEnvelope& current) {
+  std::vector<std::string> regressions;
+  for (const EnvelopeFamily& base : baseline.families) {
+    const EnvelopeFamily* cur = current.Find(base.name);
+    if (cur == nullptr) {
+      regressions.push_back(base.name + ": family missing from current envelope");
+      continue;
+    }
+    if (cur->max_survivable < base.max_survivable) {
+      regressions.push_back(base.name + ": max survivable cardinality shrank " +
+                            std::to_string(base.max_survivable) + " -> " +
+                            std::to_string(cur->max_survivable));
+    }
+    const int base_min = base.MinCounterexampleCardinality();
+    const int cur_min = cur->MinCounterexampleCardinality();
+    if (cur_min != 0 && base_min != 0 && cur_min < base_min) {
+      regressions.push_back(base.name + ": minimal counterexample shrank " +
+                            std::to_string(base_min) + " -> " + std::to_string(cur_min));
+    }
+    if (cur_min != 0 && base.saturated && cur_min <= base.tested_cardinality) {
+      regressions.push_back(base.name + ": failure at cardinality " + std::to_string(cur_min) +
+                            " where baseline had proven survivability");
+    }
+  }
+  return regressions;
+}
+
+}  // namespace frontier
+}  // namespace tiger

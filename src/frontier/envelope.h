@@ -1,0 +1,91 @@
+// The survivability envelope: what the frontier tournament measured, as a
+// machine-readable artifact (frontier.json) that CI diffs against a committed
+// baseline.
+//
+// Per scenario family the envelope records the maximum fault cardinality at
+// which every tried variant survived, whether the search saturated (never
+// found a failure inside its budget), the exact GLS-style bounds the shape
+// admits (src/frontier/servability.h), a verdict histogram over every trial,
+// and the minimal counterexamples found — each carrying its full scenario
+// descriptor text so `tools/replay_scenario` can re-run it byte-for-byte.
+//
+// EnvelopeJson() is canonical: fixed key order, fixed formatting, integers
+// only — two identical tournaments emit byte-identical files. CompareEnvelopes
+// is the CI gate: it reports a regression when a family disappears, its
+// survivable frontier shrinks, or a counterexample appears at a cardinality
+// the baseline had proven survivable.
+
+#ifndef SRC_FRONTIER_ENVELOPE_H_
+#define SRC_FRONTIER_ENVELOPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/frontier/runner.h"
+
+namespace tiger {
+namespace frontier {
+
+struct EnvelopeCounterexample {
+  int cardinality = 0;
+  std::string verdict;  // VerdictName() of the failing run.
+  int64_t lost_blocks = 0;
+  bool survivable = false;
+  // Canonical ScenarioDescriptor::ToText() — feed to tools/replay_scenario.
+  std::string descriptor;
+};
+
+struct EnvelopeFamily {
+  std::string name;
+  int tested_cardinality = 0;  // Highest cardinality actually run.
+  int max_survivable = 0;      // Highest cardinality where every variant survived.
+  bool saturated = false;      // True: no failure found up to tested_cardinality.
+  // Exact bounds for the shape (0/0 where cardinality is not a cub-fault
+  // count, e.g. disk-degradation families).
+  int gls_lower = 0;
+  int gls_upper = 0;
+  int64_t verdict_counts[static_cast<size_t>(Verdict::kVerdictCount)] = {};
+  std::vector<EnvelopeCounterexample> counterexamples;
+
+  int64_t trials() const {
+    int64_t total = 0;
+    for (int64_t c : verdict_counts) {
+      total += c;
+    }
+    return total;
+  }
+  // Smallest counterexample cardinality, or 0 when saturated.
+  int MinCounterexampleCardinality() const;
+};
+
+struct FrontierEnvelope {
+  uint64_t seed = 0;
+  int cubs = 0;
+  int disks_per_cub = 0;
+  int decluster = 0;
+  bool quick = false;
+  int64_t runs = 0;  // Total scenario executions across all families.
+  std::vector<EnvelopeFamily> families;
+
+  const EnvelopeFamily* Find(const std::string& name) const;
+};
+
+// Canonical, byte-reproducible JSON (schema "tiger-frontier-v1").
+std::string EnvelopeJson(const FrontierEnvelope& envelope);
+Result<FrontierEnvelope> ParseEnvelopeJson(const std::string& json);
+
+// Human-readable report: one block per family plus the GLS comparison.
+std::string EnvelopeReport(const FrontierEnvelope& envelope);
+
+// CI gate. Empty result = no regression. Each string names the family and
+// what shrank; purely additive changes (new families, larger frontiers) are
+// not regressions.
+std::vector<std::string> CompareEnvelopes(const FrontierEnvelope& baseline,
+                                          const FrontierEnvelope& current);
+
+}  // namespace frontier
+}  // namespace tiger
+
+#endif  // SRC_FRONTIER_ENVELOPE_H_

@@ -1,0 +1,258 @@
+#include "src/frontier/scenario.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace tiger {
+namespace frontier {
+
+namespace {
+
+const char* const kActionNames[] = {
+    "fail_cub", "revive_cub", "fail_disk", "disk_burst", "disk_limp",
+    "partition", "fail_controller", "delay_msgs", "dup_msgs", "stop_viewer",
+};
+static_assert(sizeof(kActionNames) / sizeof(kActionNames[0]) ==
+                  static_cast<size_t>(ScenarioAction::Kind::kKindCount),
+              "action name table out of sync");
+
+bool ParseActionKind(const std::string& name, ScenarioAction::Kind* out) {
+  for (size_t i = 0; i < static_cast<size_t>(ScenarioAction::Kind::kKindCount); ++i) {
+    if (name == kActionNames[i]) {
+      *out = static_cast<ScenarioAction::Kind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string GroupToString(const std::vector<int>& group) {
+  if (group.empty()) {
+    return "-";
+  }
+  std::string out;
+  for (size_t i = 0; i < group.size(); ++i) {
+    if (i != 0) {
+      out += ',';
+    }
+    out += std::to_string(group[i]);
+  }
+  return out;
+}
+
+bool ParseGroup(const std::string& text, std::vector<int>* out) {
+  out->clear();
+  if (text == "-") {
+    return true;
+  }
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    std::string part = text.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (part.empty()) {
+      return false;
+    }
+    char* end = nullptr;
+    long v = std::strtol(part.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return false;
+    }
+    out->push_back(static_cast<int>(v));
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return true;
+}
+
+// One key=value token; returns false on malformed input.
+bool SplitToken(const std::string& token, std::string* key, std::string* value) {
+  size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return false;
+  }
+  *key = token.substr(0, eq);
+  *value = token.substr(eq + 1);
+  return true;
+}
+
+bool ParseI64(const std::string& text, int64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoll(text.c_str(), &end, 10);
+  return end != nullptr && *end == '\0' && !text.empty();
+}
+
+}  // namespace
+
+const char* ActionKindName(ScenarioAction::Kind kind) {
+  const size_t i = static_cast<size_t>(kind);
+  if (i >= static_cast<size_t>(ScenarioAction::Kind::kKindCount)) {
+    return "?";
+  }
+  return kActionNames[i];
+}
+
+std::string ScenarioDescriptor::ToText() const {
+  std::string out;
+  out += "scenario v1\n";
+  out += "family " + family + "\n";
+  out += "seed " + std::to_string(seed) + "\n";
+  out += "shape " + std::to_string(cubs) + " " + std::to_string(disks_per_cub) + " " +
+         std::to_string(decluster) + "\n";
+  out += "content " + std::to_string(files) + " " + std::to_string(file_s) + "\n";
+  out += "viewers " + std::to_string(viewers) + "\n";
+  out += "run_ms " + std::to_string(run_ms) + "\n";
+  out += "loss_budget " + std::to_string(loss_budget) + "\n";
+  out += "backup_controller " + std::to_string(backup_controller ? 1 : 0) + "\n";
+  out += "forwarding " + std::to_string(forward_copies) + " " +
+         std::to_string(reforward_on_failure ? 1 : 0) + "\n";
+  out += "late_viewer " + std::to_string(late_viewer_file) + " " +
+         std::to_string(late_viewer_at_ms) + "\n";
+  for (const ScenarioAction& a : actions) {
+    out += "action ";
+    out += ActionKindName(a.kind);
+    out += " target=" + std::to_string(a.target);
+    out += " group=" + GroupToString(a.group);
+    out += " at_ms=" + std::to_string(a.at_ms);
+    out += " end_ms=" + std::to_string(a.end_ms);
+    out += " prob_ppm=" + std::to_string(a.prob_ppm);
+    out += " delay_ms=" + std::to_string(a.delay_ms);
+    out += " aux=" + std::to_string(a.aux);
+    out += " anchor=" + (a.anchor.empty() ? std::string("-") : a.anchor);
+    out += "\n";
+  }
+  out += "end\n";
+  return out;
+}
+
+Result<ScenarioDescriptor> ScenarioDescriptor::Parse(const std::string& text) {
+  ScenarioDescriptor d;
+  d.actions.clear();
+  std::istringstream in(text);
+  std::string line;
+  bool saw_header = false;
+  bool saw_end = false;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Tolerate trailing carriage returns and skip blank/comment lines.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    auto fail = [&](const std::string& why) {
+      return Status::Error("scenario parse error, line " + std::to_string(line_no) + ": " +
+                           why + " (\"" + line + "\")");
+    };
+    if (!saw_header) {
+      if (keyword != "scenario") {
+        return fail("expected 'scenario v1' header");
+      }
+      std::string version;
+      fields >> version;
+      if (version != "v1") {
+        return fail("unsupported scenario version");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (keyword == "family") {
+      fields >> d.family;
+    } else if (keyword == "seed") {
+      fields >> d.seed;
+    } else if (keyword == "shape") {
+      fields >> d.cubs >> d.disks_per_cub >> d.decluster;
+    } else if (keyword == "content") {
+      fields >> d.files >> d.file_s;
+    } else if (keyword == "viewers") {
+      fields >> d.viewers;
+    } else if (keyword == "run_ms") {
+      fields >> d.run_ms;
+    } else if (keyword == "loss_budget") {
+      fields >> d.loss_budget;
+    } else if (keyword == "backup_controller") {
+      int v = 0;
+      fields >> v;
+      d.backup_controller = v != 0;
+    } else if (keyword == "forwarding") {
+      int reforward = 1;
+      fields >> d.forward_copies >> reforward;
+      d.reforward_on_failure = reforward != 0;
+    } else if (keyword == "late_viewer") {
+      fields >> d.late_viewer_file >> d.late_viewer_at_ms;
+    } else if (keyword == "action") {
+      std::string kind_name;
+      fields >> kind_name;
+      ScenarioAction a;
+      if (!ParseActionKind(kind_name, &a.kind)) {
+        return fail("unknown action kind '" + kind_name + "'");
+      }
+      std::string token;
+      while (fields >> token) {
+        std::string key, value;
+        if (!SplitToken(token, &key, &value)) {
+          return fail("malformed token '" + token + "'");
+        }
+        int64_t i64 = 0;
+        if (key == "group") {
+          if (!ParseGroup(value, &a.group)) {
+            return fail("malformed group '" + value + "'");
+          }
+        } else if (key == "anchor") {
+          a.anchor = value == "-" ? "" : value;
+        } else if (!ParseI64(value, &i64)) {
+          return fail("non-integer value '" + token + "'");
+        } else if (key == "target") {
+          a.target = static_cast<int>(i64);
+        } else if (key == "at_ms") {
+          a.at_ms = i64;
+        } else if (key == "end_ms") {
+          a.end_ms = i64;
+        } else if (key == "prob_ppm") {
+          a.prob_ppm = i64;
+        } else if (key == "delay_ms") {
+          a.delay_ms = i64;
+        } else if (key == "aux") {
+          a.aux = i64;
+        } else {
+          return fail("unknown action key '" + key + "'");
+        }
+      }
+      d.actions.push_back(std::move(a));
+      continue;  // The token loop reads to end-of-line; failbit is expected.
+    } else if (keyword == "end") {
+      saw_end = true;
+      break;
+    } else {
+      return fail("unknown keyword '" + keyword + "'");
+    }
+    if (fields.fail()) {
+      return fail("missing or malformed fields");
+    }
+  }
+  if (!saw_header) {
+    return Status::Error("scenario parse error: missing 'scenario v1' header");
+  }
+  if (!saw_end) {
+    return Status::Error("scenario parse error: missing 'end' terminator");
+  }
+  if (d.cubs < 1 || d.disks_per_cub < 1 || d.decluster < 1 ||
+      d.decluster >= d.cubs * d.disks_per_cub) {
+    return Status::Error("scenario parse error: invalid shape");
+  }
+  if (d.files < 1 || d.viewers < 0 || d.run_ms <= 0 || d.file_s <= 0) {
+    return Status::Error("scenario parse error: invalid workload");
+  }
+  return d;
+}
+
+}  // namespace frontier
+}  // namespace tiger

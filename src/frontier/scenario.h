@@ -1,0 +1,102 @@
+// ScenarioDescriptor: one failure scenario, serializable and replayable.
+//
+// A scenario composes the repo's existing fault primitives — cub crash and
+// revive, permanent disk failure, transient disk error bursts and limping,
+// control-plane partitions/delay/duplication (NetFaultPlan), controller
+// power-cut — with a fixed workload (system shape, content, viewers, run
+// length) and one seed. The frontier tournament (src/frontier/search.h)
+// enumerates these; tools/replay_scenario re-runs any one of them standalone.
+//
+// The text form is line-based and canonical: ToText() always emits fields in
+// one fixed order with fixed formatting, and Parse(ToText(d)) == d exactly.
+// Probabilities travel as parts-per-million integers so the round trip is
+// lossless byte-for-byte — the byte-reproducibility of frontier.json leans
+// on this. Timing windows may be phase-anchored ("5 ms after the first
+// deschedule message"), mapping onto NetFaultPlan's anchored rules.
+
+#ifndef SRC_FRONTIER_SCENARIO_H_
+#define SRC_FRONTIER_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace tiger {
+namespace frontier {
+
+struct ScenarioAction {
+  enum class Kind : uint8_t {
+    kFailCub = 0,       // target=cub, at_ms (permanent unless revived later).
+    kReviveCub,         // target=cub, at_ms.
+    kFailDisk,          // target=global disk, at_ms (permanent).
+    kDiskBurst,         // target=disk, [at_ms, end_ms), prob_ppm of read errors.
+    kDiskLimp,          // target=disk, [at_ms, end_ms), throughput * den/num.
+    kPartition,         // group cubs severed from everything else for the window.
+    kFailController,    // at_ms.
+    kDelayFromCub,      // target=src cub (-1 = every cub), window, prob, delay_ms.
+    kDuplicateFromCub,  // target=src cub (-1 = every cub), window, prob, aux copies.
+    kStopViewer,        // target=viewer index (creation order), at_ms. Sends the
+                        // stop request whose DescheduleMsg anchored rules race.
+    kKindCount,         // sentinel
+  };
+
+  Kind kind = Kind::kFailCub;
+  int target = -1;          // Cub or disk id; -1 = all cubs (delay/duplicate).
+  std::vector<int> group;   // kPartition: cub ids isolated from the rest.
+  int64_t at_ms = 0;        // Event time, or window start.
+  int64_t end_ms = 0;       // Window end (exclusive); unused for point events.
+  int64_t prob_ppm = 1000000;  // Probability in parts-per-million.
+  int64_t delay_ms = 0;     // kDelayFromCub: delay; kDiskLimp: numerator.
+  int64_t aux = 0;          // kDiskLimp: denominator; kDuplicateFromCub: copies.
+  // Phase anchor for window actions: "" = absolute sim time; otherwise one of
+  // "start_play", "deschedule", "vstate", "client_request", "failure_notice"
+  // — the window becomes [first-sighting + at_ms, first-sighting + end_ms).
+  std::string anchor;
+
+  bool operator==(const ScenarioAction&) const = default;
+};
+
+const char* ActionKindName(ScenarioAction::Kind kind);
+
+struct ScenarioDescriptor {
+  // Free-form family label; the tournament uses it to group results.
+  std::string family = "adhoc";
+  uint64_t seed = 1;
+  // System shape (cubs, disks per cub, decluster factor).
+  int cubs = 8;
+  int disks_per_cub = 1;
+  int decluster = 2;
+  // Workload: `files` pieces of content of `file_s` seconds; `viewers`
+  // one-shot viewers on files 0..viewers-1 started at t=0.
+  int files = 8;
+  int64_t file_s = 60;
+  int viewers = 4;
+  int64_t run_ms = 110000;
+  // Client-observed lost blocks beyond this budget mean the scenario is not
+  // survivable even when no invariant broke: the losses are open-ended, not
+  // the bounded detection-window kind.
+  int64_t loss_budget = 60;
+  bool backup_controller = false;
+  // Protocol weakening knobs (default = paper configuration). The tournament
+  // uses these to prove the CI envelope gate bites.
+  int forward_copies = 2;
+  bool reforward_on_failure = true;
+  // Post-fault service probe: one extra viewer on `late_viewer_file` started
+  // at `late_viewer_at_ms` (-1 = no probe).
+  int late_viewer_file = -1;
+  int64_t late_viewer_at_ms = -1;
+  std::vector<ScenarioAction> actions;
+
+  bool operator==(const ScenarioDescriptor&) const = default;
+
+  // Canonical text form (see file comment). Ends with "end\n".
+  std::string ToText() const;
+  static Result<ScenarioDescriptor> Parse(const std::string& text);
+};
+
+}  // namespace frontier
+}  // namespace tiger
+
+#endif  // SRC_FRONTIER_SCENARIO_H_

@@ -1,0 +1,358 @@
+#include "src/frontier/search.h"
+
+#include <cmath>
+#include <string>
+
+#include "src/frontier/runner.h"
+#include "src/frontier/servability.h"
+#include "src/layout/shape.h"
+
+namespace tiger {
+namespace frontier {
+
+namespace {
+
+const char kCubLossSpread[] = "cub_loss_spread";
+const char kCubLossAdjacent[] = "cub_loss_adjacent";
+const char kDiskDegradation[] = "disk_degradation";
+const char kPartitionRace[] = "partition_race";
+const char kCrashRestartStorm[] = "crash_restart_storm";
+const char kControllerFailover[] = "controller_failover";
+
+// Milliseconds of partition window per unit of partition_race cardinality.
+// Measured: the frontier sits near 2.5 s (well below the 7 s deadman — a
+// sub-deadman partition is never *detected*, so records a racing insert lost
+// inside it are never re-forwarded), so 1 s steps bracket it at k = 3.
+constexpr int64_t kPartitionStepMs = 1000;
+
+// Budgets scale with exposure: the full-length runs stream ~2x as long as
+// the quick CI configuration, so bounded detection-window losses roughly
+// double while the servable/unservable separation stays put.
+int64_t BudgetScale(const FrontierOptions& options) { return options.quick ? 1 : 2; }
+
+ScenarioDescriptor Base(const FrontierOptions& options) {
+  ScenarioDescriptor d;
+  d.seed = options.seed;
+  d.cubs = options.cubs;
+  d.disks_per_cub = options.disks_per_cub;
+  d.decluster = options.decluster;
+  d.files = options.cubs;  // Round-robin start disks: file i starts on cub i.
+  // Files long enough that the t=0 viewers are still streaming near the end
+  // of the run: open-ended losses from an unservable fault set then keep
+  // accruing and separate cleanly from the bounded detection-window losses a
+  // servable set costs.
+  d.file_s = options.quick ? 60 : 90;
+  d.viewers = 4;
+  d.run_ms = options.quick ? 70000 : 105000;
+  d.forward_copies = options.weaken_no_reforward ? 1 : 2;
+  d.reforward_on_failure = !options.weaken_no_reforward;
+  return d;
+}
+
+// k cub positions as far apart as the ring allows (the survivable placement).
+std::vector<int> SpreadPositions(int n, int k, int rotate) {
+  std::vector<int> positions;
+  for (int i = 0; i < k; ++i) {
+    const int pos = static_cast<int>(
+        std::lround(static_cast<double>(i) * static_cast<double>(n) / static_cast<double>(k)));
+    positions.push_back((pos + rotate) % n);
+  }
+  return positions;
+}
+
+ScenarioDescriptor CubLossScenario(const FrontierOptions& options, const std::vector<int>& cubs,
+                                   const char* family, int variant) {
+  ScenarioDescriptor d = Base(options);
+  d.family = family;
+  d.seed = options.seed + static_cast<uint64_t>(variant);
+  // Measured (quick, seed 1): a servable loss set costs <= 8 lost blocks
+  // (detection windows only); one unservable disk costs ~30 and keeps
+  // climbing with exposure. 20 sits between with margin on both sides.
+  d.loss_budget = 20 * BudgetScale(options);
+  int64_t at = 15000;
+  for (int cub : cubs) {
+    ScenarioAction fail;
+    fail.kind = ScenarioAction::Kind::kFailCub;
+    fail.target = cub;
+    fail.at_ms = at;
+    at += 2000;
+    d.actions.push_back(fail);
+  }
+  return d;
+}
+
+ScenarioDescriptor PartitionScenario(const FrontierOptions& options, int64_t window_ms) {
+  ScenarioDescriptor d = Base(options);
+  d.family = kPartitionRace;
+  d.loss_budget = 40 * BudgetScale(options);
+  // Viewer 0 stops at 20 s: its DescheduleMsg is the first deschedule on the
+  // wire and arms the partition window.
+  ScenarioAction stop;
+  stop.kind = ScenarioAction::Kind::kStopViewer;
+  stop.target = 0;
+  stop.at_ms = 20000;
+  d.actions.push_back(stop);
+  // Sever cub 1 the instant that deschedule appears, for window_ms — racing
+  // deschedule propagation (and, past the deadman, failure detection itself)
+  // against the heal, with live streams crossing the cut.
+  ScenarioAction cut;
+  cut.kind = ScenarioAction::Kind::kPartition;
+  cut.group = {1};
+  cut.anchor = "deschedule";
+  cut.at_ms = 0;
+  cut.end_ms = window_ms;
+  d.actions.push_back(cut);
+  // Insert racing the deschedule: a new start lands while the deschedule is
+  // still propagating and the partition is up.
+  d.late_viewer_file = 4;
+  d.late_viewer_at_ms = 21000;
+  return d;
+}
+
+std::vector<ScenarioDescriptor> BuildFamilyScenarios(const std::string& family, int k,
+                                                     const FrontierOptions& options) {
+  std::vector<ScenarioDescriptor> out;
+  const int n = options.cubs;
+  if (k < 1) {
+    return out;
+  }
+  if (family == kCubLossSpread) {
+    if (k >= n) {
+      return out;
+    }
+    for (int variant = 0; variant < 2; ++variant) {
+      ScenarioDescriptor d = CubLossScenario(options, SpreadPositions(n, k, variant),
+                                             kCubLossSpread, variant);
+      out.push_back(std::move(d));
+    }
+  } else if (family == kCubLossAdjacent) {
+    if (k >= n) {
+      return out;
+    }
+    // Two runs of k neighboring cubs, starting at different ring positions.
+    const int starts[2] = {2, (2 + n / 2) % n};
+    for (int variant = 0; variant < 2; ++variant) {
+      std::vector<int> cubs;
+      for (int i = 0; i < k; ++i) {
+        cubs.push_back((starts[variant] + i) % n);
+      }
+      out.push_back(CubLossScenario(options, cubs, kCubLossAdjacent, variant));
+    }
+  } else if (family == kDiskDegradation) {
+    ScenarioDescriptor d = Base(options);
+    d.family = kDiskDegradation;
+    d.loss_budget = (30 + 10 * k) * BudgetScale(options);
+    const int total_disks = options.cubs * options.disks_per_cub;
+    for (int i = 0; i < k; ++i) {
+      ScenarioAction a;
+      a.target = (1 + 2 * i) % total_disks;
+      a.at_ms = 15000 + 3000 * i;
+      if (i % 2 == 0) {
+        a.kind = ScenarioAction::Kind::kDiskBurst;
+        a.end_ms = a.at_ms + 3000;
+        a.prob_ppm = 600000;
+      } else {
+        a.kind = ScenarioAction::Kind::kDiskLimp;
+        a.end_ms = a.at_ms + 4000;
+        a.delay_ms = 2;  // Limp factor numerator: reads take 2/1 as long.
+        a.aux = 1;
+      }
+      d.actions.push_back(a);
+    }
+    out.push_back(std::move(d));
+  } else if (family == kPartitionRace) {
+    out.push_back(PartitionScenario(options, kPartitionStepMs * k));
+  } else if (family == kCrashRestartStorm) {
+    if (k >= n) {
+      return out;
+    }
+    ScenarioDescriptor d = Base(options);
+    d.family = kCrashRestartStorm;
+    // Measured (quick, seed 1): one crash+rejoin cycle costs ~7 lost blocks;
+    // the k = 2 overlap (cub and fragment holder down together) costs ~50.
+    d.loss_budget = 25 * BudgetScale(options);
+    // Consecutive cubs with overlapping 14 s outages: at k >= 2 a cub and its
+    // fragment holder are down simultaneously for ~11 s, so the storm crosses
+    // from bounded detection losses into a sustained unservable window.
+    for (int i = 0; i < k; ++i) {
+      const int cub = (2 + i) % n;
+      ScenarioAction fail;
+      fail.kind = ScenarioAction::Kind::kFailCub;
+      fail.target = cub;
+      fail.at_ms = 15000 + 3000 * i;
+      d.actions.push_back(fail);
+      ScenarioAction revive;
+      revive.kind = ScenarioAction::Kind::kReviveCub;
+      revive.target = cub;
+      revive.at_ms = fail.at_ms + 14000;
+      d.actions.push_back(revive);
+    }
+    // Probe service on the first crashed-and-rejoined cub's own file.
+    d.late_viewer_file = 2;
+    d.late_viewer_at_ms = 45000;
+    out.push_back(std::move(d));
+  } else if (family == kControllerFailover) {
+    if (k - 1 >= n) {
+      return out;
+    }
+    ScenarioDescriptor d = Base(options);
+    d.family = kControllerFailover;
+    d.backup_controller = !options.weaken_no_backup;
+    d.loss_budget = (40 + 20 * (k - 1)) * BudgetScale(options);
+    ScenarioAction cut;
+    cut.kind = ScenarioAction::Kind::kFailController;
+    cut.at_ms = 15000;
+    d.actions.push_back(cut);
+    int64_t at = 18000;
+    for (int cub : SpreadPositions(n, k - 1, 0)) {
+      ScenarioAction fail;
+      fail.kind = ScenarioAction::Kind::kFailCub;
+      fail.target = cub;
+      fail.at_ms = at;
+      at += 2000;
+      d.actions.push_back(fail);
+    }
+    // New starts must still work once the standby has taken over.
+    d.late_viewer_file = 5;
+    d.late_viewer_at_ms = 30000;
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+bool FamilyCountsCubFaults(const std::string& family) {
+  return family == kCubLossSpread || family == kCubLossAdjacent || family == kCrashRestartStorm;
+}
+
+EnvelopeCounterexample MakeCounterexample(int cardinality, const ScenarioDescriptor& descriptor,
+                                          const ScenarioOutcome& outcome) {
+  EnvelopeCounterexample ce;
+  ce.cardinality = cardinality;
+  ce.verdict = VerdictName(outcome.verdict);
+  ce.lost_blocks = outcome.lost_blocks;
+  ce.survivable = outcome.survivable;
+  ce.descriptor = descriptor.ToText();
+  return ce;
+}
+
+}  // namespace
+
+const std::vector<std::string>& AllFamilies() {
+  static const std::vector<std::string> kFamilies = {
+      kCubLossSpread,   kCubLossAdjacent,    kDiskDegradation,
+      kPartitionRace,   kCrashRestartStorm,  kControllerFailover,
+  };
+  return kFamilies;
+}
+
+std::vector<ScenarioDescriptor> FamilyScenarios(const std::string& family, int cardinality,
+                                                const FrontierOptions& options) {
+  return BuildFamilyScenarios(family, cardinality, options);
+}
+
+FrontierEnvelope RunTournament(const FrontierOptions& options) {
+  FrontierEnvelope envelope;
+  envelope.seed = options.seed;
+  envelope.cubs = options.cubs;
+  envelope.disks_per_cub = options.disks_per_cub;
+  envelope.decluster = options.decluster;
+  envelope.quick = options.quick;
+
+  const SystemShape shape{options.cubs, options.disks_per_cub, options.decluster};
+  const int gls_lower = ExactFaultLowerBound(shape);
+  const int gls_upper = ExactFaultUpperBound(shape);
+
+  auto report = [&](const std::string& line) {
+    if (options.progress) {
+      options.progress(line);
+    }
+  };
+
+  const std::vector<std::string>& families =
+      options.families.empty() ? AllFamilies() : options.families;
+  for (const std::string& family : families) {
+    EnvelopeFamily result;
+    result.name = family;
+    if (FamilyCountsCubFaults(family)) {
+      result.gls_lower = gls_lower;
+      result.gls_upper = gls_upper;
+    }
+
+    bool failed = false;
+    for (int k = 1; k <= options.max_cardinality && !failed; ++k) {
+      const std::vector<ScenarioDescriptor> variants = BuildFamilyScenarios(family, k, options);
+      if (variants.empty()) {
+        break;  // Cardinality exceeds what the shape admits.
+      }
+      if (envelope.runs + static_cast<int64_t>(variants.size()) > options.max_runs) {
+        report(family + ": run budget exhausted at cardinality " + std::to_string(k));
+        break;
+      }
+      result.tested_cardinality = k;
+      bool all_survived = true;
+      for (const ScenarioDescriptor& descriptor : variants) {
+        const ScenarioOutcome outcome = RunScenario(descriptor);
+        ++envelope.runs;
+        ++result.verdict_counts[static_cast<size_t>(outcome.verdict)];
+        report(family + " k=" + std::to_string(k) + " seed=" + std::to_string(descriptor.seed) +
+               " -> " + VerdictName(outcome.verdict) + " (lost " +
+               std::to_string(outcome.lost_blocks) + "/" + std::to_string(descriptor.loss_budget) +
+               (outcome.survivable ? ")" : ", UNSURVIVABLE)"));
+        if (!outcome.survivable) {
+          all_survived = false;
+          result.counterexamples.push_back(MakeCounterexample(k, descriptor, outcome));
+        }
+      }
+      if (all_survived) {
+        result.max_survivable = k;
+      } else {
+        failed = true;
+      }
+    }
+    result.saturated = !failed;
+
+    // Bisection: shrink the partition window between the last surviving and
+    // the first failing cardinality to the minimal failing milliseconds.
+    if (failed && family == kPartitionRace && options.bisection_steps > 0) {
+      int64_t lo = kPartitionStepMs * (result.tested_cardinality - 1);  // Survived.
+      int64_t hi = kPartitionStepMs * result.tested_cardinality;       // Failed.
+      ScenarioDescriptor minimal;
+      ScenarioOutcome minimal_outcome;
+      bool have_minimal = false;
+      for (int step = 0; step < options.bisection_steps; ++step) {
+        if (envelope.runs >= options.max_runs) {
+          break;
+        }
+        const int64_t mid = (lo + hi) / 2;
+        if (mid <= lo) {
+          break;
+        }
+        const ScenarioDescriptor descriptor = PartitionScenario(options, mid);
+        const ScenarioOutcome outcome = RunScenario(descriptor);
+        ++envelope.runs;
+        ++result.verdict_counts[static_cast<size_t>(outcome.verdict)];
+        report(family + " bisect window=" + std::to_string(mid) + "ms -> " +
+               VerdictName(outcome.verdict) + (outcome.survivable ? "" : " (UNSURVIVABLE)"));
+        if (!outcome.survivable) {
+          hi = mid;
+          minimal = descriptor;
+          minimal_outcome = outcome;
+          have_minimal = true;
+        } else {
+          lo = mid;
+        }
+      }
+      if (have_minimal) {
+        result.counterexamples.push_back(
+            MakeCounterexample(result.tested_cardinality, minimal, minimal_outcome));
+      }
+      report(family + ": minimal failing window " + std::to_string(hi) + "ms");
+    }
+
+    envelope.families.push_back(std::move(result));
+  }
+  return envelope;
+}
+
+}  // namespace frontier
+}  // namespace tiger

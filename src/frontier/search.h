@@ -1,0 +1,91 @@
+// Budgeted frontier search over structured failure scenarios.
+//
+// The tournament walks six scenario families, each parameterized by an
+// integer fault cardinality k:
+//
+//   cub_loss_spread      k permanent cub losses placed maximally far apart on
+//                        the decluster ring — the placements §2.3's mirroring
+//                        is designed to survive.
+//   cub_loss_adjacent    k permanent losses of *neighboring* cubs — the
+//                        placements it provably cannot survive past k = 1,
+//                        because a cub and its fragment holder die together.
+//   disk_degradation     k transient disk faults (alternating error bursts
+//                        and limping disks) with the cubs healthy; mirror
+//                        fallback should absorb any k.
+//   partition_race       one cub severed from the control plane for a window
+//                        of 3k seconds anchored to the first deschedule on
+//                        the wire — probing the race between the deadman
+//                        timeout and partition heal. On failure the search
+//                        bisects the window length to the minimal failing
+//                        milliseconds.
+//   crash_restart_storm  k staggered crash+rejoin cycles across the ring,
+//                        with a late viewer probing post-rejoin service.
+//   controller_failover  controller power-cut (plus k-1 spread cub losses)
+//                        with the warm standby enabled; a late viewer probes
+//                        that new starts still work after takeover.
+//
+// Search is breadth-first on k: the family's frontier is the largest k at
+// which every variant tried survived; the first failing k yields minimal
+// counterexamples (full descriptors, replayable via tools/replay_scenario).
+// Everything is seeded and budgeted — a fixed FrontierOptions produces a
+// byte-identical envelope.
+//
+// For the cub-loss families the envelope also records the exact GLS-style
+// bounds of the shape (servability.h): measured_max(adjacent) should meet the
+// every-set bound, measured_max(spread) the some-set bound.
+
+#ifndef SRC_FRONTIER_SEARCH_H_
+#define SRC_FRONTIER_SEARCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/frontier/envelope.h"
+#include "src/frontier/scenario.h"
+
+namespace tiger {
+namespace frontier {
+
+struct FrontierOptions {
+  uint64_t seed = 1;
+  // Tournament shape. Small on purpose: the frontier positions depend on the
+  // ring geometry, not the cub count, and 8 cubs keeps a full tournament
+  // inside a CI smoke budget.
+  int cubs = 8;
+  int disks_per_cub = 1;
+  int decluster = 2;
+  // Breadth-first cardinality ceiling per family.
+  int max_cardinality = 3;
+  // Global budget on scenario executions across the whole tournament.
+  int max_runs = 80;
+  // Window-refinement steps after the first partition_race failure.
+  int bisection_steps = 3;
+  // Shorter files and runs (the CI smoke configuration).
+  bool quick = true;
+  // Empty = all families; otherwise exact names to run.
+  std::vector<std::string> families;
+  // Protocol weakening knobs, used to prove the CI gate bites: drop the
+  // §4.1.1 double-forwarding (and failure re-forwarding), or run without the
+  // warm-standby controller.
+  bool weaken_no_reforward = false;
+  bool weaken_no_backup = false;
+  // Optional per-run progress sink (stderr in the tools).
+  std::function<void(const std::string&)> progress;
+};
+
+// All family names, in tournament order.
+const std::vector<std::string>& AllFamilies();
+
+// The scenario variants one family runs at one cardinality (deterministic;
+// exposed so tests can replay exactly what the tournament ran).
+std::vector<ScenarioDescriptor> FamilyScenarios(const std::string& family, int cardinality,
+                                                const FrontierOptions& options);
+
+FrontierEnvelope RunTournament(const FrontierOptions& options);
+
+}  // namespace frontier
+}  // namespace tiger
+
+#endif  // SRC_FRONTIER_SEARCH_H_

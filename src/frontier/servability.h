@@ -1,0 +1,119 @@
+// Data-servability predicate over failed-cub sets, and the exact
+// Goemans–Lynch–Saias-style fault bounds it induces.
+//
+// §2.3's declustered mirroring places the mirror of disk p as `decluster`
+// fragments on disks p+1 .. p+decluster. A block is servable iff its primary
+// cub is alive, or every cub holding one of its mirror fragments is alive
+// (failed-mode service needs all fragments). A *fault set* is servable iff
+// every block in the system remains servable — which reduces to a pure ring
+// predicate on the shape, independent of the content catalog, because every
+// disk holds primaries (round-robin striping covers all disks).
+//
+// GLS (*Upper and Lower Bounds on the Number of Faults a System Can
+// Withstand Without Repairs*, PAPERS.md) frames fault tolerance as two
+// numbers: the largest f such that EVERY f-fault set is survivable (the
+// guarantee, their lower-bound object) and the largest f such that SOME
+// f-fault set is survivable (the ceiling, their upper-bound object). For the
+// small shapes the tournament runs, both are computed exactly by exhaustive
+// enumeration here; the measured frontier is diffed against them in
+// frontier.json.
+
+#ifndef SRC_FRONTIER_SERVABILITY_H_
+#define SRC_FRONTIER_SERVABILITY_H_
+
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/layout/shape.h"
+
+namespace tiger {
+namespace frontier {
+
+// True iff every block in the system remains servable (primary or complete
+// mirror chain) with exactly the cubs in `failed` dead. `failed[c]` indexes
+// cubs; disks die with their cub.
+inline bool FaultSetServable(const SystemShape& shape, const std::vector<bool>& failed) {
+  TIGER_CHECK(static_cast<int>(failed.size()) == shape.num_cubs);
+  for (int c = 0; c < shape.num_cubs; ++c) {
+    if (!failed[static_cast<size_t>(c)]) {
+      continue;
+    }
+    // Every block whose primary lives on a disk of cub c must rebuild from
+    // its fragments: fragments of disk p live on disks p+1 .. p+decluster.
+    for (int local = 0; local < shape.disks_per_cub; ++local) {
+      DiskId primary = shape.GlobalDiskIndex(CubId(static_cast<uint32_t>(c)), local);
+      for (int j = 1; j <= shape.decluster_factor; ++j) {
+        CubId holder = shape.CubOfDisk(shape.AdvanceDisk(primary, j));
+        if (failed[holder.value()]) {
+          return false;  // Primary dead and a fragment holder dead too.
+        }
+      }
+    }
+  }
+  return true;
+}
+
+// Convenience overload for an explicit list of failed cubs.
+inline bool FaultSetServable(const SystemShape& shape, const std::vector<int>& failed_cubs) {
+  std::vector<bool> failed(static_cast<size_t>(shape.num_cubs), false);
+  for (int c : failed_cubs) {
+    TIGER_CHECK(c >= 0 && c < shape.num_cubs);
+    failed[static_cast<size_t>(c)] = true;
+  }
+  return FaultSetServable(shape, failed);
+}
+
+// Largest f such that every set of f cub faults leaves all blocks servable
+// (GLS guarantee). Exhaustive over 2^num_cubs subsets; shapes here are small.
+inline int ExactFaultLowerBound(const SystemShape& shape) {
+  const int n = shape.num_cubs;
+  TIGER_CHECK(n <= 20) << "exhaustive bound only for small shapes";
+  std::vector<int> min_unservable(static_cast<size_t>(n) + 1, -1);
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<bool> failed(static_cast<size_t>(n), false);
+    int count = 0;
+    for (int c = 0; c < n; ++c) {
+      if ((mask >> c) & 1u) {
+        failed[static_cast<size_t>(c)] = true;
+        ++count;
+      }
+    }
+    if (!FaultSetServable(shape, failed) && (min_unservable[static_cast<size_t>(count)] < 0)) {
+      min_unservable[static_cast<size_t>(count)] = 1;
+    }
+  }
+  for (int f = 1; f <= n; ++f) {
+    if (min_unservable[static_cast<size_t>(f)] > 0) {
+      return f - 1;
+    }
+  }
+  return n;
+}
+
+// Largest f such that some set of f cub faults leaves all blocks servable
+// (GLS ceiling). For single-disk cubs this is the max independent spread on
+// the ring; computed exhaustively for exactness on any shape.
+inline int ExactFaultUpperBound(const SystemShape& shape) {
+  const int n = shape.num_cubs;
+  TIGER_CHECK(n <= 20) << "exhaustive bound only for small shapes";
+  int best = 0;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<bool> failed(static_cast<size_t>(n), false);
+    int count = 0;
+    for (int c = 0; c < n; ++c) {
+      if ((mask >> c) & 1u) {
+        failed[static_cast<size_t>(c)] = true;
+        ++count;
+      }
+    }
+    if (count > best && FaultSetServable(shape, failed)) {
+      best = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace frontier
+}  // namespace tiger
+
+#endif  // SRC_FRONTIER_SERVABILITY_H_

@@ -22,11 +22,49 @@ void NetFaultPlan::AddPartition(const std::vector<FaultNetAddress>& side_a,
   }
 }
 
+void NetFaultPlan::AddPartitionAnchored(const std::vector<FaultNetAddress>& side_a,
+                                        const std::vector<FaultNetAddress>& side_b,
+                                        int anchor_kind, Duration rel_start,
+                                        Duration rel_end) {
+  for (FaultNetAddress a : side_a) {
+    for (FaultNetAddress b : side_b) {
+      Rule rule;
+      rule.kind = RuleKind::kDrop;
+      rule.anchor_kind = anchor_kind;
+      rule.rel_start = rel_start;
+      rule.rel_end = rel_end;
+      rule.probability = 1.0;
+      rule.src = a;
+      rule.dst = b;
+      rules_.push_back(rule);
+      rule.src = b;
+      rule.dst = a;
+      rules_.push_back(rule);
+    }
+  }
+}
+
+bool NetFaultPlan::RuleActive(const Rule& rule, TimePoint now) const {
+  if (rule.anchor_kind == kNoAnchor) {
+    return now >= rule.start && now < rule.end;
+  }
+  auto it = anchors_.find(rule.anchor_kind);
+  if (it == anchors_.end()) {
+    return false;  // Anchor not armed yet: the rule is dormant.
+  }
+  return now >= it->second + rule.rel_start && now < it->second + rule.rel_end;
+}
+
 NetFaultPlan::Decision NetFaultPlan::Apply(TimePoint now, FaultNetAddress src,
-                                           FaultNetAddress dst) {
+                                           FaultNetAddress dst, int msg_kind) {
+  // Arm the anchor before rule evaluation so a rel_start-zero window covers
+  // the anchoring message itself.
+  if (msg_kind != kNoAnchor) {
+    anchors_.try_emplace(msg_kind, now);
+  }
   Decision decision;
   for (const Rule& rule : rules_) {
-    if (now < rule.start || now >= rule.end) {
+    if (!RuleActive(rule, now)) {
       continue;
     }
     if (!Matches(rule.src, src) || !Matches(rule.dst, dst)) {

@@ -15,6 +15,16 @@
 //  * Partitions are bidirectional drop rules: both directions between the two
 //    node sets are severed for the window.
 //
+// Rule windows come in two forms:
+//  * absolute — [start, end) in simulated time (the original form);
+//  * phase-anchored — [anchor + rel_start, anchor + rel_end) where `anchor`
+//    is the instant the plan first sees a message of a given kind on the
+//    wire (e.g. "the first DescheduleMsg"). Anchors make timing races
+//    expressible declaratively — "partition 5 ms after the first
+//    deschedule" — which is what the frontier search bisects over. The
+//    anchoring message itself is evaluated against the freshly armed window,
+//    so rel_start = 0 covers it too.
+//
 // The plan only sees the control plane (Network::Send); paced data-plane
 // transfers model the ATM data path, whose loss shows up as client glitches
 // and is measured separately.
@@ -23,6 +33,7 @@
 #define SRC_NET_FAULT_PLAN_H_
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -36,15 +47,27 @@ namespace tiger {
 using FaultNetAddress = uint32_t;
 constexpr FaultNetAddress kAnyAddress = static_cast<FaultNetAddress>(-2);
 
+// A rule with anchor_kind == kNoAnchor uses its absolute window. Otherwise
+// anchor_kind is the wire tag of a message kind (Payload::fault_kind(); for
+// Tiger messages, static_cast<int>(MsgKind)) and the window is relative to
+// the first appearance of that kind. The plan layer deliberately treats the
+// tag as an opaque integer — message kinds are defined above it.
+constexpr int kNoAnchor = -1;
+
 class NetFaultPlan {
  public:
   enum class RuleKind { kDrop, kDelay, kDuplicate };
 
   struct Rule {
     RuleKind kind = RuleKind::kDrop;
-    // Active window [start, end) in simulated time.
+    // Active window [start, end) in simulated time (anchor_kind == kNoAnchor).
     TimePoint start;
     TimePoint end = TimePoint::Max();
+    // Phase-anchored window: active in [anchor_time(anchor_kind) + rel_start,
+    // anchor_time(anchor_kind) + rel_end); dormant until the anchor arms.
+    int anchor_kind = kNoAnchor;
+    Duration rel_start;
+    Duration rel_end;
     // Match on the ordered pair; kAnyAddress is a wildcard.
     FaultNetAddress src = kAnyAddress;
     FaultNetAddress dst = kAnyAddress;
@@ -75,10 +98,25 @@ class NetFaultPlan {
   void AddPartition(const std::vector<FaultNetAddress>& side_a,
                     const std::vector<FaultNetAddress>& side_b, TimePoint start, TimePoint end);
 
+  // Same severance, but the window is anchored to the first message of
+  // `anchor_kind` seen on the wire: [anchor + rel_start, anchor + rel_end).
+  void AddPartitionAnchored(const std::vector<FaultNetAddress>& side_a,
+                            const std::vector<FaultNetAddress>& side_b, int anchor_kind,
+                            Duration rel_start, Duration rel_end);
+
   // Evaluates every matching rule, draws the dice, records fired faults into
   // FaultStats, and returns the combined decision. Drop wins over everything;
-  // delays accumulate; duplicate counts accumulate.
-  Decision Apply(TimePoint now, FaultNetAddress src, FaultNetAddress dst);
+  // delays accumulate; duplicate counts accumulate. `msg_kind` is the
+  // message's fault tag (kNoAnchor for untyped payloads): the first sighting
+  // of each tag arms that tag's anchor.
+  Decision Apply(TimePoint now, FaultNetAddress src, FaultNetAddress dst,
+                 int msg_kind = kNoAnchor);
+
+  // When the first message of `kind` was seen, or TimePoint::Max() if never.
+  TimePoint AnchorTime(int kind) const {
+    auto it = anchors_.find(kind);
+    return it == anchors_.end() ? TimePoint::Max() : it->second;
+  }
 
   void set_stats(FaultStats* stats) { stats_ = stats; }
 
@@ -87,7 +125,11 @@ class NetFaultPlan {
     return pattern == kAnyAddress || pattern == addr;
   }
 
+  bool RuleActive(const Rule& rule, TimePoint now) const;
+
   std::vector<Rule> rules_;
+  // First-sighting instant per message tag (std::map: deterministic).
+  std::map<int, TimePoint> anchors_;
   Rng rng_;
   FaultStats* stats_;
 };

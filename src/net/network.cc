@@ -45,7 +45,7 @@ void Network::Send(NetAddress src, NetAddress dst, int64_t bytes,
 
   NetFaultPlan::Decision fault;
   if (fault_plan_ != nullptr) {
-    fault = fault_plan_->Apply(sim_->Now(), src, dst);
+    fault = fault_plan_->Apply(sim_->Now(), src, dst, payload->fault_kind());
     if (fault.drop) {
       // Injected loss: the fabric ate it. The span closes at the send instant
       // with the dropped marker.

@@ -48,6 +48,11 @@ static_assert(std::is_same_v<NetAddress, FaultNetAddress>,
 // their message structs from this.
 struct Payload {
   virtual ~Payload() = default;
+  // Opaque message-kind tag consulted by phase-anchored fault rules (see
+  // fault_plan.h); kNoAnchor (-1) means "untyped". Tiger protocol messages
+  // override this with their MsgKind so a NetFaultPlan can anchor a window
+  // to, say, the first DescheduleMsg on the wire.
+  virtual int fault_kind() const { return kNoAnchor; }
 };
 
 struct MessageEnvelope {

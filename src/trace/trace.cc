@@ -155,6 +155,8 @@ const char* Tracer::TypeName(TraceEventType type) {
       return "LINEAGE_HOP";
     case TraceEventType::kVStateTtlDrop:
       return "VSTATE_TTL_DROP";
+    case TraceEventType::kLivelockDeadman:
+      return "LIVELOCK_DEADMAN";
     case TraceEventType::kTypeCount:
       break;
   }
@@ -188,6 +190,8 @@ const char* Tracer::TypeCategory(TraceEventType type) {
     case TraceEventType::kLineageHop:
     case TraceEventType::kVStateTtlDrop:
       return "lineage";
+    case TraceEventType::kLivelockDeadman:
+      return "frontier";
     case TraceEventType::kTypeCount:
       break;
   }

@@ -68,6 +68,9 @@ enum class TraceEventType : uint8_t {
   // --- causal lineage (audit) ---
   kLineageHop,    // A lineage-tagged record was received (a=chain, b=hop).
   kVStateTtlDrop, // Hop-count TTL guard dropped a record (a=chain, b=hop).
+  // --- frontier harness (src/frontier) ---
+  kLivelockDeadman,  // Run-level deadman: no client progress for the window
+                     // while viewers were active (a = stalled viewers).
   kTypeCount,  // sentinel
 };
 

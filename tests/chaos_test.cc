@@ -17,6 +17,8 @@
 
 #include "src/audit/auditor.h"
 #include "src/client/testbed.h"
+#include "src/frontier/runner.h"
+#include "src/frontier/scenario.h"
 
 namespace tiger {
 namespace {
@@ -362,6 +364,99 @@ TEST(ChaosTest, TenSeedSweepHoldsInvariantsOnEverySeed) {
     total_disk_errors += out.disk_errors;
   }
   EXPECT_GT(total_disk_errors, 0) << "the burst never fired on any seed";
+}
+
+// The scripted chaos scenario above, re-expressed as a serializable
+// ScenarioDescriptor and run through the frontier harness: same fault mix
+// (delay + duplication windows, a disk-error burst, a limping disk, a cub
+// crash-restart with a post-revive viewer probe), now replayable from text
+// via tools/replay_scenario like any tournament counterexample.
+frontier::ScenarioDescriptor ChaosDescriptor(uint64_t seed) {
+  using Kind = frontier::ScenarioAction::Kind;
+  frontier::ScenarioDescriptor d;
+  d.family = "chaos_seed";
+  d.seed = seed;
+  d.cubs = 8;
+  d.disks_per_cub = 1;
+  d.decluster = 2;
+  d.files = 8;
+  d.file_s = 60;
+  d.viewers = 4;
+  d.run_ms = 110000;
+  d.loss_budget = 60;  // The scripted test's bound: 4 streams x 15 + late.
+  d.late_viewer_file = 4;  // File 4 starts on the crashed-and-revived cub.
+  d.late_viewer_at_ms = 40000;
+
+  frontier::ScenarioAction a;
+  a.kind = Kind::kDelayFromCub;
+  a.target = -1;
+  a.at_ms = 10000;
+  a.end_ms = 25000;
+  a.prob_ppm = 300000;
+  a.delay_ms = 40;
+  d.actions.push_back(a);
+
+  a = {};
+  a.kind = Kind::kDuplicateFromCub;
+  a.target = -1;
+  a.at_ms = 12000;
+  a.end_ms = 30000;
+  a.prob_ppm = 200000;
+  a.aux = 1;
+  d.actions.push_back(a);
+
+  a = {};
+  a.kind = Kind::kDiskBurst;
+  a.target = 2;
+  a.at_ms = 15000;
+  a.end_ms = 18000;
+  a.prob_ppm = 600000;
+  d.actions.push_back(a);
+
+  a = {};
+  a.kind = Kind::kDiskLimp;
+  a.target = 5;
+  a.at_ms = 12000;
+  a.end_ms = 16000;
+  a.delay_ms = 2;
+  a.aux = 1;
+  d.actions.push_back(a);
+
+  a = {};
+  a.kind = Kind::kFailCub;
+  a.target = 4;
+  a.at_ms = 20000;
+  d.actions.push_back(a);
+
+  a = {};
+  a.kind = Kind::kReviveCub;
+  a.target = 4;
+  a.at_ms = 35000;
+  d.actions.push_back(a);
+  return d;
+}
+
+TEST(ChaosTest, DescriptorDrivenSeedsSurviveAndStayDeterministic) {
+  for (uint64_t seed : {3u, 97u, 999983u}) {
+    // Round-trip through the text form first: what runs is what replays.
+    auto parsed = frontier::ScenarioDescriptor::Parse(ChaosDescriptor(seed).ToText());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+    ASSERT_EQ(parsed.value(), ChaosDescriptor(seed));
+    const frontier::ScenarioOutcome out = frontier::RunScenario(parsed.value());
+    EXPECT_EQ(out.invariant_violations, 0) << "seed " << seed;
+    EXPECT_EQ(out.oracle_conflicts, 0) << "seed " << seed;
+    EXPECT_LE(out.verdict, frontier::Verdict::kQosGlitches)
+        << "seed " << seed << "\n" << frontier::OutcomeSummary(out);
+    EXPECT_TRUE(out.survivable) << "seed " << seed << "\n"
+                                << frontier::OutcomeSummary(out);
+    EXPECT_GE(out.rejoins, 1) << "seed " << seed;
+    EXPECT_GT(out.faults_fired, 0) << "seed " << seed;
+    EXPECT_EQ(out.livelock_timeouts, 0) << "seed " << seed;
+  }
+  // Same seed, same descriptor: every counter in the outcome matches.
+  const std::string once = frontier::OutcomeSummary(frontier::RunScenario(ChaosDescriptor(97)));
+  const std::string twice = frontier::OutcomeSummary(frontier::RunScenario(ChaosDescriptor(97)));
+  EXPECT_EQ(once, twice);
 }
 
 TEST(ChaosTest, DifferentSeedsDiverge) {

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "src/core/failure_view.h"
+#include "src/frontier/servability.h"
 
 namespace tiger {
 namespace {
@@ -128,6 +131,54 @@ TEST(FailureViewTest, MirrorDecisionMaker) {
       << "the owner itself is never the mirror decision maker";
   view.MarkCubFailed(CubId(4));
   EXPECT_TRUE(view.AmFirstLivingSuccessorOfDisk(CubId(5), DiskId(3)));
+}
+
+// Build the servability input straight from a view's beliefs, as a detector
+// deciding "is the data still fully servable under what I believe?" would.
+std::vector<bool> BelievedFailed(const FailureView& view) {
+  std::vector<bool> failed(static_cast<size_t>(view.shape().num_cubs), false);
+  for (int c = 0; c < view.shape().num_cubs; ++c) {
+    failed[static_cast<size_t>(c)] = view.IsCubFailed(CubId(static_cast<uint32_t>(c)));
+  }
+  return failed;
+}
+
+TEST(FailureViewTest, PairLossServabilityDependsOnDeclusterDistance) {
+  // §2.3 property, exhaustively over every cub pair on an 8-ring with
+  // decluster 2: losing a cub together with one of its fragment holders
+  // (ring distance ≤ decluster in either direction) is unservable; the same
+  // cardinality spread wider always survives.
+  const SystemShape shape{8, 1, 2};
+  for (int first = 0; first < shape.num_cubs; ++first) {
+    for (int second = 0; second < shape.num_cubs; ++second) {
+      if (first == second) {
+        continue;
+      }
+      FailureView view(shape);
+      view.MarkCubFailed(CubId(static_cast<uint32_t>(first)));
+      view.MarkCubFailed(CubId(static_cast<uint32_t>(second)));
+      const int forward = (second - first + shape.num_cubs) % shape.num_cubs;
+      const int backward = shape.num_cubs - forward;
+      const bool same_group = forward <= shape.decluster_factor ||
+                              backward <= shape.decluster_factor;
+      EXPECT_EQ(frontier::FaultSetServable(shape, BelievedFailed(view)), !same_group)
+          << "failed cubs " << first << "," << second;
+    }
+  }
+}
+
+TEST(FailureViewTest, SpreadTripleNeedsRingRoomToStayServable) {
+  // {0,3,6} keeps every pair past decluster distance on a 9-ring, but on an
+  // 8-ring the wraparound puts 6 within two of 0 — cub 6's fragments land on
+  // disks 7 and 0, so losing 0 too orphans them.
+  FailureView cramped(SystemShape{8, 1, 2});
+  FailureView roomy(SystemShape{9, 1, 2});
+  for (uint32_t c : {0u, 3u, 6u}) {
+    cramped.MarkCubFailed(CubId(c));
+    roomy.MarkCubFailed(CubId(c));
+  }
+  EXPECT_FALSE(frontier::FaultSetServable(cramped.shape(), BelievedFailed(cramped)));
+  EXPECT_TRUE(frontier::FaultSetServable(roomy.shape(), BelievedFailed(roomy)));
 }
 
 }  // namespace

@@ -1,0 +1,396 @@
+// Frontier harness: scenario descriptor round-trip, the verdict lattice,
+// exact GLS-style fault bounds, tournament byte-determinism, counterexample
+// replay fidelity, and the envelope regression gate that CI runs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/frontier/envelope.h"
+#include "src/frontier/runner.h"
+#include "src/frontier/scenario.h"
+#include "src/frontier/search.h"
+#include "src/frontier/servability.h"
+
+namespace tiger {
+namespace frontier {
+namespace {
+
+// A descriptor exercising every field: point faults, windowed disk faults,
+// an anchored partition, message-rule actions, and a viewer stop.
+ScenarioDescriptor FullDescriptor() {
+  ScenarioDescriptor d;
+  d.family = "roundtrip";
+  d.seed = 42;
+  d.cubs = 8;
+  d.disks_per_cub = 1;
+  d.decluster = 2;
+  d.files = 4;
+  d.file_s = 30;
+  d.viewers = 3;
+  d.run_ms = 50000;
+  d.loss_budget = 25;
+  d.backup_controller = true;
+  d.forward_copies = 1;
+  d.reforward_on_failure = false;
+  d.late_viewer_file = 2;
+  d.late_viewer_at_ms = 12000;
+
+  ScenarioAction fail;
+  fail.kind = ScenarioAction::Kind::kFailCub;
+  fail.target = 3;
+  fail.at_ms = 15000;
+  d.actions.push_back(fail);
+
+  ScenarioAction partition;
+  partition.kind = ScenarioAction::Kind::kPartition;
+  partition.group = {1, 5};
+  partition.at_ms = 5;
+  partition.end_ms = 3005;
+  partition.anchor = "deschedule";
+  d.actions.push_back(partition);
+
+  ScenarioAction limp;
+  limp.kind = ScenarioAction::Kind::kDiskLimp;
+  limp.target = 2;
+  limp.at_ms = 8000;
+  limp.end_ms = 12000;
+  limp.delay_ms = 2;  // numerator
+  limp.aux = 1;       // denominator
+  d.actions.push_back(limp);
+
+  ScenarioAction dup;
+  dup.kind = ScenarioAction::Kind::kDuplicateFromCub;
+  dup.target = -1;
+  dup.at_ms = 9000;
+  dup.end_ms = 20000;
+  dup.prob_ppm = 250000;
+  dup.aux = 2;
+  d.actions.push_back(dup);
+
+  ScenarioAction stop;
+  stop.kind = ScenarioAction::Kind::kStopViewer;
+  stop.target = 0;
+  stop.at_ms = 20000;
+  d.actions.push_back(stop);
+  return d;
+}
+
+TEST(ScenarioDescriptorTest, TextRoundTripIsExact) {
+  const ScenarioDescriptor d = FullDescriptor();
+  const std::string text = d.ToText();
+  auto parsed = ScenarioDescriptor::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.value(), d);
+  // Canonical form: re-printing the parse is byte-identical.
+  EXPECT_EQ(parsed.value().ToText(), text);
+}
+
+TEST(ScenarioDescriptorTest, ParseToleratesCommentsAndBlankLines) {
+  const std::string text =
+      "scenario v1\n"
+      "# a comment\n"
+      "\n"
+      "family smoke\n"
+      "action fail_cub target=2 at_ms=1000\n"
+      "end\n";
+  auto parsed = ScenarioDescriptor::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.value().family, "smoke");
+  ASSERT_EQ(parsed.value().actions.size(), 1u);
+  EXPECT_EQ(parsed.value().actions[0].kind, ScenarioAction::Kind::kFailCub);
+  EXPECT_EQ(parsed.value().actions[0].target, 2);
+  EXPECT_EQ(parsed.value().actions[0].at_ms, 1000);
+}
+
+TEST(ScenarioDescriptorTest, ParseRejectsMalformedInput) {
+  // Missing header.
+  EXPECT_FALSE(ScenarioDescriptor::Parse("family x\nend\n").ok());
+  // Unsupported version.
+  EXPECT_FALSE(ScenarioDescriptor::Parse("scenario v2\nend\n").ok());
+  // Missing terminator.
+  EXPECT_FALSE(ScenarioDescriptor::Parse("scenario v1\nfamily x\n").ok());
+  // Unknown keyword.
+  EXPECT_FALSE(ScenarioDescriptor::Parse("scenario v1\nbogus 1\nend\n").ok());
+  // Unknown action kind.
+  EXPECT_FALSE(
+      ScenarioDescriptor::Parse("scenario v1\naction explode target=1\nend\n").ok());
+  // Malformed action token.
+  EXPECT_FALSE(
+      ScenarioDescriptor::Parse("scenario v1\naction fail_cub target\nend\n").ok());
+  // Non-integer value.
+  EXPECT_FALSE(
+      ScenarioDescriptor::Parse("scenario v1\naction fail_cub at_ms=soon\nend\n").ok());
+  // Invalid shape: decluster must stay below the total disk count.
+  EXPECT_FALSE(ScenarioDescriptor::Parse("scenario v1\nshape 4 1 4\nend\n").ok());
+}
+
+TEST(VerdictTest, NamesRoundTripAndOrderBySeverity) {
+  for (size_t i = 0; i < static_cast<size_t>(Verdict::kVerdictCount); ++i) {
+    const Verdict v = static_cast<Verdict>(i);
+    EXPECT_EQ(ParseVerdict(VerdictName(v)), v);
+  }
+  EXPECT_EQ(ParseVerdict("not_a_verdict"), Verdict::kVerdictCount);
+  EXPECT_LT(Verdict::kCleanSurvive, Verdict::kDegraded);
+  EXPECT_LT(Verdict::kQosGlitches, Verdict::kDivergence);
+  EXPECT_LT(Verdict::kInvariantViolation, Verdict::kLivelock);
+}
+
+// --- servability: the ring predicate behind the GLS bounds ---
+
+TEST(ServabilityTest, AdjacentLossInsideDeclusterGroupIsUnservable) {
+  const SystemShape shape{8, 1, 2};
+  // One loss anywhere is always servable.
+  for (int c = 0; c < shape.num_cubs; ++c) {
+    EXPECT_TRUE(FaultSetServable(shape, std::vector<int>{c}));
+  }
+  // A cub plus one of its fragment holders (p+1, p+2) is not.
+  EXPECT_FALSE(FaultSetServable(shape, std::vector<int>{2, 3}));
+  EXPECT_FALSE(FaultSetServable(shape, std::vector<int>{2, 4}));
+  // The same cardinality spread past the decluster distance is fine.
+  EXPECT_TRUE(FaultSetServable(shape, std::vector<int>{2, 6}));
+  EXPECT_TRUE(FaultSetServable(shape, std::vector<int>{0, 4}));
+}
+
+TEST(ServabilityTest, ExactBoundsMatchRingGeometry) {
+  // 8 cubs, decluster 2: every single loss survives (lower = 1) and the best
+  // spread pair survives but no triple does (upper = 2).
+  const SystemShape small{8, 1, 2};
+  EXPECT_EQ(ExactFaultLowerBound(small), 1);
+  EXPECT_EQ(ExactFaultUpperBound(small), 2);
+  // 9 cubs leave room for a spread triple at decluster 2.
+  const SystemShape nine{9, 1, 2};
+  EXPECT_EQ(ExactFaultLowerBound(nine), 1);
+  EXPECT_EQ(ExactFaultUpperBound(nine), 3);
+  // Decluster 1 (whole-disk mirror on the successor): adjacent pairs die,
+  // alternating spread survives.
+  const SystemShape mirror{6, 1, 1};
+  EXPECT_EQ(ExactFaultLowerBound(mirror), 1);
+  EXPECT_EQ(ExactFaultUpperBound(mirror), 3);
+}
+
+// --- scenario execution and the verdict lattice ---
+
+TEST(RunScenarioTest, HealthyRunIsCleanSurvive) {
+  ScenarioDescriptor d;
+  d.family = "healthy";
+  d.files = 2;
+  d.file_s = 10;
+  d.viewers = 2;
+  d.run_ms = 20000;
+  const ScenarioOutcome outcome = RunScenario(d);
+  EXPECT_EQ(outcome.verdict, Verdict::kCleanSurvive) << OutcomeSummary(outcome);
+  EXPECT_TRUE(outcome.survivable);
+  EXPECT_EQ(outcome.plays_completed, 2);
+  EXPECT_EQ(outcome.lost_blocks, 0);
+  EXPECT_EQ(outcome.faults_fired, 0);
+  EXPECT_EQ(outcome.livelock_timeouts, 0);
+}
+
+TEST(RunScenarioTest, SingleCubLossSurvivesWithinTheLattice) {
+  ScenarioDescriptor d;
+  d.family = "one_loss";
+  d.files = 8;
+  d.file_s = 20;
+  d.viewers = 4;
+  d.run_ms = 35000;
+  ScenarioAction fail;
+  fail.kind = ScenarioAction::Kind::kFailCub;
+  fail.target = 3;
+  fail.at_ms = 8000;
+  d.actions.push_back(fail);
+  const ScenarioOutcome outcome = RunScenario(d);
+  // Mirroring absorbs one loss: degraded machinery runs, maybe bounded
+  // glitches, never incoherence or livelock.
+  EXPECT_GE(outcome.verdict, Verdict::kDegraded) << OutcomeSummary(outcome);
+  EXPECT_LE(outcome.verdict, Verdict::kQosGlitches) << OutcomeSummary(outcome);
+  EXPECT_TRUE(outcome.survivable) << OutcomeSummary(outcome);
+  EXPECT_GE(outcome.faults_fired, 1);
+}
+
+TEST(RunScenarioTest, ControllerLossWithoutBackupLivelocksLateViewer) {
+  ScenarioDescriptor d;
+  d.family = "livelock";
+  d.files = 2;
+  d.file_s = 30;
+  d.viewers = 1;
+  d.run_ms = 30000;
+  d.backup_controller = false;
+  ScenarioAction cut;
+  cut.kind = ScenarioAction::Kind::kFailController;
+  cut.at_ms = 5000;
+  d.actions.push_back(cut);
+  // The probe viewer's start request lands on a dead controller and nothing
+  // ever answers: stalled, not slow — exactly what the deadman is for.
+  d.late_viewer_file = 1;
+  d.late_viewer_at_ms = 8000;
+  RunOptions options;
+  options.deadman_window = Duration::Seconds(8);
+  const ScenarioOutcome outcome = RunScenario(d, options);
+  EXPECT_EQ(outcome.verdict, Verdict::kLivelock) << OutcomeSummary(outcome);
+  EXPECT_GE(outcome.livelock_timeouts, 1);
+  EXPECT_FALSE(outcome.survivable);
+}
+
+TEST(RunScenarioTest, WarmStandbyTurnsTheSameScenarioSurvivable) {
+  ScenarioDescriptor d;
+  d.family = "failover";
+  d.files = 2;
+  d.file_s = 30;
+  d.viewers = 1;
+  d.run_ms = 35000;
+  d.backup_controller = true;
+  ScenarioAction cut;
+  cut.kind = ScenarioAction::Kind::kFailController;
+  cut.at_ms = 5000;
+  d.actions.push_back(cut);
+  // Probe after the standby's deadman has declared the primary dead and
+  // taken over (7 s timeout): the start must route to the new controller.
+  d.late_viewer_file = 1;
+  d.late_viewer_at_ms = 15000;
+  RunOptions options;
+  options.deadman_window = Duration::Seconds(8);
+  const ScenarioOutcome outcome = RunScenario(d, options);
+  EXPECT_LE(outcome.verdict, Verdict::kQosGlitches) << OutcomeSummary(outcome);
+  EXPECT_TRUE(outcome.survivable) << OutcomeSummary(outcome);
+  EXPECT_EQ(outcome.plays_started, 2) << "late start must succeed after takeover";
+  EXPECT_EQ(outcome.livelock_timeouts, 0);
+}
+
+// --- tournament determinism and counterexample replay ---
+
+FrontierOptions AdjacentOptions() {
+  FrontierOptions options;
+  options.families = {"cub_loss_adjacent"};
+  options.max_cardinality = 2;
+  options.max_runs = 10;
+  return options;
+}
+
+const FrontierEnvelope& AdjacentEnvelope() {
+  static const FrontierEnvelope envelope = RunTournament(AdjacentOptions());
+  return envelope;
+}
+
+TEST(TournamentTest, EnvelopeJsonIsByteReproducible) {
+  const std::string first = EnvelopeJson(AdjacentEnvelope());
+  const std::string second = EnvelopeJson(RunTournament(AdjacentOptions()));
+  EXPECT_EQ(first, second);
+}
+
+TEST(TournamentTest, EnvelopeJsonParsesBackToTheSameEnvelope) {
+  const std::string json = EnvelopeJson(AdjacentEnvelope());
+  auto parsed = ParseEnvelopeJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(EnvelopeJson(parsed.value()), json);
+}
+
+TEST(TournamentTest, AdjacentFrontierMeetsTheExactLowerBound) {
+  const FrontierEnvelope& envelope = AdjacentEnvelope();
+  ASSERT_EQ(envelope.families.size(), 1u);
+  const EnvelopeFamily& family = envelope.families[0];
+  EXPECT_EQ(family.name, "cub_loss_adjacent");
+  // Adjacent losses are the worst placement: the measured frontier must meet
+  // the every-set GLS bound, and the first failure sits right above it.
+  EXPECT_EQ(family.gls_lower, 1);
+  EXPECT_EQ(family.gls_upper, 2);
+  EXPECT_EQ(family.max_survivable, family.gls_lower);
+  EXPECT_FALSE(family.saturated);
+  ASSERT_FALSE(family.counterexamples.empty());
+  EXPECT_EQ(family.MinCounterexampleCardinality(), 2);
+}
+
+TEST(TournamentTest, CounterexamplesReplayToTheSameVerdict) {
+  const FrontierEnvelope& envelope = AdjacentEnvelope();
+  ASSERT_FALSE(envelope.families.empty());
+  ASSERT_FALSE(envelope.families[0].counterexamples.empty());
+  const EnvelopeCounterexample& cx = envelope.families[0].counterexamples[0];
+  auto parsed = ScenarioDescriptor::Parse(cx.descriptor);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const ScenarioOutcome replay = RunScenario(parsed.value());
+  EXPECT_EQ(std::string(VerdictName(replay.verdict)), cx.verdict) << OutcomeSummary(replay);
+  EXPECT_EQ(replay.survivable, cx.survivable);
+  EXPECT_EQ(replay.lost_blocks, cx.lost_blocks);
+}
+
+// --- the CI regression gate ---
+
+FrontierEnvelope GateBaseline() {
+  FrontierEnvelope e;
+  e.seed = 1;
+  e.cubs = 8;
+  e.disks_per_cub = 1;
+  e.decluster = 2;
+  e.quick = true;
+  e.runs = 4;
+  EnvelopeFamily family;
+  family.name = "fam";
+  family.tested_cardinality = 3;
+  family.max_survivable = 2;
+  family.saturated = false;
+  family.verdict_counts[static_cast<size_t>(Verdict::kCleanSurvive)] = 2;
+  family.verdict_counts[static_cast<size_t>(Verdict::kQosGlitches)] = 2;
+  EnvelopeCounterexample cx;
+  cx.cardinality = 3;
+  cx.verdict = "qos_glitches";
+  cx.lost_blocks = 30;
+  cx.descriptor = "scenario v1\nend\n";
+  family.counterexamples.push_back(cx);
+  e.families.push_back(family);
+  return e;
+}
+
+TEST(CompareEnvelopesTest, IdenticalEnvelopesHaveNoRegressions) {
+  const FrontierEnvelope base = GateBaseline();
+  EXPECT_TRUE(CompareEnvelopes(base, base).empty());
+}
+
+TEST(CompareEnvelopesTest, MissingFamilyIsARegression) {
+  FrontierEnvelope current = GateBaseline();
+  current.families.clear();
+  const auto regressions = CompareEnvelopes(GateBaseline(), current);
+  ASSERT_EQ(regressions.size(), 1u);
+  EXPECT_NE(regressions[0].find("missing"), std::string::npos);
+}
+
+TEST(CompareEnvelopesTest, ShrunkenFrontierIsARegression) {
+  FrontierEnvelope current = GateBaseline();
+  current.families[0].max_survivable = 1;
+  EXPECT_FALSE(CompareEnvelopes(GateBaseline(), current).empty());
+}
+
+TEST(CompareEnvelopesTest, EarlierCounterexampleIsARegression) {
+  FrontierEnvelope current = GateBaseline();
+  current.families[0].counterexamples[0].cardinality = 2;
+  EXPECT_FALSE(CompareEnvelopes(GateBaseline(), current).empty());
+}
+
+TEST(CompareEnvelopesTest, FailureInsideSaturatedBaselineIsARegression) {
+  FrontierEnvelope base = GateBaseline();
+  base.families[0].saturated = true;
+  base.families[0].max_survivable = 3;
+  base.families[0].counterexamples.clear();
+  FrontierEnvelope current = GateBaseline();
+  current.families[0].max_survivable = 3;  // Frontier intact, yet a failure
+  current.families[0].saturated = false;   // appeared inside proven ground.
+  const auto regressions = CompareEnvelopes(base, current);
+  ASSERT_EQ(regressions.size(), 1u);
+  EXPECT_NE(regressions[0].find("proven"), std::string::npos);
+}
+
+TEST(CompareEnvelopesTest, GrowthAndNewFamiliesAreNotRegressions) {
+  FrontierEnvelope current = GateBaseline();
+  current.families[0].max_survivable = 3;
+  current.families[0].counterexamples[0].cardinality = 4;
+  current.families[0].tested_cardinality = 4;
+  EnvelopeFamily extra;
+  extra.name = "brand_new";
+  extra.saturated = true;
+  current.families.push_back(extra);
+  EXPECT_TRUE(CompareEnvelopes(GateBaseline(), current).empty());
+}
+
+}  // namespace
+}  // namespace frontier
+}  // namespace tiger

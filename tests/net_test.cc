@@ -128,6 +128,78 @@ TEST_F(NetTest, ControlTrafficAccounting) {
   EXPECT_DOUBLE_EQ(net_.ControlBytesSent(b_).Total(), 0.0);
 }
 
+// A payload carrying an explicit fault tag, standing in for TigerMessage's
+// MsgKind-derived fault_kind().
+struct TaggedPayload : TestPayload {
+  TaggedPayload(int v, int t) : TestPayload(v), tag(t) {}
+  int fault_kind() const override { return tag; }
+  int tag;
+};
+
+TEST(FaultPlanTest, AnchoredRuleStaysDormantUntilItsKindAppears) {
+  NetFaultPlan plan(Rng(7));
+  NetFaultPlan::Rule rule;
+  rule.kind = NetFaultPlan::RuleKind::kDrop;
+  rule.anchor_kind = 5;
+  rule.rel_start = Duration::Zero();
+  rule.rel_end = Duration::Millis(10);
+  plan.AddRule(rule);
+
+  const TimePoint t0 = TimePoint::Zero();
+  // Untyped and differently-tagged traffic never arms tag 5.
+  EXPECT_FALSE(plan.Apply(t0 + Duration::Millis(100), 1, 2, kNoAnchor).drop);
+  EXPECT_FALSE(plan.Apply(t0 + Duration::Millis(200), 1, 2, 3).drop);
+  EXPECT_EQ(plan.AnchorTime(5), TimePoint::Max());
+
+  // The first tag-5 message arms the anchor and, with rel_start = 0, the
+  // freshly armed window covers the anchoring message itself.
+  EXPECT_TRUE(plan.Apply(t0 + Duration::Millis(300), 1, 2, 5).drop);
+  EXPECT_EQ(plan.AnchorTime(5), t0 + Duration::Millis(300));
+
+  // The window is relative to the first sighting and open at the right end;
+  // once armed, the rule matches traffic of any kind.
+  EXPECT_TRUE(plan.Apply(t0 + Duration::Millis(305), 1, 2, kNoAnchor).drop);
+  EXPECT_FALSE(plan.Apply(t0 + Duration::Millis(310), 1, 2, 5).drop);
+  // Later sightings do not re-arm: the anchor is the *first* appearance.
+  EXPECT_EQ(plan.AnchorTime(5), t0 + Duration::Millis(300));
+}
+
+TEST(FaultPlanTest, AbsoluteRulesIgnoreAnchors) {
+  NetFaultPlan plan(Rng(7));
+  NetFaultPlan::Rule rule;
+  rule.kind = NetFaultPlan::RuleKind::kDrop;
+  rule.start = TimePoint::Zero() + Duration::Millis(50);
+  rule.end = TimePoint::Zero() + Duration::Millis(60);
+  plan.AddRule(rule);
+  EXPECT_FALSE(plan.Apply(TimePoint::Zero() + Duration::Millis(40), 1, 2, 5).drop);
+  EXPECT_TRUE(plan.Apply(TimePoint::Zero() + Duration::Millis(55), 1, 2, kNoAnchor).drop);
+  EXPECT_FALSE(plan.Apply(TimePoint::Zero() + Duration::Millis(60), 1, 2, 5).drop);
+}
+
+TEST_F(NetTest, AnchoredPartitionArmsOnTheWire) {
+  // Wire-level version of the frontier's "partition anchored to the first
+  // deschedule": traffic flows until the tagged message appears, then the
+  // anchored drop window severs the pair.
+  NetFaultPlan plan{Rng(11)};
+  NetFaultPlan::Rule rule;
+  rule.kind = NetFaultPlan::RuleKind::kDrop;
+  rule.anchor_kind = 9;
+  rule.rel_start = Duration::Zero();
+  rule.rel_end = Duration::Seconds(3600);
+  plan.AddRule(rule);
+  net_.SetFaultPlan(&plan);
+
+  net_.Send(a_, b_, 100, std::make_shared<TestPayload>(1));
+  sim_.Run();
+  ASSERT_EQ(recv_b_.values.size(), 1u) << "dormant rule must not drop";
+
+  // The anchoring message is itself inside the rel_start = 0 window.
+  net_.Send(a_, b_, 100, std::make_shared<TaggedPayload>(2, 9));
+  net_.Send(a_, b_, 100, std::make_shared<TestPayload>(3));
+  sim_.Run();
+  EXPECT_EQ(recv_b_.values.size(), 1u) << "armed window must drop everything";
+}
+
 TEST_F(NetTest, DeterministicAcrossRuns) {
   // Same seed, same arrival schedule.
   auto run = [](uint64_t seed) {

@@ -1,0 +1,98 @@
+// Survivability regression gate: diff a fresh frontier.json against the
+// committed baseline and exit nonzero when the envelope shrank.
+//
+//   frontier_compare --baseline=bench/baselines/FRONTIER.json
+//                    --current=frontier.json
+//
+// A regression is: a baseline family missing from the current run, a family's
+// max survivable cardinality decreasing, or a counterexample appearing at a
+// cardinality the baseline had proven survivable. Larger frontiers and new
+// families are reported as informational only — the gate is one-sided, like
+// bench_compare's perf gate.
+//
+// To accept an intentional envelope change, regenerate the baseline with
+// frontier_tournament (see EXPERIMENTS.md E17) and commit it.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/frontier/envelope.h"
+
+namespace {
+
+std::string FlagValue(int argc, char** argv, const std::string& flag) {
+  const std::string prefix = "--" + flag + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind(prefix, 0) == 0) {
+      return std::string(argv[i]).substr(prefix.size());
+    }
+  }
+  return "";
+}
+
+bool LoadEnvelope(const std::string& path, tiger::frontier::FrontierEnvelope* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "frontier_compare: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = tiger::frontier::ParseEnvelopeJson(buf.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "frontier_compare: %s: %s\n", path.c_str(),
+                 parsed.status().message().c_str());
+    return false;
+  }
+  *out = parsed.value();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string baseline_path = FlagValue(argc, argv, "baseline");
+  const std::string current_path = FlagValue(argc, argv, "current");
+  if (baseline_path.empty() || current_path.empty()) {
+    std::fprintf(stderr, "usage: frontier_compare --baseline=<json> --current=<json>\n");
+    return 2;
+  }
+
+  tiger::frontier::FrontierEnvelope baseline;
+  tiger::frontier::FrontierEnvelope current;
+  if (!LoadEnvelope(baseline_path, &baseline) || !LoadEnvelope(current_path, &current)) {
+    return 2;
+  }
+
+  for (const tiger::frontier::EnvelopeFamily& family : current.families) {
+    const tiger::frontier::EnvelopeFamily* base = baseline.Find(family.name);
+    if (base == nullptr) {
+      std::printf("NEW      %-20s max_survivable=%d (not in baseline; informational)\n",
+                  family.name.c_str(), family.max_survivable);
+    } else if (family.max_survivable > base->max_survivable) {
+      std::printf("GREW     %-20s max_survivable %d -> %d (informational)\n",
+                  family.name.c_str(), base->max_survivable, family.max_survivable);
+    } else {
+      std::printf("OK       %-20s max_survivable=%d%s\n", family.name.c_str(),
+                  family.max_survivable, family.saturated ? " (saturated)" : "");
+    }
+  }
+
+  const std::vector<std::string> regressions =
+      tiger::frontier::CompareEnvelopes(baseline, current);
+  for (const std::string& regression : regressions) {
+    std::printf("REGRESS  %s\n", regression.c_str());
+  }
+  if (!regressions.empty()) {
+    std::printf("frontier_compare: %d regression(s) — survivability envelope shrank\n",
+                static_cast<int>(regressions.size()));
+    return 1;
+  }
+  std::printf("frontier_compare: no regressions across %d famil%s\n",
+              static_cast<int>(baseline.families.size()),
+              baseline.families.size() == 1 ? "y" : "ies");
+  return 0;
+}
