@@ -1,0 +1,243 @@
+// Measured large-shape scale sweep (paper §3.3).
+//
+// The paper's central scalability claim is that distributed schedule
+// management keeps per-cub control cost flat out to a hypothetical 1000-cub,
+// ~40k-stream Tiger. EXPERIMENTS.md E6 used to reproduce that claim
+// analytically; this harness replaces the arithmetic with measured runs of
+// the real system — cubs, forwarding, deadman, audit hooks, the whole
+// control plane — at 100/250/500/1000 cubs, and emits BENCH_scale.json so
+// "millions of users" is a number the repo produces faster than real time.
+//
+// Shape x load grid. Each shape runs at low and high occupancy; occupancy
+// sets the concurrent stream count, and concurrent streams stand in for a
+// modeled subscriber population via a peak-activity fraction (at any instant
+// only a few percent of a video service's subscribers hold an active
+// stream). The grid spans ~10^4 modeled viewers (100 cubs, 10% load) to
+// ~10^6 (1000 cubs, 90% load).
+//
+// Reported per point:
+//   events / events_per_sec   simulator events in the measured window, and
+//                             the wall-clock dispatch rate (best rep);
+//   allocs_per_event          steady-state heap allocations per event
+//                             (minimum over reps; 0 is the contract with a
+//                             -DTIGER_COUNT_ALLOCS build);
+//   sim_wall_ratio            simulated seconds per wall second (best rep;
+//                             > 1 means faster than real time);
+//   control_bps_per_cub_*     mean/max per-cub control-plane send rate over
+//                             the measured span — the paper's "schedule
+//                             management cost stays flat" number.
+//
+// Simulation-derived fields (events, streams, control bytes) are
+// seed-deterministic; wall-derived fields (events_per_sec, sim_wall_ratio)
+// vary with the host. The data plane is off: block I/O would dominate the
+// event budget without touching the schedule-management path under test.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/alloc_counter.h"
+#include "src/core/system.h"
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+#include "src/stats/table.h"
+
+namespace tiger {
+namespace {
+
+// Fraction of a subscriber population holding an active stream at peak.
+// 90% load on the 1000-cub shape (~39k streams) models ~10^6 subscribers.
+constexpr double kPeakActivity = 0.04;
+
+struct SweepPoint {
+  int cubs = 0;
+  double load = 0;
+};
+
+struct SweepResult {
+  int cubs = 0;
+  int disks_per_cub = 0;
+  double load = 0;
+  int64_t slot_count = 0;
+  int streams = 0;
+  int64_t modeled_viewers = 0;
+  double warmup_sim_s = 0;
+  double window_sim_s = 0;
+  int reps = 0;
+  uint64_t events = 0;       // Events in the best-rate window.
+  double best_wall_s = 0;
+  double events_per_sec = 0;
+  uint64_t steady_allocs = 0;  // Minimum over reps.
+  double allocs_per_event = 0;
+  double sim_wall_ratio = 0;
+  double control_bps_per_cub_mean = 0;
+  double control_bps_per_cub_max = 0;
+};
+
+double Seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+SweepResult RunPoint(const SweepPoint& point, bool quick, uint64_t seed) {
+  // Warmup must outlast the longest settling horizon in the protocol (the
+  // ~20s seen-instance retention window); see bench/sim_microbench.cc.
+  const Duration kWarmup = Duration::Seconds(30);
+  const Duration kWindow = Duration::Seconds(quick ? 4 : 10);
+  const int kReps = quick ? 2 : 3;
+
+  TigerConfig config;
+  config.shape.num_cubs = point.cubs;
+  config.simulate_data_plane = false;
+  TigerSystem dist(config, seed);
+  SinkEndpoint sink;
+  NetAddress sink_addr = dist.net().Attach(&sink, "sink", config.client_nic_bps);
+
+  SweepResult r;
+  r.cubs = point.cubs;
+  r.disks_per_cub = config.shape.disks_per_cub;
+  r.load = point.load;
+  r.slot_count = config.MaxStreams();
+  r.streams = static_cast<int>(static_cast<double>(config.MaxStreams()) * point.load);
+  r.modeled_viewers = static_cast<int64_t>(static_cast<double>(r.streams) / kPeakActivity);
+  r.warmup_sim_s = kWarmup.seconds();
+  r.window_sim_s = kWindow.seconds();
+  r.reps = kReps;
+  r.best_wall_s = 1e30;
+  r.steady_allocs = ~0ull;
+
+  // Long enough that no stream reaches end-of-file inside the horizon.
+  FileId file = dist.AddFile("content", config.max_stream_bps,
+                             config.block_play_time * (config.shape.TotalDisks() + 600))
+                    .value();
+  int made = dist.BootstrapStreams(r.streams, sink_addr, file, config.max_stream_bps);
+  TIGER_CHECK(made == r.streams);
+  dist.Start();
+
+  TimePoint cursor = TimePoint::Zero() + kWarmup;
+  dist.sim().RunUntil(cursor);
+  const TimePoint measured_from = cursor;
+  double best_rate = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const uint64_t events_before = dist.sim().processed_events();
+    const uint64_t allocs_before = AllocCount();
+    const auto start = std::chrono::steady_clock::now();
+    cursor = cursor + kWindow;
+    dist.sim().RunUntil(cursor);
+    const auto end = std::chrono::steady_clock::now();
+    const uint64_t events = dist.sim().processed_events() - events_before;
+    const uint64_t allocs = AllocCount() - allocs_before;
+    const double wall = Seconds(end - start);
+    const double rate = static_cast<double>(events) / wall;
+    if (rate > best_rate) {
+      best_rate = rate;
+      r.events = events;
+      r.best_wall_s = wall;
+      r.events_per_sec = rate;
+      r.sim_wall_ratio = kWindow.seconds() / wall;
+    }
+    if (allocs < r.steady_allocs) {
+      r.steady_allocs = allocs;
+      r.allocs_per_event = static_cast<double>(allocs) / static_cast<double>(events);
+    }
+  }
+
+  // Per-cub control cost over the whole measured span (simulation-derived,
+  // so seed-deterministic).
+  double sum = 0;
+  double max = 0;
+  for (int c = 0; c < point.cubs; ++c) {
+    const double bps = dist.CubControlTrafficBps(CubId(c), measured_from, cursor);
+    sum += bps;
+    max = std::max(max, bps);
+  }
+  r.control_bps_per_cub_mean = sum / static_cast<double>(point.cubs);
+  r.control_bps_per_cub_max = max;
+  return r;
+}
+
+int Main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  PrintHeader("scale_sweep: measured 100..1000-cub control-plane scaling",
+              "paper §3.3 scalability claim; BENCH_scale.json");
+  if (!AllocCountingEnabled()) {
+    std::printf("note: built without -DTIGER_COUNT_ALLOCS, allocs/event reads 0\n");
+  }
+
+  std::vector<SweepPoint> points;
+  if (args.quick) {
+    points = {{100, 0.9}, {250, 0.9}};
+  } else {
+    points = {{100, 0.1}, {100, 0.9}, {250, 0.9}, {500, 0.9}, {1000, 0.1}, {1000, 0.9}};
+  }
+
+  std::vector<SweepResult> results;
+  for (const SweepPoint& point : points) {
+    std::printf("running %d cubs at %.0f%% load...\n", point.cubs, point.load * 100);
+    std::fflush(stdout);
+    results.push_back(RunPoint(point, args.quick, args.seed));
+  }
+
+  TextTable table({"cubs", "load", "streams", "viewers", "events/sec", "sim/wall",
+                   "allocs/event", "ctl_bps/cub"});
+  for (const SweepResult& r : results) {
+    table.Row()
+        .Str(std::to_string(r.cubs))
+        .Double(r.load, 2)
+        .Int(r.streams)
+        .Int(r.modeled_viewers)
+        .Double(r.events_per_sec, 0)
+        .Double(r.sim_wall_ratio, 1)
+        .Double(r.allocs_per_event, 4)
+        .Double(r.control_bps_per_cub_mean, 0);
+  }
+  table.Print();
+  if (args.csv) {
+    std::printf("\n%s", table.ToCsv().c_str());
+  }
+
+  const std::string json_path =
+      args.json_path.empty() ? "BENCH_scale.json" : args.json_path;
+  JsonWriter json;
+  json.BeginObject()
+      .Kv("bench", "scale_sweep")
+      .Kv("schema_version", 1)
+      .Kv("seed", args.seed)
+      .Kv("quick", args.quick)
+      .Kv("alloc_counting_enabled", AllocCountingEnabled())
+      .Kv("peak_activity_fraction", kPeakActivity);
+  json.Key("results").BeginArray();
+  for (const SweepResult& r : results) {
+    json.BeginObject()
+        .Kv("cubs", r.cubs)
+        .Kv("disks_per_cub", r.disks_per_cub)
+        .Kv("load", r.load)
+        .Kv("slot_count", r.slot_count)
+        .Kv("streams", r.streams)
+        .Kv("modeled_viewers", r.modeled_viewers)
+        .Kv("warmup_sim_s", r.warmup_sim_s)
+        .Kv("window_sim_s", r.window_sim_s)
+        .Kv("reps", r.reps)
+        .Kv("events", r.events)
+        .Kv("best_wall_s", r.best_wall_s)
+        .Kv("events_per_sec", r.events_per_sec)
+        .Kv("steady_allocs", r.steady_allocs)
+        .Kv("allocs_per_event", r.allocs_per_event)
+        .Kv("sim_wall_ratio", r.sim_wall_ratio)
+        .Kv("control_bps_per_cub_mean", r.control_bps_per_cub_mean)
+        .Kv("control_bps_per_cub_max", r.control_bps_per_cub_max)
+        .EndObject();
+  }
+  json.EndArray().EndObject();
+  if (json.WriteFile(json_path)) {
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tiger
+
+int main(int argc, char** argv) { return tiger::Main(argc, argv); }

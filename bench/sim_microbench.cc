@@ -305,33 +305,71 @@ WorkloadResult MessageHopLineage(bool quick, uint64_t seed) {
 // --- workload 4: end-to-end 90%-load cub ring -------------------------------
 
 WorkloadResult CubRing(bool quick, uint64_t seed) {
-  const Duration kRun = Duration::Seconds(quick ? 4 : 12);
+  // Warmup must outlast every settling horizon in the system, the longest of
+  // which is the seen-instance retention window (~20s: view retention plus
+  // two deadman timeouts plus two block times) — only after entries have aged
+  // out and been re-admitted is the allocation steady state reachable.
+  const Duration kWarmup = Duration::Seconds(quick ? 30 : 40);
+  const Duration kWindow = Duration::Seconds(quick ? 4 : 12);
   const int kCubs = 14;
-  // Events per rep are only known after the first run; measure one run to
-  // size it, then measure normally (the sizing run doubles as extra warmup).
-  uint64_t events = 0;
-  auto run_once = [&]() -> uint64_t {
-    TigerConfig config;
-    config.shape.num_cubs = kCubs;
-    config.simulate_data_plane = false;
-    TigerSystem dist(config, seed);
-    SinkEndpoint sink;
-    NetAddress sink_addr = dist.net().Attach(&sink, "sink", config.client_nic_bps);
-    const int streams =
-        static_cast<int>(static_cast<double>(config.MaxStreams()) * 0.9);
-    FileId file =
-        dist.AddFile("content", config.max_stream_bps,
-                     config.block_play_time * (config.shape.TotalDisks() + 600))
-            .value();
-    int made = dist.BootstrapStreams(streams, sink_addr, file, config.max_stream_bps);
-    TIGER_CHECK(made == streams);
-    dist.Start();
-    dist.sim().RunUntil(TimePoint::Zero() + kRun);
-    return dist.sim().processed_events();
-  };
-  events = run_once();
-  WorkloadResult r = Measure("cub_ring_90pct", events, quick ? 2 : 3,
-                             [&] { (void)run_once(); });
+  const int kReps = quick ? 2 : 3;
+  // ONE persistent system, measured over successive post-warmup windows of
+  // simulated time. Constructing a fresh system per rep (the old shape of
+  // this workload) charged bootstrap and pool-fill costs to every rep, which
+  // is exactly the allocation noise "steady state" is defined to exclude: the
+  // protocol contract is zero heap allocations per event once the ring is
+  // warm, and that is what a window on a live system measures.
+  TigerConfig config;
+  config.shape.num_cubs = kCubs;
+  config.simulate_data_plane = false;
+  TigerSystem dist(config, seed);
+  SinkEndpoint sink;
+  NetAddress sink_addr = dist.net().Attach(&sink, "sink", config.client_nic_bps);
+  const int streams =
+      static_cast<int>(static_cast<double>(config.MaxStreams()) * 0.9);
+  // Long enough that no stream hits end-of-file inside the measured horizon
+  // (EOF would drain the ring and change what "steady" means).
+  FileId file =
+      dist.AddFile("content", config.max_stream_bps,
+                   config.block_play_time * (config.shape.TotalDisks() + 600))
+          .value();
+  int made = dist.BootstrapStreams(streams, sink_addr, file, config.max_stream_bps);
+  TIGER_CHECK(made == streams);
+  dist.Start();
+
+  WorkloadResult r;
+  r.name = "cub_ring_90pct";
+  r.reps = kReps;
+  r.warmup_reps = 1;
+  r.best_wall_s = 1e30;
+  r.steady_allocs = ~0ull;
+  TimePoint cursor = TimePoint::Zero() + kWarmup;
+  // Warmup window: pools fill, meters reserve, the view reaches steady
+  // occupancy, eviction ticks begin recycling.
+  dist.sim().RunUntil(cursor);
+  double best_rate = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const uint64_t events_before = dist.sim().processed_events();
+    const uint64_t allocs_before = AllocCount();
+    const auto start = std::chrono::steady_clock::now();
+    cursor = cursor + kWindow;
+    dist.sim().RunUntil(cursor);
+    const auto end = std::chrono::steady_clock::now();
+    const uint64_t events = dist.sim().processed_events() - events_before;
+    const uint64_t allocs = AllocCount() - allocs_before;
+    const double wall = Seconds(end - start);
+    const double rate = static_cast<double>(events) / wall;
+    if (rate > best_rate) {
+      best_rate = rate;
+      r.events = events;
+      r.best_wall_s = wall;
+      r.events_per_sec = rate;
+    }
+    if (allocs < r.steady_allocs) {
+      r.steady_allocs = allocs;
+      r.allocs_per_event = static_cast<double>(allocs) / static_cast<double>(events);
+    }
+  }
   return r;
 }
 

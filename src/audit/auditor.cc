@@ -670,10 +670,10 @@ std::vector<uint64_t> ScheduleAuditor::ChainsOfViewer(ViewerId viewer) const {
   if (it == viewer_chains_.end()) {
     return {};
   }
-  return it->second;
+  return {it->second.begin(), it->second.end()};
 }
 
-const std::vector<ScheduleAuditor::Hop>* ScheduleAuditor::ChainHops(uint64_t chain) const {
+const ScheduleAuditor::HopVec* ScheduleAuditor::ChainHops(uint64_t chain) const {
   auto it = chains_.find(chain);
   if (it == chains_.end()) {
     return nullptr;
@@ -681,7 +681,7 @@ const std::vector<ScheduleAuditor::Hop>* ScheduleAuditor::ChainHops(uint64_t cha
   return &it->second.hops;
 }
 
-const std::vector<ScheduleAuditor::Hop>* ScheduleAuditor::KillHops(
+const ScheduleAuditor::HopVec* ScheduleAuditor::KillHops(
     PlayInstanceId instance) const {
   auto it = kills_.find(instance.value());
   if (it == kills_.end() || it->second.hops.empty()) {

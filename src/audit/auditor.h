@@ -58,6 +58,7 @@
 #include "src/common/time.h"
 #include "src/core/audit_hooks.h"
 #include "src/core/config.h"
+#include "src/net/payload_pool.h"
 #include "src/sim/actor.h"
 #include "src/trace/trace.h"
 
@@ -115,6 +116,10 @@ class ScheduleAuditor : public Actor, public AuditObserver, public TraceSink {
     uint16_t hop_count = 0;
     uint64_t lamport = 0;
   };
+  // Hop logs and chain registries draw from the thread-local payload pool so
+  // the per-event evidence intake recycles storage instead of allocating: the
+  // auditor rides the same hot path it audits.
+  using HopVec = std::vector<Hop, PoolAllocator<Hop>>;
 
   struct Options {
     Duration period = Duration::Millis(250);
@@ -185,13 +190,13 @@ class ScheduleAuditor : public Actor, public AuditObserver, public TraceSink {
   // Chains (origin<<32|epoch) minted for this viewer, in first-seen order.
   std::vector<uint64_t> ChainsOfViewer(ViewerId viewer) const;
   // Hop log of one chain; nullptr if the chain is unknown (or pruned).
-  const std::vector<Hop>* ChainHops(uint64_t chain) const;
+  const HopVec* ChainHops(uint64_t chain) const;
   // "Show viewer 17's record's full hop chain": human-readable trip log.
   std::string ViewerLineage(ViewerId viewer) const;
   // The kill message's trip for an instance: one kKillApplied hop per cub
   // application, carrying the DescheduleMsg lineage's hop count and Lamport
   // stamp. nullptr if no kill evidence names the instance.
-  const std::vector<Hop>* KillHops(PlayInstanceId instance) const;
+  const HopVec* KillHops(PlayInstanceId instance) const;
   // Full hop table as CSV (chain,origin,epoch,hop kind,time,cubs,...).
   std::string LineageCsv() const;
   bool WriteLineageCsv(const std::string& path) const;
@@ -229,17 +234,21 @@ class ScheduleAuditor : public Actor, public AuditObserver, public TraceSink {
     int64_t anchor_due_us = 0;
     int64_t anchor_pos = 0;
     // Mirror lanes keyed by block position: fragments of one recovered block.
-    std::map<int64_t, MirrorLane> mirror_lanes;
+    std::map<int64_t, MirrorLane, std::less<int64_t>,
+             PoolAllocator<std::pair<const int64_t, MirrorLane>>>
+        mirror_lanes;
     uint64_t cubs_seen = 0;  // Bitmask of cubs holding direct evidence.
     // Lineage chain of the controller request that minted this record chain
     // (StartPlayMsg for insertions); 0 when no request message was involved.
     uint64_t request_chain = 0;
     int64_t max_seq_seen = 0;
     TimePoint last_evidence;
-    std::vector<Hop> hops;
+    HopVec hops;
     int64_t hops_dropped = 0;
     // Forwards not yet confirmed received, keyed by seq * 256 + fragment + 1.
-    std::map<int64_t, PendingForward> pending;
+    std::map<int64_t, PendingForward, std::less<int64_t>,
+             PoolAllocator<std::pair<const int64_t, PendingForward>>>
+        pending;
   };
   struct KillState {
     TimePoint first_when;
@@ -253,7 +262,7 @@ class ScheduleAuditor : public Actor, public AuditObserver, public TraceSink {
     // Message-level lineage of the kill: its controller-minted chain and one
     // kKillApplied hop per application, in observation order.
     uint64_t kill_chain = 0;
-    std::vector<Hop> hops;
+    HopVec hops;
     int64_t hops_dropped = 0;
   };
   struct SlotClaim {
@@ -288,15 +297,21 @@ class ScheduleAuditor : public Actor, public AuditObserver, public TraceSink {
   Options options_;
   TigerSystem* system_ = nullptr;
 
-  std::unordered_map<uint64_t, ChainState> chains_;
+  template <typename V>
+  using PooledU64Map =
+      std::unordered_map<uint64_t, V, std::hash<uint64_t>, std::equal_to<uint64_t>,
+                         PoolAllocator<std::pair<const uint64_t, V>>>;
+  using ChainIdVec = std::vector<uint64_t, PoolAllocator<uint64_t>>;
+
+  PooledU64Map<ChainState> chains_;
   // Evidence-backed name registries (introduction order preserved for
   // deterministic queries).
-  std::unordered_map<uint64_t, std::vector<uint64_t>> viewer_chains_;
-  std::unordered_map<uint64_t, std::vector<uint64_t>> instance_chains_;
-  std::vector<uint64_t> chain_order_;
-  std::unordered_map<uint64_t, KillState> kills_;
-  std::vector<uint64_t> kill_order_;  // Instances in first-kill order.
-  std::unordered_map<uint64_t, std::vector<SlotClaim>> slot_claims_;
+  PooledU64Map<ChainIdVec> viewer_chains_;
+  PooledU64Map<ChainIdVec> instance_chains_;
+  ChainIdVec chain_order_;
+  PooledU64Map<KillState> kills_;
+  ChainIdVec kill_order_;  // Instances in first-kill order.
+  PooledU64Map<std::vector<SlotClaim, PoolAllocator<SlotClaim>>> slot_claims_;
 
   std::vector<Divergence> divergences_;
   int64_t counts_[static_cast<size_t>(DivergenceClass::kClassCount)] = {};
@@ -304,7 +319,9 @@ class ScheduleAuditor : public Actor, public AuditObserver, public TraceSink {
   int64_t divergences_overflow_ = 0;
   // One retained Divergence per (class, chain-or-instance, cub); raw counters
   // keep counting so a storm is visible without unbounded memory.
-  std::set<std::tuple<int, uint64_t, int64_t>> dedup_;
+  std::set<std::tuple<int, uint64_t, int64_t>, std::less<std::tuple<int, uint64_t, int64_t>>,
+           PoolAllocator<std::tuple<int, uint64_t, int64_t>>>
+      dedup_;
 
   int64_t rescued_by_second_successor_ = 0;
   int64_t forwards_observed_ = 0;

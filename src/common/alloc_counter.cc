@@ -8,10 +8,22 @@
 
 namespace tiger {
 namespace {
+
 std::atomic<uint64_t> g_alloc_count{0};
 
+// Per-thread pause nesting depth. Plain int: only the owning thread touches
+// it, and operator new/delete may run before thread_local dynamic init, so it
+// must be trivially constructible.
+thread_local int g_pause_depth = 0;
+
+inline void CountOne() {
+  if (g_pause_depth == 0) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void* CountedAlloc(std::size_t size) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  CountOne();
   if (size == 0) {
     size = 1;
   }
@@ -22,8 +34,13 @@ void* CountedAlloc(std::size_t size) {
   return p;
 }
 
+void* CountedAllocNothrow(std::size_t size) noexcept {
+  CountOne();
+  return std::malloc(size == 0 ? 1 : size);
+}
+
 void* CountedAllocAligned(std::size_t size, std::size_t align) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  CountOne();
   if (size == 0) {
     size = align;
   }
@@ -35,10 +52,27 @@ void* CountedAllocAligned(std::size_t size, std::size_t align) {
   }
   return p;
 }
+
+void* CountedAllocAlignedNothrow(std::size_t size, std::size_t align) noexcept {
+  CountOne();
+  if (size == 0) {
+    size = align;
+  }
+  std::size_t rounded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded);
+}
+
 }  // namespace
 
 uint64_t AllocCount() { return g_alloc_count.load(std::memory_order_relaxed); }
 bool AllocCountingEnabled() { return true; }
+void PauseAllocCounting() { ++g_pause_depth; }
+void ResumeAllocCounting() {
+  if (g_pause_depth > 0) {
+    --g_pause_depth;
+  }
+}
+int AllocCountingPauseDepth() { return g_pause_depth; }
 
 }  // namespace tiger
 
@@ -47,18 +81,22 @@ bool AllocCountingEnabled() { return true; }
 void* operator new(std::size_t size) { return tiger::CountedAlloc(size); }
 void* operator new[](std::size_t size) { return tiger::CountedAlloc(size); }
 void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  tiger::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  return std::malloc(size == 0 ? 1 : size);
+  return tiger::CountedAllocNothrow(size);
 }
 void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
-  tiger::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  return std::malloc(size == 0 ? 1 : size);
+  return tiger::CountedAllocNothrow(size);
 }
 void* operator new(std::size_t size, std::align_val_t align) {
   return tiger::CountedAllocAligned(size, static_cast<std::size_t>(align));
 }
 void* operator new[](std::size_t size, std::align_val_t align) {
   return tiger::CountedAllocAligned(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return tiger::CountedAllocAlignedNothrow(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return tiger::CountedAllocAlignedNothrow(size, static_cast<std::size_t>(align));
 }
 
 void operator delete(void* p) noexcept { std::free(p); }
@@ -71,12 +109,19 @@ void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 #else  // !TIGER_COUNT_ALLOCS
 
 namespace tiger {
 uint64_t AllocCount() { return 0; }
 bool AllocCountingEnabled() { return false; }
+void PauseAllocCounting() {}
+void ResumeAllocCounting() {}
+int AllocCountingPauseDepth() { return 0; }
 }  // namespace tiger
 
 #endif  // TIGER_COUNT_ALLOCS

@@ -6,8 +6,13 @@
 // sanitizer CI job builds with the hook on so a heap allocation sneaking back
 // into the event hot path shows up as a nonzero steady-state number.
 //
-// Without the define, the functions below compile to a constant-zero stub so
-// call sites need no #ifdefs.
+// Counting can be paused per thread (nesting) so measurement harnesses can
+// exclude their own bookkeeping — result vectors, JSON writers — from the
+// numbers they report. Pauses nest: counting resumes only when every pause on
+// the thread has been matched by a resume.
+//
+// Without the define, the functions below compile to constant stubs so call
+// sites need no #ifdefs.
 
 #ifndef SRC_COMMON_ALLOC_COUNTER_H_
 #define SRC_COMMON_ALLOC_COUNTER_H_
@@ -16,13 +21,31 @@
 
 namespace tiger {
 
-// Total global operator-new calls since process start. Monotone; subtract two
-// readings to count allocations in a region. Always 0 when counting is off.
+// Total counted global operator-new calls since process start. Monotone;
+// subtract two readings to count allocations in a region. Always 0 when
+// counting is off.
 uint64_t AllocCount();
 
 // True when the binary was built with -DTIGER_COUNT_ALLOCS, i.e. AllocCount()
 // readings are meaningful.
 bool AllocCountingEnabled();
+
+// Pause/resume counting on the calling thread. Calls nest: two pauses need
+// two resumes. Resuming below depth zero is a no-op (never underflows).
+// Allocations made while paused still succeed — they are just not counted.
+void PauseAllocCounting();
+void ResumeAllocCounting();
+// Current nesting depth on this thread (0 = counting active).
+int AllocCountingPauseDepth();
+
+// RAII pause for a scope.
+class ScopedAllocCountPause {
+ public:
+  ScopedAllocCountPause() { PauseAllocCounting(); }
+  ~ScopedAllocCountPause() { ResumeAllocCounting(); }
+  ScopedAllocCountPause(const ScopedAllocCountPause&) = delete;
+  ScopedAllocCountPause& operator=(const ScopedAllocCountPause&) = delete;
+};
 
 }  // namespace tiger
 

@@ -1,6 +1,7 @@
 #include "src/core/cub.h"
 
 #include <algorithm>
+#include <iterator>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -18,6 +19,21 @@ constexpr Duration kTakeoverMargin = Duration::Millis(100);
 // Retry cadence when all block buffers are in use.
 constexpr Duration kBufferRetry = Duration::Millis(20);
 
+// Recycled-bucket stash pre-mint for the schedule view. Creations draw from
+// the stash and evictions refill it, so its level is the reserve minus the
+// live bucket population — it must cover the view's peak: roughly one bucket
+// per (stream served here) x (distinct ring slot with entries inside the
+// max-lead + retention window, one per block time), plus slack for
+// fluctuation.
+size_t ViewBucketReserve(const TigerConfig& config) {
+  const int64_t per_cub = config.MaxStreams() / config.shape.num_cubs;
+  const int64_t window_blocks =
+      (config.max_vstate_lead + config.view_retention).micros() /
+          config.block_play_time.micros() +
+      3;
+  return static_cast<size_t>(per_cub * window_blocks + 16);
+}
+
 }  // namespace
 
 Cub::Cub(Simulator* sim, CubId id, const TigerConfig* config, const Catalog* catalog,
@@ -33,10 +49,21 @@ Cub::Cub(Simulator* sim, CubId id, const TigerConfig* config, const Catalog* cat
       net_(net),
       rng_(std::move(rng)),
       cache_(config->block_cache_bytes),
-      view_(config->deschedule_hold),
+      view_(config->deschedule_hold, ViewBucketReserve(*config)),
       failure_view_(config->shape),
       free_buffer_bytes_(config->buffer_pool_bytes) {
   address_ = net_->Attach(this, name(), config->cub_nic_bps);
+  // Stock the payload pool's kill-message size class. Deschedules are rare,
+  // so nothing else keeps this class warm the way batch traffic keeps the
+  // viewer-state classes warm — without priming, any kill wave with more
+  // copies in flight than every previous one mints its shared blocks from
+  // the heap mid-run.
+  {
+    std::shared_ptr<DescheduleMsg> primed[4];
+    for (auto& msg : primed) {
+      msg = MakePooledMessage<DescheduleMsg>();
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -92,7 +119,9 @@ void Cub::Start() {
   TIGER_CHECK(addresses_ != nullptr) << "address book not set";
   TIGER_CHECK(!disks_.empty() || !config_->simulate_data_plane) << "disks not attached";
   started_ = true;
-  for (CubId pred : failure_view_.PrevLivingPredecessors(id_, 2)) {
+  FailureView::NeighborList preds;
+  failure_view_.PrevLivingPredecessors(id_, 2, &preds);
+  for (CubId pred : preds) {
     last_heard_[pred] = Now();
   }
   HeartbeatTick();
@@ -109,7 +138,7 @@ void Cub::Rejoin() {
   TIGER_CHECK(!halted()) << "TigerSystem must Restart() the actor before Rejoin()";
   // A rebooted machine remembers nothing: every piece of protocol state is
   // rebuilt from zero and repopulated by the living peers' rejoin replies.
-  view_ = ScheduleView(config_->deschedule_hold);
+  view_ = ScheduleView(config_->deschedule_hold, ViewBucketReserve(*config_));
   view_.SetTrace(tracer_, trace_track_);
   TIGER_TRACE_INSTANT(tracer_, trace_track_, TraceEventType::kRejoin);
   failure_view_ = FailureView(config_->shape);
@@ -253,7 +282,7 @@ void Cub::OnViewerState(const ViewerStateRecord& record) {
         // How far ahead of its due time the record arrived (§4.1.1 lead).
         vstate_lead_ms_->Add(static_cast<double>((record.due - Now()).micros()) / 1000.0);
       }
-      seen_instances_.insert(record.instance.value());
+      NoteInstanceSeen(record.instance.value());
       redundant_starts_.erase(record.instance.value());
       ProcessAcceptedRecord(record.DedupKey());
       break;
@@ -317,6 +346,9 @@ void Cub::ProcessAcceptedRecord(const ViewerStateRecord::Key& key) {
   const ViewerStateRecord record = entry->record;  // Copy: view may rehash below.
   DiskId serving = ServingDisk(record);
   if (IsMyDisk(serving) && !failure_view_.IsDiskFailed(serving)) {
+    // This cub owns the record's forwarding duty; make sure ForwardTick's
+    // skip bound wakes up for it.
+    NoteUnforwardedEntry(record);
     ScheduleEntryWork(key);
     return;
   }
@@ -557,7 +589,7 @@ void Cub::TakeoverRecord(const ViewerStateRecord::Key& key) {
     ScheduleView::ApplyResult result = view_.ApplyViewerState(r, Now());
     if (result == ScheduleView::ApplyResult::kNew) {
       counters_.records_new++;
-      seen_instances_.insert(r.instance.value());
+      NoteInstanceSeen(r.instance.value());
       ProcessAcceptedRecord(r.DedupKey());
       return true;
     }
@@ -590,7 +622,7 @@ void Cub::TakeoverRecord(const ViewerStateRecord::Key& key) {
         if (IsMyDisk(loc.disk)) {
           apply_local(fragment);
         } else {
-          SendRecordsTo(config_->shape.CubOfDisk(loc.disk), {fragment});
+          SendRecordTo(config_->shape.CubOfDisk(loc.disk), fragment);
         }
         break;
       }
@@ -636,8 +668,8 @@ void Cub::TakeoverRecord(const ViewerStateRecord::Key& key) {
     if (failure_view_.IsCubFailed(owner)) {
       owner = failure_view_.FirstLivingSuccessor(owner);
     }
-    SendRecordsTo(owner, {*next});
-    SendRecordsTo(failure_view_.FirstLivingSuccessor(owner), {*next});
+    SendRecordTo(owner, *next);
+    SendRecordTo(failure_view_.FirstLivingSuccessor(owner), *next);
   }
 }
 
@@ -689,7 +721,7 @@ void Cub::RecoverBlockViaMirrors(const ViewerStateRecord::Key& key) {
                                   AuditObserver::CreateKind::kMirrorRecovery, fragment,
                                   RecordLineage{});
       }
-      SendRecordsTo(config_->shape.CubOfDisk(loc.disk), {fragment});
+      SendRecordTo(config_->shape.CubOfDisk(loc.disk), fragment);
       break;
     }
     offset += MirrorFragmentSpacing(j);
@@ -700,33 +732,96 @@ void Cub::RecoverBlockViaMirrors(const ViewerStateRecord::Key& key) {
 // Forwarding
 // ---------------------------------------------------------------------------
 
+Duration Cub::ForwardSafety() const {
+  return config_->net.base_latency + config_->net.jitter + config_->forward_interval +
+         Duration::Millis(100);
+}
+
+void Cub::NoteInstanceSeen(uint64_t instance) {
+  auto it = seen_instances_.find(instance);
+  if (it != seen_instances_.end()) {
+    it->second = Now();
+    return;
+  }
+  if (!seen_nodes_.empty()) {
+    SeenMap::node_type node = std::move(seen_nodes_.back());
+    seen_nodes_.pop_back();
+    node.key() = instance;
+    node.mapped() = Now();
+    seen_instances_.insert(std::move(node));
+    return;
+  }
+  seen_instances_.emplace(instance, Now());
+}
+
+void Cub::NoteUnforwardedEntry(const ViewerStateRecord& record) {
+  std::optional<ViewerStateRecord> next = SuccessorRecord(record);
+  if (!next.has_value()) {
+    return;  // Terminal records never trigger a flush.
+  }
+  const TimePoint trigger = next->due - config_->min_vstate_lead - ForwardSafety();
+  if (trigger < next_forward_check_) {
+    next_forward_check_ = trigger;
+  }
+}
+
 void Cub::ForwardTick() {
   // Batching policy (§4.1.1): hold records while every pending one still has
   // comfortably more than minVStateLead of slack, and flush the moment the
   // most urgent record approaches its deadline. The min/max gap is exactly
   // what lets many records share one message.
-  const Duration safety = config_->net.base_latency + config_->net.jitter +
-                          config_->forward_interval + Duration::Millis(100);
-  bool flush = false;
-  view_.ForEachEntry([&](ScheduleEntry& entry) {
-    if (flush || entry.forwarded || entry.backup_only) {
-      return;
+  //
+  // An entry's flush-trigger time (successor due − minVStateLead − safety) is
+  // fixed the moment it enters the view, so next_forward_check_ — a lower
+  // bound over every unforwarded entry, lowered at accept/re-arm and
+  // recomputed exactly by each scan — lets ticks that provably cannot flush
+  // skip the O(view) walk. Scans still run on exactly the ticks an
+  // unconditional walk would have flushed, so wire behavior is unchanged.
+  if (Now() >= next_forward_check_) {
+    const Duration safety = ForwardSafety();
+    TimePoint earliest = TimePoint::Max();
+    bool flush = false;
+    view_.ForEachEntry([&](ScheduleEntry& entry) {
+      if (flush || entry.forwarded || entry.backup_only) {
+        return;
+      }
+      std::optional<ViewerStateRecord> next = SuccessorRecord(entry.record);
+      if (!next.has_value()) {
+        return;
+      }
+      const TimePoint trigger = next->due - config_->min_vstate_lead - safety;
+      if (trigger <= Now()) {
+        flush = true;
+      } else if (trigger < earliest) {
+        earliest = trigger;
+      }
+    });
+    if (flush) {
+      earliest = TimePoint::Max();
+      BatchMap batches;
+      view_.ForEachEntry([&](ScheduleEntry& entry) {
+        MaybeForwardEntry(entry, batches);
+        if (entry.forwarded || entry.backup_only) {
+          return;
+        }
+        // Still held back (beyond maxVStateLead); fold its trigger into the
+        // next wakeup bound.
+        std::optional<ViewerStateRecord> next = SuccessorRecord(entry.record);
+        if (next.has_value()) {
+          const TimePoint trigger = next->due - config_->min_vstate_lead - safety;
+          if (trigger < earliest) {
+            earliest = trigger;
+          }
+        }
+      });
+      FlushBatches(batches);
     }
-    std::optional<ViewerStateRecord> next = SuccessorRecord(entry.record);
-    if (next.has_value() && next->due - config_->min_vstate_lead - safety <= Now()) {
-      flush = true;
-    }
-  });
-  if (flush) {
-    std::unordered_map<NetAddress, ViewerStateBatchMsg> batches;
-    view_.ForEachEntry([&](ScheduleEntry& entry) { MaybeForwardEntry(entry, batches); });
-    FlushBatches(batches);
+    next_forward_check_ = earliest;
   }
   After(config_->forward_interval, [this] { ForwardTick(); });
 }
 
-void Cub::MaybeForwardEntry(ScheduleEntry& entry,
-                            std::unordered_map<NetAddress, ViewerStateBatchMsg>& batches) {
+void Cub::MaybeForwardEntry(ScheduleEntry& entry, BatchMap& batches) {
   if (entry.forwarded || entry.backup_only) {
     return;
   }
@@ -751,11 +846,19 @@ void Cub::MaybeForwardEntry(ScheduleEntry& entry,
     out.due = out.due + Duration::Millis(1);
   }
   int targets = 0;
-  for (CubId target : failure_view_.NextLivingSuccessors(id_, config_->forward_copies)) {
+  FailureView::NeighborList successors;
+  failure_view_.NextLivingSuccessors(id_, config_->forward_copies, &successors);
+  for (CubId target : successors) {
     if (auditor_ != nullptr) {
       auditor_->OnRecordForwarded(Now(), id_.value(), target.value(), *next);
     }
-    batches[addresses_->CubAddress(target)].Add(out);
+    const NetAddress addr = addresses_->CubAddress(target);
+    ViewerStateBatchMsg& batch = batches[addr];
+    batch.Add(out);
+    if (batch.wire_records.size() >= ViewerStateBatchMsg::kMaxBatchRecords) {
+      SendBatchTo(addr, std::move(batch));
+      batch = ViewerStateBatchMsg();
+    }
     ++targets;
   }
   TIGER_TRACE_INSTANT(tracer_, trace_track_, TraceEventType::kVStateForward,
@@ -768,19 +871,23 @@ void Cub::MaybeForwardEntry(ScheduleEntry& entry,
 #endif
 }
 
-void Cub::FlushBatches(std::unordered_map<NetAddress, ViewerStateBatchMsg>& batches) {
+void Cub::FlushBatches(BatchMap& batches) {
   for (auto& [target, batch] : batches) {
     if (batch.wire_records.empty()) {
       continue;
     }
-    ChargeMessageCpu();
-    auto msg = MakePooledMessage<ViewerStateBatchMsg>(std::move(batch));
-    TIGER_TRACE_BEGIN_FLOW(msg->trace_flow, tracer_, trace_track_, TraceEventType::kVStateHop,
-                           TraceArgs{.a = static_cast<int64_t>(msg->wire_records.size()),
-                                     .b = static_cast<int64_t>(target)});
-    const int64_t bytes = msg->WireBytes();
-    net_->Send(address_, target, bytes, std::move(msg));
+    SendBatchTo(target, std::move(batch));
   }
+}
+
+void Cub::SendBatchTo(NetAddress target, ViewerStateBatchMsg&& batch) {
+  ChargeMessageCpu();
+  auto msg = MakePooledMessage<ViewerStateBatchMsg>(std::move(batch));
+  TIGER_TRACE_BEGIN_FLOW(msg->trace_flow, tracer_, trace_track_, TraceEventType::kVStateHop,
+                         TraceArgs{.a = static_cast<int64_t>(msg->wire_records.size()),
+                                   .b = static_cast<int64_t>(target)});
+  const int64_t bytes = msg->WireBytes();
+  net_->Send(address_, target, bytes, std::move(msg));
 }
 
 void Cub::ForwardEntryNow(const ViewerStateRecord::Key& key) {
@@ -788,27 +895,24 @@ void Cub::ForwardEntryNow(const ViewerStateRecord::Key& key) {
   if (entry == nullptr) {
     return;
   }
-  std::unordered_map<NetAddress, ViewerStateBatchMsg> batches;
+  BatchMap batches;
   MaybeForwardEntry(*entry, batches);
   FlushBatches(batches);
 }
 
-void Cub::SendRecordsTo(CubId target, const std::vector<ViewerStateRecord>& records) {
+void Cub::SendRecordTo(CubId target, const ViewerStateRecord& record) {
   if (target == id_) {
-    for (const ViewerStateRecord& record : records) {
-      OnViewerState(record);
-    }
+    OnViewerState(record);
     return;
   }
   ChargeMessageCpu();
   auto msg = MakePooledMessage<ViewerStateBatchMsg>();
-  for (ViewerStateRecord record : records) {
-    StampLineageForSend(&record);
-    if (auditor_ != nullptr) {
-      auditor_->OnRecordForwarded(Now(), id_.value(), target.value(), record);
-    }
-    msg->Add(record);
+  ViewerStateRecord stamped = record;
+  StampLineageForSend(&stamped);
+  if (auditor_ != nullptr) {
+    auditor_->OnRecordForwarded(Now(), id_.value(), target.value(), stamped);
   }
+  msg->Add(stamped);
   TIGER_TRACE_BEGIN_FLOW(msg->trace_flow, tracer_, trace_track_, TraceEventType::kVStateHop,
                          TraceArgs{.a = static_cast<int64_t>(msg->wire_records.size()),
                                    .b = static_cast<int64_t>(target.value())});
@@ -897,7 +1001,9 @@ void Cub::OnDeschedule(const DescheduleMsg& msg) {
     }
     forward->lineage.lamport = ++lamport_;
   }
-  for (CubId target : failure_view_.NextLivingSuccessors(id_, config_->forward_copies)) {
+  FailureView::NeighborList successors;
+  failure_view_.NextLivingSuccessors(id_, config_->forward_copies, &successors);
+  for (CubId target : successors) {
     ChargeMessageCpu();
     net_->Send(address_, addresses_->CubAddress(target), DescheduleMsg::WireBytes(), forward);
   }
@@ -1006,7 +1112,7 @@ void Cub::InsertViewer(DiskId disk, SlotId slot, TimePoint due, const StartPlayM
   TIGER_CHECK(result == ScheduleView::ApplyResult::kNew)
       << "insertion into slot " << slot << " rejected: result " << static_cast<int>(result);
   counters_.inserts++;
-  seen_instances_.insert(record.instance.value());
+  NoteInstanceSeen(record.instance.value());
   TIGER_TRACE_INSTANT(tracer_, trace_track_, TraceEventType::kSlotInsert,
                       TraceArgs{.viewer = record.viewer.value(),
                                 .slot = slot.value(),
@@ -1042,7 +1148,7 @@ void Cub::BootstrapRecord(const ViewerStateRecord& record) {
                               record, RecordLineage{});
   }
   if (result == ScheduleView::ApplyResult::kNew) {
-    seen_instances_.insert(record.instance.value());
+    NoteInstanceSeen(record.instance.value());
     ProcessAcceptedRecord(record.DedupKey());
   }
 }
@@ -1059,7 +1165,9 @@ void Cub::OnHeartbeat(const HeartbeatMsg& msg) {
 void Cub::HeartbeatTick() {
   auto beat = MakePooledMessage<HeartbeatMsg>();
   beat->from = id_;
-  for (CubId target : failure_view_.NextLivingSuccessors(id_, 2)) {
+  FailureView::NeighborList successors;
+  failure_view_.NextLivingSuccessors(id_, 2, &successors);
+  for (CubId target : successors) {
     ChargeMessageCpu();
     net_->Send(address_, addresses_->CubAddress(target), HeartbeatMsg::WireBytes(), beat);
   }
@@ -1068,7 +1176,11 @@ void Cub::HeartbeatTick() {
 }
 
 void Cub::DeadmanCheck() {
-  for (CubId pred : failure_view_.PrevLivingPredecessors(id_, 2)) {
+  // Snapshot: DeclareCubFailed below mutates failure_view_, and the check
+  // must judge the predecessors as they stood when the tick fired.
+  FailureView::NeighborList preds;
+  failure_view_.PrevLivingPredecessors(id_, 2, &preds);
+  for (CubId pred : preds) {
     auto it = last_heard_.find(pred);
     TimePoint last = it == last_heard_.end() ? Now() : it->second;
     if (it == last_heard_.end()) {
@@ -1134,7 +1246,9 @@ void Cub::OnRejoinRequest(const RejoinRequestMsg& msg) {
   }
   // The rejoined cub may now be one of our predecessors: give it a fresh
   // deadman grace period instead of judging it by its pre-crash silence.
-  for (CubId pred : failure_view_.PrevLivingPredecessors(id_, 2)) {
+  FailureView::NeighborList preds;
+  failure_view_.PrevLivingPredecessors(id_, 2, &preds);
+  for (CubId pred : preds) {
     last_heard_.try_emplace(pred, Now());
   }
   // Answer with our failure beliefs and every not-yet-due primary record in
@@ -1188,7 +1302,9 @@ void Cub::HandleFailure(CubId failed_cub, DiskId failed_disk) {
     failure_view_.MarkCubFailed(failed_cub);
     last_heard_.erase(failed_cub);
     // Fresh grace period for whoever just became our predecessor.
-    for (CubId pred : failure_view_.PrevLivingPredecessors(id_, 2)) {
+    FailureView::NeighborList preds;
+    failure_view_.PrevLivingPredecessors(id_, 2, &preds);
+    for (CubId pred : preds) {
       last_heard_.try_emplace(pred, Now());
     }
     // Bridge the gap (§2.3): forwards already sent may have gone to the dead
@@ -1206,6 +1322,7 @@ void Cub::HandleFailure(CubId failed_cub, DiskId failed_disk) {
       std::optional<ViewerStateRecord> next = SuccessorRecord(entry.record);
       if (next.has_value() && next->due + config_->block_play_time >= Now()) {
         entry.forwarded = false;
+        NoteUnforwardedEntry(entry.record);
       }
     });
     if (failure_view_.FirstLivingSuccessor(failed_cub) == id_) {
@@ -1283,6 +1400,24 @@ void Cub::EvictionTick() {
   Duration retention = std::max(
       config_->view_retention, config_->deadman_timeout + config_->heartbeat_interval * 2);
   view_.EvictBefore(Now() - retention, Now());
+  // Age out seen-instance stamps. Entries are refreshed on every accepted
+  // record, so a live stream's stamp stays fresh whenever its blocks pass
+  // through this cub; an entry this stale can only belong to a finished or
+  // departed play, far outside the window in which a duplicate StartPlay or a
+  // redundant activation could still arrive. Several deadman windows of slack
+  // on top of the view retention keeps the check conservative.
+  const Duration seen_retention =
+      retention + config_->deadman_timeout * 2 + config_->block_play_time * 2;
+  const TimePoint seen_horizon = Now() - seen_retention;
+  for (auto it = seen_instances_.begin(); it != seen_instances_.end();) {
+    if (it->second < seen_horizon) {
+      auto next = std::next(it);
+      seen_nodes_.push_back(seen_instances_.extract(it));
+      it = next;
+    } else {
+      ++it;
+    }
+  }
   After(Duration::Seconds(1), [this] { EvictionTick(); });
 }
 

@@ -36,6 +36,7 @@
 #include "src/disk/disk.h"
 #include "src/layout/striping.h"
 #include "src/net/network.h"
+#include "src/net/payload_pool.h"
 #include "src/schedule/geometry.h"
 #include "src/schedule/schedule_view.h"
 #include "src/sim/actor.h"
@@ -174,13 +175,30 @@ class Cub : public Actor, public NetworkEndpoint {
   std::optional<ViewerStateRecord> SuccessorRecord(const ViewerStateRecord& record) const;
 
   // --- forwarding ---
+  // Per-successor batch accumulator for one forwarding pass. Pool-backed so
+  // the per-tick build/flush cycle recycles map nodes instead of allocating.
+  using BatchMap =
+      std::unordered_map<NetAddress, ViewerStateBatchMsg, std::hash<NetAddress>,
+                         std::equal_to<NetAddress>,
+                         PoolAllocator<std::pair<const NetAddress, ViewerStateBatchMsg>>>;
   void ForwardTick();
+  // Margin subtracted from a successor's due time when deciding whether the
+  // batch must flush now (network latency + jitter + one tick + slack).
+  Duration ForwardSafety() const;
+  // Lowers next_forward_check_ to `record`'s flush-trigger time. Must be
+  // called whenever an entry this cub is responsible for forwarding enters
+  // the view (or is re-armed) unforwarded, or ForwardTick may sleep past it.
+  void NoteUnforwardedEntry(const ViewerStateRecord& record);
+  // seen_instances_[instance] = Now(), reusing a stashed node if available.
+  void NoteInstanceSeen(uint64_t instance);
   // Forwards `entry`'s successor record immediately if eligible; marks it.
-  void MaybeForwardEntry(ScheduleEntry& entry,
-                         std::unordered_map<NetAddress, ViewerStateBatchMsg>& batches);
-  void FlushBatches(std::unordered_map<NetAddress, ViewerStateBatchMsg>& batches);
+  void MaybeForwardEntry(ScheduleEntry& entry, BatchMap& batches);
+  void FlushBatches(BatchMap& batches);
+  void SendBatchTo(NetAddress target, ViewerStateBatchMsg&& batch);
   void ForwardEntryNow(const ViewerStateRecord::Key& key);
-  void SendRecordsTo(CubId target, const std::vector<ViewerStateRecord>& records);
+  // Sends a single synthesized record (takeover / mirror-recovery paths) as a
+  // one-record batch, or applies it locally when target == this cub.
+  void SendRecordTo(CubId target, const ViewerStateRecord& record);
 
   // --- insertion ---
   void EnqueueStart(const StartPlayMsg& msg);
@@ -239,12 +257,37 @@ class Cub : public Actor, public NetworkEndpoint {
   CumulativeMeter cpu_;
 
   int64_t free_buffer_bytes_ = 0;
-  std::unordered_map<DiskId, std::deque<PendingStart>> start_queues_;
-  std::unordered_set<DiskId> ticking_disks_;
-  std::unordered_map<uint64_t, PendingStart> redundant_starts_;  // By instance id.
-  // Instances whose viewer states this cub has seen (clears redundant copies).
-  std::unordered_set<uint64_t> seen_instances_;
-  std::unordered_map<CubId, TimePoint> last_heard_;
+  // All steady-churn containers below draw from the thread-local payload pool
+  // so insert/erase cycles recycle nodes instead of hitting the heap.
+  using StartQueue = std::deque<PendingStart, PoolAllocator<PendingStart>>;
+  std::unordered_map<DiskId, StartQueue, std::hash<DiskId>, std::equal_to<DiskId>,
+                     PoolAllocator<std::pair<const DiskId, StartQueue>>>
+      start_queues_;
+  std::unordered_set<DiskId, std::hash<DiskId>, std::equal_to<DiskId>, PoolAllocator<DiskId>>
+      ticking_disks_;
+  std::unordered_map<uint64_t, PendingStart, std::hash<uint64_t>, std::equal_to<uint64_t>,
+                     PoolAllocator<std::pair<const uint64_t, PendingStart>>>
+      redundant_starts_;  // By instance id.
+  // Instances whose viewer states this cub has seen (dedupes duplicate starts
+  // and clears redundant copies), stamped with the last sighting so
+  // EvictionTick can age entries out — a plain ever-growing set would be an
+  // allocation per instance rotation, forever. The retention window in
+  // EvictionTick comfortably covers both uses: duplicate StartPlay copies
+  // arrive within the network-duplication delay of the original, and a
+  // redundant start only activates within the deadman detection window.
+  using SeenMap =
+      std::unordered_map<uint64_t, TimePoint, std::hash<uint64_t>, std::equal_to<uint64_t>,
+                         PoolAllocator<std::pair<const uint64_t, TimePoint>>>;
+  SeenMap seen_instances_;
+  // Nodes aged out of seen_instances_, kept for reuse. EvictionTick fires at
+  // the same sim instant on every cub, so at large shapes the synchronized
+  // burst of freed nodes would overflow the payload pool's per-class cap and
+  // the next second's inserts would hit the heap; a per-cub stash is
+  // burst-proof. Bounded by the map's peak size.
+  std::vector<SeenMap::node_type> seen_nodes_;
+  std::unordered_map<CubId, TimePoint, std::hash<CubId>, std::equal_to<CubId>,
+                     PoolAllocator<std::pair<const CubId, TimePoint>>>
+      last_heard_;
   // Reused by batch decodes (ViewerStateBatchMsg::DecodeInto) so the per-hop
   // receive path stops allocating a fresh record vector per message.
   std::vector<ViewerStateRecord> decode_scratch_;
@@ -252,6 +295,10 @@ class Cub : public Actor, public NetworkEndpoint {
   // A freshly rejoined cub holds off inserting new viewers until its view has
   // been repopulated by rejoin replies (occupancy proof for its slots).
   TimePoint insert_allowed_after_ = TimePoint::Zero();
+  // Lower bound on the earliest time any unforwarded entry can trigger a
+  // batch flush. ForwardTick skips its O(view) scans while Now() is below
+  // this; accept/re-arm paths lower it, scans recompute it exactly.
+  TimePoint next_forward_check_ = TimePoint::Zero();
   // Lamport clock over lineage-tagged control messages; survives Rejoin() via
   // the merge on the first received record (a reboot forgetting the clock is
   // safe: merged stamps only ever move it forward).

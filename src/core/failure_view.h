@@ -49,9 +49,55 @@ class FailureView {
     __builtin_unreachable();
   }
 
+  // Fixed-capacity neighbor snapshot for the hot paths (forwarding, deadman,
+  // heartbeats run per tick per cub — a returned std::vector would be a heap
+  // allocation per event). Capacity covers any plausible forward_copies; the
+  // vector overloads below remain for cold paths that want more.
+  struct NeighborList {
+    static constexpr int kCapacity = 8;
+    CubId cubs[kCapacity] = {};
+    int count = 0;
+    const CubId* begin() const { return cubs; }
+    const CubId* end() const { return cubs + count; }
+    bool empty() const { return count == 0; }
+  };
+
   // The next `count` living cubs after `cub` (skipping failed ones, bridging
-  // gaps of consecutive failures, §2.3). May return fewer if the system has
-  // too few living cubs; never includes `cub` itself.
+  // gaps of consecutive failures, §2.3). May fill fewer if the system has too
+  // few living cubs; never includes `cub` itself.
+  void NextLivingSuccessors(CubId cub, int count, NeighborList* out) const {
+    TIGER_DCHECK(count <= NeighborList::kCapacity);
+    out->count = 0;
+    CubId candidate = shape_.NextCub(cub);
+    for (int i = 0; i < shape_.num_cubs && out->count < count; ++i) {
+      if (candidate == cub) {
+        break;
+      }
+      if (!IsCubFailed(candidate)) {
+        out->cubs[out->count++] = candidate;
+      }
+      candidate = shape_.NextCub(candidate);
+    }
+  }
+
+  // The previous `count` living cubs before `cub` (whom `cub` expects
+  // heartbeats and viewer states from).
+  void PrevLivingPredecessors(CubId cub, int count, NeighborList* out) const {
+    TIGER_DCHECK(count <= NeighborList::kCapacity);
+    out->count = 0;
+    CubId candidate = shape_.AdvanceCub(cub, -1);
+    for (int i = 0; i < shape_.num_cubs && out->count < count; ++i) {
+      if (candidate == cub) {
+        break;
+      }
+      if (!IsCubFailed(candidate)) {
+        out->cubs[out->count++] = candidate;
+      }
+      candidate = shape_.AdvanceCub(candidate, -1);
+    }
+  }
+
+  // Allocating conveniences (cold paths and tests).
   std::vector<CubId> NextLivingSuccessors(CubId cub, int count) const {
     std::vector<CubId> out;
     CubId candidate = shape_.NextCub(cub);
@@ -67,8 +113,6 @@ class FailureView {
     return out;
   }
 
-  // The previous `count` living cubs before `cub` (whom `cub` expects
-  // heartbeats and viewer states from).
   std::vector<CubId> PrevLivingPredecessors(CubId cub, int count) const {
     std::vector<CubId> out;
     CubId candidate = shape_.AdvanceCub(cub, -1);

@@ -63,6 +63,11 @@ struct ViewerStateBatchMsg : TigerMessage {
   // Typical forwarding batches are a handful of records; reserving at
   // construction makes the common case exactly one pooled buffer.
   static constexpr size_t kReserveRecords = 8;
+  // Senders split batches at this many records (an MTU-style bound). Keeping
+  // the encoded payload at 32 * 100 B also keeps the record vector inside the
+  // payload pool's largest size class, so a flush-heavy tick never touches
+  // the heap.
+  static constexpr size_t kMaxBatchRecords = 32;
 
   ViewerStateBatchMsg() : TigerMessage(MsgKind::kViewerStateBatch) {
     wire_records.reserve(kReserveRecords);

@@ -1,10 +1,25 @@
 #include "src/schedule/schedule_view.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "src/common/check.h"
 
 namespace tiger {
+
+ScheduleView::SlotBucket& ScheduleView::GetOrCreateBucket(SlotId slot) {
+  auto it = buckets_.find(slot);
+  if (it != buckets_.end()) {
+    return it->second;
+  }
+  if (!free_nodes_.empty()) {
+    BucketMap::node_type node = std::move(free_nodes_.back());
+    free_nodes_.pop_back();
+    node.key() = slot;
+    return buckets_.insert(std::move(node)).position->second;
+  }
+  return buckets_[slot];
+}
 
 ScheduleView::ApplyResult ScheduleView::ApplyViewerState(const ViewerStateRecord& record,
                                                          TimePoint now) {
@@ -27,7 +42,7 @@ ScheduleView::ApplyResult ScheduleView::ApplyViewerStateImpl(const ViewerStateRe
   if (HoldsDescheduleFor(record, now)) {
     return ApplyResult::kKilledByDeschedule;
   }
-  SlotBucket& bucket = buckets_[record.slot];
+  SlotBucket& bucket = GetOrCreateBucket(record.slot);
   for (const ScheduleEntry& entry : bucket.entries) {
     if (entry.record.DedupKey() == record.DedupKey()) {
       return ApplyResult::kDuplicate;
@@ -51,17 +66,29 @@ ScheduleView::ApplyResult ScheduleView::ApplyViewerStateImpl(const ViewerStateRe
 ScheduleView::DescheduleOutcome ScheduleView::ApplyDeschedule(const DescheduleRecord& deschedule,
                                                               TimePoint now,
                                                               TimePoint hold_until) {
-  SlotBucket& bucket = buckets_[deschedule.slot];
+  SlotBucket& bucket = GetOrCreateBucket(deschedule.slot);
   DescheduleOutcome outcome;
   auto matches = [&](const ScheduleEntry& entry) {
     return entry.record.viewer == deschedule.viewer &&
            entry.record.instance == deschedule.instance && entry.record.slot == deschedule.slot;
   };
-  auto it = std::stable_partition(bucket.entries.begin(), bucket.entries.end(),
-                                  [&](const ScheduleEntry& e) { return !matches(e); });
-  outcome.removed.assign(std::make_move_iterator(it),
-                         std::make_move_iterator(bucket.entries.end()));
-  bucket.entries.erase(it, bucket.entries.end());
+  // Stable in-place partition by hand: std::stable_partition allocates a
+  // temporary buffer on every call, and deschedules are forwarded around the
+  // whole ring — each cub re-applies every copy, so this path must stay on
+  // the pool like the rest of the view. Kept and removed entries both retain
+  // their relative order.
+  size_t keep = 0;
+  for (size_t i = 0; i < bucket.entries.size(); ++i) {
+    if (matches(bucket.entries[i])) {
+      outcome.removed.push_back(std::move(bucket.entries[i]));
+    } else {
+      if (keep != i) {
+        bucket.entries[keep] = std::move(bucket.entries[i]);
+      }
+      ++keep;
+    }
+  }
+  bucket.entries.resize(keep);
 
   // Record (or refresh) the hold. Duplicate deschedules are idempotent.
   bool found = false;
@@ -152,8 +179,23 @@ int ScheduleView::EvictBefore(TimePoint entry_horizon, TimePoint now) {
     auto hold_end = std::remove_if(bucket.holds.begin(), bucket.holds.end(),
                                    [&](const Hold& h) { return h.hold_until < now; });
     bucket.holds.erase(hold_end, bucket.holds.end());
+    // Emptied buckets must leave the map, not stay: every slot in the ring
+    // eventually passes through every cub, so retained empties would grow the
+    // map toward the global slot count and ForEachEntry — which ForwardTick
+    // runs on every flush — would pay for the whole ring instead of the live
+    // window. Their nodes are stashed for reuse rather than destroyed; see
+    // free_nodes_.
     if (bucket.entries.empty() && bucket.holds.empty()) {
-      it = buckets_.erase(it);
+      auto next = std::next(it);
+      if (free_nodes_.size() < stash_limit_) {
+        free_nodes_.push_back(buckets_.extract(it));
+      } else {
+        // Stash already holds the steady-state working set; this node is
+        // kill-transient overflow. Destroy it so its block (and its vectors')
+        // go back to the payload pool rather than accreting here.
+        buckets_.erase(it);
+      }
+      it = next;
     } else {
       ++it;
     }

@@ -17,10 +17,12 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/ids.h"
 #include "src/common/time.h"
+#include "src/net/payload_pool.h"
 #include "src/schedule/viewer_state.h"
 #include "src/trace/trace.h"
 
@@ -51,6 +53,12 @@ struct ScheduleEntry {
 
 class ScheduleView {
  public:
+  // Entry storage draws from the thread-local payload pool: slot insert /
+  // deschedule / evict churn recycles buffers and hash nodes instead of
+  // hitting the heap per event (the protocol layer's last allocator — see
+  // ROADMAP item 1). Zero steady-state operator-new calls once warm.
+  using EntryVec = std::vector<ScheduleEntry, PoolAllocator<ScheduleEntry>>;
+
   enum class ApplyResult {
     kNew,                 // Accepted; a new entry was created.
     kDuplicate,           // Same DedupKey already present; ignored.
@@ -61,7 +69,29 @@ class ScheduleView {
 
   // `late_horizon` mirrors the deschedule hold duration: records whose due
   // time is more than this far in the past are rejected (kTooLate).
-  explicit ScheduleView(Duration late_horizon) : late_horizon_(late_horizon) {}
+  // `reserve_buckets` pre-mints that many recycled map nodes (see
+  // free_nodes_) so the eviction/creation cycle never waits for the stash to
+  // reach its working level; nodes are minted one at a time through the map,
+  // which keeps its bucket-array growth — and thus iteration order — on the
+  // same trajectory as an unreserved view.
+  explicit ScheduleView(Duration late_horizon, size_t reserve_buckets = 0)
+      : late_horizon_(late_horizon),
+        stash_limit_(reserve_buckets == 0 ? SIZE_MAX : reserve_buckets) {
+    free_nodes_.reserve(reserve_buckets);
+    while (free_nodes_.size() < reserve_buckets) {
+      const SlotId dummy(UINT32_MAX - static_cast<uint32_t>(free_nodes_.size()));
+      SlotBucket& bucket = buckets_[dummy];
+      bucket.entries.reserve(4);
+      // One hold's worth of capacity up front: a deschedule parks a hold in
+      // the slot's bucket on every cub it reaches, and recycled nodes keep
+      // their vector buffers when stashed — without the reserve, each kill
+      // that lands in a never-held bucket permanently moves one pool block
+      // into the stash, slowly draining the pool class the message hot path
+      // draws from.
+      bucket.holds.reserve(1);
+      free_nodes_.push_back(buckets_.extract(dummy));
+    }
+  }
 
   // Emits an event for every apply/deschedule/evict on the owning cub's
   // track. The owning cub re-wires this after rebuilding its view on rejoin.
@@ -77,7 +107,7 @@ class ScheduleView {
   // whether the hold is new — duplicate deschedules refresh the hold but
   // report new_hold=false, which callers use to forward each deschedule once.
   struct DescheduleOutcome {
-    std::vector<ScheduleEntry> removed;
+    EntryVec removed;  // Pool-backed: the outcome itself allocates nothing in steady state.
     bool new_hold = false;
   };
   DescheduleOutcome ApplyDeschedule(const DescheduleRecord& deschedule, TimePoint now,
@@ -128,14 +158,34 @@ class ScheduleView {
     TimePoint hold_until;
   };
   struct SlotBucket {
-    std::vector<ScheduleEntry> entries;
-    std::vector<Hold> holds;
+    EntryVec entries;
+    std::vector<Hold, PoolAllocator<Hold>> holds;
   };
+  using BucketMap =
+      std::unordered_map<SlotId, SlotBucket, std::hash<SlotId>, std::equal_to<SlotId>,
+                         PoolAllocator<std::pair<const SlotId, SlotBucket>>>;
 
   ApplyResult ApplyViewerStateImpl(const ViewerStateRecord& record, TimePoint now);
 
+  // Reuses a retained node from free_nodes_ when the slot is absent, so the
+  // steady-state erase/create bucket churn (slot ownership rotates around the
+  // ring) never round-trips through the allocator.
+  SlotBucket& GetOrCreateBucket(SlotId slot);
+
   Duration late_horizon_;
-  std::unordered_map<SlotId, SlotBucket> buckets_;
+  BucketMap buckets_;
+  // Map nodes extracted by EvictBefore, kept for reuse with their entry/hold
+  // vector capacities intact. Every cub's EvictionTick fires at the same sim
+  // instant, so freeing these to the (capped) payload pool would overflow it
+  // at large shapes and the next second's inserts would miss; retaining them
+  // here makes the recycle per-view and burst-proof. Capped at the prewarm
+  // reserve: deschedule holds park a transient bucket on every cub they
+  // reach, and an uncapped stash would absorb each one permanently — the
+  // stash grows with kill history and the size class it drains is the same
+  // one kill-forward message blocks come from. Overflow nodes are destroyed
+  // instead, returning their blocks to the pool.
+  std::vector<BucketMap::node_type> free_nodes_;
+  size_t stash_limit_;
   Tracer* tracer_ = nullptr;
   TraceTrackId trace_track_ = 0;
 };

@@ -10,6 +10,25 @@ void CumulativeMeter::Add(TimePoint when, double amount) {
   TIGER_DCHECK(points_.empty() || when >= points_.back().when)
       << "events must arrive in time order";
   total_ += amount;
+  if (!points_.empty() && points_.back().when == when) {
+    // Coalesce same-instant events; upper_bound already resolves to the last
+    // point at a given time, so this is semantics-preserving.
+    points_.back().cumulative = total_;
+    return;
+  }
+  if (points_.capacity() < kMaxPoints) {
+    // One-time full reservation so steady-state push_back never reallocates.
+    points_.reserve(kMaxPoints);
+  }
+  if (points_.size() == kMaxPoints) {
+    // Fold the oldest half into the aged boundary. erase() shifts in place
+    // and keeps capacity, so compaction allocates nothing.
+    size_t keep_from = kMaxPoints / 2;
+    aged_when_ = points_[keep_from - 1].when;
+    aged_cumulative_ = points_[keep_from - 1].cumulative;
+    points_.erase(points_.begin(),
+                  points_.begin() + static_cast<ptrdiff_t>(keep_from));
+  }
   points_.push_back(Point{when, total_});
 }
 
@@ -18,7 +37,9 @@ double CumulativeMeter::CumulativeAt(TimePoint t) const {
   auto it = std::upper_bound(points_.begin(), points_.end(), t,
                              [](TimePoint v, const Point& p) { return v < p.when; });
   if (it == points_.begin()) {
-    return 0;
+    // Before every retained point: the aged boundary (zero until the first
+    // compaction) carries everything folded away.
+    return t >= aged_when_ ? aged_cumulative_ : 0;
   }
   return std::prev(it)->cumulative;
 }
@@ -37,6 +58,24 @@ void BusyMeter::AddBusyInterval(TimePoint start, TimePoint end) {
   TIGER_CHECK(end >= start);
   TIGER_CHECK(segments_.empty() || start >= segments_.back().end)
       << "busy intervals must be non-overlapping and in order";
+  if (!segments_.empty() && segments_.back().end == start) {
+    // Back-to-back intervals merge into one segment (common for a saturated
+    // resource); queries inside the merged span are unchanged.
+    segments_.back().end = end;
+    total_busy_ += end - start;
+    return;
+  }
+  if (segments_.capacity() < kMaxSegments) {
+    segments_.reserve(kMaxSegments);
+  }
+  if (segments_.size() == kMaxSegments) {
+    size_t keep_from = kMaxSegments / 2;
+    const Segment& last_folded = segments_[keep_from - 1];
+    aged_end_ = last_folded.end;
+    aged_busy_ = last_folded.cumulative_before + (last_folded.end - last_folded.start);
+    segments_.erase(segments_.begin(),
+                    segments_.begin() + static_cast<ptrdiff_t>(keep_from));
+  }
   segments_.push_back(Segment{start, end, total_busy_});
   total_busy_ += end - start;
 }
@@ -49,7 +88,7 @@ Duration BusyMeter::BusyBetween(TimePoint a, TimePoint b) const {
     auto it = std::upper_bound(segments_.begin(), segments_.end(), t,
                                [](TimePoint v, const Segment& s) { return v < s.start; });
     if (it == segments_.begin()) {
-      return Duration::Zero();
+      return t >= aged_end_ ? aged_busy_ : Duration::Zero();
     }
     const Segment& s = *std::prev(it);
     if (t >= s.end) {

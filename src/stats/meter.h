@@ -3,6 +3,16 @@
 // The paper's Figures 8/9 report loads as means over 50-second measurement
 // windows. These meters record when work happened so any window can be
 // queried after the fact.
+//
+// Storage is bounded: each meter holds at most kMaxPoints points. The backing
+// vector is reserved in full on first use, same-timestamp events coalesce into
+// one point, and when the cap is reached the oldest half is compacted in place
+// into a single aged boundary — so a long-lived meter performs exactly one
+// heap allocation ever, and none in steady state. Queries at or after the
+// compaction boundary stay exact (points are never thinned, only the oldest
+// prefix is folded into the boundary); a window reaching further back
+// attributes the folded history to the boundary instant. Total() and
+// full-run rates are always exact.
 
 #ifndef SRC_STATS_METER_H_
 #define SRC_STATS_METER_H_
@@ -28,6 +38,14 @@ class CumulativeMeter {
   // Mean rate per second over (a, b].
   double RatePerSecond(TimePoint a, TimePoint b) const;
 
+  // Retained (uncompacted) points; exposed for tests.
+  size_t retained_points() const { return points_.size(); }
+  // Earliest instant at which queries are still exact. Windows starting
+  // before this see compacted history folded into this boundary.
+  TimePoint exact_since() const { return aged_when_; }
+
+  static constexpr size_t kMaxPoints = 1024;
+
  private:
   struct Point {
     TimePoint when;
@@ -38,6 +56,12 @@ class CumulativeMeter {
 
   std::vector<Point> points_;
   double total_ = 0;
+  // Boundary left behind by compaction: cumulative total as of the newest
+  // folded point. Until the first compaction it sits at time zero with a
+  // zero total, so the pre-history query path returns 0 exactly as an
+  // uncompacted meter would.
+  TimePoint aged_when_ = TimePoint::Zero();
+  double aged_cumulative_ = 0;
 };
 
 // Records busy intervals (e.g. a disk servicing a request) and answers
@@ -52,6 +76,10 @@ class BusyMeter {
   // Busy fraction in [a, b], in [0, 1].
   double UtilizationBetween(TimePoint a, TimePoint b) const;
 
+  size_t retained_segments() const { return segments_.size(); }
+
+  static constexpr size_t kMaxSegments = 1024;
+
  private:
   struct Segment {
     TimePoint start;
@@ -60,6 +88,10 @@ class BusyMeter {
   };
   std::vector<Segment> segments_;
   Duration total_busy_;
+  // Compaction boundary: busy time accumulated through the newest folded
+  // segment, all attributed at or before aged_end_.
+  TimePoint aged_end_ = TimePoint::Zero();
+  Duration aged_busy_;
 };
 
 }  // namespace tiger

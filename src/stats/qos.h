@@ -38,6 +38,7 @@
 
 #include "src/common/ids.h"
 #include "src/common/time.h"
+#include "src/net/payload_pool.h"
 
 namespace tiger {
 
@@ -87,8 +88,12 @@ class QosLedger {
   void RecordClientLate(TimePoint when, ViewerId viewer, int64_t position);
   void RecordClientLost(TimePoint when, ViewerId viewer, int64_t position);
 
+  // Pool-backed so steady-state annotation/glitch churn (bounded, drop-oldest)
+  // recycles nodes and chunks instead of allocating per event.
+  using GlitchDeque = std::deque<Glitch, PoolAllocator<Glitch>>;
+
   // --- rollups ---
-  const std::deque<Glitch>& glitches() const { return glitches_; }
+  const GlitchDeque& glitches() const { return glitches_; }
   int64_t total_late() const { return fleet_.late; }
   int64_t total_lost() const { return fleet_.lost; }
   int64_t total_blocks() const { return fleet_.blocks; }
@@ -133,10 +138,12 @@ class QosLedger {
   GlitchCause Consume(ViewerId viewer, int64_t position);
   void AddGlitch(TimePoint when, ViewerId viewer, int64_t position, GlitchKind kind);
 
-  std::map<Key, Annotation> annotations_;
+  std::map<Key, Annotation, std::less<Key>, PoolAllocator<std::pair<const Key, Annotation>>>
+      annotations_;
   uint64_t next_annotation_order_ = 0;
-  std::deque<Glitch> glitches_;
-  std::map<uint32_t, Rollup> per_viewer_;
+  GlitchDeque glitches_;
+  std::map<uint32_t, Rollup, std::less<uint32_t>, PoolAllocator<std::pair<const uint32_t, Rollup>>>
+      per_viewer_;
   Rollup fleet_;
   int64_t annotations_by_cause_[static_cast<size_t>(GlitchCause::kCauseCount)] = {};
   uint64_t dropped_glitches_ = 0;

@@ -1,0 +1,184 @@
+// Direct unit tests for src/common/alloc_counter — the counting operator-new
+// replacements every allocation gate in the repo (bench_compare's strict
+// allocs_per_event comparison, tests/alloc_regression_test.cc) stands on.
+// A miscount here silently invalidates all of them, so the counter itself
+// gets pinned down: direct counts, pause/resume nesting, per-thread pause
+// isolation with concurrent counting, and the payload-pool interaction
+// (recycles uncounted, heap fallbacks counted).
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "src/common/alloc_counter.h"
+#include "src/net/payload_pool.h"
+
+namespace tiger {
+namespace {
+
+// All tests call ::operator new directly: unlike a new-expression, a direct
+// call to a replaceable allocation function cannot be elided, so every call
+// must tick the counter exactly once.
+
+TEST(AllocCounterTest, CountsEveryOperatorNewVariantOnce) {
+  if (!AllocCountingEnabled()) {
+    GTEST_SKIP() << "build with -DTIGER_COUNT_ALLOCS=ON";
+  }
+  const uint64_t base = AllocCount();
+  void* plain = ::operator new(512);
+  EXPECT_EQ(AllocCount() - base, 1u);
+  void* nothrow = ::operator new(512, std::nothrow);
+  EXPECT_EQ(AllocCount() - base, 2u);
+  void* aligned = ::operator new(512, std::align_val_t(64));
+  EXPECT_EQ(AllocCount() - base, 3u);
+  void* aligned_nothrow = ::operator new(512, std::align_val_t(64), std::nothrow);
+  EXPECT_EQ(AllocCount() - base, 4u);
+
+  ::operator delete(plain);
+  ::operator delete(nothrow, std::nothrow);
+  ::operator delete(aligned, std::align_val_t(64));
+  ::operator delete(aligned_nothrow, std::align_val_t(64), std::nothrow);
+  // Deletes are deliberately uncounted: the metric is allocation pressure.
+  EXPECT_EQ(AllocCount() - base, 4u);
+
+  void* arr = ::operator new[](256);
+  EXPECT_EQ(AllocCount() - base, 5u);
+  ::operator delete[](arr);
+  // Zero-size requests still allocate (and count).
+  void* zero = ::operator new(0);
+  EXPECT_NE(zero, nullptr);
+  EXPECT_EQ(AllocCount() - base, 6u);
+  ::operator delete(zero);
+}
+
+TEST(AllocCounterTest, PauseNestsAndResumesSymmetrically) {
+  if (!AllocCountingEnabled()) {
+    GTEST_SKIP() << "build with -DTIGER_COUNT_ALLOCS=ON";
+  }
+  EXPECT_EQ(AllocCountingPauseDepth(), 0);
+  const uint64_t base = AllocCount();
+
+  PauseAllocCounting();
+  PauseAllocCounting();
+  EXPECT_EQ(AllocCountingPauseDepth(), 2);
+  ::operator delete(::operator new(64));
+  EXPECT_EQ(AllocCount(), base) << "allocation counted while paused";
+
+  ResumeAllocCounting();
+  EXPECT_EQ(AllocCountingPauseDepth(), 1);
+  ::operator delete(::operator new(64));
+  EXPECT_EQ(AllocCount(), base) << "one resume must not undo two pauses";
+
+  ResumeAllocCounting();
+  EXPECT_EQ(AllocCountingPauseDepth(), 0);
+  ::operator delete(::operator new(64));
+  EXPECT_EQ(AllocCount(), base + 1);
+}
+
+TEST(AllocCounterTest, ResumeBeyondZeroClampsInsteadOfUnderflowing) {
+  if (!AllocCountingEnabled()) {
+    GTEST_SKIP() << "build with -DTIGER_COUNT_ALLOCS=ON";
+  }
+  ResumeAllocCounting();  // Unmatched: must clamp at depth 0, not go negative.
+  EXPECT_EQ(AllocCountingPauseDepth(), 0);
+  const uint64_t base = AllocCount();
+  ::operator delete(::operator new(64));
+  EXPECT_EQ(AllocCount(), base + 1) << "counting must survive an unmatched resume";
+  // A subsequent pause still takes effect (depth did not underflow to -1).
+  PauseAllocCounting();
+  ::operator delete(::operator new(64));
+  EXPECT_EQ(AllocCount(), base + 1);
+  ResumeAllocCounting();
+}
+
+TEST(AllocCounterTest, CountsFromConcurrentThreadsAndPauseStaysThreadLocal) {
+  if (!AllocCountingEnabled()) {
+    GTEST_SKIP() << "build with -DTIGER_COUNT_ALLOCS=ON";
+  }
+  constexpr int kThreads = 4;
+  constexpr int kItersPerThread = 2000;
+
+  // The main thread pauses itself, so std::thread's own control-block
+  // allocations (made on this thread) are excluded — but the pause is
+  // per-thread, so the workers' allocations all count. The total is exact:
+  // no relaxed-atomic increments may be lost under contention.
+  PauseAllocCounting();
+  const uint64_t base = AllocCount();
+  {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([] {
+        for (int i = 0; i < kItersPerThread; ++i) {
+          ::operator delete(::operator new(64));
+        }
+      });
+    }
+    for (std::thread& w : workers) {
+      w.join();
+    }
+  }
+  const uint64_t counted = AllocCount() - base;
+  ResumeAllocCounting();
+  EXPECT_EQ(counted, static_cast<uint64_t>(kThreads) * kItersPerThread);
+}
+
+TEST(AllocCounterTest, PayloadPoolRecyclesAreFreeAndFallbacksAreCounted) {
+  if (!AllocCountingEnabled()) {
+    GTEST_SKIP() << "build with -DTIGER_COUNT_ALLOCS=ON";
+  }
+  using pool_internal::PoolAlloc;
+  using pool_internal::PoolFree;
+  constexpr size_t kBytes = 2999;  // Size class 3008: large and distinctive.
+  constexpr int kBuffers = 8;
+
+  // Stock the thread-local free list: each first-touch allocation is a heap
+  // fallback and must be counted.
+  void* stocked[kBuffers];
+  const uint64_t stock_base = AllocCount();
+  for (void*& p : stocked) {
+    p = PoolAlloc(kBytes);
+  }
+  EXPECT_EQ(AllocCount() - stock_base, static_cast<uint64_t>(kBuffers));
+  for (void* p : stocked) {
+    PoolFree(p, kBytes);
+  }
+
+  // Warm phase: every allocation is a free-list recycle — zero counted.
+  const uint64_t warm_base = AllocCount();
+  for (void*& p : stocked) {
+    p = PoolAlloc(kBytes);
+  }
+  EXPECT_EQ(AllocCount(), warm_base) << "pool recycles must not count as allocations";
+  for (void* p : stocked) {
+    PoolFree(p, kBytes);
+  }
+
+  // Oversize requests bypass the pool entirely: always a counted heap call.
+  const uint64_t big_base = AllocCount();
+  void* big = PoolAlloc(pool_internal::kMaxPooledBytes + 1);
+  EXPECT_EQ(AllocCount() - big_base, 1u);
+  PoolFree(big, pool_internal::kMaxPooledBytes + 1);
+  void* big2 = PoolAlloc(pool_internal::kMaxPooledBytes + 1);
+  EXPECT_EQ(AllocCount() - big_base, 2u) << "oversize blocks must never be pooled";
+  PoolFree(big2, pool_internal::kMaxPooledBytes + 1);
+}
+
+TEST(AllocCounterTest, DisabledBuildReportsCountingOff) {
+  if (AllocCountingEnabled()) {
+    GTEST_SKIP() << "covered by the other tests in counting builds";
+  }
+  // The stub contract: count pinned to zero, pause/resume harmless no-ops.
+  const uint64_t base = AllocCount();
+  EXPECT_EQ(base, 0u);
+  PauseAllocCounting();
+  ResumeAllocCounting();
+  ::operator delete(::operator new(64));
+  EXPECT_EQ(AllocCount(), 0u);
+  EXPECT_EQ(AllocCountingPauseDepth(), 0);
+}
+
+}  // namespace
+}  // namespace tiger

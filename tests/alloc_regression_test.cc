@@ -1,0 +1,190 @@
+// Locks in the zero-allocation contract for the full protocol hot path.
+//
+// bench/sim_microbench.cc's cub_ring_90pct workload measures steady-state
+// heap allocations per simulator event and CI gates it against a committed
+// baseline of exactly zero — but that gate only runs in the perf-smoke job.
+// This suite asserts the same contract in-tree, where a violation names the
+// offending change directly: once a 90%-loaded ring is warm, running it —
+// viewer-state forward/apply, slot service, eviction, QoS annotation, the
+// in-protocol audit/lineage hooks, and the deschedule path — performs zero
+// heap allocations per event.
+//
+// Every test skips when the build lacks -DTIGER_COUNT_ALLOCS (the counting
+// operator-new replacements); CI's sanitizer job builds with it on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/common/alloc_counter.h"
+#include "src/core/messages.h"
+#include "src/core/system.h"
+#include "src/net/network.h"
+#include "src/schedule/viewer_state.h"
+
+namespace tiger {
+namespace {
+
+// Mirrors the bench harness: warmup must outlast every settling horizon in
+// the system, the longest of which is the seen-instance retention window
+// (~20s: view retention plus two deadman timeouts plus two block times).
+constexpr int kCubs = 14;
+constexpr Duration kWarmup = Duration::Seconds(30);
+constexpr Duration kWindow = Duration::Seconds(4);
+constexpr int kWindows = 3;
+
+struct Ring {
+  std::unique_ptr<TigerSystem> system;
+  SinkEndpoint sink;
+  int streams = 0;
+
+  explicit Ring(uint64_t seed) {
+    TigerConfig config;
+    config.shape.num_cubs = kCubs;
+    // The data plane would dominate the event budget without touching the
+    // schedule-management path under test.
+    config.simulate_data_plane = false;
+    system = std::make_unique<TigerSystem>(config, seed);
+    NetAddress sink_addr = system->net().Attach(&sink, "sink", config.client_nic_bps);
+    streams = static_cast<int>(static_cast<double>(config.MaxStreams()) * 0.9);
+    // Long enough that no stream hits end-of-file inside the horizon (EOF
+    // would drain the ring and change what "steady" means).
+    FileId file = system
+                      ->AddFile("content", config.max_stream_bps,
+                                config.block_play_time * (config.shape.TotalDisks() + 600))
+                      .value();
+    int made = system->BootstrapStreams(streams, sink_addr, file, config.max_stream_bps);
+    EXPECT_EQ(made, streams);
+    system->Start();
+    system->sim().RunUntil(TimePoint::Zero() + kWarmup);
+  }
+
+  // Runs one measurement window and returns (allocations, events).
+  std::pair<uint64_t, uint64_t> MeasureWindow() {
+    const uint64_t events_before = system->sim().processed_events();
+    const uint64_t allocs_before = AllocCount();
+    system->sim().RunUntil(system->sim().Now() + kWindow);
+    return {AllocCount() - allocs_before, system->sim().processed_events() - events_before};
+  }
+};
+
+TEST(AllocRegressionTest, WarmRingRunsAllocationFree) {
+  if (!AllocCountingEnabled()) {
+    GTEST_SKIP() << "build with -DTIGER_COUNT_ALLOCS=ON to measure allocations";
+  }
+  Ring ring(1);
+  // Minimum over windows, matching the bench's steady-state definition: a
+  // one-time high-water ratchet (a meter reserving, a hash table doubling)
+  // may land in one window, but a per-event allocation taxes every window.
+  uint64_t min_allocs = ~0ull;
+  uint64_t events = 0;
+  for (int w = 0; w < kWindows; ++w) {
+    auto [allocs, window_events] = ring.MeasureWindow();
+    // Control-plane events batch many records; a 90%-loaded 14-cub ring
+    // processes a few thousand events per 4s window.
+    EXPECT_GT(window_events, 2000u) << "ring unexpectedly idle";
+    if (allocs < min_allocs) {
+      min_allocs = allocs;
+      events = window_events;
+    }
+  }
+  EXPECT_EQ(min_allocs, 0u) << "protocol hot path allocated " << min_allocs << " times across "
+                            << events << " events; the steady-state contract is zero";
+}
+
+// The deschedule path is transient by nature: a kill parks a hold-bucket on
+// every cub it reaches for the hold window (maxVStateLead + descheduleHold),
+// so a kill burst legitimately grows the live working set for its duration.
+// The contract this test locks in has two halves:
+//   1. the transient cost is bounded — a few pool-class fallbacks per kill at
+//      worst, never proportional to ring traffic (a per-apply allocation like
+//      a partition scratch buffer costs ~7/kill ring-wide and fails the
+//      bound);
+//   2. the cost is fully transient — once kills cease and the holds expire,
+//      steady-state windows return to exactly zero. This is the half that
+//      catches sequestration bugs, where kill-transient structures retain
+//      pool blocks permanently and starve the message hot path long after
+//      the kill (two such bugs were found writing this test: hold vectors
+//      keeping their buffers inside recycled bucket nodes, and the eviction
+//      stash absorbing kill-minted nodes without bound).
+TEST(AllocRegressionTest, DeschedulePathCostIsBoundedAndFullyTransient) {
+  if (!AllocCountingEnabled()) {
+    GTEST_SKIP() << "build with -DTIGER_COUNT_ALLOCS=ON to measure allocations";
+  }
+  Ring ring(2);
+  TigerSystem& system = *ring.system;
+
+  // Capture live stream identities from the cubs' own views.
+  constexpr size_t kKills = 24;
+  std::vector<DescheduleRecord> victims;
+  {
+    PauseAllocCounting();
+    TimePoint now = system.sim().Now();
+    for (int c = 0; c < kCubs && victims.size() < kKills; ++c) {
+      const_cast<ScheduleView&>(system.cub(CubId(static_cast<uint32_t>(c))).view())
+          .ForEachEntry([&](ScheduleEntry& entry) {
+            if (entry.record.is_mirror() || entry.record.due <= now) {
+              return;
+            }
+            for (const DescheduleRecord& v : victims) {
+              if (v.instance == entry.record.instance) {
+                return;
+              }
+            }
+            if (victims.size() < kKills) {
+              victims.push_back(DescheduleRecord{entry.record.viewer, entry.record.instance,
+                                                 entry.record.slot});
+            }
+          });
+    }
+    ResumeAllocCounting();
+  }
+  ASSERT_GE(victims.size(), kKills);
+
+  auto kill = [&](const DescheduleRecord& victim) {
+    // Test-side construction and injection are not the path under test; the
+    // measured work starts when the first cub dequeues the message.
+    PauseAllocCounting();
+    auto msg = std::make_shared<DescheduleMsg>();
+    msg->record = victim;
+    // Delivery to one cub; ring forwarding propagates it to the rest.
+    system.net().Send(system.controller().address(),
+                      system.cub(CubId(victim.slot.value() % kCubs)).address(),
+                      DescheduleMsg::WireBytes(), msg);
+    ResumeAllocCounting();
+  };
+
+  // Phase 1: a kill burst, each one driving ApplyDeschedule (entry removal +
+  // hold recording), kill forwarding, in-flight record suppression and QoS
+  // cause annotation on every cub it reaches.
+  const uint64_t burst_allocs_before = AllocCount();
+  for (const DescheduleRecord& victim : victims) {
+    kill(victim);
+    system.sim().RunUntil(system.sim().Now() + Duration::Millis(300));
+  }
+  const uint64_t burst_allocs = AllocCount() - burst_allocs_before;
+  EXPECT_GT(system.TotalCubCounters().deschedules_applied, 0);
+  EXPECT_LE(burst_allocs, 4 * kKills)
+      << "deschedule cost is not O(1) per kill: " << burst_allocs << " allocations for " << kKills
+      << " kills";
+
+  // Phase 2: holds expire (maxVStateLead + descheduleHold, ~12s) and the
+  // eviction tick reclaims the kill-transient buckets; the ring must return
+  // to the exact zero of the steady-state contract — min over windows, as in
+  // the warm-ring test, since the last of the transient can straddle the
+  // first window boundary.
+  system.sim().RunUntil(system.sim().Now() + Duration::Seconds(15));
+  uint64_t min_allocs = ~0ull;
+  for (int w = 0; w < kWindows; ++w) {
+    auto [allocs, window_events] = ring.MeasureWindow();
+    EXPECT_GT(window_events, 2000u) << "ring unexpectedly idle";
+    min_allocs = std::min(min_allocs, allocs);
+  }
+  EXPECT_EQ(min_allocs, 0u)
+      << "kill burst left lasting allocation pressure: the pool never recovered";
+}
+
+}  // namespace
+}  // namespace tiger

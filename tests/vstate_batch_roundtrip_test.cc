@@ -1,0 +1,195 @@
+// Property test: viewer-state batch encode/decode round-trips exactly.
+//
+// The forwarding hot path encodes records into ViewerStateBatchMsg's pooled
+// wire vector at the sender and decodes them with a REUSED scratch vector at
+// the receiver (Cub::OnViewerStateBatch holds one per cub so steady-state
+// decodes allocate nothing). That reuse is only sound if a decode into dirty,
+// previously-populated storage is indistinguishable from a decode into fresh
+// storage — including when the pooled wire buffer itself is a recycled block
+// still holding a previous batch's bytes. A seeded sweep over batch sizes and
+// primary/mirror/lineage mixes pins that down, along with the lineage
+// header's exact placement in the reserved tail of the 100-byte image.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "src/core/messages.h"
+#include "src/schedule/viewer_state.h"
+
+namespace tiger {
+namespace {
+
+// Byte offset of the lineage header inside the 100-byte wire image: the
+// fixed schedule fields end at 68 and the paper's "other bookkeeping
+// information" tail begins there (see viewer_state.cc's Encode order).
+constexpr size_t kLineageOffset = 68;
+
+ViewerStateRecord RandomRecord(std::mt19937_64& rng) {
+  auto u32 = [&] { return static_cast<uint32_t>(rng()); };
+  auto i64 = [&] { return static_cast<int64_t>(rng() >> 1); };
+  ViewerStateRecord r;
+  r.viewer = ViewerId(u32());
+  r.client_address = u32();
+  r.instance = PlayInstanceId(rng());
+  r.file = FileId(u32());
+  r.position = i64();
+  r.slot = SlotId(u32());
+  r.sequence = i64();
+  r.bitrate_bps = i64();
+  // Mirror mix: ~half primaries, the rest spread over small fragment ids.
+  r.mirror_fragment = (rng() & 1) ? -1 : static_cast<int32_t>(rng() % 8);
+  r.due = TimePoint::FromMicros(i64());
+  // Lineage mix: untagged (older-peer image) or tagged with arbitrary chain
+  // coordinates, including the controller origin sentinel.
+  if (rng() & 1) {
+    r.lineage.origin_cub = (rng() & 3) == 0 ? kControllerLineageOrigin : u32();
+    r.lineage.epoch = u32();
+    r.lineage.hop_count = static_cast<uint16_t>(rng());
+    r.lineage.lamport = rng();
+    r.lineage.MarkTagged();
+  }
+  return r;
+}
+
+void ExpectSameRecord(const ViewerStateRecord& got, const ViewerStateRecord& want) {
+  // Wire images are canonical (fixed layout, zero padding), so byte equality
+  // of re-encodes is full field equality — lineage included.
+  EXPECT_EQ(got.Encode(), want.Encode());
+  // And the lineage fields individually, so an offset slip inside the tail
+  // names itself instead of surfacing as "some bytes differ".
+  EXPECT_EQ(got.lineage.origin_cub, want.lineage.origin_cub);
+  EXPECT_EQ(got.lineage.epoch, want.lineage.epoch);
+  EXPECT_EQ(got.lineage.hop_count, want.lineage.hop_count);
+  EXPECT_EQ(got.lineage.flags, want.lineage.flags);
+  EXPECT_EQ(got.lineage.lamport, want.lineage.lamport);
+}
+
+TEST(VstateBatchRoundtripTest, SeededSweepReusedScratchMatchesFreshDecode) {
+  std::mt19937_64 rng(0x7167e5u);
+  // One scratch vector reused across every iteration, exactly like a cub's
+  // per-instance decode scratch: it enters each decode holding the previous
+  // batch's records at the previous batch's size.
+  std::vector<ViewerStateRecord> scratch;
+  for (int iter = 0; iter < 300; ++iter) {
+    const size_t n = rng() % (ViewerStateBatchMsg::kMaxBatchRecords + 1);
+    std::vector<ViewerStateRecord> originals;
+    originals.reserve(n);
+    ViewerStateBatchMsg msg;
+    for (size_t i = 0; i < n; ++i) {
+      originals.push_back(RandomRecord(rng));
+      msg.Add(originals.back());
+    }
+    ASSERT_EQ(msg.wire_records.size(), n);
+    EXPECT_EQ(msg.WireBytes(),
+              kMessageHeaderBytes + static_cast<int64_t>(n) * kViewerStateWireBytes);
+
+    msg.DecodeInto(&scratch);
+    const std::vector<ViewerStateRecord> fresh = msg.Decode();
+
+    ASSERT_EQ(scratch.size(), n);
+    ASSERT_EQ(fresh.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      ExpectSameRecord(scratch[i], originals[i]);
+      ExpectSameRecord(fresh[i], originals[i]);
+    }
+  }
+}
+
+TEST(VstateBatchRoundtripTest, RecycledPooledBufferCannotAliasPreviousBatch) {
+  std::mt19937_64 rng(0x5eedu);
+  std::vector<ViewerStateRecord> scratch;
+  for (int iter = 0; iter < 50; ++iter) {
+    // A full-size batch stocks the pool's largest wire-vector class...
+    auto big = std::make_shared<ViewerStateBatchMsg>();
+    std::vector<ViewerStateRecord> big_records;
+    for (size_t i = 0; i < ViewerStateBatchMsg::kMaxBatchRecords; ++i) {
+      big_records.push_back(RandomRecord(rng));
+      big->Add(big_records.back());
+    }
+    big->DecodeInto(&scratch);
+    ASSERT_EQ(scratch.size(), big_records.size());
+    big.reset();  // ...and releases it, records and all, back to the pool.
+
+    // A smaller batch built next likely reuses that recycled block, whose
+    // tail still holds the big batch's bytes. Size bookkeeping, not buffer
+    // contents, must bound the decode.
+    const size_t n = 1 + rng() % 8;
+    auto small = std::make_shared<ViewerStateBatchMsg>();
+    std::vector<ViewerStateRecord> small_records;
+    for (size_t i = 0; i < n; ++i) {
+      small_records.push_back(RandomRecord(rng));
+      small->Add(small_records.back());
+    }
+    // Scratch still holds the 32 decoded records of the dead big batch.
+    small->DecodeInto(&scratch);
+    ASSERT_EQ(scratch.size(), n) << "stale records leaked through the reused scratch";
+    for (size_t i = 0; i < n; ++i) {
+      ExpectSameRecord(scratch[i], small_records[i]);
+    }
+  }
+}
+
+TEST(VstateBatchRoundtripTest, LineageRidesTheReservedTailAtFixedOffset) {
+  std::mt19937_64 rng(0xcafeu);
+  for (int iter = 0; iter < 100; ++iter) {
+    ViewerStateRecord r = RandomRecord(rng);
+    r.lineage.MarkTagged();
+    const auto wire = r.Encode();
+
+    // The lineage header must land at its documented offset: patching those
+    // bytes — and nothing else — must change exactly the decoded lineage.
+    auto patched = wire;
+    RecordLineage replacement;
+    replacement.origin_cub = 0x11223344u;
+    replacement.epoch = 0x55667788u;
+    replacement.hop_count = 0x99aa;
+    replacement.flags = RecordLineage::kTagged;
+    replacement.lamport = 0xbbccddeeff001122ull;
+    size_t offset = kLineageOffset;
+    std::memcpy(patched.data() + offset, &replacement.origin_cub, 4);
+    std::memcpy(patched.data() + offset + 4, &replacement.epoch, 4);
+    std::memcpy(patched.data() + offset + 8, &replacement.hop_count, 2);
+    std::memcpy(patched.data() + offset + 10, &replacement.flags, 2);
+    std::memcpy(patched.data() + offset + 12, &replacement.lamport, 8);
+
+    auto decoded = ViewerStateRecord::Decode(patched);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->lineage.ChainId(), replacement.ChainId());
+    EXPECT_EQ(decoded->lineage.hop_count, replacement.hop_count);
+    EXPECT_EQ(decoded->lineage.lamport, replacement.lamport);
+    // Schedule identity is untouched by a lineage restamp.
+    EXPECT_EQ(decoded->DedupKey(), r.DedupKey());
+    EXPECT_EQ(decoded->due.micros(), r.due.micros());
+
+    // An all-zero tail (an image from a pre-lineage encoder) must decode as
+    // "no lineage", never as chain 0 hop 0.
+    auto zeroed = wire;
+    std::memset(zeroed.data() + kLineageOffset, 0,
+                zeroed.size() - kLineageOffset);
+    auto untagged = ViewerStateRecord::Decode(zeroed);
+    ASSERT_TRUE(untagged.has_value());
+    EXPECT_FALSE(untagged->lineage.tagged());
+    EXPECT_EQ(untagged->DedupKey(), r.DedupKey());
+  }
+}
+
+TEST(VstateBatchRoundtripTest, CorruptHeaderIsRejectedNotMisdecoded) {
+  std::mt19937_64 rng(0xdeadu);
+  ViewerStateRecord r = RandomRecord(rng);
+  auto wire = r.Encode();
+  auto bad_magic = wire;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(ViewerStateRecord::Decode(bad_magic).has_value());
+  auto bad_version = wire;
+  bad_version[4] ^= 0xff;
+  EXPECT_FALSE(ViewerStateRecord::Decode(bad_version).has_value());
+}
+
+}  // namespace
+}  // namespace tiger
