@@ -7,6 +7,8 @@
 //   --csv              also dump rows as CSV after the table
 //   --json=PATH        write machine-readable results to PATH (benches that
 //                      support it; see EXPERIMENTS.md for each schema)
+//   --threads=N        run on the sharded parallel engine with N worker
+//                      threads (benches that support it; 1 = serial engine)
 
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
@@ -25,6 +27,7 @@ struct BenchArgs {
   bool csv = false;
   uint64_t seed = 1;
   int max_streams = -1;  // -1: bench default.
+  int threads = 1;        // > 1: sharded engine with this many workers.
   std::string json_path;  // Empty: bench-specific default (may be "no JSON").
 
   static BenchArgs Parse(int argc, char** argv) {
@@ -39,12 +42,18 @@ struct BenchArgs {
         args.seed = std::strtoull(a + 7, nullptr, 10);
       } else if (std::strncmp(a, "--max-streams=", 14) == 0) {
         args.max_streams = std::atoi(a + 14);
+      } else if (std::strncmp(a, "--threads=", 10) == 0) {
+        args.threads = std::atoi(a + 10);
+        if (args.threads < 1) {
+          std::fprintf(stderr, "--threads must be >= 1\n");
+          std::exit(1);
+        }
       } else if (std::strncmp(a, "--json=", 7) == 0) {
         args.json_path = a + 7;
       } else if (std::strcmp(a, "--help") == 0) {
         std::fprintf(stderr,
                      "usage: %s [--quick] [--csv] [--seed=N] [--max-streams=N] "
-                     "[--json=PATH]\n",
+                     "[--threads=N] [--json=PATH]\n",
                      argv[0]);
         std::exit(0);
       } else {

@@ -116,7 +116,10 @@ void ScheduleAuditor::Attach(TigerSystem* system) {
   system_ = system;
   system->SetAuditObserver(this);
   if (system->tracer() != nullptr) {
-    system->tracer()->SetSink(this);
+    // Through the system, not the tracer directly: sharded runs interpose
+    // per-shard buffers drained at barriers so the cross-check stream is
+    // thread-count-invariant.
+    system->SetTraceSink(this);
   }
 }
 
@@ -125,6 +128,13 @@ void ScheduleAuditor::Start() {
     return;
   }
   started_ = true;
+  if (system_ != nullptr && system_->engine() != nullptr) {
+    // Sharded: check at barriers, where every shard is quiesced and all
+    // journals have applied — an actor timer on one shard would race the
+    // others' views.
+    system_->engine()->AddPeriodicTask(options_.period, [this] { CheckNow(); });
+    return;
+  }
   After(options_.period, [this] { Tick(); });
 }
 

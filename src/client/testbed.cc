@@ -26,7 +26,7 @@ ViewerClient& Testbed::AddLoopingViewer() {
                                                &system_.config(), &system_.catalog(),
                                                &system_.net());
   viewer->SetAddressBook(&system_.addresses());
-  viewer->SetQosLedger(&system_.qos_ledger());
+  viewer->SetQosLedger(system_.qos_sink());
   ViewerClient& ref = *viewer;
   viewers_.push_back(std::move(viewer));
   ref.StartLooping([this] { return PickRandomFile(); });
@@ -38,7 +38,7 @@ ViewerClient& Testbed::AddViewer(FileId file) {
                                                &system_.config(), &system_.catalog(),
                                                &system_.net());
   viewer->SetAddressBook(&system_.addresses());
-  viewer->SetQosLedger(&system_.qos_ledger());
+  viewer->SetQosLedger(system_.qos_sink());
   ViewerClient& ref = *viewer;
   viewers_.push_back(std::move(viewer));
   ref.RequestPlay(file);
@@ -51,7 +51,7 @@ void Testbed::AddLoopingViewers(int count, Duration stagger, bool steady_state) 
                                                  &system_.config(), &system_.catalog(),
                                                  &system_.net());
     viewer->SetAddressBook(&system_.addresses());
-    viewer->SetQosLedger(&system_.qos_ledger());
+    viewer->SetQosLedger(system_.qos_sink());
     ViewerClient* raw = viewer.get();
     viewers_.push_back(std::move(viewer));
     Duration delay = stagger > Duration::Zero()

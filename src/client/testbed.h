@@ -39,8 +39,10 @@ class Testbed {
   void AddLoopingViewers(int count, Duration stagger, bool steady_state = false);
 
   void Start() { system_.Start(); }
-  void RunFor(Duration d) { sim().RunFor(d); }
-  void RunUntil(TimePoint t) { sim().RunUntil(t); }
+  // Route through the system so one call drives either engine (serial
+  // simulator or the sharded ShardEngine).
+  void RunFor(Duration d) { system_.RunFor(d); }
+  void RunUntil(TimePoint t) { system_.RunUntil(t); }
 
   // --- aggregate client statistics ---
   ViewerClient::Stats TotalClientStats() const;

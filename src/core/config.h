@@ -146,6 +146,15 @@ struct TigerConfig {
   // is ~8 s, as in §5's reconfiguration measurement.
   Duration deadman_timeout = Duration::Seconds(7);
 
+  // --- sharded engine (DESIGN.md §6h) ---
+  // Ring-segment shards the simulation partitions into; 1 = the classic
+  // serial engine (byte-identical to historical runs). The logical schedule
+  // depends on sim_shards, never on sim_threads.
+  int sim_shards = 1;
+  // Worker threads driving the shards (capped at sim_shards). Any thread
+  // count yields byte-identical output for a fixed sim_shards.
+  int sim_threads = 1;
+
   CpuCostModel cpu;
   NetworkConfig net;
   TcpRetryConfig tcp_retry;

@@ -51,6 +51,8 @@ class InvariantChecker : public Actor {
   // Runs all checks once at the current simulation time.
   void CheckNow();
 
+  Duration period() const { return period_; }
+
   const std::vector<Violation>& violations() const { return violations_; }
   int64_t checks_run() const { return checks_run_; }
   // Records first seen with less than minVStateLead of slack (informational:

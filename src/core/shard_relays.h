@@ -1,0 +1,212 @@
+// Shard-context relays for shared observers (DESIGN.md §6h).
+//
+// In sharded runs, cubs, disks and clients execute on per-shard event loops,
+// but the observability objects they report into — the QoS ledger, fault
+// stats, the schedule oracle, the audit observer, the trace sink — are
+// process-global. Mutating them from shard context would race and, worse,
+// would interleave nondeterministically across thread counts. Each relay
+// below interposes on the write interface and defers the mutation to the
+// engine's barrier journal, where entries apply in (emission time, shard,
+// per-shard sequence) order — a total order fixed by the shard count alone.
+// In driver context (construction, bootstrap, barrier tasks) the journal
+// applies immediately, so the relays are safe to call from anywhere.
+//
+// Relayed closures capture their record payloads by value; captures past
+// InlineFunction's inline buffer heap-box. That cost exists only on audited/
+// instrumented runs — the zero-alloc event-loop budget covers the protocol
+// hot path, which never goes through a relay.
+//
+// The read side of each object is NOT relayed: reads go to the real instance
+// (TigerSystem hands tests the real objects; only actors hold relays), and
+// are only meaningful in driver context, after a barrier has applied every
+// pending journal entry.
+
+#ifndef SRC_CORE_SHARD_RELAYS_H_
+#define SRC_CORE_SHARD_RELAYS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/core/audit_hooks.h"
+#include "src/core/oracle.h"
+#include "src/sim/shard_engine.h"
+#include "src/stats/fault_stats.h"
+#include "src/stats/qos.h"
+#include "src/trace/trace.h"
+
+namespace tiger {
+
+// Journal ordering key for a relayed mutation: the emitting shard's clock in
+// shard context; the barrier clock in driver context (where the journal
+// applies immediately and the key is moot).
+inline TimePoint ShardRelayNow(ShardEngine* engine) {
+  const int s = ShardEngine::CurrentShard();
+  return s >= 0 ? engine->shard(s).Now() : engine->Now();
+}
+
+class QosLedgerRelay : public QosLedger {
+ public:
+  QosLedgerRelay(ShardEngine* engine, QosLedger* real) : engine_(engine), real_(real) {}
+
+  void AnnotateServerCause(TimePoint when, ViewerId viewer, int64_t position,
+                           GlitchCause cause, uint32_t cub) override {
+    QosLedger* real = real_;
+    engine_->JournalAppend(ShardRelayNow(engine_), [real, when, viewer, position, cause,
+                                                    cub] {
+      real->AnnotateServerCause(when, viewer, position, cause, cub);
+    });
+  }
+  void RecordClientBlock(ViewerId viewer) override {
+    QosLedger* real = real_;
+    engine_->JournalAppend(ShardRelayNow(engine_),
+                           [real, viewer] { real->RecordClientBlock(viewer); });
+  }
+  void RecordClientLate(TimePoint when, ViewerId viewer, int64_t position) override {
+    QosLedger* real = real_;
+    engine_->JournalAppend(ShardRelayNow(engine_), [real, when, viewer, position] {
+      real->RecordClientLate(when, viewer, position);
+    });
+  }
+  void RecordClientLost(TimePoint when, ViewerId viewer, int64_t position) override {
+    QosLedger* real = real_;
+    engine_->JournalAppend(ShardRelayNow(engine_), [real, when, viewer, position] {
+      real->RecordClientLost(when, viewer, position);
+    });
+  }
+
+ private:
+  ShardEngine* engine_;
+  QosLedger* real_;
+};
+
+class FaultStatsRelay : public FaultStats {
+ public:
+  FaultStatsRelay(ShardEngine* engine, FaultStats* real) : engine_(engine), real_(real) {}
+
+  void RecordMessageFault(Kind kind, TimePoint when, uint32_t src, uint32_t dst) override {
+    FaultStats* real = real_;
+    engine_->JournalAppend(ShardRelayNow(engine_), [real, kind, when, src, dst] {
+      real->RecordMessageFault(kind, when, src, dst);
+    });
+  }
+  void RecordDiskFault(Kind kind, TimePoint when, DiskId disk) override {
+    FaultStats* real = real_;
+    engine_->JournalAppend(ShardRelayNow(engine_),
+                           [real, kind, when, disk] { real->RecordDiskFault(kind, when, disk); });
+  }
+  void RecordCubRejoin(TimePoint when, CubId cub) override {
+    FaultStats* real = real_;
+    engine_->JournalAppend(ShardRelayNow(engine_),
+                           [real, when, cub] { real->RecordCubRejoin(when, cub); });
+  }
+  void RecordMirrorRecovery(TimePoint when, CubId cub, int64_t block) override {
+    FaultStats* real = real_;
+    engine_->JournalAppend(ShardRelayNow(engine_), [real, when, cub, block] {
+      real->RecordMirrorRecovery(when, cub, block);
+    });
+  }
+
+ private:
+  ShardEngine* engine_;
+  FaultStats* real_;
+};
+
+class OracleRelay : public ScheduleOracle {
+ public:
+  OracleRelay(const ScheduleGeometry* geometry, ShardEngine* engine, ScheduleOracle* real)
+      : ScheduleOracle(geometry), engine_(engine), real_(real) {}
+
+  void OnInsert(SlotId slot, ViewerId viewer, PlayInstanceId instance, TimePoint when) override {
+    ScheduleOracle* real = real_;
+    engine_->JournalAppend(ShardRelayNow(engine_), [real, slot, viewer, instance, when] {
+      real->OnInsert(slot, viewer, instance, when);
+    });
+  }
+  void OnRemove(SlotId slot, PlayInstanceId instance, TimePoint when) override {
+    ScheduleOracle* real = real_;
+    engine_->JournalAppend(ShardRelayNow(engine_), [real, slot, instance, when] {
+      real->OnRemove(slot, instance, when);
+    });
+  }
+  void OnPrimarySend(SlotId slot, PlayInstanceId instance, DiskId disk, TimePoint due,
+                     TimePoint now) override {
+    ScheduleOracle* real = real_;
+    engine_->JournalAppend(ShardRelayNow(engine_), [real, slot, instance, disk, due, now] {
+      real->OnPrimarySend(slot, instance, disk, due, now);
+    });
+  }
+
+ private:
+  ShardEngine* engine_;
+  ScheduleOracle* real_;
+};
+
+class AuditObserverRelay : public AuditObserver {
+ public:
+  AuditObserverRelay(ShardEngine* engine, AuditObserver* real)
+      : engine_(engine), real_(real) {}
+
+  void OnRecordCreated(TimePoint when, uint32_t cub, CreateKind kind,
+                       const ViewerStateRecord& record,
+                       const RecordLineage& request) override {
+    AuditObserver* real = real_;
+    engine_->JournalAppend(ShardRelayNow(engine_),
+                           [real, when, cub, kind, record, request] {
+                             real->OnRecordCreated(when, cub, kind, record, request);
+                           });
+  }
+  void OnRecordForwarded(TimePoint when, uint32_t from, uint32_t to,
+                         const ViewerStateRecord& record) override {
+    AuditObserver* real = real_;
+    engine_->JournalAppend(ShardRelayNow(engine_), [real, when, from, to, record] {
+      real->OnRecordForwarded(when, from, to, record);
+    });
+  }
+  void OnRecordReceived(TimePoint when, uint32_t at, const ViewerStateRecord& record,
+                        ScheduleView::ApplyResult result) override {
+    AuditObserver* real = real_;
+    engine_->JournalAppend(ShardRelayNow(engine_), [real, when, at, record, result] {
+      real->OnRecordReceived(when, at, record, result);
+    });
+  }
+  void OnRecordTtlDropped(TimePoint when, uint32_t at,
+                          const ViewerStateRecord& record) override {
+    AuditObserver* real = real_;
+    engine_->JournalAppend(ShardRelayNow(engine_), [real, when, at, record] {
+      real->OnRecordTtlDropped(when, at, record);
+    });
+  }
+  void OnKill(TimePoint when, uint32_t at, const DescheduleRecord& kill,
+              const RecordLineage& lineage, int removed, bool new_hold) override {
+    AuditObserver* real = real_;
+    engine_->JournalAppend(ShardRelayNow(engine_),
+                           [real, when, at, kill, lineage, removed, new_hold] {
+                             real->OnKill(when, at, kill, lineage, removed, new_hold);
+                           });
+  }
+  std::string ChromeFlowEvents() const override { return real_->ChromeFlowEvents(); }
+
+ private:
+  ShardEngine* engine_;
+  AuditObserver* real_;
+};
+
+// Per-shard trace sink: buffers every event the shard's tracer records during
+// a window. TigerSystem drains all shards' buffers at each barrier — merged
+// by (when, shard, buffer order) — into the real sink (the auditor), so the
+// sink sees one deterministic, thread-count-invariant stream. Journals apply
+// before barrier hooks, so audit-hook evidence always lands before the trace
+// events of the same window, regardless of thread count.
+class ShardTraceBuffer : public TraceSink {
+ public:
+  void OnTraceEvent(const TraceEvent& event) override { events_.push_back(event); }
+  std::vector<TraceEvent>& events() { return events_; }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace tiger
+
+#endif  // SRC_CORE_SHARD_RELAYS_H_

@@ -1,5 +1,7 @@
 #include "src/core/system.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <utility>
 
 namespace tiger {
@@ -7,7 +9,25 @@ namespace tiger {
 TigerSystem::TigerSystem(TigerConfig config, uint64_t seed)
     : config_(config), rng_(seed) {
   TIGER_CHECK(config_.shape.Valid()) << "invalid system shape";
-  net_ = std::make_unique<Network>(&sim_, config_.net, rng_.Fork());
+  TIGER_CHECK(config_.sim_shards >= 1);
+  TIGER_CHECK(config_.sim_threads >= 1);
+  const int num_cubs = config_.shape.num_cubs;
+  if (config_.sim_shards > 1) {
+    ShardEngine::Options opt;
+    opt.shards = config_.sim_shards;
+    opt.threads = config_.sim_threads;
+    opt.lookahead = config_.net.base_latency;
+    engine_ = std::make_unique<ShardEngine>(opt);
+    qos_relay_ = std::make_unique<QosLedgerRelay>(engine_.get(), &qos_ledger_);
+    fault_relay_ = std::make_unique<FaultStatsRelay>(engine_.get(), &fault_stats_);
+    // Contiguous ring segments: cub c lives on shard c*S/N, so neighbor
+    // forwarding mostly stays shard-local and segment sizes differ by ≤ 1.
+    cub_shards_.resize(static_cast<size_t>(num_cubs));
+    for (int c = 0; c < num_cubs; ++c) {
+      cub_shards_[static_cast<size_t>(c)] = c * engine_->shards() / num_cubs;
+    }
+  }
+  net_ = std::make_unique<Network>(&sim(), config_.net, rng_.Fork());
   catalog_ = std::make_unique<Catalog>(config_.block_play_time, config_.block_bytes,
                                        /*single_bitrate=*/true);
   layout_ = std::make_unique<StripeLayout>(config_.shape);
@@ -16,35 +36,52 @@ TigerSystem::TigerSystem(TigerConfig config, uint64_t seed)
   const int total_disks = config_.shape.TotalDisks();
   disks_.resize(static_cast<size_t>(total_disks));
 
-  for (int c = 0; c < config_.shape.num_cubs; ++c) {
+  for (int c = 0; c < num_cubs; ++c) {
     CubId id(static_cast<uint32_t>(c));
-    cubs_.push_back(std::make_unique<Cub>(&sim_, id, &config_, catalog_.get(), layout_.get(),
-                                          geometry_.get(), net_.get(), rng_.Fork()));
+    cubs_.push_back(std::make_unique<Cub>(SimForCub(static_cast<size_t>(c)), id, &config_,
+                                          catalog_.get(), layout_.get(), geometry_.get(),
+                                          net_.get(), rng_.Fork()));
     addresses_.cubs.push_back(cubs_.back()->address());
   }
+  // Controller (and everything else attached later: backup, clients, the
+  // bootstrap sink) lives on shard 0 in sharded runs.
   controller_ =
-      std::make_unique<Controller>(&sim_, &config_, catalog_.get(), layout_.get(), net_.get());
+      std::make_unique<Controller>(&sim(), &config_, catalog_.get(), layout_.get(), net_.get());
   addresses_.controller = controller_->address();
 
-  for (int c = 0; c < config_.shape.num_cubs; ++c) {
+  for (int c = 0; c < num_cubs; ++c) {
     std::vector<SimulatedDisk*> cub_disks;
     for (int local = 0; local < config_.shape.disks_per_cub; ++local) {
       DiskId global = config_.shape.GlobalDiskIndex(CubId(static_cast<uint32_t>(c)), local);
       auto disk = std::make_unique<SimulatedDisk>(
-          &sim_, "disk" + std::to_string(global.value()), global, config_.disk_model,
-          rng_.Fork());
+          SimForCub(static_cast<size_t>(c)), "disk" + std::to_string(global.value()), global,
+          config_.disk_model, rng_.Fork());
       disk->set_discipline(config_.disk_discipline);
-      disk->set_fault_stats(&fault_stats_);
+      disk->set_fault_stats(fault_sink());
       cub_disks.push_back(disk.get());
       disks_[global.value()] = std::move(disk);
     }
     cubs_[static_cast<size_t>(c)]->AttachDisks(std::move(cub_disks));
     cubs_[static_cast<size_t>(c)]->SetAddressBook(&addresses_);
-    cubs_[static_cast<size_t>(c)]->SetFaultStats(&fault_stats_);
-    cubs_[static_cast<size_t>(c)]->SetQosLedger(&qos_ledger_);
+    cubs_[static_cast<size_t>(c)]->SetFaultStats(fault_sink());
+    cubs_[static_cast<size_t>(c)]->SetQosLedger(qos_sink());
   }
   controller_->SetAddressBook(&addresses_);
-  failed_cubs_.assign(static_cast<size_t>(config_.shape.num_cubs), false);
+  if (engine_) {
+    // Node address order is attach order: cubs first, then the controller.
+    std::vector<int> node_shards;
+    node_shards.reserve(cub_shards_.size() + 1);
+    for (int shard : cub_shards_) {
+      node_shards.push_back(shard);
+    }
+    node_shards.push_back(0);  // controller
+    net_->SetShardTopology(engine_.get(), std::move(node_shards));
+  }
+  failed_cubs_.assign(static_cast<size_t>(num_cubs), 0);
+}
+
+Simulator* TigerSystem::SimForCub(size_t c) {
+  return engine_ ? &engine_->shard(cub_shards_[c]) : &sim_;
 }
 
 Result<FileId> TigerSystem::AddFile(std::string name, int64_t bitrate_bps, Duration duration) {
@@ -56,23 +93,41 @@ Result<FileId> TigerSystem::AddFile(std::string name, int64_t bitrate_bps, Durat
 void TigerSystem::EnableOracle() {
   if (!oracle_) {
     oracle_ = std::make_unique<ScheduleOracle>(geometry_.get());
+    ScheduleOracle* sink = oracle_.get();
+    if (engine_) {
+      oracle_relay_ = std::make_unique<OracleRelay>(geometry_.get(), engine_.get(), oracle_.get());
+      sink = oracle_relay_.get();
+    }
     for (auto& cub : cubs_) {
-      cub->SetOracle(oracle_.get());
+      cub->SetOracle(sink);
     }
   }
 }
 
 void TigerSystem::EnableInvariantChecker() {
   if (!invariant_checker_) {
-    invariant_checker_ = std::make_unique<InvariantChecker>(&sim_, this);
-    invariant_checker_->Start();
+    invariant_checker_ = std::make_unique<InvariantChecker>(&sim(), this);
+    if (engine_) {
+      // The checker reads every living cub's view — only safe with all
+      // shards quiesced, so it runs as a barrier-aligned periodic task
+      // instead of an actor timer on one shard.
+      InvariantChecker* checker = invariant_checker_.get();
+      engine_->AddPeriodicTask(checker->period(), [checker] { checker->CheckNow(); });
+    } else {
+      invariant_checker_->Start();
+    }
   }
 }
 
 void TigerSystem::EnableNetFaultPlan() {
   if (!net_fault_plan_) {
-    net_fault_plan_ = std::make_unique<NetFaultPlan>(rng_.Fork(), &fault_stats_);
+    net_fault_plan_ = std::make_unique<NetFaultPlan>(rng_.Fork(), fault_sink());
     net_->SetFaultPlan(net_fault_plan_.get());
+    if (engine_) {
+      net_fault_plan_->SetShardTopology(engine_->shards());
+      NetFaultPlan* plan = net_fault_plan_.get();
+      engine_->AddBarrierHook([plan] { plan->ArmPendingAnchors(); });
+    }
   }
 }
 
@@ -86,11 +141,50 @@ void TigerSystem::EnableBackupController() {
 }
 
 void TigerSystem::EnableTracing(size_t ring_capacity) {
-  if (tracer_) {
+  if (tracer_ || !shard_tracers_.empty()) {
+    return;
+  }
+  metrics_ = std::make_unique<MetricsRegistry>();
+  if (engine_) {
+    // Sharded: one tracer + registry per shard so actors record without
+    // cross-shard contention. Every shard tracer registers the *same* track
+    // list in the same order, so track ids are identical everywhere and the
+    // merged export renders exactly like the serial layout. Flow ids are
+    // disambiguated by a per-shard base in the top 16 bits (shard 0 of a
+    // serial run keeps base 0, preserving historical ids).
+    const int shards = engine_->shards();
+    for (int s = 0; s < shards; ++s) {
+      Tracer::Options opt{ring_capacity, true};
+      opt.flow_id_base = static_cast<uint64_t>(s + 1) << 48;
+      shard_tracers_.push_back(std::make_unique<Tracer>(&engine_->shard(s), opt));
+      shard_metrics_.push_back(std::make_unique<MetricsRegistry>());
+    }
+    auto register_all = [&](const std::string& name) {
+      TraceTrackId track{};
+      for (auto& tracer : shard_tracers_) {
+        track = tracer->RegisterTrack(name);
+      }
+      return track;
+    };
+    const TraceTrackId net_track = register_all("net");
+    for (int s = 0; s < shards; ++s) {
+      net_->SetShardTrace(s, shard_tracers_[static_cast<size_t>(s)].get(), net_track,
+                          shard_metrics_[static_cast<size_t>(s)].get());
+    }
+    for (auto& cub : cubs_) {
+      const TraceTrackId track = register_all("cub" + std::to_string(cub->id().value()));
+      const size_t shard = static_cast<size_t>(cub_shards_[cub->id().value()]);
+      cub->SetTrace(shard_tracers_[shard].get(), track, shard_metrics_[shard].get());
+    }
+    for (auto& disk : disks_) {
+      const TraceTrackId track = register_all("disk" + std::to_string(disk->id().value()));
+      const CubId owner = config_.shape.CubOfDisk(disk->id());
+      const size_t shard = static_cast<size_t>(cub_shards_[owner.value()]);
+      disk->SetTrace(shard_tracers_[shard].get(), track);
+    }
     return;
   }
   tracer_ = std::make_unique<Tracer>(&sim_, Tracer::Options{ring_capacity, true});
-  metrics_ = std::make_unique<MetricsRegistry>();
   // Track registration order fixes track ids (and thus the rendered track
   // layout): network first, then cubs, then disks.
   const TraceTrackId net_track = tracer_->RegisterTrack("net");
@@ -110,14 +204,15 @@ void TigerSystem::EnableTimeSeries(Duration cadence, size_t ring_capacity) {
     return;
   }
   EnableTracing();  // The sampler reads the registry; make sure one exists.
+  timeseries_interval_ = cadence;
   TimeSeriesSampler::Options options;
   options.interval = cadence;
   options.ring_capacity = ring_capacity;
-  timeseries_ = std::make_unique<TimeSeriesSampler>(&sim_, metrics_.get(), options);
+  timeseries_ = std::make_unique<TimeSeriesSampler>(&sim(), metrics_.get(), options);
   // Refresh derived gauges/counters over the window since the last tick so
   // meter-based rates (cpu, disk busy) describe the interval, not the run.
   timeseries_->SetRefreshCallback([this] {
-    const TimePoint now = sim_.Now();
+    const TimePoint now = sim().Now();
     if (now > last_sample_window_start_) {
       SnapshotMetrics(last_sample_window_start_, now);
       last_sample_window_start_ = now;
@@ -127,14 +222,62 @@ void TigerSystem::EnableTimeSeries(Duration cadence, size_t ring_capacity) {
 
 void TigerSystem::SetAuditObserver(AuditObserver* auditor) {
   audit_observer_ = auditor;
+  AuditObserver* sink = auditor;
+  if (engine_ && auditor != nullptr) {
+    audit_relay_ = std::make_unique<AuditObserverRelay>(engine_.get(), auditor);
+    sink = audit_relay_.get();
+  } else {
+    audit_relay_.reset();
+  }
   for (auto& cub : cubs_) {
-    cub->SetAuditObserver(auditor);
+    cub->SetAuditObserver(sink);
+  }
+}
+
+void TigerSystem::FoldShardMetrics() {
+  // Accumulates every actor-written metric from the per-shard registries into
+  // the global one. Shard iteration order is fixed, registry maps are
+  // name-ordered, and histogram merges are deterministic for a fixed merge
+  // order — so the fold is thread-count-invariant. Fold targets are rebuilt
+  // from scratch each snapshot (counters/gauges zeroed, histograms Reset) so
+  // repeated snapshots don't double-count.
+  MetricsRegistry& m = *metrics_;
+  for (const auto& shard : shard_metrics_) {
+    for (const auto& [name, value] : shard->counters()) {
+      m.Counter(name) = 0;
+    }
+    for (const auto& [name, value] : shard->gauges()) {
+      m.Gauge(name) = 0;
+    }
+    for (const auto& [name, hist] : shard->hists()) {
+      m.Hist(name).Reset();
+    }
+    for (const auto& [name, hist] : shard->bounded_hists()) {
+      m.BoundedHist(name).Reset();
+    }
+  }
+  for (const auto& shard : shard_metrics_) {
+    for (const auto& [name, value] : shard->counters()) {
+      m.Counter(name) += value;
+    }
+    for (const auto& [name, value] : shard->gauges()) {
+      m.Gauge(name) += value;
+    }
+    for (const auto& [name, hist] : shard->hists()) {
+      m.Hist(name).MergeFrom(hist);
+    }
+    for (const auto& [name, hist] : shard->bounded_hists()) {
+      m.BoundedHist(name).MergeFrom(hist);
+    }
   }
 }
 
 void TigerSystem::SnapshotMetrics(TimePoint a, TimePoint b) {
   if (!metrics_) {
     return;
+  }
+  if (engine_) {
+    FoldShardMetrics();
   }
   MetricsRegistry& m = *metrics_;
   int64_t entries_total = 0;
@@ -187,13 +330,13 @@ void TigerSystem::SnapshotMetrics(TimePoint a, TimePoint b) {
   // Ring wrap-around loses evidence from every offline consumer (TextDump,
   // ChromeJson, the golden diffs); surface the loss so nobody trusts a
   // truncated trace silently.
-  if (tracer_) {
-    m.Counter("trace.dropped_events") = static_cast<int64_t>(tracer_->dropped());
+  if (tracer_ || !shard_tracers_.empty()) {
+    m.Counter("trace.dropped_events") = static_cast<int64_t>(TraceDropped());
   }
 }
 
 bool TigerSystem::WriteChromeTrace(const std::string& path) const {
-  if (tracer_ == nullptr) {
+  if (tracer_ == nullptr && shard_tracers_.empty()) {
     return false;
   }
   // Counter tracks from the sampler and the auditor's lineage flow arrows
@@ -203,7 +346,18 @@ bool TigerSystem::WriteChromeTrace(const std::string& path) const {
   if (audit_observer_ != nullptr) {
     extra += audit_observer_->ChromeFlowEvents();
   }
-  return tracer_->WriteChromeJson(path, extra);
+  if (tracer_ != nullptr) {
+    return tracer_->WriteChromeJson(path, extra);
+  }
+  const std::string json =
+      Tracer::ChromeJsonOf(MergedTraceEvents(), shard_tracers_[0]->TrackNames(), extra);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
 }
 
 void TigerSystem::Start() {
@@ -211,8 +365,116 @@ void TigerSystem::Start() {
     cub->Start();
   }
   if (timeseries_) {
-    timeseries_->Start();
+    if (engine_) {
+      // Sampling must observe all shards quiesced; run it as a barrier task
+      // (the interval is a ms multiple, so dues land exactly on barriers).
+      TimeSeriesSampler* sampler = timeseries_.get();
+      engine_->AddPeriodicTask(timeseries_interval_, [sampler] { sampler->SampleNow(); });
+    } else {
+      timeseries_->Start();
+    }
   }
+}
+
+void TigerSystem::RunUntil(TimePoint t) {
+  if (engine_) {
+    engine_->RunUntil(t);
+  } else {
+    sim_.RunUntil(t);
+  }
+}
+
+void TigerSystem::RunFor(Duration d) {
+  if (engine_) {
+    engine_->RunFor(d);
+  } else {
+    sim_.RunFor(d);
+  }
+}
+
+uint64_t TigerSystem::processed_events() const {
+  return engine_ ? engine_->processed_events() : sim_.processed_events();
+}
+
+void TigerSystem::SetTraceSink(TraceSink* sink) {
+  if (!engine_) {
+    TIGER_CHECK(tracer_ != nullptr) << "SetTraceSink before EnableTracing";
+    tracer_->SetSink(sink);
+    return;
+  }
+  TIGER_CHECK(!shard_tracers_.empty()) << "SetTraceSink before EnableTracing";
+  trace_sink_ = sink;
+  if (sink != nullptr && trace_buffers_.empty()) {
+    // Lazily interpose the per-shard buffers (and their barrier drain) only
+    // when a live sink exists, so un-audited runs never buffer.
+    for (size_t s = 0; s < shard_tracers_.size(); ++s) {
+      trace_buffers_.push_back(std::make_unique<ShardTraceBuffer>());
+    }
+    engine_->AddBarrierHook([this] { DrainTraceBuffers(); });
+  }
+  for (size_t s = 0; s < shard_tracers_.size(); ++s) {
+    shard_tracers_[s]->SetSink(sink != nullptr ? trace_buffers_[s].get() : nullptr);
+  }
+}
+
+void TigerSystem::DrainTraceBuffers() {
+  if (trace_sink_ == nullptr) {
+    return;
+  }
+  // Merge by (when, shard, record order): concatenation in shard order is
+  // already grouped by shard, so a stable sort on time alone realizes the
+  // full key. One pass per window; buffers stay small (one window of events).
+  trace_drain_scratch_.clear();
+  for (auto& buffer : trace_buffers_) {
+    trace_drain_scratch_.insert(trace_drain_scratch_.end(), buffer->events().begin(),
+                                buffer->events().end());
+    buffer->events().clear();
+  }
+  std::stable_sort(trace_drain_scratch_.begin(), trace_drain_scratch_.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.when < b.when; });
+  for (const TraceEvent& event : trace_drain_scratch_) {
+    trace_sink_->OnTraceEvent(event);
+  }
+}
+
+std::vector<TraceEvent> TigerSystem::MergedTraceEvents() const {
+  std::vector<TraceEvent> merged;
+  if (engine_) {
+    for (const auto& tracer : shard_tracers_) {
+      const std::vector<TraceEvent> events = tracer->MergedEvents();
+      merged.insert(merged.end(), events.begin(), events.end());
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) { return a.when < b.when; });
+    for (size_t i = 0; i < merged.size(); ++i) {
+      merged[i].seq = i + 1;
+    }
+  } else if (tracer_) {
+    merged = tracer_->MergedEvents();
+  }
+  return merged;
+}
+
+uint64_t TigerSystem::TraceDropped() const {
+  if (engine_) {
+    uint64_t dropped = 0;
+    for (const auto& tracer : shard_tracers_) {
+      dropped += tracer->dropped();
+    }
+    return dropped;
+  }
+  return tracer_ ? tracer_->dropped() : 0;
+}
+
+std::string TigerSystem::TraceTextDump() const {
+  if (engine_) {
+    if (shard_tracers_.empty()) {
+      return std::string();
+    }
+    return Tracer::TextDumpOf(MergedTraceEvents(), shard_tracers_[0]->TrackNames(),
+                              TraceDropped());
+  }
+  return tracer_ ? tracer_->TextDump() : std::string();
 }
 
 void TigerSystem::FailControllerNow() {
@@ -221,7 +483,7 @@ void TigerSystem::FailControllerNow() {
 }
 
 void TigerSystem::FailControllerAt(TimePoint when) {
-  sim_.ScheduleAt(when, [this] { FailControllerNow(); });
+  sim().ScheduleAt(when, [this] { FailControllerNow(); });
 }
 
 SimulatedDisk& TigerSystem::disk(DiskId id) {
@@ -240,13 +502,15 @@ void TigerSystem::FailCubNow(CubId cub_id) {
 }
 
 void TigerSystem::FailCubAt(TimePoint when, CubId cub_id) {
-  sim_.ScheduleAt(when, [this, cub_id] { FailCubNow(cub_id); });
+  // Scheduled on the cub's own shard so Fail/Halt touch only shard-local
+  // state (and the node-down flag is flipped in its owner's context).
+  SimForCub(cub_id.value())->ScheduleAt(when, [this, cub_id] { FailCubNow(cub_id); });
 }
 
 void TigerSystem::ReviveCubNow(CubId cub_id) {
   TIGER_CHECK(cub_id.value() < cubs_.size());
   TIGER_CHECK(failed_cubs_[cub_id.value()]) << "revive of a cub that is not failed";
-  failed_cubs_[cub_id.value()] = false;
+  failed_cubs_[cub_id.value()] = 0;
   for (int local = 0; local < config_.shape.disks_per_cub; ++local) {
     DiskId global = config_.shape.GlobalDiskIndex(cub_id, local);
     disks_[global.value()]->Restart();
@@ -255,12 +519,12 @@ void TigerSystem::ReviveCubNow(CubId cub_id) {
   // Restart() bumps the actor epoch: timers scheduled before the crash can
   // never fire into the rebooted state.
   cubs_[cub_id.value()]->Restart();
-  fault_stats_.RecordCubRejoin(sim_.Now(), cub_id);
+  fault_sink()->RecordCubRejoin(SimForCub(cub_id.value())->Now(), cub_id);
   cubs_[cub_id.value()]->Rejoin();
 }
 
 void TigerSystem::ReviveCubAt(TimePoint when, CubId cub_id) {
-  sim_.ScheduleAt(when, [this, cub_id] { ReviveCubNow(cub_id); });
+  SimForCub(cub_id.value())->ScheduleAt(when, [this, cub_id] { ReviveCubNow(cub_id); });
 }
 
 void TigerSystem::InjectDiskErrorBurst(DiskId disk_id, TimePoint start, TimePoint end,
@@ -274,7 +538,8 @@ void TigerSystem::InjectDiskLimp(DiskId disk_id, TimePoint start, TimePoint end,
 }
 
 void TigerSystem::FailDiskAt(TimePoint when, DiskId disk_id) {
-  sim_.ScheduleAt(when, [this, disk_id] {
+  CubId owner = config_.shape.CubOfDisk(disk_id);
+  SimForCub(owner.value())->ScheduleAt(when, [this, disk_id] {
     CubId owner = config_.shape.CubOfDisk(disk_id);
     cubs_[owner.value()]->FailLocalDisk(config_.shape.LocalDiskIndex(disk_id));
   });
@@ -288,7 +553,7 @@ int TigerSystem::BootstrapStreams(int count, NetAddress sink, FileId file,
   TIGER_CHECK(count <= slots) << "more streams than schedule slots";
   // Give the pipeline room: the first due time is comfortably in the future
   // so reads and forwarding settle before blocks are due.
-  const TimePoint t_ref = sim_.Now() + Duration::Seconds(2);
+  const TimePoint t_ref = sim().Now() + Duration::Seconds(2);
   const int total_disks = config_.shape.TotalDisks();
 
   int made = 0;
@@ -326,7 +591,9 @@ int TigerSystem::BootstrapStreams(int count, NetAddress sink, FileId file,
     CubId backup = config_.shape.NextCub(owner);
     cubs_[backup.value()]->BootstrapRecord(record);
     if (oracle_) {
-      oracle_->OnInsert(slot, record.viewer, record.instance, sim_.Now());
+      // Driver context: write the real oracle directly (a relay would just
+      // apply immediately anyway).
+      oracle_->OnInsert(slot, record.viewer, record.instance, sim().Now());
     }
     ++made;
   }

@@ -29,6 +29,8 @@
 #include "src/layout/striping.h"
 #include "src/net/network.h"
 #include "src/schedule/geometry.h"
+#include "src/core/shard_relays.h"
+#include "src/sim/shard_engine.h"
 #include "src/sim/simulator.h"
 #include "src/trace/metrics.h"
 #include "src/trace/timeseries.h"
@@ -113,8 +115,23 @@ class TigerSystem {
   // must be long enough never to hit EOF during the run.
   int BootstrapStreams(int count, NetAddress sink, FileId file, int64_t bitrate_bps);
 
+  // --- running (serial or sharded; DESIGN.md §6h) ---
+  // With config.sim_shards == 1 these forward to the classic serial
+  // Simulator; with more shards they drive the conservative parallel engine.
+  // Callers (testbed, benches, tests) should prefer these over sim().RunX so
+  // one code path covers both engines.
+  void RunUntil(TimePoint t);
+  void RunFor(Duration d);
+  uint64_t processed_events() const;
+
+  // Sharded-engine handle; nullptr in serial runs.
+  ShardEngine* engine() { return engine_.get(); }
+  bool sharded() const { return engine_ != nullptr; }
+
   // --- accessors ---
-  Simulator& sim() { return sim_; }
+  // Serial runs: the one simulator. Sharded runs: shard 0's simulator (the
+  // driver-context clock — Now() is only meaningful between RunX calls).
+  Simulator& sim() { return engine_ ? engine_->shard(0) : sim_; }
   Network& net() { return *net_; }
   const TigerConfig& config() const { return config_; }
   const Catalog& catalog() const { return *catalog_; }
@@ -134,10 +151,31 @@ class TigerSystem {
   // viewer clients report observed glitches. Cheap enough to never gate.
   QosLedger& qos_ledger() { return qos_ledger_; }
   const QosLedger& qos_ledger() const { return qos_ledger_; }
+  // Writer-side handles for actors: the journaling relay in sharded runs, the
+  // real object in serial runs. Reads always go through the real accessors
+  // above (only meaningful in driver context, after a barrier).
+  QosLedger* qos_sink() { return qos_relay_ ? qos_relay_.get() : &qos_ledger_; }
+  FaultStats* fault_sink() { return fault_relay_ ? fault_relay_.get() : &fault_stats_; }
   Rng& rng() { return rng_; }
-  Tracer* tracer() { return tracer_.get(); }
+  // Serial runs: the one tracer. Sharded runs: shard 0's tracer (for track
+  // names and options; use MergedTraceEvents/TraceTextDump for event data).
+  Tracer* tracer() { return engine_ ? shard_tracers_[0].get() : tracer_.get(); }
   MetricsRegistry* metrics() { return metrics_.get(); }
   TimeSeriesSampler* timeseries() { return timeseries_.get(); }
+
+  // Installs `sink` as the live trace-event consumer (the auditor's
+  // cross-check input). Serial runs set it directly on the tracer; sharded
+  // runs interpose per-shard buffers drained at every barrier in (when,
+  // shard, record order) so the sink sees one thread-count-invariant stream.
+  void SetTraceSink(TraceSink* sink);
+
+  // All shards' trace events merged by (when, shard, per-shard order) and
+  // renumbered; in serial runs simply the tracer's merged ring contents.
+  std::vector<TraceEvent> MergedTraceEvents() const;
+  // The canonical text rendering of the merged trace (golden-diff surface);
+  // byte-identical across thread counts for a fixed shard count.
+  std::string TraceTextDump() const;
+  uint64_t TraceDropped() const;
 
   // Folds the current schedule/utilization state over [a, b) into the
   // metrics registry (no-op unless EnableTracing was called).
@@ -163,9 +201,34 @@ class TigerSystem {
   bool IsCubFailed(CubId cub) const { return failed_cubs_[cub.value()]; }
 
  private:
+  // Owner simulator for cub `c` (serial: the one sim; sharded: its shard's).
+  Simulator* SimForCub(size_t c);
+  // Folds per-shard metric registries into the global one (sharded only).
+  void FoldShardMetrics();
+  // Barrier hook: drains every shard's trace buffer into trace_sink_.
+  void DrainTraceBuffers();
+
   TigerConfig config_;
   Rng rng_;
   Simulator sim_;
+  // Non-null iff config.sim_shards > 1. The engine owns the per-shard
+  // simulators; sim_ above is then unused (kept so serial stays zero-cost).
+  std::unique_ptr<ShardEngine> engine_;
+  std::vector<int> cub_shards_;  // cub id -> owning shard (contiguous ring segments).
+  std::unique_ptr<QosLedgerRelay> qos_relay_;
+  std::unique_ptr<FaultStatsRelay> fault_relay_;
+  std::unique_ptr<OracleRelay> oracle_relay_;
+  std::unique_ptr<AuditObserverRelay> audit_relay_;
+  // Sharded tracing: one tracer + registry per shard (merged on export), and
+  // one barrier-drained buffer per shard when a live sink is installed.
+  std::vector<std::unique_ptr<Tracer>> shard_tracers_;
+  std::vector<std::unique_ptr<MetricsRegistry>> shard_metrics_;
+  std::vector<std::unique_ptr<ShardTraceBuffer>> trace_buffers_;
+  TraceSink* trace_sink_ = nullptr;
+  // Retained across windows so the per-barrier drain merge does not allocate
+  // in steady state.
+  std::vector<TraceEvent> trace_drain_scratch_;
+  Duration timeseries_interval_;
   std::unique_ptr<Network> net_;
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<StripeLayout> layout_;
@@ -185,7 +248,9 @@ class TigerSystem {
   std::unique_ptr<Controller> backup_controller_;
   AddressBook addresses_;
   AuditObserver* audit_observer_ = nullptr;
-  std::vector<bool> failed_cubs_;
+  // uint8_t, not bool: vector<bool> bit-packs, so two shards failing
+  // different cubs in the same window would race on a shared byte.
+  std::vector<uint8_t> failed_cubs_;
   int next_start_disk_ = 0;
   uint64_t next_bootstrap_instance_ = 1000000;
   // Bootstrap lineage epochs live in the top half of the epoch space so they

@@ -1,0 +1,107 @@
+#include "src/frontier/pool.h"
+
+#include <utility>
+
+namespace tiger {
+namespace frontier {
+
+ScenarioPool::ScenarioPool(int jobs) {
+  for (int i = 1; i < jobs; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ScenarioPool::~ScenarioPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ScenarioPool::Prefetch(const std::vector<ScenarioDescriptor>& descriptors) {
+  if (workers_.empty()) {
+    return;
+  }
+  bool queued = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const ScenarioDescriptor& descriptor : descriptors) {
+      const std::string key = descriptor.ToText();
+      auto [it, inserted] = entries_.try_emplace(key);
+      if (!inserted) {
+        continue;
+      }
+      it->second = std::make_unique<Entry>();
+      it->second->descriptor = descriptor;
+      queue_.push_back(it->second.get());
+      queued = true;
+    }
+  }
+  if (queued) {
+    work_cv_.notify_all();
+  }
+}
+
+ScenarioOutcome ScenarioPool::Get(const ScenarioDescriptor& descriptor) {
+  Entry* entry = nullptr;
+  if (!workers_.empty()) {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = entries_.find(descriptor.ToText());
+    if (it != entries_.end()) {
+      entry = it->second.get();
+      if (entry->state == Entry::State::kQueued) {
+        // Claim it: drop it from the queue and run inline below.
+        for (auto queue_it = queue_.begin(); queue_it != queue_.end(); ++queue_it) {
+          if (*queue_it == entry) {
+            queue_.erase(queue_it);
+            break;
+          }
+        }
+        entry->state = Entry::State::kRunning;
+      } else if (entry->state == Entry::State::kRunning) {
+        done_cv_.wait(lock, [entry] { return entry->state == Entry::State::kDone; });
+      }
+      if (entry->state == Entry::State::kDone) {
+        return entry->outcome;
+      }
+    }
+  }
+  // Inline: never prefetched, or claimed from the queue above.
+  ScenarioOutcome outcome = RunScenario(descriptor);
+  if (entry != nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entry->outcome = outcome;
+    entry->state = Entry::State::kDone;
+  }
+  return outcome;
+}
+
+void ScenarioPool::WorkerLoop() {
+  while (true) {
+    Entry* entry = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_) {
+        return;
+      }
+      entry = queue_.front();
+      queue_.pop_front();
+      entry->state = Entry::State::kRunning;
+    }
+    ScenarioOutcome outcome = RunScenario(entry->descriptor);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      entry->outcome = std::move(outcome);
+      entry->state = Entry::State::kDone;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace frontier
+}  // namespace tiger

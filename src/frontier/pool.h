@@ -1,0 +1,77 @@
+// Background scenario execution for the frontier tournament.
+//
+// RunScenario is a pure function of its descriptor — one descriptor, one
+// outcome, bit-for-bit — so the tournament's breadth-first levels can be
+// *prefetched*: worker threads run upcoming scenarios while the serial search
+// loop consumes outcomes in its original order. The search logic (budgets,
+// verdict accounting, bisection, the envelope itself) never moves off the
+// caller's thread, which is why the envelope stays byte-identical for every
+// jobs count: parallelism only changes *when* an outcome is computed, never
+// which outcomes the search observes or in what order.
+//
+// Get() semantics make the pool safe to over- or under-prefetch:
+//   * finished in background   -> returned immediately;
+//   * running in background    -> caller waits for that one scenario;
+//   * queued but not started   -> caller claims it and runs it inline;
+//   * never prefetched         -> caller runs it inline.
+// Speculatively prefetched scenarios the search never asks for (a family
+// died at a lower cardinality) are wasted background work, nothing more.
+
+#ifndef SRC_FRONTIER_POOL_H_
+#define SRC_FRONTIER_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/frontier/runner.h"
+#include "src/frontier/scenario.h"
+
+namespace tiger {
+namespace frontier {
+
+class ScenarioPool {
+ public:
+  // `jobs` <= 1 starts no workers: Prefetch becomes a no-op and every Get
+  // computes inline — exactly the serial tournament.
+  explicit ScenarioPool(int jobs);
+  ~ScenarioPool();
+
+  ScenarioPool(const ScenarioPool&) = delete;
+  ScenarioPool& operator=(const ScenarioPool&) = delete;
+
+  // Queues descriptors for background execution. Descriptors already queued
+  // (by canonical ToText key) are skipped, so re-prefetching a level is free.
+  void Prefetch(const std::vector<ScenarioDescriptor>& descriptors);
+
+  // Returns the outcome for `descriptor`, from the prefetch cache when
+  // available (see class comment for the fallback ladder).
+  ScenarioOutcome Get(const ScenarioDescriptor& descriptor);
+
+ private:
+  struct Entry {
+    enum class State { kQueued, kRunning, kDone } state = State::kQueued;
+    ScenarioDescriptor descriptor;
+    ScenarioOutcome outcome;
+  };
+
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Workers: work queued or shutdown.
+  std::condition_variable done_cv_;   // Get(): some entry finished.
+  std::map<std::string, std::unique_ptr<Entry>> entries_;
+  std::deque<Entry*> queue_;  // FIFO of kQueued entries (prefetch order).
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace frontier
+}  // namespace tiger
+
+#endif  // SRC_FRONTIER_POOL_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <string>
 
+#include "src/frontier/pool.h"
 #include "src/frontier/runner.h"
 #include "src/frontier/servability.h"
 #include "src/layout/shape.h"
@@ -270,6 +271,16 @@ FrontierEnvelope RunTournament(const FrontierOptions& options) {
 
   const std::vector<std::string>& families =
       options.families.empty() ? AllFamilies() : options.families;
+  // Speculatively queue every level of every family for the worker pool, in
+  // the order the serial loop below will consume them. Levels the search
+  // never reaches (family failed earlier, budget ran out) are just wasted
+  // background work; the serial loop's accounting is untouched.
+  ScenarioPool pool(options.jobs);
+  for (const std::string& family : families) {
+    for (int k = 1; k <= options.max_cardinality; ++k) {
+      pool.Prefetch(BuildFamilyScenarios(family, k, options));
+    }
+  }
   for (const std::string& family : families) {
     EnvelopeFamily result;
     result.name = family;
@@ -291,7 +302,7 @@ FrontierEnvelope RunTournament(const FrontierOptions& options) {
       result.tested_cardinality = k;
       bool all_survived = true;
       for (const ScenarioDescriptor& descriptor : variants) {
-        const ScenarioOutcome outcome = RunScenario(descriptor);
+        const ScenarioOutcome outcome = pool.Get(descriptor);
         ++envelope.runs;
         ++result.verdict_counts[static_cast<size_t>(outcome.verdict)];
         report(family + " k=" + std::to_string(k) + " seed=" + std::to_string(descriptor.seed) +
@@ -327,8 +338,10 @@ FrontierEnvelope RunTournament(const FrontierOptions& options) {
         if (mid <= lo) {
           break;
         }
+        // Bisection midpoints depend on prior verdicts, so they are never
+        // prefetched; Get falls back to inline execution.
         const ScenarioDescriptor descriptor = PartitionScenario(options, mid);
-        const ScenarioOutcome outcome = RunScenario(descriptor);
+        const ScenarioOutcome outcome = pool.Get(descriptor);
         ++envelope.runs;
         ++result.verdict_counts[static_cast<size_t>(outcome.verdict)];
         report(family + " bisect window=" + std::to_string(mid) + "ms -> " +

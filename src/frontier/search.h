@@ -71,6 +71,11 @@ struct FrontierOptions {
   // warm-standby controller.
   bool weaken_no_reforward = false;
   bool weaken_no_backup = false;
+  // Worker threads prefetching scenario outcomes (src/frontier/pool.h).
+  // Pure wall-clock: RunScenario is deterministic per descriptor and the
+  // search consumes outcomes serially, so the envelope is byte-identical for
+  // every jobs value (and `jobs` is deliberately not recorded in it).
+  int jobs = 1;
   // Optional per-run progress sink (stderr in the tools).
   std::function<void(const std::string&)> progress;
 };

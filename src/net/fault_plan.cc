@@ -1,6 +1,40 @@
 #include "src/net/fault_plan.h"
 
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/sim/shard_engine.h"
+
 namespace tiger {
+
+void NetFaultPlan::SetShardTopology(int shards) {
+  TIGER_CHECK(shards >= 1);
+  shard_rngs_.clear();
+  pending_anchors_.clear();
+  for (int i = 0; i < shards; ++i) {
+    shard_rngs_.push_back(rng_.Fork());
+  }
+  pending_anchors_.resize(static_cast<size_t>(shards));
+}
+
+void NetFaultPlan::ArmPendingAnchors() {
+  TIGER_CHECK(ShardEngine::CurrentShard() < 0);
+  // Earliest sighting wins; shard index breaks exact-time ties so the armed
+  // instant never depends on scan order.
+  std::vector<std::pair<int, TimePoint>> merged;
+  for (auto& shard_pending : pending_anchors_) {
+    for (const auto& sighting : shard_pending) {
+      merged.push_back(sighting);
+    }
+    shard_pending.clear();
+  }
+  std::sort(merged.begin(), merged.end(), [](const auto& a, const auto& b) {
+    return a.second < b.second;
+  });
+  for (const auto& [kind, when] : merged) {
+    anchors_.try_emplace(kind, when);
+  }
+}
 
 void NetFaultPlan::AddPartition(const std::vector<FaultNetAddress>& side_a,
                                 const std::vector<FaultNetAddress>& side_b, TimePoint start,
@@ -57,11 +91,19 @@ bool NetFaultPlan::RuleActive(const Rule& rule, TimePoint now) const {
 
 NetFaultPlan::Decision NetFaultPlan::Apply(TimePoint now, FaultNetAddress src,
                                            FaultNetAddress dst, int msg_kind) {
-  // Arm the anchor before rule evaluation so a rel_start-zero window covers
-  // the anchoring message itself.
+  // Serial mode arms the anchor before rule evaluation so a rel_start-zero
+  // window covers the anchoring message itself. Sharded mode defers arming
+  // to the barrier (shards must not mutate the shared map mid-window).
+  const bool sharded = !shard_rngs_.empty();
+  const int shard = sharded ? std::max(0, ShardEngine::CurrentShard()) : 0;
   if (msg_kind != kNoAnchor) {
-    anchors_.try_emplace(msg_kind, now);
+    if (!sharded) {
+      anchors_.try_emplace(msg_kind, now);
+    } else if (anchors_.find(msg_kind) == anchors_.end()) {
+      pending_anchors_[static_cast<size_t>(shard)].emplace_back(msg_kind, now);
+    }
   }
+  Rng& dice = sharded ? shard_rngs_[static_cast<size_t>(shard)] : rng_;
   Decision decision;
   for (const Rule& rule : rules_) {
     if (!RuleActive(rule, now)) {
@@ -70,7 +112,7 @@ NetFaultPlan::Decision NetFaultPlan::Apply(TimePoint now, FaultNetAddress src,
     if (!Matches(rule.src, src) || !Matches(rule.dst, dst)) {
       continue;
     }
-    if (rule.probability < 1.0 && !rng_.Bernoulli(rule.probability)) {
+    if (rule.probability < 1.0 && !dice.Bernoulli(rule.probability)) {
       continue;
     }
     switch (rule.kind) {

@@ -120,6 +120,21 @@ class NetFaultPlan {
 
   void set_stats(FaultStats* stats) { stats_ = stats; }
 
+  // Sharded mode (DESIGN.md §6h). Dice fork per shard (drawn in each shard's
+  // deterministic event order, so decisions are thread-count-invariant), and
+  // anchor arming is deferred: first sightings collect per shard during a
+  // window and arm at the next barrier via ArmPendingAnchors(), taking the
+  // earliest sighting across shards. Unlike serial mode the anchoring message
+  // itself is therefore *not* covered by a rel_start-zero window — a rule
+  // window starts at the first barrier after the sighting. That shift is
+  // identical for every thread count, which is the property the sharded
+  // determinism gate needs.
+  void SetShardTopology(int shards);
+
+  // Barrier hook: merges pending anchor sightings, earliest (time, shard)
+  // first, into the armed set. Driver context only.
+  void ArmPendingAnchors();
+
  private:
   static bool Matches(FaultNetAddress pattern, FaultNetAddress addr) {
     return pattern == kAnyAddress || pattern == addr;
@@ -128,10 +143,15 @@ class NetFaultPlan {
   bool RuleActive(const Rule& rule, TimePoint now) const;
 
   std::vector<Rule> rules_;
-  // First-sighting instant per message tag (std::map: deterministic).
+  // First-sighting instant per message tag (std::map: deterministic). In
+  // sharded mode, written only at barriers; read freely during windows.
   std::map<int, TimePoint> anchors_;
   Rng rng_;
   FaultStats* stats_;
+  // Sharded mode: per-shard dice and pending anchor sightings. Empty in
+  // serial mode.
+  std::vector<Rng> shard_rngs_;
+  std::vector<std::vector<std::pair<int, TimePoint>>> pending_anchors_;
 };
 
 }  // namespace tiger

@@ -36,23 +36,28 @@ void Network::Send(NetAddress src, NetAddress dst, int64_t bytes,
     return;  // A dead machine sends nothing.
   }
   TIGER_CHECK(bytes >= 0);
-  sender.control_bytes_sent.Add(sim_->Now(), static_cast<double>(bytes));
+  // Everything on the send side — clock, meters, FIFO state, jitter dice,
+  // trace context — belongs to the source node's shard.
+  const int src_shard = ShardOfNode(src);
+  const TimePoint sent = SimOf(src)->Now();
+  sender.control_bytes_sent.Add(sent, static_cast<double>(bytes));
   sender.control_messages_sent++;
 
+  TraceCtx& ctx = CtxFor(src_shard);
   uint64_t flow = 0;
-  TIGER_TRACE_BEGIN_FLOW(flow, tracer_, trace_track_, TraceEventType::kMsgHop,
+  TIGER_TRACE_BEGIN_FLOW(flow, ctx.tracer, ctx.track, TraceEventType::kMsgHop,
                          TraceArgs{.a = static_cast<int64_t>(src), .b = static_cast<int64_t>(dst)});
 
   NetFaultPlan::Decision fault;
   if (fault_plan_ != nullptr) {
-    fault = fault_plan_->Apply(sim_->Now(), src, dst, payload->fault_kind());
+    fault = fault_plan_->Apply(sent, src, dst, payload->fault_kind());
     if (fault.drop) {
       // Injected loss: the fabric ate it. The span closes at the send instant
       // with the dropped marker.
-      TIGER_TRACE_END_FLOW(tracer_, trace_track_, TraceEventType::kMsgHop, flow,
+      TIGER_TRACE_END_FLOW(ctx.tracer, ctx.track, TraceEventType::kMsgHop, flow,
                            TraceArgs{.b = 1});
-      if (dropped_msgs_ != nullptr) {
-        ++*dropped_msgs_;
+      if (ctx.dropped_msgs != nullptr) {
+        ++*ctx.dropped_msgs;
       }
       return;
     }
@@ -60,38 +65,48 @@ void Network::Send(NetAddress src, NetAddress dst, int64_t bytes,
 
   Duration delay = config_.base_latency + TransferTime(bytes, config_.control_channel_bps);
   if (config_.jitter > Duration::Zero()) {
-    delay += rng_.UniformDuration(Duration::Zero(), config_.jitter);
+    delay += DiceFor(src_shard).UniformDuration(Duration::Zero(), config_.jitter);
   }
   // Injected extra latency lands before the FIFO clamp below, so delaying one
   // message pushes everything after it on the same pair: ordering holds.
   delay += fault.extra_delay;
-  TimePoint arrival = sim_->Now() + delay;
+  TimePoint arrival = sent + delay;
 
   // TCP ordering: never deliver before (or at the same instant as) an earlier
   // message on the same ordered pair.
-  auto key = std::make_pair(src, dst);
-  auto it = last_delivery_.find(key);
-  if (it != last_delivery_.end() && arrival <= it->second) {
+  auto it = sender.last_delivery.find(dst);
+  if (it != sender.last_delivery.end() && arrival <= it->second) {
     arrival = it->second + config_.fifo_spacing;
   }
-  last_delivery_[key] = arrival;
+  sender.last_delivery[dst] = arrival;
 
-  MessageEnvelope envelope{src, dst, bytes, payload};
-  const TimePoint sent = sim_->Now();
-  sim_->ScheduleAt(arrival, [this, envelope = std::move(envelope), flow, sent]() {
-    Deliver(envelope, flow, sent);
-  });
+  ScheduleDelivery(arrival, MessageEnvelope{src, dst, bytes, payload}, flow, sent);
 
   // Injected duplicates deliver after the original, spaced by the rule's
   // delay, and also advance the FIFO clock (a retransmitted TCP segment still
   // arrives in order; the duplication is visible only at the receiver).
   for (int i = 0; i < fault.duplicates; ++i) {
     arrival += config_.fifo_spacing + fault.duplicate_spacing;
-    last_delivery_[key] = arrival;
-    MessageEnvelope copy{src, dst, bytes, payload};
-    sim_->ScheduleAt(arrival, [this, copy = std::move(copy)]() {
-      Deliver(copy, /*flow=*/0, TimePoint::Zero());
-    });
+    sender.last_delivery[dst] = arrival;
+    ScheduleDelivery(arrival, MessageEnvelope{src, dst, bytes, payload}, /*flow=*/0,
+                     TimePoint::Zero());
+  }
+}
+
+void Network::ScheduleDelivery(TimePoint arrival, MessageEnvelope envelope, uint64_t flow,
+                               TimePoint sent) {
+  const int dst_shard = ShardOfNode(envelope.dst);
+  auto deliver = [this, envelope = std::move(envelope), flow, sent]() {
+    Deliver(envelope, flow, sent);
+  };
+  if (engine_ != nullptr) {
+    // Routed through the engine even when source and destination share a
+    // shard: the lookahead guarantee (delay ≥ base_latency ≥ window) means
+    // the arrival always lands beyond the current window, and one path keeps
+    // the merge order identical at every thread count.
+    engine_->Post(dst_shard, arrival, std::move(deliver));
+  } else {
+    sim_->ScheduleAt(arrival, std::move(deliver));
   }
 }
 
@@ -104,7 +119,8 @@ void Network::SendPaced(NetAddress src, NetAddress dst, int64_t bytes, int64_t p
   }
   TIGER_CHECK(bytes > 0);
   TIGER_CHECK(pace_bps > 0);
-  sender.data_bytes_sent.Add(sim_->Now(), static_cast<double>(bytes));
+  Simulator* src_sim = SimOf(src);
+  sender.data_bytes_sent.Add(src_sim->Now(), static_cast<double>(bytes));
 
   // Commit NIC bandwidth for the duration of the paced transfer.
   sender.committed_data_bps += pace_bps;
@@ -116,51 +132,73 @@ void Network::SendPaced(NetAddress src, NetAddress dst, int64_t bytes, int64_t p
   // Release the committed bandwidth a microsecond before the transfer's
   // nominal end: back-to-back schedule windows share an exact boundary
   // instant, and without this the release and the next commit at the same
-  // timestamp would transiently double-count.
+  // timestamp would transiently double-count. NIC state is source-local, so
+  // the release timer stays on the source shard's loop.
   Duration release_after = pace_time - Duration::Micros(1);
   if (release_after < Duration::Zero()) {
     release_after = Duration::Zero();
   }
-  sim_->ScheduleAfter(release_after, [this, src, pace_bps]() {
+  src_sim->ScheduleAfter(release_after, [this, src, pace_bps]() {
     Node& node = NodeRef(src);
     node.committed_data_bps -= pace_bps;
     TIGER_DCHECK(node.committed_data_bps >= 0);
   });
 
-  TimePoint arrival = sim_->Now() + pace_time + config_.base_latency;
+  TimePoint arrival = src_sim->Now() + pace_time + config_.base_latency;
   if (config_.jitter > Duration::Zero()) {
-    arrival += rng_.UniformDuration(Duration::Zero(), config_.jitter);
+    arrival += DiceFor(ShardOfNode(src)).UniformDuration(Duration::Zero(), config_.jitter);
   }
-  MessageEnvelope envelope{src, dst, bytes, std::move(payload)};
-  sim_->ScheduleAt(arrival, [this, envelope = std::move(envelope)]() {
-    Deliver(envelope, /*flow=*/0, TimePoint::Zero());
-  });
+  ScheduleDelivery(arrival, MessageEnvelope{src, dst, bytes, std::move(payload)},
+                   /*flow=*/0, TimePoint::Zero());
 }
 
 void Network::Deliver(MessageEnvelope envelope, uint64_t flow, TimePoint sent) {
   Node& receiver = NodeRef(envelope.dst);
+  TraceCtx& ctx = CtxFor(ShardOfNode(envelope.dst));
   if (!receiver.up) {
     // Messages to a dead machine vanish.
-    TIGER_TRACE_END_FLOW(tracer_, trace_track_, TraceEventType::kMsgHop, flow,
+    TIGER_TRACE_END_FLOW(ctx.tracer, ctx.track, TraceEventType::kMsgHop, flow,
                          TraceArgs{.b = 1});
-    if (flow != 0 && dropped_msgs_ != nullptr) {
-      ++*dropped_msgs_;
+    if (flow != 0 && ctx.dropped_msgs != nullptr) {
+      ++*ctx.dropped_msgs;
     }
     return;
   }
-  TIGER_TRACE_END_FLOW(tracer_, trace_track_, TraceEventType::kMsgHop, flow,
+  TIGER_TRACE_END_FLOW(ctx.tracer, ctx.track, TraceEventType::kMsgHop, flow,
                        TraceArgs{.a = envelope.bytes});
-  if (flow != 0 && hop_latency_us_ != nullptr) {
-    hop_latency_us_->Add(static_cast<double>((sim_->Now() - sent).micros()));
+  if (flow != 0 && ctx.hop_latency_us != nullptr) {
+    ctx.hop_latency_us->Add(
+        static_cast<double>((SimOf(envelope.dst)->Now() - sent).micros()));
   }
   receiver.endpoint->HandleMessage(envelope);
 }
 
 void Network::SetTrace(Tracer* tracer, TraceTrackId track, MetricsRegistry* metrics) {
-  tracer_ = tracer;
-  trace_track_ = track;
-  hop_latency_us_ = metrics != nullptr ? &metrics->BoundedHist("net.hop_latency_us") : nullptr;
-  dropped_msgs_ = metrics != nullptr ? &metrics->Counter("net.msgs_dropped") : nullptr;
+  SetShardTrace(0, tracer, track, metrics);
+}
+
+void Network::SetShardTrace(int shard, Tracer* tracer, TraceTrackId track,
+                            MetricsRegistry* metrics) {
+  TIGER_CHECK(shard >= 0 && static_cast<size_t>(shard) < trace_ctx_.size());
+  TraceCtx& ctx = trace_ctx_[static_cast<size_t>(shard)];
+  ctx.tracer = tracer;
+  ctx.track = track;
+  ctx.hop_latency_us = metrics != nullptr ? &metrics->BoundedHist("net.hop_latency_us") : nullptr;
+  ctx.dropped_msgs = metrics != nullptr ? &metrics->Counter("net.msgs_dropped") : nullptr;
+}
+
+void Network::SetShardTopology(ShardEngine* engine, std::vector<int> node_shards) {
+  TIGER_CHECK(engine != nullptr);
+  for (int shard : node_shards) {
+    TIGER_CHECK(shard >= 0 && shard < engine->shards());
+  }
+  engine_ = engine;
+  node_shards_ = std::move(node_shards);
+  shard_rngs_.clear();
+  for (int i = 0; i < engine->shards(); ++i) {
+    shard_rngs_.push_back(rng_.Fork());
+  }
+  trace_ctx_.resize(static_cast<size_t>(engine->shards()));
 }
 
 void Network::SetNodeUp(NetAddress node, bool up) { NodeRef(node).up = up; }

@@ -32,6 +32,7 @@
 #include "src/common/time.h"
 #include "src/common/units.h"
 #include "src/net/fault_plan.h"
+#include "src/sim/shard_engine.h"
 #include "src/sim/simulator.h"
 #include "src/stats/meter.h"
 #include "src/trace/metrics.h"
@@ -150,6 +151,19 @@ class Network : public MessageBus {
   // own. All pointers may be null.
   void SetTrace(Tracer* tracer, TraceTrackId track, MetricsRegistry* metrics);
 
+  // Sharded mode (DESIGN.md §6h): `node_shards[addr]` names the shard whose
+  // loop owns that node's endpoint. Sends run on the source node's shard
+  // (its meters, FIFO clock, jitter dice and trace context are all
+  // shard-local) and deliveries route through the engine so they execute on
+  // the destination node's shard, merged deterministically at barriers.
+  // Nodes attached after this call default to shard 0. The jitter Rng forks
+  // per shard here, so serial runs (no topology) keep the original stream.
+  void SetShardTopology(ShardEngine* engine, std::vector<int> node_shards);
+
+  // Per-shard trace context (sharded mode): shard `i`'s sends and deliveries
+  // record into its own tracer/metrics, merged at export.
+  void SetShardTrace(int shard, Tracer* tracer, TraceTrackId track, MetricsRegistry* metrics);
+
   // --- statistics ----------------------------------------------------------
 
   // Control-plane bytes sent by `node` (message payloads incl. headers).
@@ -179,10 +193,36 @@ class Network : public MessageBus {
     int64_t committed_data_bps = 0;
     int64_t peak_data_bps = 0;
     int64_t oversubscription_events = 0;
+    // Last scheduled delivery time per destination; enforces per-pair FIFO.
+    // Lives on the node (not a shared map) because sends run on the source
+    // node's shard.
+    std::map<NetAddress, TimePoint> last_delivery;
+  };
+
+  // One shard's observability hooks; serial mode uses entry 0 only.
+  struct TraceCtx {
+    Tracer* tracer = nullptr;
+    TraceTrackId track = 0;
+    BoundedHistogram* hop_latency_us = nullptr;
+    int64_t* dropped_msgs = nullptr;
   };
 
   Node& NodeRef(NetAddress addr);
   const Node& NodeRef(NetAddress addr) const;
+
+  int ShardOfNode(NetAddress addr) const {
+    return addr < node_shards_.size() ? node_shards_[addr] : 0;
+  }
+  // The loop that owns `addr`'s endpoint (the serial sim when unsharded).
+  Simulator* SimOf(NetAddress addr) {
+    return engine_ != nullptr ? &engine_->shard(ShardOfNode(addr)) : sim_;
+  }
+  Rng& DiceFor(int shard) { return shard_rngs_.empty() ? rng_ : shard_rngs_[shard]; }
+  TraceCtx& CtxFor(int shard) { return trace_ctx_[static_cast<size_t>(shard)]; }
+
+  // Routes a delivery closure to the destination node's loop.
+  void ScheduleDelivery(TimePoint arrival, MessageEnvelope envelope, uint64_t flow,
+                        TimePoint sent);
   // `flow`/`sent` carry the MSG_HOP span of a traced control message; paced
   // (data-plane) deliveries pass flow 0.
   void Deliver(MessageEnvelope envelope, uint64_t flow, TimePoint sent);
@@ -191,13 +231,12 @@ class Network : public MessageBus {
   NetworkConfig config_;
   Rng rng_;
   NetFaultPlan* fault_plan_ = nullptr;
-  Tracer* tracer_ = nullptr;
-  TraceTrackId trace_track_ = 0;
-  BoundedHistogram* hop_latency_us_ = nullptr;
-  int64_t* dropped_msgs_ = nullptr;
   std::vector<Node> nodes_;
-  // Last scheduled delivery time per ordered (src,dst) pair; enforces FIFO.
-  std::map<std::pair<NetAddress, NetAddress>, TimePoint> last_delivery_;
+  // Sharded mode; empty/null for serial runs.
+  ShardEngine* engine_ = nullptr;
+  std::vector<int> node_shards_;
+  std::vector<Rng> shard_rngs_;
+  std::vector<TraceCtx> trace_ctx_ = std::vector<TraceCtx>(1);
 };
 
 }  // namespace tiger

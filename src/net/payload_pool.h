@@ -8,22 +8,38 @@
 // PoolAllocator<T> does the same for message-internal vectors, so in steady
 // state a message hop performs zero heap allocations.
 //
-// Design: per-thread free lists of 64-byte-granular size classes up to 4 KiB
-// (bigger blocks fall through to plain operator new). Thread-local lists need
-// no locks, which matters because TcpBus sends from node threads and its
-// reader threads decode concurrently; each block is an independent
-// operator-new allocation, so a block may be freed on a different thread than
-// the one that allocated it — it is simply recycled (or released) by the
-// freeing thread. Lists are capped so a burst cannot pin unbounded memory,
-// and each thread releases its retained blocks at exit.
+// Cross-thread contract (DESIGN.md §6h): with the sharded engine a payload is
+// routinely allocated on one shard's worker thread and released on another
+// (sender mints the message, receiver drops the last reference). A purely
+// thread-local pool migrates every such block from the allocating thread's
+// free list to the freeing thread's — the sender then allocates fresh blocks
+// forever while the receiver's list saturates and spills, i.e. steady-state
+// allocations come back. Instead each thread owns an *arena* (an index into a
+// fixed table) and every pooled block carries a 16-byte header naming its
+// owner. Frees from the owner thread push onto the owner's private per-class
+// list (no atomics, the hot serial path). Frees from any other thread push
+// onto the owner's lock-free MPSC return stack; the owner drains that stack
+// into its private list the next time it misses — blocks flow back to their
+// owner's size class and the steady state stays allocation-free in both
+// directions.
+//
+// Arena lifetime: arena slots are claimed on a thread's first allocation and
+// released (not destroyed) at thread exit, so a later thread can adopt the
+// slot together with any retained blocks. If every slot is taken, surplus
+// threads fall through to plain operator new/delete — correct, just unpooled.
+// Lists are capped so a burst cannot pin unbounded memory.
 
 #ifndef SRC_NET_PAYLOAD_POOL_H_
 #define SRC_NET_PAYLOAD_POOL_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <new>
 #include <utility>
+
+#include "src/common/check.h"
 
 namespace tiger {
 
@@ -32,8 +48,24 @@ namespace pool_internal {
 inline constexpr size_t kGranularity = 64;
 inline constexpr size_t kMaxPooledBytes = 4096;
 inline constexpr size_t kNumClasses = kMaxPooledBytes / kGranularity;
-// Per class per thread; overflow blocks are released to the heap.
+// Per class per arena; overflow blocks are released to the heap.
 inline constexpr size_t kMaxFreePerClass = 1024;
+// Concurrent pooling threads; beyond this, allocation degrades to the heap.
+inline constexpr uint32_t kMaxArenas = 64;
+// Owner tag for blocks handed out when every arena slot was taken.
+inline constexpr uint32_t kNoArena = 0xffffffffu;
+inline constexpr uint32_t kHeaderMagic = 0x7064;  // 'pd'
+
+// Precedes every pooled block. 16 bytes keeps the user region aligned for
+// alignof(std::max_align_t) (PoolAllocator static_asserts nothing stronger).
+struct BlockHeader {
+  uint32_t arena;
+  uint32_t cls;
+  uint32_t magic;
+  uint32_t reserved;
+};
+static_assert(sizeof(BlockHeader) == 16);
+static_assert(alignof(std::max_align_t) <= 16);
 
 struct FreeBlock {
   FreeBlock* next;
@@ -42,26 +74,93 @@ struct FreeBlock {
 struct ClassList {
   FreeBlock* head = nullptr;
   size_t count = 0;
-  ~ClassList() {
-    while (head != nullptr) {
-      FreeBlock* next = head->next;
-      ::operator delete(head);
-      head = next;
+};
+
+struct Arena {
+  // Private lists: touched only by the owning thread.
+  ClassList classes[kNumClasses];
+  // Cross-thread returns: MPSC Treiber stacks (push by any thread, drained
+  // whole by the owner with exchange, so no ABA window).
+  std::atomic<FreeBlock*> returns[kNumClasses] = {};
+  std::atomic<bool> claimed = false;
+};
+
+inline BlockHeader* HeaderOf(void* user) {
+  return reinterpret_cast<BlockHeader*>(static_cast<char*>(user) - sizeof(BlockHeader));
+}
+
+struct ArenaTable {
+  Arena arenas[kMaxArenas];
+
+  ~ArenaTable() {
+    // Process teardown: return every retained block to the heap.
+    for (Arena& arena : arenas) {
+      for (size_t cls = 0; cls < kNumClasses; ++cls) {
+        FreeBlock* head = arena.classes[cls].head;
+        while (head != nullptr) {
+          FreeBlock* next = head->next;
+          ::operator delete(static_cast<void*>(reinterpret_cast<char*>(head) -
+                                               sizeof(BlockHeader)));
+          head = next;
+        }
+        head = arena.returns[cls].exchange(nullptr, std::memory_order_acquire);
+        while (head != nullptr) {
+          FreeBlock* next = head->next;
+          ::operator delete(static_cast<void*>(reinterpret_cast<char*>(head) -
+                                               sizeof(BlockHeader)));
+          head = next;
+        }
+      }
     }
   }
 };
 
-struct ThreadCache {
-  ClassList classes[kNumClasses];
+inline ArenaTable& Table() {
+  static ArenaTable table;
+  return table;
+}
+
+// Claims an arena slot for this thread on first use and releases it (blocks
+// stay behind for the next claimant) when the thread exits.
+struct ArenaRef {
+  uint32_t index = kNoArena;
+
+  ArenaRef() {
+    ArenaTable& table = Table();
+    for (uint32_t i = 0; i < kMaxArenas; ++i) {
+      bool expected = false;
+      if (table.arenas[i].claimed.compare_exchange_strong(expected, true,
+                                                          std::memory_order_acq_rel)) {
+        index = i;
+        return;
+      }
+    }
+  }
+
+  ~ArenaRef() {
+    if (index != kNoArena) {
+      Table().arenas[index].claimed.store(false, std::memory_order_release);
+    }
+  }
 };
 
-inline ThreadCache& Cache() {
-  thread_local ThreadCache cache;
-  return cache;
+inline uint32_t ThisArenaIndex() {
+  thread_local ArenaRef ref;
+  return ref.index;
 }
 
 inline size_t ClassOf(size_t bytes) { return (bytes - 1) / kGranularity; }
 inline size_t ClassBytes(size_t cls) { return (cls + 1) * kGranularity; }
+
+inline void* NewBlock(size_t cls, uint32_t arena) {
+  void* raw = ::operator new(sizeof(BlockHeader) + ClassBytes(cls));
+  auto* header = static_cast<BlockHeader*>(raw);
+  header->arena = arena;
+  header->cls = static_cast<uint32_t>(cls);
+  header->magic = kHeaderMagic;
+  header->reserved = 0;
+  return static_cast<char*>(raw) + sizeof(BlockHeader);
+}
 
 inline void* PoolAlloc(size_t bytes) {
   if (bytes == 0) {
@@ -70,14 +169,37 @@ inline void* PoolAlloc(size_t bytes) {
   if (bytes > kMaxPooledBytes) {
     return ::operator new(bytes);
   }
-  ClassList& list = Cache().classes[ClassOf(bytes)];
+  const size_t cls = ClassOf(bytes);
+  const uint32_t arena_idx = ThisArenaIndex();
+  if (arena_idx == kNoArena) {
+    return NewBlock(cls, kNoArena);
+  }
+  Arena& arena = Table().arenas[arena_idx];
+  ClassList& list = arena.classes[cls];
+  if (list.head == nullptr) {
+    // Miss: adopt everything other threads returned since the last drain.
+    FreeBlock* returned = arena.returns[cls].exchange(nullptr, std::memory_order_acquire);
+    while (returned != nullptr) {
+      FreeBlock* next = returned->next;
+      if (list.count >= kMaxFreePerClass) {
+        ::operator delete(static_cast<void*>(reinterpret_cast<char*>(returned) -
+                                             sizeof(BlockHeader)));
+      } else {
+        returned->next = list.head;
+        list.head = returned;
+        ++list.count;
+      }
+      returned = next;
+    }
+  }
   if (list.head != nullptr) {
     FreeBlock* block = list.head;
     list.head = block->next;
     --list.count;
+    HeaderOf(block)->arena = arena_idx;  // Re-tag blocks adopted from a prior owner.
     return block;
   }
-  return ::operator new(ClassBytes(ClassOf(bytes)));
+  return NewBlock(cls, arena_idx);
 }
 
 inline void PoolFree(void* p, size_t bytes) {
@@ -88,23 +210,42 @@ inline void PoolFree(void* p, size_t bytes) {
     ::operator delete(p);
     return;
   }
-  ClassList& list = Cache().classes[ClassOf(bytes)];
-  if (list.count >= kMaxFreePerClass) {
-    ::operator delete(p);
+  BlockHeader* header = HeaderOf(p);
+  TIGER_DCHECK(header->magic == kHeaderMagic);
+  TIGER_DCHECK(header->cls == ClassOf(bytes));
+  const uint32_t owner = header->arena;
+  if (owner == kNoArena) {
+    ::operator delete(static_cast<void*>(header));
     return;
   }
   auto* block = static_cast<FreeBlock*>(p);
-  block->next = list.head;
-  list.head = block;
-  ++list.count;
+  if (owner == ThisArenaIndex()) {
+    ClassList& list = Table().arenas[owner].classes[header->cls];
+    if (list.count >= kMaxFreePerClass) {
+      ::operator delete(static_cast<void*>(header));
+      return;
+    }
+    block->next = list.head;
+    list.head = block;
+    ++list.count;
+    return;
+  }
+  // Foreign free: hand the block back to its owner's return stack. The owner
+  // bounds retention when it drains, so a push never needs a count.
+  std::atomic<FreeBlock*>& stack = Table().arenas[owner].returns[header->cls];
+  FreeBlock* head = stack.load(std::memory_order_relaxed);
+  do {
+    block->next = head;
+  } while (!stack.compare_exchange_weak(head, block, std::memory_order_release,
+                                        std::memory_order_relaxed));
 }
 
 }  // namespace pool_internal
 
-// Standard allocator over the thread-local pool. Stateless: any instance can
-// free any other instance's blocks. Alignment note: blocks come from plain
-// operator new, so over-aligned types (> alignof(std::max_align_t)) must not
-// use this allocator — no message type is.
+// Standard allocator over the arena pool. Stateless: any instance can free
+// any other instance's blocks, on any thread. Alignment note: user regions
+// are 16-byte aligned, so over-aligned types (> alignof(std::max_align_t))
+// must not use this allocator — no message type is.
 template <typename T>
 struct PoolAllocator {
   using value_type = T;

@@ -1,0 +1,268 @@
+#include "src/sim/shard_engine.h"
+
+#include <algorithm>
+
+namespace tiger {
+
+namespace {
+
+thread_local int tls_current_shard = -1;
+
+// Divisors of 1000 µs, descending: candidate window sizes that tile every
+// millisecond-multiple cadence exactly.
+constexpr int64_t kGridDivisorsUs[] = {1000, 500, 250, 200, 125, 100, 50, 40, 25};
+
+int64_t AlignUpTo(int64_t value, int64_t grid) {
+  return value + (grid - value % grid) % grid;
+}
+
+}  // namespace
+
+int ShardEngine::CurrentShard() { return tls_current_shard; }
+
+Duration ShardEngine::WindowFor(Duration lookahead) {
+  for (int64_t d : kGridDivisorsUs) {
+    if (d <= lookahead.micros()) {
+      return Duration::Micros(d);
+    }
+  }
+  // Lookahead below the floor: run epoch windows of kMinWindow and let the
+  // post clamp absorb violations.
+  return kMinWindow;
+}
+
+ShardEngine::ShardEngine(Options options) : options_(options) {
+  TIGER_CHECK(options.shards >= 1 && options.shards <= 256)
+      << "shard count " << options.shards << " outside the 8-bit TimerId tag";
+  TIGER_CHECK(options.threads >= 1);
+  window_ = WindowFor(options.lookahead);
+  threads_ = std::min(options.threads, options.shards);
+  sims_.reserve(static_cast<size_t>(options.shards));
+  for (int i = 0; i < options.shards; ++i) {
+    sims_.push_back(std::make_unique<Simulator>());
+    sims_.back()->set_shard_tag(static_cast<uint8_t>(i));
+  }
+  lanes_ = std::vector<ShardLane>(static_cast<size_t>(options.shards));
+  workers_.reserve(static_cast<size_t>(threads_ - 1));
+  for (int w = 1; w < threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ShardEngine::~ShardEngine() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+uint64_t ShardEngine::processed_events() const {
+  uint64_t total = 0;
+  for (const auto& sim : sims_) {
+    total += sim->processed_events();
+  }
+  return total;
+}
+
+void ShardEngine::Post(int dst_shard, TimePoint when, InlineFunction cb) {
+  TIGER_DCHECK(dst_shard >= 0 && dst_shard < shards());
+  const int src = tls_current_shard;
+  if (src < 0) {
+    // Driver context: everything is quiesced at now_, schedule directly.
+    if (when < now_) {
+      when = now_;
+      ++clamped_posts_;
+    }
+    sims_[static_cast<size_t>(dst_shard)]->ScheduleAt(when, std::move(cb));
+    return;
+  }
+  ShardLane& lane = lanes_[static_cast<size_t>(src)];
+  lane.posts.push_back(PendingPost{when, lane.post_seq++, static_cast<uint32_t>(src),
+                                   dst_shard, std::move(cb)});
+}
+
+void ShardEngine::JournalAppend(TimePoint when, InlineFunction apply) {
+  const int src = tls_current_shard;
+  if (src < 0) {
+    // Driver context is single-threaded and already globally ordered.
+    apply();
+    return;
+  }
+  ShardLane& lane = lanes_[static_cast<size_t>(src)];
+  lane.journal.push_back(
+      JournalEntry{when, lane.journal_seq++, static_cast<uint32_t>(src), std::move(apply)});
+}
+
+void ShardEngine::AddPeriodicTask(Duration period, InlineFunction task) {
+  TIGER_CHECK(tls_current_shard < 0) << "tasks must be registered from driver context";
+  TIGER_CHECK(period > Duration::Zero());
+  TIGER_CHECK(period.micros() % window_.micros() == 0)
+      << "task period " << period << " does not land on the " << window_ << " barrier grid";
+  const TimePoint due =
+      TimePoint::FromMicros(AlignUpTo((now_ + period).micros(), window_.micros()));
+  tasks_.push_back(PeriodicTask{period, due, std::move(task)});
+}
+
+void ShardEngine::AddBarrierHook(InlineFunction hook) {
+  TIGER_CHECK(tls_current_shard < 0) << "hooks must be registered from driver context";
+  hooks_.push_back(std::move(hook));
+}
+
+void ShardEngine::RunOwnedShards(int worker, TimePoint horizon) {
+  for (int s = worker; s < shards(); s += threads_) {
+    tls_current_shard = s;
+    sims_[static_cast<size_t>(s)]->RunUntil(horizon);
+    tls_current_shard = -1;
+  }
+}
+
+void ShardEngine::WorkerLoop(int worker) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    TimePoint horizon;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      start_cv_.wait(lk, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) {
+        return;
+      }
+      seen_epoch = epoch_;
+      horizon = horizon_;
+    }
+    RunOwnedShards(worker, horizon);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --workers_running_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ShardEngine::DrainPosts(TimePoint horizon) {
+  merge_posts_.clear();
+  for (ShardLane& lane : lanes_) {
+    for (PendingPost& p : lane.posts) {
+      merge_posts_.push_back(std::move(p));
+    }
+    lane.posts.clear();
+  }
+  // (arrival, source shard, per-source seq) is a total order — identical for
+  // every thread count because lanes are filled in deterministic per-shard
+  // event order. Insertion order then fixes the heap's FIFO tie-break.
+  std::sort(merge_posts_.begin(), merge_posts_.end(),
+            [](const PendingPost& a, const PendingPost& b) {
+              if (a.when != b.when) {
+                return a.when < b.when;
+              }
+              if (a.src != b.src) {
+                return a.src < b.src;
+              }
+              return a.seq < b.seq;
+            });
+  for (PendingPost& p : merge_posts_) {
+    TimePoint when = p.when;
+    if (when < horizon) {
+      // Lookahead contract violated (epoch fallback): deliver at the barrier.
+      when = horizon;
+      ++clamped_posts_;
+    }
+    sims_[static_cast<size_t>(p.dst)]->ScheduleAt(when, std::move(p.cb));
+  }
+  merge_posts_.clear();
+}
+
+void ShardEngine::ApplyJournals() {
+  merge_journal_.clear();
+  for (ShardLane& lane : lanes_) {
+    for (JournalEntry& e : lane.journal) {
+      merge_journal_.push_back(&e);
+    }
+  }
+  std::sort(merge_journal_.begin(), merge_journal_.end(),
+            [](const JournalEntry* a, const JournalEntry* b) {
+              if (a->when != b->when) {
+                return a->when < b->when;
+              }
+              if (a->shard != b->shard) {
+                return a->shard < b->shard;
+              }
+              return a->seq < b->seq;
+            });
+  // Applies run in driver context: any observer work they trigger goes
+  // straight through (CurrentShard() == -1), so the journals cannot grow
+  // under this iteration.
+  for (JournalEntry* e : merge_journal_) {
+    e->apply();
+  }
+  merge_journal_.clear();
+  for (ShardLane& lane : lanes_) {
+    lane.journal.clear();
+  }
+}
+
+void ShardEngine::RunUntil(TimePoint t) {
+  TIGER_CHECK(tls_current_shard < 0) << "ShardEngine::RunUntil from shard context";
+  TIGER_CHECK(t >= now_);
+  const int64_t w = window_.micros();
+  while (now_ < t) {
+    // Earliest instant anything can happen: a pending event on any shard or
+    // a periodic task due. Empty windows up to there are skipped.
+    TimePoint next_interesting = TimePoint::Max();
+    for (const auto& sim : sims_) {
+      if (auto te = sim->PeekNextEventTime()) {
+        next_interesting = std::min(next_interesting, *te);
+      }
+    }
+    for (const PeriodicTask& task : tasks_) {
+      next_interesting = std::min(next_interesting, task.next_due);
+    }
+
+    TimePoint horizon;
+    if (next_interesting >= t) {
+      // Nothing due before the target: one final (possibly partial) window.
+      horizon = t;
+    } else {
+      // Smallest grid point that covers the next event, but always past now_.
+      // AlignUp(x) < x + W ≤ x + lookahead keeps the window safe.
+      const int64_t grid_next = (now_.micros() / w + 1) * w;
+      const int64_t aligned = AlignUpTo(next_interesting.micros(), w);
+      horizon = TimePoint::FromMicros(std::min(t.micros(), std::max(grid_next, aligned)));
+    }
+
+    if (threads_ > 1) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        horizon_ = horizon;
+        workers_running_ = threads_ - 1;
+        ++epoch_;
+      }
+      start_cv_.notify_all();
+      RunOwnedShards(0, horizon);
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        done_cv_.wait(lk, [&] { return workers_running_ == 0; });
+      }
+    } else {
+      RunOwnedShards(0, horizon);
+    }
+
+    now_ = horizon;
+    DrainPosts(horizon);
+    ApplyJournals();
+    for (InlineFunction& hook : hooks_) {
+      hook();
+    }
+    for (PeriodicTask& task : tasks_) {
+      if (task.next_due == horizon) {
+        task.task();
+        task.next_due += task.period;
+      }
+    }
+  }
+}
+
+}  // namespace tiger

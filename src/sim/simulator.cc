@@ -35,7 +35,8 @@ TimerId Simulator::ScheduleAfter(Duration d, Callback cb) {
 void Simulator::FreeSlot(uint32_t slot) {
   EventSlot& s = slots_[slot];
   s.cb.Reset();
-  if (++s.generation == 0) {
+  s.generation = (s.generation + 1) & kGenMask;
+  if (s.generation == 0) {
     s.generation = 1;  // Generation 0 is reserved so kInvalidTimer stays invalid.
   }
   s.next_free = free_head_;
@@ -48,6 +49,10 @@ void Simulator::Cancel(TimerId id) {
       slots_[slot].next_free != kLiveSlot) {
     return;  // Already fired, already cancelled, or never issued.
   }
+  // A live handle presented to the wrong shard's loop is a routing bug, not a
+  // stale handle — it would cancel some other shard's timer.
+  TIGER_DCHECK(ShardOf(id) == shard_tag_)
+      << "timer " << id << " cancelled on shard " << int{shard_tag_};
   FreeSlot(slot);  // Heap entry becomes a tombstone via the generation bump.
   --live_events_;
   ++dead_in_heap_;
@@ -79,6 +84,7 @@ void Simulator::MaybeCompact() {
 }
 
 bool Simulator::Step() {
+  TIGER_CHECK(!dispatching_) << "Simulator loop re-entered from a callback";
   // Invariant: the heap top is never a tombstone (SkimCancelledTop runs after
   // every pop and cancel), so an empty heap means an empty queue.
   if (heap_.empty()) {
@@ -97,16 +103,20 @@ bool Simulator::Step() {
   now_ = top.time;
   ++processed_;
   SkimCancelledTop();
+  dispatching_ = true;
   cb();
+  dispatching_ = false;
   return true;
 }
 
 void Simulator::Run() {
+  TIGER_CHECK(!dispatching_) << "Simulator::Run re-entered from a callback";
   while (Step()) {
   }
 }
 
 void Simulator::RunUntil(TimePoint t) {
+  TIGER_CHECK(!dispatching_) << "Simulator::RunUntil re-entered from a callback";
   TIGER_CHECK(t >= now_);
   while (!heap_.empty() && heap_.front().time <= t) {
     Step();

@@ -34,7 +34,12 @@
 namespace tiger {
 
 // Identifies a scheduled event so it can be cancelled. A handle is never
-// valid twice: the generation half changes whenever its slot is reused.
+// valid twice: the generation field changes whenever its slot is reused.
+// Layout: [8-bit shard tag][24-bit generation][32-bit slot]. The shard tag
+// names the Simulator that issued the handle when several loops coexist
+// (sharded engine); a handle cancelled on the wrong shard's loop fails a
+// DCHECK instead of silently missing. Serial simulators use tag 0, so ids
+// are numerically unchanged from the pre-sharding layout for them.
 using TimerId = uint64_t;
 constexpr TimerId kInvalidTimer = 0;
 
@@ -86,14 +91,23 @@ class Simulator {
   // exposed for tests).
   size_t tombstones() const { return dead_in_heap_; }
 
+  // Tags every TimerId this loop issues with a shard index (ShardEngine sets
+  // it once at construction, before any event is scheduled).
+  void set_shard_tag(uint8_t tag) { shard_tag_ = tag; }
+  uint8_t shard_tag() const { return shard_tag_; }
+
  private:
   static constexpr uint32_t kNilSlot = 0xffffffffu;   // Free-list terminator.
   static constexpr uint32_t kLiveSlot = 0xfffffffeu;  // next_free of a live slot.
   // Compact once tombstones pass this count AND half the heap.
   static constexpr size_t kCompactMinTombstones = 64;
 
+  // Generations live in the middle 24 bits of a TimerId; 0 is reserved so
+  // kInvalidTimer never matches a live slot.
+  static constexpr uint32_t kGenMask = 0x00ffffffu;
+
   struct EventSlot {
-    uint32_t generation = 1;      // Bumped on free; 0 is never used.
+    uint32_t generation = 1;      // Bumped on free (mod 2^24, skipping 0).
     uint32_t next_free = kNilSlot;  // Free-list link, or kLiveSlot when live.
     uint64_t seq = 0;             // FIFO tie-break, monotone per ScheduleAt.
     Callback cb;
@@ -118,9 +132,13 @@ class Simulator {
   };
 
   static constexpr uint32_t SlotOf(TimerId id) { return static_cast<uint32_t>(id); }
-  static constexpr uint32_t GenOf(TimerId id) { return static_cast<uint32_t>(id >> 32); }
-  static constexpr TimerId MakeId(uint32_t gen, uint32_t slot) {
-    return (static_cast<TimerId>(gen) << 32) | slot;
+  static constexpr uint32_t GenOf(TimerId id) {
+    return static_cast<uint32_t>(id >> 32) & kGenMask;
+  }
+  static constexpr uint8_t ShardOf(TimerId id) { return static_cast<uint8_t>(id >> 56); }
+  TimerId MakeId(uint32_t gen, uint32_t slot) const {
+    return (static_cast<TimerId>(shard_tag_) << 56) | (static_cast<TimerId>(gen) << 32) |
+           slot;
   }
 
   // A heap entry whose slot generation moved on is a tombstone.
@@ -149,6 +167,12 @@ class Simulator {
   size_t live_events_ = 0;
   size_t dead_in_heap_ = 0;
   uint32_t free_head_ = kNilSlot;
+  uint8_t shard_tag_ = 0;
+  // Re-entrancy guard: set while a callback runs. A callback that calls back
+  // into Run/RunUntil/Step would interleave two heap skims and corrupt the
+  // queue; with several loops alive (sharded engine) that mistake is easy to
+  // make and must fail loudly.
+  bool dispatching_ = false;
   std::vector<EventSlot> slots_;
   std::vector<HeapEntry> heap_;
 };

@@ -49,6 +49,33 @@ double BoundedHistogram::BucketLowerBound(size_t i) const {
   return std::pow(10.0, log_min_ + static_cast<double>(i - 1) / inv_decade_);
 }
 
+void BoundedHistogram::Reset() {
+  buckets_.assign(buckets_.size(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+void BoundedHistogram::MergeFrom(const BoundedHistogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  TIGER_CHECK(buckets_.size() == other.buckets_.size()) << "bucket layout mismatch";
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = other.min_ < min_ ? other.min_ : min_;
+    max_ = other.max_ > max_ ? other.max_ : max_;
+  }
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 void BoundedHistogram::Add(double value) {
   if (count_ == 0) {
     min_ = value;

@@ -37,6 +37,13 @@ class BoundedHistogram {
 
   void Add(double value);
 
+  // Zeroes every bucket and running stat; the bucket layout is kept.
+  void Reset();
+
+  // Adds `other`'s bucket counts and running stats into this histogram.
+  // Exact (bucket layouts must match); used for per-shard metric folding.
+  void MergeFrom(const BoundedHistogram& other);
+
   int64_t count() const { return count_; }
   bool empty() const { return count_ == 0; }
   // Exact (tracked outside the buckets).

@@ -45,6 +45,51 @@ void Histogram::Add(double value) {
   }
 }
 
+void Histogram::Reset() {
+  samples_.clear();
+  total_count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  if (other.total_count_ == 0) {
+    return;
+  }
+  if (total_count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = other.min_ < min_ ? other.min_ : min_;
+    max_ = other.max_ > max_ ? other.max_ : max_;
+  }
+  sum_ += other.sum_;
+  // Weight each retained donor sample as a stand-in for total/retained of
+  // other's adds, so the merged total advances exactly and the reservoir odds
+  // stay proportional.
+  const size_t donor_retained = other.samples_.size();
+  for (size_t i = 0; i < donor_retained; ++i) {
+    // Distribute other's exact count across its retained samples (the last
+    // one absorbs the remainder).
+    const size_t weight = other.total_count_ / donor_retained +
+                          (i + 1 == donor_retained ? other.total_count_ % donor_retained : 0);
+    total_count_ += weight;
+    if (samples_.size() < kMaxRetained) {
+      samples_.push_back(other.samples_[i]);
+      sorted_valid_ = false;
+      continue;
+    }
+    const uint64_t r = NextRandom(&reservoir_state_) % total_count_;
+    if (r < kMaxRetained) {
+      samples_[static_cast<size_t>(r)] = other.samples_[i];
+      sorted_valid_ = false;
+    }
+  }
+}
+
 void Histogram::EnsureSorted() const {
   if (!sorted_valid_) {
     sorted_ = samples_;

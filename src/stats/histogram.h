@@ -27,6 +27,16 @@ class Histogram {
 
   void Add(double value);
 
+  // Drops every sample and running stat (the reservoir dice keep their
+  // sequence, so a Reset/refill cycle stays deterministic).
+  void Reset();
+
+  // Folds `other`'s samples and running stats into this histogram. Exact for
+  // count/sum/min/max; the retained set folds other's retained samples
+  // through the reservoir, so percentiles stay a uniform-subsample estimate.
+  // Deterministic for a fixed merge order (per-shard metric folding).
+  void MergeFrom(const Histogram& other);
+
   // Total samples added (exact, even past the retention cap).
   size_t count() const { return total_count_; }
   bool empty() const { return total_count_ == 0; }

@@ -9,7 +9,8 @@
 namespace tiger {
 
 Tracer::Tracer(const Simulator* sim, Options options)
-    : sim_(sim), options_(options), enabled_(options.enabled) {
+    : sim_(sim), options_(options), enabled_(options.enabled),
+      next_flow_(options.flow_id_base + 1) {
   TIGER_CHECK(sim != nullptr);
   TIGER_CHECK(options_.ring_capacity > 0);
 }
@@ -24,6 +25,15 @@ TraceTrackId Tracer::RegisterTrack(std::string name) {
 const std::string& Tracer::TrackName(TraceTrackId track) const {
   TIGER_CHECK(track < tracks_.size());
   return tracks_[track].name;
+}
+
+std::vector<std::string> Tracer::TrackNames() const {
+  std::vector<std::string> names;
+  names.reserve(tracks_.size());
+  for (const Track& track : tracks_) {
+    names.push_back(track.name);
+  }
+  return names;
 }
 
 void Tracer::Push(TraceTrackId track, TraceEvent event) {
@@ -224,22 +234,28 @@ void AppendField(std::string* out, const char* name, int64_t value) {
 }  // namespace
 
 std::string Tracer::TextDump() const {
+  return TextDumpOf(MergedEvents(), TrackNames(), dropped_);
+}
+
+std::string Tracer::TextDumpOf(const std::vector<TraceEvent>& events,
+                               const std::vector<std::string>& track_names,
+                               uint64_t dropped) {
   std::string out;
   char line[160];
-  if (dropped_ > 0) {
+  if (dropped > 0) {
     // Audits reading this dump must know their evidence is incomplete: the
     // rings wrapped and the oldest events are gone.
     int n = std::snprintf(line, sizeof(line),
                           "# WARNING: ring buffers dropped %" PRIu64
                           " event(s); dump is incomplete\n",
-                          dropped_);
+                          dropped);
     TIGER_DCHECK(n > 0 && static_cast<size_t>(n) < sizeof(line));
     out.append(line, static_cast<size_t>(n));
   }
-  for (const TraceEvent& event : MergedEvents()) {
+  for (const TraceEvent& event : events) {
     int n = std::snprintf(line, sizeof(line), "%06" PRIu64 " t=%-10" PRId64 " %-7s %c %-15s",
                           event.seq, event.when.micros(),
-                          tracks_[event.track].name.c_str(), PhaseChar(event.phase),
+                          track_names[event.track].c_str(), PhaseChar(event.phase),
                           TypeName(event.type));
     TIGER_DCHECK(n > 0 && static_cast<size_t>(n) < sizeof(line));
     out.append(line, static_cast<size_t>(n));
@@ -267,6 +283,12 @@ std::string Tracer::TextDump() const {
 }
 
 std::string Tracer::ChromeJson(const std::string& extra_events) const {
+  return ChromeJsonOf(MergedEvents(), TrackNames(), extra_events);
+}
+
+std::string Tracer::ChromeJsonOf(const std::vector<TraceEvent>& events,
+                                 const std::vector<std::string>& track_names,
+                                 const std::string& extra_events) {
   // All tracks live in one process; each track is a thread so Perfetto lays
   // cubs/disks/net out as parallel swimlanes.
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
@@ -275,15 +297,15 @@ std::string Tracer::ChromeJson(const std::string& extra_events) const {
                         "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
                         "\"args\":{\"name\":\"tiger\"}}");
   out.append(buf, static_cast<size_t>(n));
-  for (size_t t = 0; t < tracks_.size(); ++t) {
+  for (size_t t = 0; t < track_names.size(); ++t) {
     n = std::snprintf(buf, sizeof(buf),
                       ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%zu,\"name\":\"thread_name\","
                       "\"args\":{\"name\":\"%s\"}}",
-                      t + 1, tracks_[t].name.c_str());
+                      t + 1, track_names[t].c_str());
     TIGER_DCHECK(n > 0 && static_cast<size_t>(n) < sizeof(buf));
     out.append(buf, static_cast<size_t>(n));
   }
-  for (const TraceEvent& event : MergedEvents()) {
+  for (const TraceEvent& event : events) {
     const char* name = TypeName(event.type);
     const char* cat = TypeCategory(event.type);
     const size_t tid = static_cast<size_t>(event.track) + 1;

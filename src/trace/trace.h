@@ -118,6 +118,11 @@ class Tracer {
     // dropped) beyond this.
     size_t ring_capacity = 32768;
     bool enabled = true;
+    // First BeginFlow id handed out is flow_id_base + 1. Sharded runs give
+    // each shard's tracer a disjoint base (shard+1 in the top 16 bits) so
+    // flows stay unique in the merged export; serial keeps 0 — ids 1, 2, …
+    // exactly as before.
+    uint64_t flow_id_base = 0;
   };
 
   // Two overloads instead of a defaulted Options argument: GCC rejects
@@ -150,6 +155,8 @@ class Tracer {
   uint64_t dropped() const { return dropped_; }
   size_t track_count() const { return tracks_.size(); }
   const std::string& TrackName(TraceTrackId track) const;
+  // All registered track names, in registration (id) order.
+  std::vector<std::string> TrackNames() const;
 
   // All retained events merged across tracks, in global recording order.
   std::vector<TraceEvent> MergedEvents() const;
@@ -172,6 +179,18 @@ class Tracer {
   static const char* TypeName(TraceEventType type);
   static const char* TypeCategory(TraceEventType type);
 
+  // Static renderers over an arbitrary event list — the sharded engine merges
+  // per-shard tracers into one ordered list and renders it through these, so
+  // the serial and merged exports share one formatter. `events` must already
+  // be in final order with final seq numbers; `track_names[e.track]` names
+  // each event's track.
+  static std::string TextDumpOf(const std::vector<TraceEvent>& events,
+                                const std::vector<std::string>& track_names,
+                                uint64_t dropped);
+  static std::string ChromeJsonOf(const std::vector<TraceEvent>& events,
+                                  const std::vector<std::string>& track_names,
+                                  const std::string& extra_events);
+
  private:
   struct Track {
     std::string name;
@@ -187,7 +206,7 @@ class Tracer {
   TraceSink* sink_ = nullptr;
   std::vector<Track> tracks_;
   uint64_t next_seq_ = 1;
-  uint64_t next_flow_ = 1;
+  uint64_t next_flow_;  // Initialized from Options::flow_id_base.
   uint64_t recorded_ = 0;
   uint64_t dropped_ = 0;
 };

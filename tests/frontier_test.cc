@@ -279,6 +279,24 @@ TEST(TournamentTest, EnvelopeJsonIsByteReproducible) {
   EXPECT_EQ(first, second);
 }
 
+TEST(TournamentTest, EnvelopeJsonIsIdenticalUnderParallelJobs) {
+  // --jobs only prefetches scenario outcomes on worker threads; the serial
+  // search consumes them in its original order, so the envelope must be
+  // byte-identical to the single-threaded tournament — including a family
+  // whose bisection runs scenarios the pool never prefetched.
+  FrontierOptions parallel = AdjacentOptions();
+  parallel.jobs = 4;
+  EXPECT_EQ(EnvelopeJson(AdjacentEnvelope()), EnvelopeJson(RunTournament(parallel)));
+
+  FrontierOptions race;
+  race.families = {"partition_race"};
+  race.max_cardinality = 3;
+  race.max_runs = 12;
+  FrontierOptions race_parallel = race;
+  race_parallel.jobs = 3;
+  EXPECT_EQ(EnvelopeJson(RunTournament(race)), EnvelopeJson(RunTournament(race_parallel)));
+}
+
 TEST(TournamentTest, EnvelopeJsonParsesBackToTheSameEnvelope) {
   const std::string json = EnvelopeJson(AdjacentEnvelope());
   auto parsed = ParseEnvelopeJson(json);

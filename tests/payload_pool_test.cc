@@ -1,0 +1,132 @@
+// Cross-thread contract of the payload pool (DESIGN.md §6h).
+//
+// The sharded engine allocates a message on the sender's worker thread and
+// releases it on the receiver's. These tests pin down the return-to-owner
+// behavior that keeps that path allocation-free: a block freed on a foreign
+// thread must come back to the owning thread's size class, not migrate into
+// the freeing thread's list.
+
+#include "src/net/payload_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace tiger {
+namespace {
+
+using pool_internal::PoolAlloc;
+using pool_internal::PoolFree;
+
+TEST(PayloadPoolTest, SameThreadRecyclesBlock) {
+  void* a = PoolAlloc(100);
+  PoolFree(a, 100);
+  void* b = PoolAlloc(100);
+  EXPECT_EQ(a, b);
+  PoolFree(b, 100);
+}
+
+TEST(PayloadPoolTest, DistinctSizeClassesDoNotShareBlocks) {
+  void* small = PoolAlloc(64);
+  PoolFree(small, 64);
+  void* large = PoolAlloc(1024);
+  EXPECT_NE(small, large);
+  PoolFree(large, 1024);
+  void* small_again = PoolAlloc(64);
+  EXPECT_EQ(small, small_again);
+  PoolFree(small_again, 64);
+}
+
+TEST(PayloadPoolTest, CrossThreadFreeReturnsToOwnersSizeClass) {
+  void* p = PoolAlloc(256);
+  std::thread other([&] { PoolFree(p, 256); });
+  other.join();
+  // The foreign free pushed the block onto this thread's return stack; the
+  // next miss in that class adopts it back — same address, owner's list.
+  void* q = PoolAlloc(256);
+  EXPECT_EQ(p, q);
+  PoolFree(q, 256);
+}
+
+TEST(PayloadPoolTest, PingPongReusesABoundedWorkingSet) {
+  // Two threads hand one pooled message back and forth: allocate here, free
+  // there. If foreign frees leaked into the freeing thread's list, every
+  // round would mint a fresh block; return-to-owner makes the working set a
+  // single block after warmup.
+  constexpr int kRounds = 1000;
+  constexpr size_t kBytes = 512;
+  std::mutex mu;
+  std::condition_variable cv;
+  void* in_flight = nullptr;
+  std::thread consumer([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [&] { return in_flight != nullptr; });
+      PoolFree(in_flight, kBytes);  // Freed before the producer may allocate again.
+      in_flight = nullptr;
+      cv.notify_one();
+    }
+  });
+  std::set<void*> distinct;
+  for (int i = 0; i < kRounds; ++i) {
+    void* p = PoolAlloc(kBytes);
+    distinct.insert(p);
+    std::unique_lock<std::mutex> lk(mu);
+    in_flight = p;
+    cv.notify_one();
+    cv.wait(lk, [&] { return in_flight == nullptr; });
+  }
+  consumer.join();
+  EXPECT_LE(distinct.size(), 2u);
+}
+
+TEST(PayloadPoolTest, PooledSharedPtrReleasedOnForeignThread) {
+  struct Message {
+    uint64_t body[6] = {};
+  };
+  // Last reference dropped on another thread: the combined object + control
+  // block must flow back and be reused by the owner. Earlier tests may have
+  // left blocks of the same size class in the owner's list, so allocate (and
+  // retain, forcing misses) until the returned block resurfaces.
+  std::shared_ptr<Message> first = MakePooledMessage<Message>();
+  const void* first_addr = first.get();
+  std::thread other([m = std::move(first)]() mutable { m.reset(); });
+  other.join();
+  bool recycled = false;
+  std::vector<std::shared_ptr<Message>> keep;
+  for (int i = 0; i < 2048 && !recycled; ++i) {
+    keep.push_back(MakePooledMessage<Message>());
+    recycled = keep.back().get() == first_addr;
+  }
+  EXPECT_TRUE(recycled) << "foreign-freed block never returned to its owner";
+}
+
+TEST(PayloadPoolTest, PoolAllocatorVectorSurvivesCrossThreadHandoff) {
+  using PooledVec = std::vector<uint64_t, PoolAllocator<uint64_t>>;
+  PooledVec vec;
+  for (uint64_t i = 0; i < 100; ++i) {
+    vec.push_back(i);
+  }
+  std::thread other([v = std::move(vec)]() mutable {
+    ASSERT_EQ(v.size(), 100u);
+    EXPECT_EQ(v[99], 99u);
+    v.clear();
+    v.shrink_to_fit();  // Deallocates on the foreign thread.
+  });
+  other.join();
+}
+
+TEST(PayloadPoolTest, OversizedBlocksBypassThePool) {
+  void* big = PoolAlloc(pool_internal::kMaxPooledBytes + 1);
+  ASSERT_NE(big, nullptr);
+  PoolFree(big, pool_internal::kMaxPooledBytes + 1);
+}
+
+}  // namespace
+}  // namespace tiger

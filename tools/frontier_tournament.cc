@@ -3,10 +3,14 @@
 //   frontier_tournament [--quick] [--seed=N] [--json=frontier.json]
 //                       [--families=a,b,c] [--max-cardinality=K]
 //                       [--max-runs=N] [--weaken=no-reforward|no-backup]
+//                       [--jobs=N]
 //
 // Runs the budgeted frontier search (src/frontier/search.h) and writes the
 // canonical survivability envelope. Same flags + same seed => byte-identical
 // JSON. The human-readable report goes to stdout, per-run progress to stderr.
+// --jobs=N prefetches scenario outcomes on N threads; it changes wall clock
+// only — the envelope (and its JSON) is byte-identical for every jobs value,
+// which tests/frontier_test.cc asserts.
 //
 // To regenerate the committed CI baseline after an intentional change
 // (documented in EXPERIMENTS.md E17):
@@ -79,6 +83,14 @@ int main(int argc, char** argv) {
   const std::string max_runs = FlagValue(argc, argv, "max-runs");
   if (!max_runs.empty()) {
     options.max_runs = std::atoi(max_runs.c_str());
+  }
+  const std::string jobs = FlagValue(argc, argv, "jobs");
+  if (!jobs.empty()) {
+    options.jobs = std::atoi(jobs.c_str());
+    if (options.jobs < 1) {
+      std::fprintf(stderr, "frontier_tournament: --jobs must be >= 1\n");
+      return 2;
+    }
   }
   options.families = SplitCommas(FlagValue(argc, argv, "families"));
   const std::string weaken = FlagValue(argc, argv, "weaken");
