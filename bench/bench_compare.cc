@@ -18,215 +18,34 @@
 //    default threshold is deliberately generous; it catches order-of-
 //    magnitude cliffs, not percent-level drift.
 //
+// Every failed gate additionally prints one machine-greppable line
+//   REGRESSION workload=<w> field=<f> base=<x> new=<y>
+// so CI logs (and humans skimming them) can find the verdicts without
+// reading the whole table.
+//
 // To regenerate the baseline after an intentional change (documented in
 // EXPERIMENTS.md):
 //   cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release -DTIGER_COUNT_ALLOCS=ON
 //   cmake --build build-rel -j
 //   build-rel/bench/sim_microbench --quick --seed=1 --json=bench/baselines/BENCH_sim.json
 //
-// Only standard library; the parser below handles exactly the JSON subset
-// bench_util.h's JsonWriter emits (flat objects/arrays, no escapes in the
-// strings we read).
+// Only standard library; src/common/mini_json.h handles exactly the JSON
+// subset bench_util.h's JsonWriter emits.
 
-#include <cctype>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <fstream>
 #include <map>
-#include <sstream>
 #include <string>
-#include <vector>
+
+#include "src/common/mini_json.h"
 
 namespace {
+
+using tiger::JsonValue;
 
 // Allocations are integers divided by event counts; allow float fuzz only.
 constexpr double kAllocSlack = 1e-6;
 constexpr double kDefaultThreshold = 0.7;
-
-// --- minimal JSON reader -----------------------------------------------------
-
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject } type = Type::kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  const JsonValue* Find(const std::string& key) const {
-    auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  bool Parse(JsonValue* out) { return ParseValue(out) && (SkipSpace(), pos_ == text_.size()); }
-
- private:
-  void SkipSpace() {
-    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      pos_++;
-    }
-  }
-
-  bool Literal(const char* s) {
-    const size_t n = std::strlen(s);
-    if (text_.compare(pos_, n, s) != 0) {
-      return false;
-    }
-    pos_ += n;
-    return true;
-  }
-
-  bool ParseValue(JsonValue* out) {
-    SkipSpace();
-    if (pos_ >= text_.size()) {
-      return false;
-    }
-    switch (text_[pos_]) {
-      case '{':
-        return ParseObject(out);
-      case '[':
-        return ParseArray(out);
-      case '"':
-        out->type = JsonValue::Type::kString;
-        return ParseString(&out->str);
-      case 't':
-        out->type = JsonValue::Type::kBool;
-        out->boolean = true;
-        return Literal("true");
-      case 'f':
-        out->type = JsonValue::Type::kBool;
-        out->boolean = false;
-        return Literal("false");
-      case 'n':
-        out->type = JsonValue::Type::kNull;
-        return Literal("null");
-      default:
-        return ParseNumber(out);
-    }
-  }
-
-  bool ParseString(std::string* out) {
-    if (text_[pos_] != '"') {
-      return false;
-    }
-    pos_++;
-    out->clear();
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\\') {  // Benchmark names have no escapes; pass through.
-        pos_++;
-        if (pos_ >= text_.size()) {
-          return false;
-        }
-      }
-      out->push_back(text_[pos_++]);
-    }
-    if (pos_ >= text_.size()) {
-      return false;
-    }
-    pos_++;  // closing quote
-    return true;
-  }
-
-  bool ParseNumber(JsonValue* out) {
-    const size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
-      pos_++;
-    }
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
-            text_[pos_] == '+')) {
-      pos_++;
-    }
-    if (pos_ == start) {
-      return false;
-    }
-    out->type = JsonValue::Type::kNumber;
-    out->number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
-    return true;
-  }
-
-  bool ParseArray(JsonValue* out) {
-    out->type = JsonValue::Type::kArray;
-    pos_++;  // '['
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == ']') {
-      pos_++;
-      return true;
-    }
-    while (true) {
-      JsonValue element;
-      if (!ParseValue(&element)) {
-        return false;
-      }
-      out->array.push_back(std::move(element));
-      SkipSpace();
-      if (pos_ >= text_.size()) {
-        return false;
-      }
-      if (text_[pos_] == ',') {
-        pos_++;
-        continue;
-      }
-      if (text_[pos_] == ']') {
-        pos_++;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  bool ParseObject(JsonValue* out) {
-    out->type = JsonValue::Type::kObject;
-    pos_++;  // '{'
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == '}') {
-      pos_++;
-      return true;
-    }
-    while (true) {
-      SkipSpace();
-      std::string key;
-      if (pos_ >= text_.size() || !ParseString(&key)) {
-        return false;
-      }
-      SkipSpace();
-      if (pos_ >= text_.size() || text_[pos_] != ':') {
-        return false;
-      }
-      pos_++;
-      JsonValue value;
-      if (!ParseValue(&value)) {
-        return false;
-      }
-      out->object.emplace(std::move(key), std::move(value));
-      SkipSpace();
-      if (pos_ >= text_.size()) {
-        return false;
-      }
-      if (text_[pos_] == ',') {
-        pos_++;
-        continue;
-      }
-      if (text_[pos_] == '}') {
-        pos_++;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
-
-// --- bench schema ------------------------------------------------------------
 
 struct BenchResult {
   double events_per_sec = 0;
@@ -243,17 +62,12 @@ struct BenchFile {
 };
 
 bool LoadBenchFile(const std::string& path, BenchFile* out, std::string* error) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    *error = "cannot open " + path;
+  JsonValue root;
+  if (!tiger::LoadJsonFile(path, &root, error)) {
     return false;
   }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const std::string text = buf.str();
-  JsonValue root;
-  if (!JsonParser(text).Parse(&root) || root.type != JsonValue::Type::kObject) {
-    *error = path + ": not valid JSON";
+  if (root.type != JsonValue::Type::kObject) {
+    *error = path + ": top level is not an object";
     return false;
   }
   const JsonValue* schema = root.Find("schema_version");
@@ -339,6 +153,7 @@ int main(int argc, char** argv) {
     auto it = current.results.find(name);
     if (it == current.results.end()) {
       std::printf("MISSING  %-24s (in baseline, not in current run)\n", name.c_str());
+      std::printf("REGRESSION workload=%s field=present base=1 new=0\n", name.c_str());
       regressions++;
       continue;
     }
@@ -357,10 +172,14 @@ int main(int argc, char** argv) {
                 base.allocs_per_event, cur.allocs_per_event);
     if (!speed_ok) {
       std::printf("         ^ throughput below %.2fx of baseline\n", threshold);
+      std::printf("REGRESSION workload=%s field=events_per_sec base=%.0f new=%.0f\n",
+                  name.c_str(), base.events_per_sec, cur.events_per_sec);
       regressions++;
     }
     if (!allocs_ok) {
       std::printf("         ^ allocs_per_event above baseline (machine-independent gate)\n");
+      std::printf("REGRESSION workload=%s field=allocs_per_event base=%.6f new=%.6f\n",
+                  name.c_str(), base.allocs_per_event, cur.allocs_per_event);
       regressions++;
     }
   }

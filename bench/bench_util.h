@@ -9,6 +9,15 @@
 //                      support it; see EXPERIMENTS.md for each schema)
 //   --threads=N        run on the sharded parallel engine with N worker
 //                      threads (benches that support it; 1 = serial engine)
+//   --shards=N         pin the shard count for sharded runs (benches that
+//                      support it; default: bench-specific, scale_sweep uses
+//                      sim_shards=0 auto-tune when --threads > 1)
+//   --profile-prefix=P enable the self-profiler and write one
+//                      <P><workload>.profile.json per measured system
+//                      (benches that support it; see EXPERIMENTS.md E18)
+//   --profile-overhead-max=F  fail (exit 1) if the profiled rerun of the
+//                      gating workload is more than F (fraction, e.g. 0.05)
+//                      slower than the unprofiled run (sim_microbench)
 
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
@@ -28,7 +37,10 @@ struct BenchArgs {
   uint64_t seed = 1;
   int max_streams = -1;  // -1: bench default.
   int threads = 1;        // > 1: sharded engine with this many workers.
+  int shards = -1;        // -1: bench default; 0: host auto-tune; >= 1: pinned.
   std::string json_path;  // Empty: bench-specific default (may be "no JSON").
+  std::string profile_prefix;       // Non-empty: profile + write artifacts.
+  double profile_overhead_max = 0;  // > 0: gate profiled rerun slowdown.
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -48,12 +60,27 @@ struct BenchArgs {
           std::fprintf(stderr, "--threads must be >= 1\n");
           std::exit(1);
         }
+      } else if (std::strncmp(a, "--shards=", 9) == 0) {
+        args.shards = std::atoi(a + 9);
+        if (args.shards < 0) {
+          std::fprintf(stderr, "--shards must be >= 0 (0 = host auto-tune)\n");
+          std::exit(1);
+        }
       } else if (std::strncmp(a, "--json=", 7) == 0) {
         args.json_path = a + 7;
+      } else if (std::strncmp(a, "--profile-prefix=", 17) == 0) {
+        args.profile_prefix = a + 17;
+      } else if (std::strncmp(a, "--profile-overhead-max=", 23) == 0) {
+        args.profile_overhead_max = std::strtod(a + 23, nullptr);
+        if (args.profile_overhead_max <= 0) {
+          std::fprintf(stderr, "--profile-overhead-max must be > 0 (a fraction)\n");
+          std::exit(1);
+        }
       } else if (std::strcmp(a, "--help") == 0) {
         std::fprintf(stderr,
                      "usage: %s [--quick] [--csv] [--seed=N] [--max-streams=N] "
-                     "[--threads=N] [--json=PATH]\n",
+                     "[--threads=N] [--shards=N] [--json=PATH] "
+                     "[--profile-prefix=P] [--profile-overhead-max=F]\n",
                      argv[0]);
         std::exit(0);
       } else {

@@ -33,10 +33,18 @@
 // event budget without touching the schedule-management path under test.
 //
 // --threads=N additionally runs every point on the sharded parallel engine
-// (DESIGN.md §6h; 8 ring-segment shards) with 1 worker thread and with N,
-// and reports speedup_vs_1thread — measured, not assumed, so a single-CPU
-// host honestly reports ~1.0x. Simulation-derived fields are identical
-// between the two runs by the engine's determinism contract.
+// (DESIGN.md §6h) with 1 worker thread and with N, and reports
+// speedup_vs_1thread — measured, not assumed, so a single-CPU host honestly
+// reports ~1.0x. Simulation-derived fields are identical between the two
+// runs by the engine's determinism contract. The shard count defaults to
+// sim_shards=0 host auto-tune (TigerSystem logs the resolution); pass
+// --shards=N to pin it — CI does, because the shard count fixes the logical
+// schedule and thus the bench_compare entry names.
+//
+// --profile-prefix=P enables the self-profiler on every measured system and
+// writes <P><name>.profile.json (tiger-profile-v1; read with
+// tools/tigerstat). Profiling never changes the logical schedule, so the
+// determinism cross-checks hold with it on.
 
 #include <algorithm>
 #include <chrono>
@@ -106,7 +114,7 @@ double Seconds(std::chrono::steady_clock::duration d) {
 }
 
 SweepResult RunPoint(const SweepPoint& point, bool quick, uint64_t seed, int shards,
-                     int threads) {
+                     int threads, const std::string& profile_prefix) {
   // Warmup must outlast the longest settling horizon in the protocol (the
   // ~20s seen-instance retention window); see bench/sim_microbench.cc.
   const Duration kWarmup = Duration::Seconds(30);
@@ -116,18 +124,23 @@ SweepResult RunPoint(const SweepPoint& point, bool quick, uint64_t seed, int sha
   TigerConfig config;
   config.shape.num_cubs = point.cubs;
   config.simulate_data_plane = false;
-  config.sim_shards = shards;
+  config.sim_shards = shards;  // 0 = host auto-tune, resolved (and logged) by the ctor.
   config.sim_threads = threads;
   TigerSystem dist(config, seed);
   SinkEndpoint sink;
   NetAddress sink_addr = dist.net().Attach(&sink, "sink", config.client_nic_bps);
+  if (!profile_prefix.empty()) {
+    dist.EnableProfiling();
+  }
 
   SweepResult r;
-  r.name = PointName(point, shards, threads);
+  // Read the resolved shard count back from the system: with --shards=0 the
+  // bench_compare key must name what actually ran.
+  r.name = PointName(point, dist.config().sim_shards, dist.config().sim_threads);
   r.cubs = point.cubs;
   r.disks_per_cub = config.shape.disks_per_cub;
-  r.shards = shards;
-  r.threads = threads;
+  r.shards = dist.config().sim_shards;
+  r.threads = dist.config().sim_threads;
   r.load = point.load;
   r.slot_count = config.MaxStreams();
   r.streams = static_cast<int>(static_cast<double>(config.MaxStreams()) * point.load);
@@ -185,6 +198,14 @@ SweepResult RunPoint(const SweepPoint& point, bool quick, uint64_t seed, int sha
   }
   r.control_bps_per_cub_mean = sum / static_cast<double>(point.cubs);
   r.control_bps_per_cub_max = max;
+  if (!profile_prefix.empty()) {
+    const std::string path = profile_prefix + r.name + ".profile.json";
+    if (dist.WriteProfile(path)) {
+      std::printf("wrote %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "scale_sweep: cannot write %s\n", path.c_str());
+    }
+  }
   return r;
 }
 
@@ -203,19 +224,34 @@ int Main(int argc, char** argv) {
     points = {{100, 0.1}, {100, 0.9}, {250, 0.9}, {500, 0.9}, {1000, 0.1}, {1000, 0.9}};
   }
 
-  // 8 ring-segment shards in sharded mode: every sweep shape (100..1000
-  // cubs) divides into contiguous segments of >= 12 cubs, and the shard
-  // count — which fixes the logical schedule — stays the same at every
-  // thread count so results are comparable.
-  const int kShards = 8;
+  // Shard count for sharded runs. --shards pins it (CI does: the shard count
+  // fixes the logical schedule and thus the bench_compare entry names);
+  // unset, --threads runs hand sim_shards=0 to TigerSystem, which auto-tunes
+  // for the host (min(hardware threads, cubs/12), logged to stderr). The
+  // 1-thread and N-thread runs of a point resolve identically on one host,
+  // keeping the determinism cross-check meaningful.
+  const int shard_spec = args.shards >= 0 ? args.shards : (args.threads > 1 ? 0 : 1);
   std::vector<SweepResult> results;
   for (const SweepPoint& point : points) {
     if (args.threads > 1) {
-      std::printf("running %d cubs at %.0f%% load (%d shards; 1 then %d threads)...\n",
-                  point.cubs, point.load * 100, kShards, args.threads);
+      std::printf("running %d cubs at %.0f%% load (shards=%s; 1 then %d threads)...\n",
+                  point.cubs, point.load * 100,
+                  shard_spec == 0 ? "auto" : std::to_string(shard_spec).c_str(),
+                  args.threads);
       std::fflush(stdout);
-      SweepResult base = RunPoint(point, args.quick, args.seed, kShards, 1);
-      SweepResult multi = RunPoint(point, args.quick, args.seed, kShards, args.threads);
+      SweepResult base =
+          RunPoint(point, args.quick, args.seed, shard_spec, 1, args.profile_prefix);
+      if (base.shards == 1) {
+        // Auto-tune picked the serial engine (single-CPU host or a shape too
+        // small to shard); a second run with more threads would be the same
+        // run under the same name.
+        std::printf("auto-tuned to 1 shard (serial); skipping %d-thread rerun\n",
+                    args.threads);
+        results.push_back(base);
+        continue;
+      }
+      SweepResult multi = RunPoint(point, args.quick, args.seed, base.shards,
+                                   args.threads, args.profile_prefix);
       multi.speedup_vs_1thread =
           multi.best_wall_s > 0 ? base.best_wall_s / multi.best_wall_s : 0;
       TIGER_CHECK(base.events == multi.events)
@@ -225,7 +261,8 @@ int Main(int argc, char** argv) {
     } else {
       std::printf("running %d cubs at %.0f%% load...\n", point.cubs, point.load * 100);
       std::fflush(stdout);
-      results.push_back(RunPoint(point, args.quick, args.seed, 1, 1));
+      results.push_back(
+          RunPoint(point, args.quick, args.seed, shard_spec, 1, args.profile_prefix));
     }
   }
 

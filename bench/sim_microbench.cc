@@ -18,7 +18,15 @@
 //                         successor restamp, encode/decode) — prices the
 //                         audit lineage machinery against message_hop;
 //   cub_ring_90pct        end-to-end distributed-schedule system at 90%
-//                         load, the workload behind bench/scalability.
+//                         load, the workload behind bench/scalability;
+//   cub_ring_90pct_profiled  the same system with the self-profiler on
+//                         (src/trace/profiler.h). Diffing against
+//                         cub_ring_90pct prices the profiler; the measured
+//                         span must dispatch exactly the same number of
+//                         events (profiling never changes the logical
+//                         schedule — checked, not assumed), and
+//                         --profile-overhead-max=F turns the slowdown into a
+//                         CI gate.
 //
 // Every workload runs `warmup + reps` times and reports the best wall time
 // (minimum is the stable estimator at millisecond scale). With a
@@ -304,7 +312,15 @@ WorkloadResult MessageHopLineage(bool quick, uint64_t seed) {
 
 // --- workload 4: end-to-end 90%-load cub ring -------------------------------
 
-WorkloadResult CubRing(bool quick, uint64_t seed) {
+struct CubRingOutcome {
+  WorkloadResult result;
+  // Events over the whole measured span (all reps). Deterministic for a
+  // fixed seed, unlike result.events which belongs to the best-rate rep.
+  uint64_t span_events = 0;
+};
+
+CubRingOutcome CubRing(bool quick, uint64_t seed, bool profiled,
+                       const std::string& profile_prefix) {
   // Warmup must outlast every settling horizon in the system, the longest of
   // which is the seen-instance retention window (~20s: view retention plus
   // two deadman timeouts plus two block times) — only after entries have aged
@@ -325,6 +341,9 @@ WorkloadResult CubRing(bool quick, uint64_t seed) {
   TigerSystem dist(config, seed);
   SinkEndpoint sink;
   NetAddress sink_addr = dist.net().Attach(&sink, "sink", config.client_nic_bps);
+  if (profiled) {
+    dist.EnableProfiling();
+  }
   const int streams =
       static_cast<int>(static_cast<double>(config.MaxStreams()) * 0.9);
   // Long enough that no stream hits end-of-file inside the measured horizon
@@ -337,25 +356,29 @@ WorkloadResult CubRing(bool quick, uint64_t seed) {
   TIGER_CHECK(made == streams);
   dist.Start();
 
-  WorkloadResult r;
-  r.name = "cub_ring_90pct";
+  CubRingOutcome out;
+  WorkloadResult& r = out.result;
+  r.name = profiled ? "cub_ring_90pct_profiled" : "cub_ring_90pct";
   r.reps = kReps;
   r.warmup_reps = 1;
   r.best_wall_s = 1e30;
   r.steady_allocs = ~0ull;
   TimePoint cursor = TimePoint::Zero() + kWarmup;
   // Warmup window: pools fill, meters reserve, the view reaches steady
-  // occupancy, eviction ticks begin recycling.
-  dist.sim().RunUntil(cursor);
+  // occupancy, eviction ticks begin recycling. dist.RunUntil (not
+  // sim().RunUntil) so the profiled variant's serial profiler is installed
+  // around the loop; for the unprofiled run the wrapper is a plain forward.
+  dist.RunUntil(cursor);
+  const uint64_t span_start_events = dist.processed_events();
   double best_rate = 0;
   for (int rep = 0; rep < kReps; ++rep) {
-    const uint64_t events_before = dist.sim().processed_events();
+    const uint64_t events_before = dist.processed_events();
     const uint64_t allocs_before = AllocCount();
     const auto start = std::chrono::steady_clock::now();
     cursor = cursor + kWindow;
-    dist.sim().RunUntil(cursor);
+    dist.RunUntil(cursor);
     const auto end = std::chrono::steady_clock::now();
-    const uint64_t events = dist.sim().processed_events() - events_before;
+    const uint64_t events = dist.processed_events() - events_before;
     const uint64_t allocs = AllocCount() - allocs_before;
     const double wall = Seconds(end - start);
     const double rate = static_cast<double>(events) / wall;
@@ -370,7 +393,14 @@ WorkloadResult CubRing(bool quick, uint64_t seed) {
       r.allocs_per_event = static_cast<double>(allocs) / static_cast<double>(events);
     }
   }
-  return r;
+  out.span_events = dist.processed_events() - span_start_events;
+  if (profiled && !profile_prefix.empty()) {
+    const std::string path = profile_prefix + r.name + ".profile.json";
+    if (dist.WriteProfile(path)) {
+      std::printf("wrote %s\n", path.c_str());
+    }
+  }
+  return out;
 }
 
 int Main(int argc, char** argv) {
@@ -386,7 +416,27 @@ int Main(int argc, char** argv) {
   results.push_back(ScheduleCancelFire(args.quick));
   results.push_back(MessageHop(args.quick, args.seed));
   results.push_back(MessageHopLineage(args.quick, args.seed));
-  results.push_back(CubRing(args.quick, args.seed));
+  const CubRingOutcome plain =
+      CubRing(args.quick, args.seed, /*profiled=*/false, args.profile_prefix);
+  const CubRingOutcome profiled =
+      CubRing(args.quick, args.seed, /*profiled=*/true, args.profile_prefix);
+  results.push_back(plain.result);
+  results.push_back(profiled.result);
+  // The profiler's contract: it observes the run, it never steers it. Event
+  // counts over the same simulated span must match exactly.
+  TIGER_CHECK(plain.span_events == profiled.span_events)
+      << "profiling changed the logical schedule: " << plain.span_events << " vs "
+      << profiled.span_events << " events";
+  const double overhead =
+      1.0 - profiled.result.events_per_sec / plain.result.events_per_sec;
+  std::printf("profiler overhead on cub_ring_90pct: %.2f%%%s\n", overhead * 100,
+              args.profile_overhead_max > 0 ? " (gated)" : "");
+  if (args.profile_overhead_max > 0 && overhead > args.profile_overhead_max) {
+    std::fprintf(stderr,
+                 "sim_microbench: profiler overhead %.2f%% exceeds gate %.2f%%\n",
+                 overhead * 100, args.profile_overhead_max * 100);
+    return 1;
+  }
 
   TextTable table({"workload", "events", "best_wall_s", "events/sec", "allocs/event"});
   for (const WorkloadResult& r : results) {

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/trace/profiler.h"
 #include "src/core/system.h"
 
 namespace tiger {
@@ -272,6 +273,7 @@ void ScheduleAuditor::AppendHop(ChainState& chain, Hop hop) {
 void ScheduleAuditor::OnRecordCreated(TimePoint when, uint32_t cub, CreateKind kind,
                                       const ViewerStateRecord& record,
                                       const RecordLineage& request) {
+  TIGER_PROF_SCOPE(kQosAudit);
   if (!record.lineage.tagged()) {
     untagged_records_++;
     return;
@@ -313,6 +315,7 @@ void ScheduleAuditor::OnRecordCreated(TimePoint when, uint32_t cub, CreateKind k
 
 void ScheduleAuditor::OnRecordForwarded(TimePoint when, uint32_t from, uint32_t to,
                                         const ViewerStateRecord& record) {
+  TIGER_PROF_SCOPE(kQosAudit);
   if (!record.lineage.tagged()) {
     untagged_records_++;
     return;
@@ -334,6 +337,7 @@ void ScheduleAuditor::OnRecordForwarded(TimePoint when, uint32_t from, uint32_t 
 void ScheduleAuditor::OnRecordReceived(TimePoint when, uint32_t at,
                                        const ViewerStateRecord& record,
                                        ScheduleView::ApplyResult result) {
+  TIGER_PROF_SCOPE(kQosAudit);
   if (!record.lineage.tagged()) {
     untagged_records_++;
     return;
@@ -391,6 +395,7 @@ void ScheduleAuditor::OnRecordReceived(TimePoint when, uint32_t at,
 
 void ScheduleAuditor::OnRecordTtlDropped(TimePoint when, uint32_t at,
                                          const ViewerStateRecord& record) {
+  TIGER_PROF_SCOPE(kQosAudit);
   if (!record.lineage.tagged()) {
     untagged_records_++;
     return;
@@ -419,6 +424,7 @@ void ScheduleAuditor::OnRecordTtlDropped(TimePoint when, uint32_t at,
 
 void ScheduleAuditor::OnKill(TimePoint when, uint32_t at, const DescheduleRecord& kill,
                              const RecordLineage& lineage, int removed, bool new_hold) {
+  TIGER_PROF_SCOPE(kQosAudit);
   kills_observed_++;
   auto [it, inserted] = kills_.try_emplace(kill.instance.value());
   KillState& state = it->second;
@@ -470,6 +476,7 @@ void ScheduleAuditor::OnKill(TimePoint when, uint32_t at, const DescheduleRecord
 // ---------------------------------------------------------------------------
 
 void ScheduleAuditor::OnTraceEvent(const TraceEvent& event) {
+  TIGER_PROF_SCOPE(kQosAudit);
   trace_events_seen_++;
   // Cross-check: every lineage hop in the live stream must name a chain the
   // evidence hooks have already introduced (hooks fire in the same call).

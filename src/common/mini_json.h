@@ -1,0 +1,237 @@
+// Minimal JSON reader for the subset our own writers emit: flat-ish
+// objects/arrays, numbers, strings without escapes we need to interpret.
+// Shared by the offline consumers of bench_util.h's JsonWriter and of
+// profile.json (bench_compare, tigerstat) — tools that deliberately depend on
+// nothing but the standard library. Not a general-purpose JSON library: no
+// unicode escapes, no duplicate-key handling, numbers parsed as double.
+//
+// Header-only so the tools can use it without linking any tiger library.
+
+#ifndef SRC_COMMON_MINI_JSON_H_
+#define SRC_COMMON_MINI_JSON_H_
+
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tiger {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject } type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+  // Dotted-path lookup through nested objects ("counts.categories.msg_hop").
+  const JsonValue* FindPath(const std::string& path) const {
+    const JsonValue* node = this;
+    size_t start = 0;
+    while (node != nullptr && start <= path.size()) {
+      const size_t dot = path.find('.', start);
+      const std::string key =
+          path.substr(start, dot == std::string::npos ? std::string::npos : dot - start);
+      node = node->Find(key);
+      if (dot == std::string::npos) {
+        break;
+      }
+      start = dot + 1;
+    }
+    return node;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) { return ParseValue(out) && (SkipSpace(), pos_ == text_.size()); }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      pos_++;
+    }
+  }
+
+  bool Literal(const char* s) {
+    const size_t n = std::strlen(s);
+    if (text_.compare(pos_, n, s) != 0) {
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->str);
+      case 't':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = false;
+        return Literal("false");
+      case 'n':
+        out->type = JsonValue::Type::kNull;
+        return Literal("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (text_[pos_] != '"') {
+      return false;
+    }
+    pos_++;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {  // Our writers emit no escapes we must decode.
+        pos_++;
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+      }
+      out->push_back(text_[pos_++]);
+    }
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    pos_++;  // closing quote
+    return true;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      pos_++;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      pos_++;
+    }
+    if (pos_ == start) {
+      return false;
+    }
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    pos_++;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      pos_++;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      if (!ParseValue(&element)) {
+        return false;
+      }
+      out->array.push_back(std::move(element));
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        pos_++;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        pos_++;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    pos_++;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      pos_++;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (pos_ >= text_.size() || !ParseString(&key)) {
+        return false;
+      }
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return false;
+      }
+      pos_++;
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->object.emplace(std::move(key), std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        pos_++;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        pos_++;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+inline bool LoadJsonFile(const std::string& path, JsonValue* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  if (!JsonParser(text).Parse(out)) {
+    *error = path + ": not valid JSON";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tiger
+
+#endif  // SRC_COMMON_MINI_JSON_H_

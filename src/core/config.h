@@ -149,11 +149,29 @@ struct TigerConfig {
   // --- sharded engine (DESIGN.md §6h) ---
   // Ring-segment shards the simulation partitions into; 1 = the classic
   // serial engine (byte-identical to historical runs). The logical schedule
-  // depends on sim_shards, never on sim_threads.
+  // depends on sim_shards, never on sim_threads. 0 = auto-tune: TigerSystem
+  // resolves it to AutoShardCount(shape.num_cubs, hardware threads) at
+  // construction and logs the choice (it changes the logical schedule, so
+  // anyone diffing runs needs to see it).
   int sim_shards = 1;
   // Worker threads driving the shards (capped at sim_shards). Any thread
-  // count yields byte-identical output for a fixed sim_shards.
+  // count yields byte-identical output for a fixed sim_shards. 0 = auto:
+  // min(resolved sim_shards, hardware threads).
   int sim_threads = 1;
+
+  // Shard-count auto-tune policy (sim_shards == 0). One shard per hardware
+  // thread is the speedup ceiling, but tiny ring segments are
+  // counterproductive — below ~12 cubs per shard most neighbor forwarding
+  // crosses a shard boundary and the barrier merge dominates (EXPERIMENTS.md
+  // E17 scale sweep). Clamped to [1, 256].
+  static int AutoShardCount(int num_cubs, int hardware_threads) {
+    const int by_segment = num_cubs / 12;
+    int shards = std::min(hardware_threads, by_segment);
+    if (shards < 1) {
+      shards = 1;
+    }
+    return std::min(shards, 256);
+  }
 
   CpuCostModel cpu;
   NetworkConfig net;

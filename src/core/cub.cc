@@ -7,6 +7,7 @@
 #include "src/common/logging.h"
 #include "src/common/units.h"
 #include "src/net/payload_pool.h"
+#include "src/trace/profiler.h"
 
 namespace tiger {
 
@@ -225,6 +226,9 @@ void Cub::HandleMessage(const MessageEnvelope& envelope) {
 }
 
 void Cub::OnViewerStateBatch(const ViewerStateBatchMsg& msg) {
+  // Self time = wire decode + per-record receive glue; the schedule-view
+  // apply and QoS/audit hooks underneath carve out their own categories.
+  TIGER_PROF_SCOPE(kVStateDecode);
   ChargeMessageCpu();
   TIGER_TRACE_END_FLOW(tracer_, trace_track_, TraceEventType::kVStateHop, msg.trace_flow,
                        TraceArgs{.a = static_cast<int64_t>(msg.wire_records.size())});
@@ -378,6 +382,7 @@ void Cub::ScheduleEntryWork(const ViewerStateRecord::Key& key) {
 }
 
 void Cub::IssueRead(const ViewerStateRecord::Key& key) {
+  TIGER_PROF_SCOPE(kSlotService);
   ScheduleEntry* entry = view_.Find(key);
   if (entry == nullptr || entry->read_issued) {
     return;  // Descheduled or already in flight.
@@ -441,6 +446,7 @@ void Cub::IssueRead(const ViewerStateRecord::Key& key) {
 }
 
 void Cub::SendBlock(const ViewerStateRecord::Key& key) {
+  TIGER_PROF_SCOPE(kSlotService);
   ScheduleEntry* entry = view_.Find(key);
   if (entry == nullptr || entry->sent) {
     return;  // Descheduled: silently skip, this is not a missed block.
@@ -834,6 +840,10 @@ void Cub::MaybeForwardEntry(ScheduleEntry& entry, BatchMap& batches) {
   if (Now() < next->due - config_->max_vstate_lead) {
     return;
   }
+  // Scoped after the early-outs: the count is records actually encoded for
+  // forwarding, not entries merely considered (the forward tick scans far
+  // more entries than it forwards — the scan glue stays in timer_dispatch).
+  TIGER_PROF_SCOPE(kVStateEncode);
   entry.forwarded = true;
   StampLineageForSend(&*next);
   // Self-check corruption (InjectAuditCorruption): the forward evidence below
@@ -881,6 +891,7 @@ void Cub::FlushBatches(BatchMap& batches) {
 }
 
 void Cub::SendBatchTo(NetAddress target, ViewerStateBatchMsg&& batch) {
+  TIGER_PROF_SCOPE(kVStateEncode);
   ChargeMessageCpu();
   auto msg = MakePooledMessage<ViewerStateBatchMsg>(std::move(batch));
   TIGER_TRACE_BEGIN_FLOW(msg->trace_flow, tracer_, trace_track_, TraceEventType::kVStateHop,

@@ -33,6 +33,7 @@
 #include "src/sim/shard_engine.h"
 #include "src/stats/fault_stats.h"
 #include "src/stats/qos.h"
+#include "src/trace/profiler.h"
 #include "src/trace/trace.h"
 
 namespace tiger {
@@ -51,6 +52,7 @@ class QosLedgerRelay : public QosLedger {
 
   void AnnotateServerCause(TimePoint when, ViewerId viewer, int64_t position,
                            GlitchCause cause, uint32_t cub) override {
+    TIGER_PROF_SCOPE(kQosAudit);
     QosLedger* real = real_;
     engine_->JournalAppend(ShardRelayNow(engine_), [real, when, viewer, position, cause,
                                                     cub] {
@@ -58,17 +60,20 @@ class QosLedgerRelay : public QosLedger {
     });
   }
   void RecordClientBlock(ViewerId viewer) override {
+    TIGER_PROF_SCOPE(kQosAudit);
     QosLedger* real = real_;
     engine_->JournalAppend(ShardRelayNow(engine_),
                            [real, viewer] { real->RecordClientBlock(viewer); });
   }
   void RecordClientLate(TimePoint when, ViewerId viewer, int64_t position) override {
+    TIGER_PROF_SCOPE(kQosAudit);
     QosLedger* real = real_;
     engine_->JournalAppend(ShardRelayNow(engine_), [real, when, viewer, position] {
       real->RecordClientLate(when, viewer, position);
     });
   }
   void RecordClientLost(TimePoint when, ViewerId viewer, int64_t position) override {
+    TIGER_PROF_SCOPE(kQosAudit);
     QosLedger* real = real_;
     engine_->JournalAppend(ShardRelayNow(engine_), [real, when, viewer, position] {
       real->RecordClientLost(when, viewer, position);
@@ -85,22 +90,26 @@ class FaultStatsRelay : public FaultStats {
   FaultStatsRelay(ShardEngine* engine, FaultStats* real) : engine_(engine), real_(real) {}
 
   void RecordMessageFault(Kind kind, TimePoint when, uint32_t src, uint32_t dst) override {
+    TIGER_PROF_SCOPE(kQosAudit);
     FaultStats* real = real_;
     engine_->JournalAppend(ShardRelayNow(engine_), [real, kind, when, src, dst] {
       real->RecordMessageFault(kind, when, src, dst);
     });
   }
   void RecordDiskFault(Kind kind, TimePoint when, DiskId disk) override {
+    TIGER_PROF_SCOPE(kQosAudit);
     FaultStats* real = real_;
     engine_->JournalAppend(ShardRelayNow(engine_),
                            [real, kind, when, disk] { real->RecordDiskFault(kind, when, disk); });
   }
   void RecordCubRejoin(TimePoint when, CubId cub) override {
+    TIGER_PROF_SCOPE(kQosAudit);
     FaultStats* real = real_;
     engine_->JournalAppend(ShardRelayNow(engine_),
                            [real, when, cub] { real->RecordCubRejoin(when, cub); });
   }
   void RecordMirrorRecovery(TimePoint when, CubId cub, int64_t block) override {
+    TIGER_PROF_SCOPE(kQosAudit);
     FaultStats* real = real_;
     engine_->JournalAppend(ShardRelayNow(engine_), [real, when, cub, block] {
       real->RecordMirrorRecovery(when, cub, block);
@@ -118,12 +127,14 @@ class OracleRelay : public ScheduleOracle {
       : ScheduleOracle(geometry), engine_(engine), real_(real) {}
 
   void OnInsert(SlotId slot, ViewerId viewer, PlayInstanceId instance, TimePoint when) override {
+    TIGER_PROF_SCOPE(kQosAudit);
     ScheduleOracle* real = real_;
     engine_->JournalAppend(ShardRelayNow(engine_), [real, slot, viewer, instance, when] {
       real->OnInsert(slot, viewer, instance, when);
     });
   }
   void OnRemove(SlotId slot, PlayInstanceId instance, TimePoint when) override {
+    TIGER_PROF_SCOPE(kQosAudit);
     ScheduleOracle* real = real_;
     engine_->JournalAppend(ShardRelayNow(engine_), [real, slot, instance, when] {
       real->OnRemove(slot, instance, when);
@@ -131,6 +142,7 @@ class OracleRelay : public ScheduleOracle {
   }
   void OnPrimarySend(SlotId slot, PlayInstanceId instance, DiskId disk, TimePoint due,
                      TimePoint now) override {
+    TIGER_PROF_SCOPE(kQosAudit);
     ScheduleOracle* real = real_;
     engine_->JournalAppend(ShardRelayNow(engine_), [real, slot, instance, disk, due, now] {
       real->OnPrimarySend(slot, instance, disk, due, now);
@@ -150,6 +162,7 @@ class AuditObserverRelay : public AuditObserver {
   void OnRecordCreated(TimePoint when, uint32_t cub, CreateKind kind,
                        const ViewerStateRecord& record,
                        const RecordLineage& request) override {
+    TIGER_PROF_SCOPE(kQosAudit);
     AuditObserver* real = real_;
     engine_->JournalAppend(ShardRelayNow(engine_),
                            [real, when, cub, kind, record, request] {
@@ -158,6 +171,7 @@ class AuditObserverRelay : public AuditObserver {
   }
   void OnRecordForwarded(TimePoint when, uint32_t from, uint32_t to,
                          const ViewerStateRecord& record) override {
+    TIGER_PROF_SCOPE(kQosAudit);
     AuditObserver* real = real_;
     engine_->JournalAppend(ShardRelayNow(engine_), [real, when, from, to, record] {
       real->OnRecordForwarded(when, from, to, record);
@@ -165,6 +179,7 @@ class AuditObserverRelay : public AuditObserver {
   }
   void OnRecordReceived(TimePoint when, uint32_t at, const ViewerStateRecord& record,
                         ScheduleView::ApplyResult result) override {
+    TIGER_PROF_SCOPE(kQosAudit);
     AuditObserver* real = real_;
     engine_->JournalAppend(ShardRelayNow(engine_), [real, when, at, record, result] {
       real->OnRecordReceived(when, at, record, result);
@@ -172,6 +187,7 @@ class AuditObserverRelay : public AuditObserver {
   }
   void OnRecordTtlDropped(TimePoint when, uint32_t at,
                           const ViewerStateRecord& record) override {
+    TIGER_PROF_SCOPE(kQosAudit);
     AuditObserver* real = real_;
     engine_->JournalAppend(ShardRelayNow(engine_), [real, when, at, record] {
       real->OnRecordTtlDropped(when, at, record);
@@ -179,6 +195,7 @@ class AuditObserverRelay : public AuditObserver {
   }
   void OnKill(TimePoint when, uint32_t at, const DescheduleRecord& kill,
               const RecordLineage& lineage, int removed, bool new_hold) override {
+    TIGER_PROF_SCOPE(kQosAudit);
     AuditObserver* real = real_;
     engine_->JournalAppend(ShardRelayNow(engine_),
                            [real, when, at, kill, lineage, removed, new_hold] {

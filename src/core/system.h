@@ -33,6 +33,7 @@
 #include "src/sim/shard_engine.h"
 #include "src/sim/simulator.h"
 #include "src/trace/metrics.h"
+#include "src/trace/profiler.h"
 #include "src/trace/timeseries.h"
 #include "src/trace/trace.h"
 
@@ -77,6 +78,28 @@ class TigerSystem {
   // EnableTracing(). Call before Start(); sampling begins when Start() runs.
   void EnableTimeSeries(Duration cadence = Duration::Seconds(1),
                         size_t ring_capacity = 4096);
+
+  // Attaches the self-profiler (src/trace/profiler.h): per-category exclusive
+  // CPU time and exact event counts, plus per-shard/barrier accounting in
+  // sharded runs. Never changes logical execution — a profiled run's
+  // trace/timeseries dumps are byte-identical to an unprofiled run's. Call
+  // before running; idempotent. Chrome counter tracks additionally require
+  // EnableTimeSeries (snapshots piggyback on the sampler cadence so profiling
+  // itself schedules nothing).
+  void EnableProfiling();
+  bool profiling_enabled() const {
+    return serial_profiler_ != nullptr || engine_profiler_ != nullptr;
+  }
+
+  // Renders the tiger-profile-v1 document (docs/EXPERIMENTS.md E18). Counts
+  // are seed-deterministic and thread-count-invariant; times_ns is
+  // machine-dependent. ProfileCountsJson renders only the deterministic
+  // counts object (the byte-compare surface for tests).
+  std::string ProfileJson() const;
+  std::string ProfileCountsJson() const;
+  // Writes ProfileJson() to `path`; false on I/O failure or if profiling was
+  // never enabled.
+  bool WriteProfile(const std::string& path) const;
 
   // Attaches a passive audit observer (the ScheduleAuditor) to every cub and
   // remembers it so WriteChromeTrace can splice its flow arrows. Purely
@@ -203,6 +226,20 @@ class TigerSystem {
  private:
   // Owner simulator for cub `c` (serial: the one sim; sharded: its shard's).
   Simulator* SimForCub(size_t c);
+  // Assembles the ProfileData document (folds engine stats into the kEngine*
+  // category buckets and calibrates ticks→ns from the measured run).
+  ProfileData BuildProfileData() const;
+  // Appends one cumulative per-category sample for the Perfetto counter
+  // track. Runs from the time-series refresh callback (no-op when profiling
+  // is off).
+  void CaptureProfileSnapshot(TimePoint now);
+  // Measured ticks→ns ratio for this process (1.0 before any profiled run).
+  double NsPerTick() const {
+    return profile_wall_ticks_ > 0
+               ? static_cast<double>(profile_wall_ns_) /
+                     static_cast<double>(profile_wall_ticks_)
+               : 1.0;
+  }
   // Folds per-shard metric registries into the global one (sharded only).
   void FoldShardMetrics();
   // Barrier hook: drains every shard's trace buffer into trace_sink_.
@@ -210,6 +247,7 @@ class TigerSystem {
 
   TigerConfig config_;
   Rng rng_;
+  uint64_t seed_;
   Simulator sim_;
   // Non-null iff config.sim_shards > 1. The engine owns the per-shard
   // simulators; sim_ above is then unused (kept so serial stays zero-cost).
@@ -229,6 +267,15 @@ class TigerSystem {
   // in steady state.
   std::vector<TraceEvent> trace_drain_scratch_;
   Duration timeseries_interval_;
+  // Self-profiling (EnableProfiling): exactly one of these is non-null when
+  // enabled — the flat accumulator for serial runs, the per-shard + barrier
+  // accounting bundle for sharded runs. Wall ns/ticks accumulate across Run*
+  // calls and calibrate the tick clock at render time.
+  std::unique_ptr<Profiler> serial_profiler_;
+  std::unique_ptr<ShardEngineProfiler> engine_profiler_;
+  std::vector<ProfileSnapshot> profile_snapshots_;
+  uint64_t profile_wall_ns_ = 0;
+  uint64_t profile_wall_ticks_ = 0;
   std::unique_ptr<Network> net_;
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<StripeLayout> layout_;

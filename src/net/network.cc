@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/units.h"
+#include "src/trace/profiler.h"
 
 namespace tiger {
 
@@ -153,6 +154,9 @@ void Network::SendPaced(NetAddress src, NetAddress dst, int64_t bytes, int64_t p
 }
 
 void Network::Deliver(MessageEnvelope envelope, uint64_t flow, TimePoint sent) {
+  // Self time = fabric bookkeeping + dispatch into the endpoint; the
+  // endpoint's decode/apply work claims its own categories underneath.
+  TIGER_PROF_SCOPE(kMsgHop);
   Node& receiver = NodeRef(envelope.dst);
   TraceCtx& ctx = CtxFor(ShardOfNode(envelope.dst));
   if (!receiver.up) {

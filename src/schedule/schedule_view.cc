@@ -4,6 +4,7 @@
 #include <iterator>
 
 #include "src/common/check.h"
+#include "src/trace/profiler.h"
 
 namespace tiger {
 
@@ -23,6 +24,7 @@ ScheduleView::SlotBucket& ScheduleView::GetOrCreateBucket(SlotId slot) {
 
 ScheduleView::ApplyResult ScheduleView::ApplyViewerState(const ViewerStateRecord& record,
                                                          TimePoint now) {
+  TIGER_PROF_SCOPE(kScheduleApply);
   const ApplyResult result = ApplyViewerStateImpl(record, now);
   TIGER_TRACE_INSTANT(tracer_, trace_track_, TraceEventType::kVStateApply,
                       TraceArgs{.viewer = record.viewer.value(),
@@ -66,6 +68,7 @@ ScheduleView::ApplyResult ScheduleView::ApplyViewerStateImpl(const ViewerStateRe
 ScheduleView::DescheduleOutcome ScheduleView::ApplyDeschedule(const DescheduleRecord& deschedule,
                                                               TimePoint now,
                                                               TimePoint hold_until) {
+  TIGER_PROF_SCOPE(kDeschedule);
   SlotBucket& bucket = GetOrCreateBucket(deschedule.slot);
   DescheduleOutcome outcome;
   auto matches = [&](const ScheduleEntry& entry) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/trace/profiler.h"
+
 namespace tiger {
 
 namespace {
@@ -112,10 +114,29 @@ void ShardEngine::AddBarrierHook(InlineFunction hook) {
   hooks_.push_back(std::move(hook));
 }
 
+void ShardEngine::SetProfiler(ShardEngineProfiler* profiler) {
+  TIGER_CHECK(profiler == nullptr || profiler->shards() == shards())
+      << "profiler sized for " << profiler->shards() << " shards, engine has "
+      << shards();
+  profiler_ = profiler;
+}
+
 void ShardEngine::RunOwnedShards(int worker, TimePoint horizon) {
   for (int s = worker; s < shards(); s += threads_) {
     tls_current_shard = s;
-    sims_[static_cast<size_t>(s)]->RunUntil(horizon);
+    if (profiler_ != nullptr) {
+      // Route this shard's dispatch-level scopes (timer dispatch, decode, …)
+      // into its own flat buckets, and time the window inclusively for the
+      // per-shard busy/imbalance stats. Only this thread touches shard s this
+      // window; the driver reads the stats after the barrier hand-off.
+      Profiler* prev = Profiler::SetCurrent(&profiler_->shard_profiler(s));
+      const uint64_t t0 = ProfNowTicks();
+      sims_[static_cast<size_t>(s)]->RunUntil(horizon);
+      profiler_->shard_stats(s).busy_ticks += ProfNowTicks() - t0;
+      Profiler::SetCurrent(prev);
+    } else {
+      sims_[static_cast<size_t>(s)]->RunUntil(horizon);
+    }
     tls_current_shard = -1;
   }
 }
@@ -142,7 +163,7 @@ void ShardEngine::WorkerLoop(int worker) {
   }
 }
 
-void ShardEngine::DrainPosts(TimePoint horizon) {
+size_t ShardEngine::DrainPosts(TimePoint horizon) {
   merge_posts_.clear();
   for (ShardLane& lane : lanes_) {
     for (PendingPost& p : lane.posts) {
@@ -172,10 +193,12 @@ void ShardEngine::DrainPosts(TimePoint horizon) {
     }
     sims_[static_cast<size_t>(p.dst)]->ScheduleAt(when, std::move(p.cb));
   }
+  const size_t merged = merge_posts_.size();
   merge_posts_.clear();
+  return merged;
 }
 
-void ShardEngine::ApplyJournals() {
+size_t ShardEngine::ApplyJournals() {
   merge_journal_.clear();
   for (ShardLane& lane : lanes_) {
     for (JournalEntry& e : lane.journal) {
@@ -198,10 +221,12 @@ void ShardEngine::ApplyJournals() {
   for (JournalEntry* e : merge_journal_) {
     e->apply();
   }
+  const size_t applied = merge_journal_.size();
   merge_journal_.clear();
   for (ShardLane& lane : lanes_) {
     lane.journal.clear();
   }
+  return applied;
 }
 
 void ShardEngine::RunUntil(TimePoint t) {
@@ -233,6 +258,14 @@ void ShardEngine::RunUntil(TimePoint t) {
       horizon = TimePoint::FromMicros(std::min(t.micros(), std::max(grid_next, aligned)));
     }
 
+    // Window timeline, driver perspective: [t_start, t_busy) running our own
+    // shards, [t_busy, t_wait) stalled on the worker barrier, then the three
+    // serial barrier phases. The five intervals tile the whole loop body, so
+    // their sum attributes (almost) all of the engine's wall time.
+    const bool prof = profiler_ != nullptr;
+    const uint64_t t_start = prof ? ProfNowTicks() : 0;
+    uint64_t t_busy = 0;
+    uint64_t t_wait = 0;
     if (threads_ > 1) {
       {
         std::lock_guard<std::mutex> lk(mu_);
@@ -242,26 +275,100 @@ void ShardEngine::RunUntil(TimePoint t) {
       }
       start_cv_.notify_all();
       RunOwnedShards(0, horizon);
+      if (prof) {
+        t_busy = ProfNowTicks();
+      }
       {
         std::unique_lock<std::mutex> lk(mu_);
         done_cv_.wait(lk, [&] { return workers_running_ == 0; });
       }
+      if (prof) {
+        t_wait = ProfNowTicks();
+      }
     } else {
       RunOwnedShards(0, horizon);
+      if (prof) {
+        t_busy = ProfNowTicks();
+        t_wait = t_busy;
+      }
     }
 
     now_ = horizon;
-    DrainPosts(horizon);
-    ApplyJournals();
+    const size_t posts_merged = DrainPosts(horizon);
+    const uint64_t t_merge = prof ? ProfNowTicks() : 0;
+    const size_t journal_entries = ApplyJournals();
+    const uint64_t t_journal = prof ? ProfNowTicks() : 0;
+    uint64_t hook_runs = 0;
     for (InlineFunction& hook : hooks_) {
       hook();
+      ++hook_runs;
     }
+    uint64_t periodic_fires = 0;
     for (PeriodicTask& task : tasks_) {
       if (task.next_due == horizon) {
         task.task();
         task.next_due += task.period;
+        ++periodic_fires;
       }
     }
+    if (prof) {
+      RecordWindowProfile(t_start, t_busy, t_wait, t_merge, t_journal, ProfNowTicks(),
+                          posts_merged, journal_entries, periodic_fires, hook_runs);
+    }
+  }
+}
+
+void ShardEngine::RecordWindowProfile(uint64_t t_start, uint64_t t_busy, uint64_t t_wait,
+                                      uint64_t t_merge, uint64_t t_journal, uint64_t t_end,
+                                      size_t posts_merged, size_t journal_entries,
+                                      uint64_t periodic_fires, uint64_t hook_runs) {
+  ShardEngineProfiler::EngineStats& e = profiler_->engine();
+  ++e.windows;
+  e.driver_busy_ticks += t_busy - t_start;
+  e.barrier_wait_ticks += t_wait - t_busy;
+  e.merge_posts_ticks += t_merge - t_wait;
+  e.journal_replay_ticks += t_journal - t_merge;
+  e.periodic_tasks_ticks += t_end - t_journal;
+  e.span_ticks += t_end - t_start;
+  e.posts_merged += posts_merged;
+  e.journal_entries += journal_entries;
+  e.periodic_fires += periodic_fires;
+  e.hook_runs += hook_runs;
+
+  // Per-window, per-shard deltas. The event-based imbalance is a pure
+  // function of the logical schedule (deterministic across machines and
+  // thread counts); the busy-time imbalance is the machine-dependent twin.
+  uint64_t total_ev = 0;
+  uint64_t max_ev = 0;
+  uint64_t total_busy = 0;
+  uint64_t max_busy = 0;
+  for (int s = 0; s < shards(); ++s) {
+    const uint64_t ev = sims_[static_cast<size_t>(s)]->processed_events();
+    const uint64_t dev = ev - profiler_->prev_events(s);
+    profiler_->prev_events(s) = ev;
+    const uint64_t bt = profiler_->shard_stats(s).busy_ticks;
+    const uint64_t dbt = bt - profiler_->prev_busy_ticks(s);
+    profiler_->prev_busy_ticks(s) = bt;
+    total_ev += dev;
+    max_ev = std::max(max_ev, dev);
+    total_busy += dbt;
+    max_busy = std::max(max_busy, dbt);
+  }
+  if (total_ev == 0) {
+    return;
+  }
+  ++e.busy_windows;
+  const double imb_ev =
+      static_cast<double>(max_ev) * static_cast<double>(shards()) /
+      static_cast<double>(total_ev);
+  e.event_imbalance_sum += imb_ev;
+  e.event_imbalance_max = std::max(e.event_imbalance_max, imb_ev);
+  if (total_busy > 0) {
+    const double imb_busy =
+        static_cast<double>(max_busy) * static_cast<double>(shards()) /
+        static_cast<double>(total_busy);
+    e.busy_imbalance_sum += imb_busy;
+    e.busy_imbalance_max = std::max(e.busy_imbalance_max, imb_busy);
   }
 }
 

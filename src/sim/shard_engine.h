@@ -62,6 +62,8 @@
 
 namespace tiger {
 
+class ShardEngineProfiler;
+
 class ShardEngine {
  public:
   struct Options {
@@ -127,6 +129,13 @@ class ShardEngine {
   // the lookahead contract was violated. Zero in normal operation.
   uint64_t clamped_posts() const { return clamped_posts_; }
 
+  // Installs per-shard cost attribution (src/trace/profiler.h). The profiler
+  // must outlive the engine (or be detached with nullptr) and must be sized
+  // for exactly shards() shards. Install before running: per-window deltas
+  // start from the profiler's zeroed scratch. Profiling never changes the
+  // logical schedule — it only reads the cycle counter and bumps counters.
+  void SetProfiler(ShardEngineProfiler* profiler);
+
  private:
   struct PendingPost {
     TimePoint when;
@@ -164,15 +173,23 @@ class ShardEngine {
   void RunOwnedShards(int worker, TimePoint horizon);
   void WorkerLoop(int worker);
 
-  // Barrier phases (driver thread, shards quiesced).
-  void DrainPosts(TimePoint horizon);
-  void ApplyJournals();
+  // Barrier phases (driver thread, shards quiesced). Both return how many
+  // entries they moved, for the profiler's volume counters.
+  size_t DrainPosts(TimePoint horizon);
+  size_t ApplyJournals();
+
+  // Per-window driver-side accounting once the barrier is fully processed.
+  void RecordWindowProfile(uint64_t t_start, uint64_t t_busy, uint64_t t_wait,
+                           uint64_t t_merge, uint64_t t_journal, uint64_t t_end,
+                           size_t posts_merged, size_t journal_entries,
+                           uint64_t periodic_fires, uint64_t hook_runs);
 
   Options options_;
   Duration window_;
   int threads_ = 1;
   TimePoint now_;
   uint64_t clamped_posts_ = 0;
+  ShardEngineProfiler* profiler_ = nullptr;
 
   std::vector<std::unique_ptr<Simulator>> sims_;
   std::vector<ShardLane> lanes_;

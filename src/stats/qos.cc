@@ -1,5 +1,7 @@
 #include "src/stats/qos.h"
 
+#include "src/trace/profiler.h"
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -38,6 +40,7 @@ const char* QosLedger::CauseName(GlitchCause cause) {
 
 void QosLedger::AnnotateServerCause(TimePoint when, ViewerId viewer, int64_t position,
                                     GlitchCause cause, uint32_t cub) {
+  TIGER_PROF_SCOPE(kQosAudit);
   annotations_by_cause_[static_cast<size_t>(cause)]++;
   const Key key{viewer.value(), position};
   auto [it, inserted] = annotations_.try_emplace(key);
@@ -70,6 +73,7 @@ GlitchCause QosLedger::Consume(ViewerId viewer, int64_t position) {
 }
 
 void QosLedger::RecordClientBlock(ViewerId viewer) {
+  TIGER_PROF_SCOPE(kQosAudit);
   fleet_.blocks++;
   per_viewer_[viewer.value()].blocks++;
 }
@@ -96,10 +100,12 @@ void QosLedger::AddGlitch(TimePoint when, ViewerId viewer, int64_t position,
 }
 
 void QosLedger::RecordClientLate(TimePoint when, ViewerId viewer, int64_t position) {
+  TIGER_PROF_SCOPE(kQosAudit);
   AddGlitch(when, viewer, position, GlitchKind::kLate);
 }
 
 void QosLedger::RecordClientLost(TimePoint when, ViewerId viewer, int64_t position) {
+  TIGER_PROF_SCOPE(kQosAudit);
   AddGlitch(when, viewer, position, GlitchKind::kLost);
 }
 

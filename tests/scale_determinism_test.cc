@@ -121,7 +121,8 @@ struct ShardedDump {
   Cub::Counters counters;
 };
 
-ShardedDump RunShardedOnce(uint64_t seed, int shards, int threads) {
+ShardedDump RunShardedOnce(uint64_t seed, int shards, int threads,
+                           bool profiled = false) {
   TigerConfig config;
   config.shape.num_cubs = kCubs;
   config.simulate_data_plane = false;
@@ -129,6 +130,9 @@ ShardedDump RunShardedOnce(uint64_t seed, int shards, int threads) {
   config.sim_threads = threads;
   TigerSystem system(config, seed);
   system.EnableTimeSeries(Duration::Seconds(1));
+  if (profiled) {
+    system.EnableProfiling();
+  }
   ScheduleAuditor auditor(&system.sim(), &system.config());
   auditor.Attach(&system);
   auditor.Start();
@@ -180,6 +184,29 @@ TEST(ScaleDeterminismTest, ShardedOutputIsThreadCountInvariantAt100Cubs) {
   // Actually exercising the ring, not idling.
   EXPECT_GT(one.counters.records_new, 0);
   EXPECT_NE(one.trace_text.find("cub"), std::string::npos);
+}
+
+// The self-profiler's contract (DESIGN.md §6i): enabling it has zero effect
+// on logical execution. Every observable dump from a profiled run must be
+// byte-identical to the unprofiled run above — same seed, same shard count,
+// same thread count, full instrumentation.
+TEST(ScaleDeterminismTest, ProfiledShardedRunIsByteIdenticalToUnprofiled) {
+  ShardedDump plain = RunShardedOnce(11, /*shards=*/8, /*threads=*/4);
+  ShardedDump prof = RunShardedOnce(11, /*shards=*/8, /*threads=*/4,
+                                    /*profiled=*/true);
+
+  EXPECT_GT(plain.events, 50000u) << "shape unexpectedly idle";
+  EXPECT_EQ(plain.events, prof.events);
+  EXPECT_EQ(plain.clamped_posts, prof.clamped_posts);
+  EXPECT_EQ(plain.timeseries_csv, prof.timeseries_csv);
+  EXPECT_EQ(plain.trace_text, prof.trace_text);
+  EXPECT_EQ(plain.audit_report, prof.audit_report);
+  EXPECT_EQ(plain.fault_log, prof.fault_log);
+  EXPECT_EQ(plain.qos_summary, prof.qos_summary);
+  EXPECT_EQ(plain.counters.records_received, prof.counters.records_received);
+  EXPECT_EQ(plain.counters.records_new, prof.counters.records_new);
+  EXPECT_EQ(plain.counters.blocks_sent, prof.counters.blocks_sent);
+  EXPECT_EQ(plain.counters.inserts, prof.counters.inserts);
 }
 
 }  // namespace
