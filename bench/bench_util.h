@@ -18,6 +18,10 @@
 //   --profile-overhead-max=F  fail (exit 1) if the profiled rerun of the
 //                      gating workload is more than F (fraction, e.g. 0.05)
 //                      slower than the unprofiled run (sim_microbench)
+//   --recorder-overhead-max=F  same gate for the flight-recorder rerun
+//                      (tracing + recorder ring + checkpoints); also fails if
+//                      the recorded rerun allocates per event in a
+//                      -DTIGER_COUNT_ALLOCS build (sim_microbench)
 
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
@@ -41,6 +45,7 @@ struct BenchArgs {
   std::string json_path;  // Empty: bench-specific default (may be "no JSON").
   std::string profile_prefix;       // Non-empty: profile + write artifacts.
   double profile_overhead_max = 0;  // > 0: gate profiled rerun slowdown.
+  double recorder_overhead_max = 0;  // > 0: gate flight-recorder slowdown.
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -76,11 +81,18 @@ struct BenchArgs {
           std::fprintf(stderr, "--profile-overhead-max must be > 0 (a fraction)\n");
           std::exit(1);
         }
+      } else if (std::strncmp(a, "--recorder-overhead-max=", 24) == 0) {
+        args.recorder_overhead_max = std::strtod(a + 24, nullptr);
+        if (args.recorder_overhead_max <= 0) {
+          std::fprintf(stderr, "--recorder-overhead-max must be > 0 (a fraction)\n");
+          std::exit(1);
+        }
       } else if (std::strcmp(a, "--help") == 0) {
         std::fprintf(stderr,
                      "usage: %s [--quick] [--csv] [--seed=N] [--max-streams=N] "
                      "[--threads=N] [--shards=N] [--json=PATH] "
-                     "[--profile-prefix=P] [--profile-overhead-max=F]\n",
+                     "[--profile-prefix=P] [--profile-overhead-max=F] "
+                     "[--recorder-overhead-max=F]\n",
                      argv[0]);
         std::exit(0);
       } else {

@@ -180,8 +180,13 @@ class ScheduleAuditor : public Actor, public AuditObserver, public TraceSink {
     return counts_[static_cast<size_t>(cls)];
   }
   const std::vector<Divergence>& divergences() const { return divergences_; }
+  // AuditObserver: the incoherence count the SLO monitor polls — every class
+  // except the bounded truly-lost crash losses.
+  int64_t FatalDivergences() const override {
+    return total_divergences_ - CountFor(DivergenceClass::kTrulyLostRecord);
+  }
   // Deterministic exports: same seed, same binary, byte-identical output.
-  std::string ReportJson() const;
+  std::string ReportJson() const override;
   std::string ReportCsv() const;
   bool WriteReportJson(const std::string& path) const;
   bool WriteReportCsv(const std::string& path) const;

@@ -1,9 +1,12 @@
-// Minimal JSON reader for the subset our own writers emit: flat-ish
-// objects/arrays, numbers, strings without escapes we need to interpret.
-// Shared by the offline consumers of bench_util.h's JsonWriter and of
-// profile.json (bench_compare, tigerstat) — tools that deliberately depend on
-// nothing but the standard library. Not a general-purpose JSON library: no
-// unicode escapes, no duplicate-key handling, numbers parsed as double.
+// Minimal JSON reader for the documents our own writers emit: flat-ish
+// objects/arrays, numbers, strings. Shared by the offline consumers of
+// bench_util.h's JsonWriter, profile.json and incident manifests
+// (bench_compare, tigerstat, tigerwatch) — tools that deliberately depend on
+// nothing but the standard library. String escapes are decoded (including
+// \uXXXX with surrogate pairs, encoded as UTF-8) and nesting is bounded, so
+// a malformed or hostile artifact fails parsing instead of corrupting or
+// overflowing the reader. Still not a general-purpose JSON library: no
+// duplicate-key handling, numbers parsed as double via strtod.
 //
 // Header-only so the tools can use it without linking any tiger library.
 
@@ -11,6 +14,7 @@
 #define SRC_COMMON_MINI_JSON_H_
 
 #include <cctype>
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -54,9 +58,17 @@ class JsonParser {
  public:
   explicit JsonParser(const std::string& text) : text_(text) {}
 
-  bool Parse(JsonValue* out) { return ParseValue(out) && (SkipSpace(), pos_ == text_.size()); }
+  bool Parse(JsonValue* out) {
+    *out = JsonValue();  // A reused value must not keep stale children.
+    return ParseValue(out, 0) && (SkipSpace(), pos_ == text_.size());
+  }
 
  private:
+  // Containers deeper than this fail parsing: our writers emit ~4 levels, so
+  // the bound only exists to keep a hostile artifact from exhausting the
+  // stack through recursion.
+  static constexpr int kMaxDepth = 64;
+
   void SkipSpace() {
     while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
       pos_++;
@@ -72,16 +84,16 @@ class JsonParser {
     return true;
   }
 
-  bool ParseValue(JsonValue* out) {
+  bool ParseValue(JsonValue* out, int depth) {
     SkipSpace();
-    if (pos_ >= text_.size()) {
+    if (pos_ >= text_.size() || depth > kMaxDepth) {
       return false;
     }
     switch (text_[pos_]) {
       case '{':
-        return ParseObject(out);
+        return ParseObject(out, depth);
       case '[':
-        return ParseArray(out);
+        return ParseArray(out, depth);
       case '"':
         out->type = JsonValue::Type::kString;
         return ParseString(&out->str);
@@ -101,6 +113,47 @@ class JsonParser {
     }
   }
 
+  // Exactly four hex digits at pos_, as a code unit.
+  bool ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) {
+      return false;
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    *out = v;
+    return true;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
   bool ParseString(std::string* out) {
     if (text_[pos_] != '"') {
       return false;
@@ -108,13 +161,67 @@ class JsonParser {
     pos_++;
     out->clear();
     while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\\') {  // Our writers emit no escapes we must decode.
+      const char c = text_[pos_];
+      if (c != '\\') {
+        out->push_back(c);
         pos_++;
-        if (pos_ >= text_.size()) {
-          return false;
-        }
+        continue;
       }
-      out->push_back(text_[pos_++]);
+      pos_++;  // backslash
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          uint32_t cp = 0;
+          if (!ParseHex4(&cp)) {
+            return false;
+          }
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: the matching low surrogate must follow.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+              return false;
+            }
+            pos_ += 2;
+            uint32_t low = 0;
+            if (!ParseHex4(&low) || low < 0xDC00 || low > 0xDFFF) {
+              return false;
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return false;  // Lone low surrogate.
+          }
+          AppendUtf8(cp, out);
+          break;
+        }
+        default:
+          return false;  // Unknown escape.
+      }
     }
     if (pos_ >= text_.size()) {
       return false;
@@ -142,7 +249,7 @@ class JsonParser {
     return true;
   }
 
-  bool ParseArray(JsonValue* out) {
+  bool ParseArray(JsonValue* out, int depth) {
     out->type = JsonValue::Type::kArray;
     pos_++;  // '['
     SkipSpace();
@@ -152,7 +259,7 @@ class JsonParser {
     }
     while (true) {
       JsonValue element;
-      if (!ParseValue(&element)) {
+      if (!ParseValue(&element, depth + 1)) {
         return false;
       }
       out->array.push_back(std::move(element));
@@ -172,7 +279,7 @@ class JsonParser {
     }
   }
 
-  bool ParseObject(JsonValue* out) {
+  bool ParseObject(JsonValue* out, int depth) {
     out->type = JsonValue::Type::kObject;
     pos_++;  // '{'
     SkipSpace();
@@ -192,7 +299,7 @@ class JsonParser {
       }
       pos_++;
       JsonValue value;
-      if (!ParseValue(&value)) {
+      if (!ParseValue(&value, depth + 1)) {
         return false;
       }
       out->object.emplace(std::move(key), std::move(value));

@@ -66,6 +66,15 @@ class AuditObserver {
   // arrows for record lineage; TigerSystem::WriteChromeTrace splices it into
   // the exported timeline. Default: nothing.
   virtual std::string ChromeFlowEvents() const { return std::string(); }
+
+  // The observer's deterministic divergence report (the ScheduleAuditor's
+  // JSON); incident bundles include it when non-empty. Default: nothing.
+  virtual std::string ReportJson() const { return std::string(); }
+
+  // Divergences that indicate real incoherence — everything except the
+  // paper's bounded truly-lost crash losses. The SLO monitor polls this as a
+  // breach probe, so the auditor firing mid-run dumps an incident bundle.
+  virtual int64_t FatalDivergences() const { return 0; }
 };
 
 }  // namespace tiger

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 #include <utility>
+
+#include "src/obs/incident.h"
 
 namespace tiger {
 
@@ -400,6 +403,149 @@ void TigerSystem::SetAuditObserver(AuditObserver* auditor) {
   }
 }
 
+void TigerSystem::EnableFlightRecorder(FlightRecorder::Options options) {
+  if (flight_recorder_) {
+    return;
+  }
+  EnableTracing();  // The recorder rides the live trace stream.
+  flight_recorder_ = std::make_unique<FlightRecorder>(options, cub_count());
+  InstallTraceSink();
+}
+
+void TigerSystem::EnableSloMonitor(SloMonitor::Options options) {
+  if (slo_monitor_) {
+    return;
+  }
+  slo_monitor_ = std::make_unique<SloMonitor>(&qos_ledger_, options);
+  max_incidents_ = options.max_incidents;
+  slo_monitor_->SetIncidentHandler([this](const std::string& reason) { DumpIncident(reason); });
+}
+
+void TigerSystem::CaptureFlightCheckpoint(TimePoint now) {
+  if (flight_recorder_ == nullptr) {
+    return;
+  }
+  FlightRecorder::Checkpoint* ckpt = flight_recorder_->BeginCheckpoint(now);
+  const QosLedger::Rollup fleet = qos_ledger_.FleetRollup();
+  ckpt->viewers = static_cast<int64_t>(qos_ledger_.viewer_count());
+  ckpt->blocks = fleet.blocks;
+  ckpt->late = fleet.late;
+  ckpt->lost = fleet.lost;
+  int failed = 0;
+  for (size_t c = 0; c < cubs_.size(); ++c) {
+    FlightRecorder::CubDigest& digest = ckpt->cubs[c];
+    digest.failed = failed_cubs_[c];
+    failed += failed_cubs_[c] ? 1 : 0;
+    const Cub& cub = *cubs_[c];
+    digest.entries = static_cast<uint32_t>(cub.view().entry_count());
+    digest.holds = static_cast<uint32_t>(cub.view().hold_count());
+    digest.failed_seen = static_cast<uint32_t>(cub.failure_view().failed_cub_count());
+    digest.records_received = cub.counters().records_received;
+    digest.blocks_sent = cub.counters().blocks_sent;
+  }
+  ckpt->failed_cubs = failed;
+}
+
+void TigerSystem::EvaluateSlo() {
+  slo_monitor_->Evaluate(engine_ ? engine_->Now() : sim_.Now());
+}
+
+void TigerSystem::ScheduleCheckpointTick() {
+  sim_.ScheduleAfter(flight_recorder_->options().checkpoint_cadence, [this] {
+    CaptureFlightCheckpoint(sim_.Now());
+    ScheduleCheckpointTick();
+  });
+}
+
+void TigerSystem::ScheduleSloTick() {
+  sim_.ScheduleAfter(slo_monitor_->options().eval_cadence, [this] {
+    EvaluateSlo();
+    ScheduleSloTick();
+  });
+}
+
+bool TigerSystem::TriggerIncident(const std::string& reason) { return DumpIncident(reason); }
+
+bool TigerSystem::DumpIncident(const std::string& reason) {
+  if (flight_recorder_ == nullptr && slo_monitor_ == nullptr) {
+    return false;
+  }
+  if (static_cast<int>(incident_dirs_.size()) >= max_incidents_) {
+    ++incidents_suppressed_;
+    return false;
+  }
+  const TimePoint now = engine_ ? engine_->Now() : sim_.Now();
+  std::string parent = incident_dir_;
+  if (parent.empty()) {
+    const char* env = std::getenv("TIGER_ARTIFACT_DIR");
+    parent = (env != nullptr && env[0] != '\0') ? env : ".";
+  }
+  const std::string dir = parent + "/incident_s" + std::to_string(seed_) + "_" +
+                          std::to_string(incident_dirs_.size());
+
+  std::vector<IncidentFile> files;
+  if (flight_recorder_ != nullptr && (tracer_ != nullptr || !shard_tracers_.empty())) {
+    const std::vector<TraceEvent> window = flight_recorder_->WindowEvents();
+    const std::vector<std::string> names =
+        engine_ ? shard_tracers_[0]->TrackNames() : tracer_->TrackNames();
+    // Dropped = everything recorded that the window no longer holds, whether
+    // overwritten by the capacity bound or aged past the retention horizon.
+    const uint64_t dropped = flight_recorder_->recorded() - window.size();
+    files.push_back({"flight_trace.txt", Tracer::TextDumpOf(window, names, dropped)});
+    files.push_back({"flight_trace.json", Tracer::ChromeJsonOf(window, names, std::string())});
+    files.push_back({"checkpoints.txt", flight_recorder_->CheckpointsText()});
+  }
+  if (slo_monitor_ != nullptr) {
+    files.push_back({"slo_state.json", slo_monitor_->StateJson()});
+  }
+  files.push_back({"qos_summary.txt", qos_ledger_.SummaryText()});
+  files.push_back({"qos_glitches.csv", qos_ledger_.Csv()});
+  if (metrics_ != nullptr && now > TimePoint::Zero()) {
+    SnapshotMetrics(TimePoint::Zero(), now);
+    files.push_back({"metrics.txt", metrics_->SummaryText()});
+  }
+  if (audit_observer_ != nullptr) {
+    std::string report = audit_observer_->ReportJson();
+    if (!report.empty()) {
+      files.push_back({"audit_report.json", std::move(report)});
+    }
+  }
+  if (profiling_enabled()) {
+    // The one machine-dependent bundle file (tick timings); its counts
+    // object stays deterministic (DESIGN.md §6i).
+    files.push_back({"profile.json", ProfileJson()});
+  }
+  if (!incident_scenario_text_.empty()) {
+    files.push_back({"scenario.txt", incident_scenario_text_});
+  }
+
+  IncidentManifest manifest;
+  manifest.reason = reason;
+  manifest.sim_time_us = now.micros();
+  manifest.seed = seed_;
+  manifest.cubs = config_.shape.num_cubs;
+  manifest.shards = engine_ ? engine_->shards() : 1;
+  manifest.engine = engine_ ? "sharded" : "serial";
+  if (slo_monitor_ != nullptr) {
+    manifest.slo_json = slo_monitor_->StateJson();
+  }
+  for (const IncidentFile& file : files) {
+    manifest.files.push_back(file.name);
+  }
+  std::vector<IncidentFile> bundle;
+  bundle.push_back({"manifest.json", RenderIncidentManifest(manifest)});
+  for (IncidentFile& file : files) {
+    bundle.push_back(std::move(file));
+  }
+  if (!WriteIncidentBundle(dir, bundle)) {
+    return false;
+  }
+  incident_dirs_.push_back(dir);
+  std::fprintf(stderr, "tiger: incident bundle (%s) written to %s\n", reason.c_str(),
+               dir.c_str());
+  return true;
+}
+
 void TigerSystem::FoldShardMetrics() {
   // Accumulates every actor-written metric from the per-shard registries into
   // the global one. Shard iteration order is fixed, registry maps are
@@ -545,6 +691,44 @@ void TigerSystem::Start() {
       timeseries_->Start();
     }
   }
+  // Checkpoints before SLO evaluation (registration order = barrier order,
+  // timer order serially): an eval that dumps an incident at T sees the T
+  // checkpoint already captured.
+  if (flight_recorder_) {
+    if (engine_) {
+      engine_->AddPeriodicTask(flight_recorder_->options().checkpoint_cadence,
+                               [this] { CaptureFlightCheckpoint(engine_->Now()); });
+    } else {
+      ScheduleCheckpointTick();
+    }
+  }
+  if (slo_monitor_) {
+    // Breach probes poll the run's oracles. Registered here, not at enable
+    // time, so EnableSloMonitor order relative to the oracles doesn't matter.
+    // Fixed registration order — it is the probe order in slo_state.json.
+    if (invariant_checker_) {
+      InvariantChecker* checker = invariant_checker_.get();
+      slo_monitor_->AddBreachProbe("invariant_violation", [checker] {
+        return static_cast<int64_t>(checker->violations().size());
+      });
+    }
+    if (oracle_) {
+      ScheduleOracle* oracle = oracle_.get();
+      slo_monitor_->AddBreachProbe("oracle_conflict", [oracle] {
+        return oracle->conflict_count() + static_cast<int64_t>(oracle->violations().size());
+      });
+    }
+    if (audit_observer_ != nullptr) {
+      AuditObserver* auditor = audit_observer_;
+      slo_monitor_->AddBreachProbe("audit_divergence",
+                                   [auditor] { return auditor->FatalDivergences(); });
+    }
+    if (engine_) {
+      engine_->AddPeriodicTask(slo_monitor_->options().eval_cadence, [this] { EvaluateSlo(); });
+    } else {
+      ScheduleSloTick();
+    }
+  }
 }
 
 void TigerSystem::RunUntil(TimePoint t) {
@@ -583,14 +767,33 @@ uint64_t TigerSystem::processed_events() const {
 }
 
 void TigerSystem::SetTraceSink(TraceSink* sink) {
+  user_trace_sink_ = sink;
+  InstallTraceSink();
+}
+
+void TigerSystem::InstallTraceSink() {
+  TraceSink* effective = user_trace_sink_;
+#if TIGER_FLIGHT_RECORDER_ENABLED
+  if (flight_recorder_ != nullptr) {
+    if (user_trace_sink_ == nullptr) {
+      // Recorder alone: skip the fanout hop, it is the sink.
+      effective = flight_recorder_.get();
+    } else {
+      // One sink slot, two consumers: fan out to the user sink (the auditor)
+      // first, then the recorder — evidence order unchanged for the auditor.
+      trace_fanout_.Set(user_trace_sink_, flight_recorder_.get());
+      effective = &trace_fanout_;
+    }
+  }
+#endif
   if (!engine_) {
     TIGER_CHECK(tracer_ != nullptr) << "SetTraceSink before EnableTracing";
-    tracer_->SetSink(sink);
+    tracer_->SetSink(effective);
     return;
   }
   TIGER_CHECK(!shard_tracers_.empty()) << "SetTraceSink before EnableTracing";
-  trace_sink_ = sink;
-  if (sink != nullptr && trace_buffers_.empty()) {
+  trace_sink_ = effective;
+  if (effective != nullptr && trace_buffers_.empty()) {
     // Lazily interpose the per-shard buffers (and their barrier drain) only
     // when a live sink exists, so un-audited runs never buffer.
     for (size_t s = 0; s < shard_tracers_.size(); ++s) {
@@ -599,7 +802,7 @@ void TigerSystem::SetTraceSink(TraceSink* sink) {
     engine_->AddBarrierHook([this] { DrainTraceBuffers(); });
   }
   for (size_t s = 0; s < shard_tracers_.size(); ++s) {
-    shard_tracers_[s]->SetSink(sink != nullptr ? trace_buffers_[s].get() : nullptr);
+    shard_tracers_[s]->SetSink(effective != nullptr ? trace_buffers_[s].get() : nullptr);
   }
 }
 

@@ -28,6 +28,8 @@
 #include "src/layout/catalog.h"
 #include "src/layout/striping.h"
 #include "src/net/network.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/slo_monitor.h"
 #include "src/schedule/geometry.h"
 #include "src/core/shard_relays.h"
 #include "src/sim/shard_engine.h"
@@ -100,6 +102,38 @@ class TigerSystem {
   // Writes ProfileJson() to `path`; false on I/O failure or if profiling was
   // never enabled.
   bool WriteProfile(const std::string& path) const;
+
+  // --- black-box observability (src/obs; DESIGN.md §6j) ---
+  // Attaches the flight recorder to the live trace stream: a bounded,
+  // allocation-free ring keeping the last N sim-seconds of events plus
+  // periodic state checkpoints. Implies EnableTracing(). Coexists with
+  // SetTraceSink (a fan-out feeds both). Call before Start().
+  void EnableFlightRecorder(FlightRecorder::Options options = {});
+  FlightRecorder* flight_recorder() { return flight_recorder_.get(); }
+
+  // Attaches the online SLO burn-rate monitor over the QoS ledger. Breaches
+  // (budget burns, or any enabled oracle firing) dump an incident bundle —
+  // at most options.max_incidents per run. Call before Start(); evaluation
+  // runs barrier-aligned in sharded runs so results are sim_threads-
+  // invariant.
+  void EnableSloMonitor(SloMonitor::Options options = {});
+  SloMonitor* slo_monitor() { return slo_monitor_.get(); }
+
+  // Where incident bundles land. Default: $TIGER_ARTIFACT_DIR, else ".".
+  void SetIncidentDir(std::string dir) { incident_dir_ = std::move(dir); }
+  // Byte-exact scenario text (+ seed) written into every bundle so
+  // tools/replay_scenario reproduces the incident from scratch; the frontier
+  // runner supplies its descriptor's ToText().
+  void SetIncidentScenarioText(std::string text) {
+    incident_scenario_text_ = std::move(text);
+  }
+  // Manual breach (the frontier deadman, post-run verdict dumps, tests).
+  // Dumps a bundle unless the per-run cap is spent; returns whether one was
+  // written. Call from driver/barrier context only.
+  bool TriggerIncident(const std::string& reason);
+  const std::vector<std::string>& incident_dirs() const { return incident_dirs_; }
+  int incidents_suppressed() const { return incidents_suppressed_; }
+  uint64_t seed() const { return seed_; }
 
   // Attaches a passive audit observer (the ScheduleAuditor) to every cub and
   // remembers it so WriteChromeTrace can splice its flow arrows. Purely
@@ -244,6 +278,19 @@ class TigerSystem {
   void FoldShardMetrics();
   // Barrier hook: drains every shard's trace buffer into trace_sink_.
   void DrainTraceBuffers();
+  // Recomputes the effective tracer sink (user sink, recorder, or the
+  // fan-out of both) and installs it serial/sharded.
+  void InstallTraceSink();
+  // Fills one flight-recorder checkpoint from barrier-consistent state.
+  void CaptureFlightCheckpoint(TimePoint now);
+  // One SLO evaluation tick (driver/barrier context).
+  void EvaluateSlo();
+  // Serial cadence drivers (self-rearming sim timers).
+  void ScheduleCheckpointTick();
+  void ScheduleSloTick();
+  // Assembles and writes one tiger-incident-v1 bundle; false when capped or
+  // nothing is enabled.
+  bool DumpIncident(const std::string& reason);
 
   TigerConfig config_;
   Rng rng_;
@@ -262,7 +309,17 @@ class TigerSystem {
   std::vector<std::unique_ptr<Tracer>> shard_tracers_;
   std::vector<std::unique_ptr<MetricsRegistry>> shard_metrics_;
   std::vector<std::unique_ptr<ShardTraceBuffer>> trace_buffers_;
-  TraceSink* trace_sink_ = nullptr;
+  TraceSink* trace_sink_ = nullptr;       // Effective sink (may be the fan-out).
+  TraceSink* user_trace_sink_ = nullptr;  // What SetTraceSink was given.
+  // Black-box observability (DESIGN.md §6j).
+  std::unique_ptr<FlightRecorder> flight_recorder_;
+  std::unique_ptr<SloMonitor> slo_monitor_;
+  TraceFanout trace_fanout_;
+  std::string incident_dir_;
+  std::string incident_scenario_text_;
+  std::vector<std::string> incident_dirs_;
+  int max_incidents_ = 1;
+  int incidents_suppressed_ = 0;
   // Retained across windows so the per-barrier drain merge does not allocate
   // in steady state.
   std::vector<TraceEvent> trace_drain_scratch_;

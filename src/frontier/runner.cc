@@ -1,6 +1,7 @@
 #include "src/frontier/runner.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <vector>
@@ -61,13 +62,14 @@ bool AnchorTagFromName(const std::string& name, int* out) {
 class DeadmanWatchdog : public Actor {
  public:
   DeadmanWatchdog(Simulator* sim, Testbed* bed, Duration window, MetricsRegistry* metrics,
-                  Tracer* tracer, TraceTrackId track)
+                  Tracer* tracer, TraceTrackId track, TigerSystem* incident_target)
       : Actor(sim, "frontier-deadman"),
         bed_(bed),
         window_(window),
         metrics_(metrics),
         tracer_(tracer),
-        track_(track) {}
+        track_(track),
+        incident_target_(incident_target) {}
 
   void Begin() { After(kTick, [this] { Tick(); }); }
 
@@ -123,6 +125,11 @@ class DeadmanWatchdog : public Actor {
         args.a = stalled;
         tracer_->Instant(track_, TraceEventType::kLivelockDeadman, args);
       }
+      if (incident_target_ != nullptr) {
+        // Capture the window *around the stall*, not whatever the run looks
+        // like at exit. No-op unless the recorder/monitor are armed.
+        incident_target_->TriggerIncident("livelock_deadman");
+      }
     }
     After(kTick, [this] { Tick(); });
   }
@@ -132,6 +139,7 @@ class DeadmanWatchdog : public Actor {
   MetricsRegistry* metrics_;
   Tracer* tracer_;
   TraceTrackId track_;
+  TigerSystem* incident_target_;
   std::vector<Watch> watches_;
   int64_t fires_ = 0;
 };
@@ -281,6 +289,16 @@ ScenarioOutcome RunScenario(const ScenarioDescriptor& descriptor, const RunOptio
   ScheduleAuditor auditor(&system.sim(), &system.config());
   auditor.Attach(&system);
 
+  const bool capture_incidents = !options.incident_dir.empty();
+  if (capture_incidents) {
+    system.EnableFlightRecorder();
+    system.EnableSloMonitor();
+    system.SetIncidentDir(options.incident_dir);
+    // The byte-exact descriptor rides in the bundle so
+    // `replay_scenario --file=<bundle>/scenario.txt` reproduces the run.
+    system.SetIncidentScenarioText(descriptor.ToText());
+  }
+
   int point_faults = 0;
   for (const ScenarioAction& action : descriptor.actions) {
     point_faults += ApplyAction(action, &system, &bed);
@@ -301,7 +319,8 @@ ScenarioOutcome RunScenario(const ScenarioDescriptor& descriptor, const RunOptio
   }
 
   DeadmanWatchdog watchdog(&system.sim(), &bed, options.deadman_window, system.metrics(),
-                           system.tracer(), frontier_track);
+                           system.tracer(), frontier_track,
+                           capture_incidents ? &system : nullptr);
   watchdog.Begin();
 
   bed.RunFor(Duration::Millis(descriptor.run_ms));
@@ -383,6 +402,23 @@ ScenarioOutcome RunScenario(const ScenarioDescriptor& descriptor, const RunOptio
   }
   if (!options.audit_report_path.empty()) {
     auditor.WriteReportJson(options.audit_report_path);
+  }
+  if (capture_incidents) {
+    // Breaches the online monitor can't see mid-run (e.g. a glitch burst too
+    // slow for the burn windows) still deserve a bundle when the lattice says
+    // the run went bad.
+    if (outcome.verdict >= Verdict::kQosGlitches && system.incident_dirs().empty()) {
+      system.TriggerIncident(std::string("verdict_") + VerdictName(outcome.verdict));
+    }
+    const std::string summary = OutcomeSummary(outcome);
+    for (const std::string& dir : system.incident_dirs()) {
+      const std::string path = dir + "/outcome.txt";
+      std::FILE* f = std::fopen(path.c_str(), "wb");
+      if (f != nullptr) {
+        std::fwrite(summary.data(), 1, summary.size(), f);
+        std::fclose(f);
+      }
+    }
   }
   return outcome;
 }

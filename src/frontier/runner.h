@@ -92,6 +92,13 @@ struct RunOptions {
   // Non-empty: write the Chrome trace / auditor report there after the run.
   std::string trace_path;
   std::string audit_report_path;
+  // Non-empty: arm the flight recorder + SLO monitor and write incident
+  // bundles (tiger-incident-v1) under this directory. A bundle is dumped the
+  // moment a breach probe or burn-rate alert fires mid-run; if none fired but
+  // the final verdict is kQosGlitches or worse, one is dumped post-run. Each
+  // bundle gets an outcome.txt with the final verdict so its embedded
+  // scenario.txt can be replayed with a known expectation.
+  std::string incident_dir;
 };
 
 ScenarioOutcome RunScenario(const ScenarioDescriptor& descriptor);

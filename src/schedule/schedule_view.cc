@@ -62,6 +62,7 @@ ScheduleView::ApplyResult ScheduleView::ApplyViewerStateImpl(const ViewerStateRe
   entry.record = record;
   entry.received = now;
   bucket.entries.push_back(entry);
+  ++live_entries_;
   return ApplyResult::kNew;
 }
 
@@ -92,6 +93,7 @@ ScheduleView::DescheduleOutcome ScheduleView::ApplyDeschedule(const DescheduleRe
     }
   }
   bucket.entries.resize(keep);
+  live_entries_ -= outcome.removed.size();
 
   // Record (or refresh) the hold. Duplicate deschedules are idempotent.
   bool found = false;
@@ -104,6 +106,7 @@ ScheduleView::DescheduleOutcome ScheduleView::ApplyDeschedule(const DescheduleRe
   }
   if (!found) {
     bucket.holds.push_back(Hold{deschedule, hold_until});
+    ++live_holds_;
     outcome.new_hold = true;
   }
   TIGER_TRACE_INSTANT(tracer_, trace_track_, TraceEventType::kDescheduleApply,
@@ -178,9 +181,11 @@ int ScheduleView::EvictBefore(TimePoint entry_horizon, TimePoint now) {
                                       return e.record.due < entry_horizon;
                                     });
     evicted += static_cast<int>(bucket.entries.end() - entry_end);
+    live_entries_ -= static_cast<size_t>(bucket.entries.end() - entry_end);
     bucket.entries.erase(entry_end, bucket.entries.end());
     auto hold_end = std::remove_if(bucket.holds.begin(), bucket.holds.end(),
                                    [&](const Hold& h) { return h.hold_until < now; });
+    live_holds_ -= static_cast<size_t>(bucket.holds.end() - hold_end);
     bucket.holds.erase(hold_end, bucket.holds.end());
     // Emptied buckets must leave the map, not stay: every slot in the ring
     // eventually passes through every cub, so retained empties would grow the
@@ -208,22 +213,6 @@ int ScheduleView::EvictBefore(TimePoint entry_horizon, TimePoint now) {
                         TraceArgs{.a = evicted});
   }
   return evicted;
-}
-
-size_t ScheduleView::entry_count() const {
-  size_t n = 0;
-  for (const auto& [slot, bucket] : buckets_) {
-    n += bucket.entries.size();
-  }
-  return n;
-}
-
-size_t ScheduleView::hold_count() const {
-  size_t n = 0;
-  for (const auto& [slot, bucket] : buckets_) {
-    n += bucket.holds.size();
-  }
-  return n;
 }
 
 }  // namespace tiger

@@ -149,8 +149,11 @@ class ScheduleView {
   // Returns the number of entries evicted.
   int EvictBefore(TimePoint entry_horizon, TimePoint now);
 
-  size_t entry_count() const;
-  size_t hold_count() const;
+  // O(1): maintained at every insert/remove so per-checkpoint digests (the
+  // flight recorder samples every cub once a sim-second) never walk the
+  // bucket map.
+  size_t entry_count() const { return live_entries_; }
+  size_t hold_count() const { return live_holds_; }
 
  private:
   struct Hold {
@@ -186,6 +189,8 @@ class ScheduleView {
   // instead, returning their blocks to the pool.
   std::vector<BucketMap::node_type> free_nodes_;
   size_t stash_limit_;
+  size_t live_entries_ = 0;  // Sum of bucket entry counts.
+  size_t live_holds_ = 0;    // Sum of bucket hold counts.
   Tracer* tracer_ = nullptr;
   TraceTrackId trace_track_ = 0;
 };

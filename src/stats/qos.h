@@ -110,6 +110,14 @@ class QosLedger {
   Rollup FleetRollup() const { return fleet_; }
   Rollup ViewerRollup(ViewerId viewer) const;
   size_t viewer_count() const { return per_viewer_.size(); }
+  // Deterministic (viewer-id-ordered) iteration over per-viewer rollups —
+  // the SLO monitor's worst-viewer scan.
+  template <typename Fn>
+  void ForEachViewer(Fn&& fn) const {
+    for (const auto& [viewer, rollup] : per_viewer_) {
+      fn(viewer, rollup);
+    }
+  }
   size_t pending_annotations() const { return annotations_.size(); }
   uint64_t dropped_glitches() const { return dropped_glitches_; }
   uint64_t dropped_annotations() const { return dropped_annotations_; }

@@ -1,0 +1,50 @@
+// Verifies the compile-time kill switch: with TIGER_FLIGHT_RECORDER_ENABLED=0
+// the TIGER_FLIGHT_RECORD macro must compile away entirely — not even the
+// null check remains — while the classes stay identical to the enabled build
+// (ODR safety for mixed translation units; mirrors TIGER_PROFILING_ENABLED
+// in src/trace/profiler.h and TIGER_TRACING_ENABLED in src/trace/trace.h).
+
+#define TIGER_FLIGHT_RECORDER_ENABLED 0
+#include "src/obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+namespace tiger {
+namespace {
+
+TraceEvent EventAt(int64_t seconds) {
+  TraceEvent e;
+  e.when = TimePoint::Zero() + Duration::Seconds(seconds);
+  return e;
+}
+
+TEST(FlightRecorderStrippedTest, MacroIsANoOpStatement) {
+  FlightRecorder recorder(FlightRecorder::Options(), 1);
+  const TraceEvent event = EventAt(1);
+  // Expands to ((void)0): legal as a plain statement, records nothing even
+  // with a live recorder in hand.
+  TIGER_FLIGHT_RECORD(&recorder, event);
+  TIGER_FLIGHT_RECORD(nullptr, event);
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_EQ(recorder.window_size(), 0u);
+}
+
+TEST(FlightRecorderStrippedTest, ClassesRemainUsableDirectly) {
+  // The stripped build removes macro call sites only; direct calls (and the
+  // fan-out sink TigerSystem installs) keep working so mixed TUs still link.
+  FlightRecorder::Options options;
+  options.capacity = 4;
+  FlightRecorder recorder(options, 2);
+  recorder.OnTraceEvent(EventAt(1));
+  EXPECT_EQ(recorder.recorded(), 1u);
+  FlightRecorder::Checkpoint* ckpt = recorder.BeginCheckpoint(EventAt(2).when);
+  ASSERT_NE(ckpt, nullptr);
+  EXPECT_EQ(ckpt->cubs.size(), 2u);
+  EXPECT_EQ(recorder.checkpoint_count(), 1u);
+  // (TraceFanout's recorder leg lives in the library TU, whose own flag
+  // governs it — only call sites in *this* TU are stripped, same contract as
+  // the other TIGER_*_ENABLED switches.)
+}
+
+}  // namespace
+}  // namespace tiger

@@ -1,0 +1,131 @@
+// Hardening tests for the stdlib-only JSON reader the offline tools share
+// (bench_compare, tigerstat, tigerwatch). The reader consumes artifacts that
+// may be truncated, hand-edited or hostile, so beyond round-tripping our own
+// writers' output it must decode escapes correctly, bound recursion depth,
+// and reject trailing garbage instead of silently mis-parsing.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/common/mini_json.h"
+
+namespace tiger {
+namespace {
+
+bool ParseText(const std::string& text, JsonValue* out) {
+  return JsonParser(text).Parse(out);
+}
+
+TEST(MiniJsonTest, BasicDocument) {
+  JsonValue root;
+  ASSERT_TRUE(ParseText(R"({"a": 1, "b": [true, false, null], "c": {"d": "x"}})", &root));
+  EXPECT_EQ(root.FindPath("a")->number, 1.0);
+  ASSERT_NE(root.Find("b"), nullptr);
+  EXPECT_EQ(root.Find("b")->array.size(), 3u);
+  EXPECT_TRUE(root.Find("b")->array[0].boolean);
+  EXPECT_EQ(root.FindPath("c.d")->str, "x");
+}
+
+TEST(MiniJsonTest, SimpleEscapes) {
+  JsonValue root;
+  ASSERT_TRUE(ParseText(R"({"s": "a\"b\\c\/d\ne\tf\rg\bh\fi"})", &root));
+  EXPECT_EQ(root.Find("s")->str, "a\"b\\c/d\ne\tf\rg\bh\fi");
+}
+
+TEST(MiniJsonTest, EscapedKeyIsLookedUpDecoded) {
+  JsonValue root;
+  ASSERT_TRUE(ParseText(R"({"a\"b": 7})", &root));
+  EXPECT_EQ(root.Find("a\"b")->number, 7.0);
+}
+
+TEST(MiniJsonTest, UnicodeEscapes) {
+  JsonValue root;
+  // U+00E9 decodes to two-byte UTF-8, followed by a plain character.
+  ASSERT_TRUE(ParseText("{\"s\": \"\\u00E9A\"}", &root));
+  EXPECT_EQ(root.Find("s")->str, "\xC3\xA9"
+                                 "A");
+  // U+20AC decodes to three-byte UTF-8; lowercase hex accepted.
+  ASSERT_TRUE(ParseText("[\"\\u20ac\"]", &root));
+  EXPECT_EQ(root.array[0].str, "\xE2\x82\xAC");
+  // Surrogate pair U+D83D U+DE00 combines to U+1F600, four-byte UTF-8.
+  ASSERT_TRUE(ParseText("[\"\\uD83D\\uDE00\"]", &root));
+  EXPECT_EQ(root.array[0].str, "\xF0\x9F\x98\x80");
+}
+
+TEST(MiniJsonTest, BadUnicodeEscapesRejected) {
+  JsonValue root;
+  EXPECT_FALSE(ParseText("[\"\\u12\"]", &root));         // Too few digits.
+  EXPECT_FALSE(ParseText("[\"\\uZZZZ\"]", &root));       // Not hex.
+  EXPECT_FALSE(ParseText("[\"\\uD83D\"]", &root));       // Lone high surrogate.
+  EXPECT_FALSE(ParseText("[\"\\uDE00\"]", &root));       // Lone low surrogate.
+  EXPECT_FALSE(ParseText("[\"\\uD83DA\"]", &root));      // High surrogate, no pair.
+  EXPECT_FALSE(ParseText("[\"\\q\"]", &root));           // Unknown escape.
+  EXPECT_FALSE(ParseText("[\"\\", &root));               // Truncated escape.
+}
+
+TEST(MiniJsonTest, NumberForms) {
+  JsonValue root;
+  ASSERT_TRUE(ParseText(R"([0, -1, 3.5, 1e3, 2.5E-2, 6.02e23])", &root));
+  ASSERT_EQ(root.array.size(), 6u);
+  EXPECT_EQ(root.array[1].number, -1.0);
+  EXPECT_EQ(root.array[3].number, 1000.0);
+  EXPECT_NEAR(root.array[4].number, 0.025, 1e-12);
+  EXPECT_NEAR(root.array[5].number, 6.02e23, 1e9);
+}
+
+TEST(MiniJsonTest, TrailingGarbageRejected) {
+  JsonValue root;
+  EXPECT_FALSE(ParseText(R"({"a": 1} trailing)", &root));
+  EXPECT_FALSE(ParseText(R"({"a": 1}{"b": 2})", &root));
+  EXPECT_FALSE(ParseText(R"([1, 2] 3)", &root));
+  // Trailing whitespace is fine.
+  EXPECT_TRUE(ParseText("{\"a\": 1}  \n", &root));
+}
+
+TEST(MiniJsonTest, TruncatedDocumentsRejected) {
+  JsonValue root;
+  EXPECT_FALSE(ParseText("", &root));
+  EXPECT_FALSE(ParseText("{", &root));
+  EXPECT_FALSE(ParseText(R"({"a")", &root));
+  EXPECT_FALSE(ParseText(R"({"a":)", &root));
+  EXPECT_FALSE(ParseText(R"({"a": 1)", &root));
+  EXPECT_FALSE(ParseText("[1, 2", &root));
+  EXPECT_FALSE(ParseText(R"("unterminated)", &root));
+  EXPECT_FALSE(ParseText("tru", &root));
+}
+
+TEST(MiniJsonTest, DeepNestingWithinLimitParses) {
+  std::string text;
+  const int depth = 60;  // Inside the 64-level bound.
+  for (int i = 0; i < depth; ++i) {
+    text += "[";
+  }
+  text += "1";
+  for (int i = 0; i < depth; ++i) {
+    text += "]";
+  }
+  JsonValue root;
+  EXPECT_TRUE(ParseText(text, &root));
+}
+
+TEST(MiniJsonTest, RunawayNestingRejectedNotCrashed) {
+  // A hostile artifact: 100k unclosed brackets would recurse to stack
+  // exhaustion without the depth bound.
+  JsonValue root;
+  EXPECT_FALSE(ParseText(std::string(100000, '['), &root));
+  EXPECT_FALSE(ParseText(std::string(100000, '{'), &root));
+  // Even well-formed but absurdly deep documents are refused.
+  std::string deep;
+  for (int i = 0; i < 200; ++i) {
+    deep += "[";
+  }
+  deep += "1";
+  for (int i = 0; i < 200; ++i) {
+    deep += "]";
+  }
+  EXPECT_FALSE(ParseText(deep, &root));
+}
+
+}  // namespace
+}  // namespace tiger

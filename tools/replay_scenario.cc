@@ -1,7 +1,7 @@
 // Replays one scenario descriptor and prints its outcome.
 //
 //   replay_scenario --file=scenario.txt [--expect=<verdict>] [--trace=t.json]
-//                   [--audit-report=a.json]
+//                   [--audit-report=a.json] [--incident-dir=dir]
 //
 // The descriptor text format is ScenarioDescriptor::ToText() — exactly what
 // frontier.json embeds under "counterexamples[].descriptor" (unescape the
@@ -13,7 +13,9 @@
 // how the frontier smoke test pins every published counterexample to its
 // recorded verdict. --trace/--audit-report dump the Chrome trace (with the
 // LIVELOCK_DEADMAN instants on the frontier track) and the auditor's
-// divergence report for post-mortem.
+// divergence report for post-mortem. --incident-dir arms the flight recorder
+// and SLO monitor: a breach (or a bad final verdict) writes a
+// tiger-incident-v1 bundle under that directory (inspect with tigerwatch).
 
 #include <cstdio>
 #include <fstream>
@@ -42,7 +44,8 @@ int main(int argc, char** argv) {
   if (path.empty()) {
     std::fprintf(stderr,
                  "usage: replay_scenario --file=<descriptor.txt> [--expect=<verdict>]\n"
-                 "                       [--trace=<trace.json>] [--audit-report=<report.json>]\n");
+                 "                       [--trace=<trace.json>] [--audit-report=<report.json>]\n"
+                 "                       [--incident-dir=<dir>]\n");
     return 2;
   }
   std::ifstream in(path, std::ios::binary);
@@ -63,6 +66,7 @@ int main(int argc, char** argv) {
   tiger::frontier::RunOptions options;
   options.trace_path = FlagValue(argc, argv, "trace");
   options.audit_report_path = FlagValue(argc, argv, "audit-report");
+  options.incident_dir = FlagValue(argc, argv, "incident-dir");
   const tiger::frontier::ScenarioOutcome outcome =
       tiger::frontier::RunScenario(descriptor, options);
 

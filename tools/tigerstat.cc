@@ -312,30 +312,63 @@ int RunDiff(const std::string& path_a, const std::string& path_b) {
   }
   std::printf("\n  %-22s %14s %14s %8s %12s %12s %8s\n", "category", "count_a", "count_b",
               "d%", "self_ms_a", "self_ms_b", "d%");
-  for (size_t i = 0; i < a.category_names.size(); ++i) {
-    const std::string& name = a.category_names[i];
-    // Align by name: the two documents may come from different schema
-    // revisions with categories added or removed.
-    double count_b = 0, ns_b = 0;
-    for (size_t j = 0; j < b.category_names.size(); ++j) {
-      if (b.category_names[j] == name) {
-        count_b = b.category_counts[j];
-        ns_b = b.category_self_ns[j];
-        break;
+  // Align by name over the *union* of both documents' categories: the two
+  // may come from different schema revisions with categories added or
+  // removed, and a category only one side knows must show as n/a, not as a
+  // silent zero (or be dropped entirely when only b has it).
+  std::vector<std::string> names = a.category_names;
+  for (const std::string& name : b.category_names) {
+    if (std::find(names.begin(), names.end(), name) == names.end()) {
+      names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  auto index_of = [](const Profile& p, const std::string& name) -> int {
+    for (size_t j = 0; j < p.category_names.size(); ++j) {
+      if (p.category_names[j] == name) {
+        return static_cast<int>(j);
       }
     }
-    if (a.category_counts[i] == 0 && count_b == 0) {
+    return -1;
+  };
+  for (const std::string& name : names) {
+    const int ia = index_of(a, name);
+    const int ib = index_of(b, name);
+    const double count_a = ia >= 0 ? a.category_counts[ia] : 0;
+    const double count_b = ib >= 0 ? b.category_counts[ib] : 0;
+    const double ns_a = ia >= 0 ? a.category_self_ns[ia] : 0;
+    const double ns_b = ib >= 0 ? b.category_self_ns[ib] : 0;
+    if (ia >= 0 && ib >= 0 && count_a == 0 && count_b == 0) {
       continue;
     }
-    const double dc = a.category_counts[i] > 0
-                          ? 100.0 * (count_b - a.category_counts[i]) / a.category_counts[i]
-                          : 0.0;
-    const double dt = a.category_self_ns[i] > 0
-                          ? 100.0 * (ns_b - a.category_self_ns[i]) / a.category_self_ns[i]
-                          : 0.0;
-    std::printf("  %-22s %14.0f %14.0f %+7.1f%% %12.2f %12.2f %+7.1f%%\n", name.c_str(),
-                a.category_counts[i], count_b, dc, a.category_self_ns[i] / 1e6, ns_b / 1e6,
-                dt);
+    char ca[32], cb[32], ma[32], mb[32], dc[32], dt[32];
+    if (ia >= 0) {
+      std::snprintf(ca, sizeof(ca), "%.0f", count_a);
+      std::snprintf(ma, sizeof(ma), "%.2f", ns_a / 1e6);
+    } else {
+      std::snprintf(ca, sizeof(ca), "n/a");
+      std::snprintf(ma, sizeof(ma), "n/a");
+    }
+    if (ib >= 0) {
+      std::snprintf(cb, sizeof(cb), "%.0f", count_b);
+      std::snprintf(mb, sizeof(mb), "%.2f", ns_b / 1e6);
+    } else {
+      std::snprintf(cb, sizeof(cb), "n/a");
+      std::snprintf(mb, sizeof(mb), "n/a");
+    }
+    // Percent deltas only make sense when both sides have the category and
+    // the baseline is nonzero.
+    if (ia >= 0 && ib >= 0 && count_a > 0) {
+      std::snprintf(dc, sizeof(dc), "%+7.1f%%", 100.0 * (count_b - count_a) / count_a);
+    } else {
+      std::snprintf(dc, sizeof(dc), "%8s", "-");
+    }
+    if (ia >= 0 && ib >= 0 && ns_a > 0) {
+      std::snprintf(dt, sizeof(dt), "%+7.1f%%", 100.0 * (ns_b - ns_a) / ns_a);
+    } else {
+      std::snprintf(dt, sizeof(dt), "%8s", "-");
+    }
+    std::printf("  %-22s %14s %14s %s %12s %12s %s\n", name.c_str(), ca, cb, dc, ma, mb, dt);
   }
   std::printf("\n  %-22s %14.3f %14.3f\n", "barrier_stall_frac", a.barrier_stall_fraction,
               b.barrier_stall_fraction);

@@ -1,0 +1,253 @@
+// tigerwatch: inspect tiger-incident-v1 bundles and SLO state.
+//
+//   tigerwatch <bundle-dir>          explain one incident bundle
+//   tigerwatch <slo_state.json>      render a tiger-slo-v1 document
+//   tigerwatch --list <dir>          one line per incident_* bundle under dir
+//
+// A bundle is the directory TigerSystem::DumpIncident writes (see
+// src/obs/incident.h for the layout): the flight-recorder window, state
+// checkpoints, SLO burn state, QoS/audit reports and the byte-exact scenario
+// descriptor. tigerwatch turns that into a post-mortem summary and prints the
+// exact replay_scenario command that reproduces the run.
+//
+// Standard library only (mini_json.h is header-only); usable on artifacts
+// copied off CI without any tiger build present.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/mini_json.h"
+
+namespace {
+
+using tiger::JsonValue;
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return "";
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// First "<key> <rest>" line of an outcome.txt-style document, or "".
+std::string OutcomeField(const std::string& text, const std::string& key) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    const std::string line = text.substr(pos, end - pos);
+    if (line.rfind(key + " ", 0) == 0) {
+      return line.substr(key.size() + 1);
+    }
+    pos = end + 1;
+  }
+  return "";
+}
+
+double Num(const JsonValue& root, const std::string& path) {
+  const JsonValue* v = root.FindPath(path);
+  return v != nullptr && v->type == JsonValue::Type::kNumber ? v->number : 0.0;
+}
+
+std::string Str(const JsonValue& root, const std::string& path) {
+  const JsonValue* v = root.FindPath(path);
+  return v != nullptr && v->type == JsonValue::Type::kString ? v->str : "";
+}
+
+void PrintSlo(const JsonValue& slo, const char* indent) {
+  const double budget = Num(slo, "budget.glitch_per_block");
+  const double burn_short = Num(slo, "fleet.burn_short");
+  const double burn_long = Num(slo, "fleet.burn_long");
+  std::printf("%sbudget   %.4f glitches/block fleet, %.4f per viewer\n", indent, budget,
+              Num(slo, "budget.viewer_glitch_per_block"));
+  std::printf("%swindows  short %.0fs (alert at %.0fx), long %.0fs (alert at %.0fx)\n", indent,
+              Num(slo, "budget.short_window_us") / 1e6, Num(slo, "budget.fast_burn"),
+              Num(slo, "budget.long_window_us") / 1e6, Num(slo, "budget.slow_burn"));
+  std::printf("%sfleet    %.0f blocks, %.0f glitches; burn short %.2fx long %.2fx\n", indent,
+              Num(slo, "fleet.blocks"), Num(slo, "fleet.glitches"), burn_short, burn_long);
+  std::printf("%sworst    viewer %.0f at %.2fx of its whole-run budget\n", indent,
+              Num(slo, "worst_viewer.viewer"), Num(slo, "worst_viewer.burn"));
+  const double ticks = Num(slo, "breaches.ticks");
+  if (ticks > 0) {
+    std::printf("%sbreach   %.0f tick(s); first '%s' at %.3fs\n", indent, ticks,
+                Str(slo, "breaches.first_reason").c_str(), Num(slo, "breaches.first_us") / 1e6);
+  } else {
+    std::printf("%sbreach   none\n", indent);
+  }
+  const JsonValue* probes = slo.Find("probes");
+  if (probes != nullptr && probes->type == JsonValue::Type::kObject &&
+      !probes->object.empty()) {
+    std::printf("%sprobes  ", indent);
+    for (const auto& [name, value] : probes->object) {
+      std::printf(" %s=%.0f", name.c_str(), value.number);
+    }
+    std::printf("\n");
+  }
+}
+
+int ExplainBundle(const std::string& dir) {
+  const std::string manifest_path = dir + "/manifest.json";
+  JsonValue root;
+  std::string error;
+  if (!tiger::LoadJsonFile(manifest_path, &root, &error)) {
+    std::fprintf(stderr, "tigerwatch: %s\n", error.c_str());
+    return 2;
+  }
+  const JsonValue* schema = root.Find("schema");
+  if (schema == nullptr || schema->str != "tiger-incident-v1") {
+    std::fprintf(stderr, "tigerwatch: %s: not a tiger-incident-v1 manifest\n",
+                 manifest_path.c_str());
+    return 2;
+  }
+  std::printf("incident %s\n", dir.c_str());
+  std::printf("reason   %s\n", Str(root, "reason").c_str());
+  std::printf("when     %.3fs sim time\n", Num(root, "sim_time_us") / 1e6);
+  std::printf("run      seed=%.0f cubs=%.0f engine=%s shards=%.0f\n", Num(root, "seed"),
+              Num(root, "cubs"), Str(root, "engine").c_str(), Num(root, "shards"));
+
+  const std::string outcome = ReadFileOrEmpty(dir + "/outcome.txt");
+  std::string verdict;
+  if (!outcome.empty()) {
+    verdict = OutcomeField(outcome, "verdict");
+    std::printf("verdict  %s (survivable=%s, late=%s lost=%s of %s blocks)\n", verdict.c_str(),
+                OutcomeField(outcome, "survivable").c_str(),
+                OutcomeField(outcome, "late_blocks").c_str(),
+                OutcomeField(outcome, "lost_blocks").c_str(),
+                OutcomeField(outcome, "blocks_complete").c_str());
+  }
+
+  const JsonValue* slo = root.Find("slo");
+  if (slo != nullptr && slo->type == JsonValue::Type::kObject) {
+    std::printf("\nslo state at capture:\n");
+    PrintSlo(*slo, "  ");
+  }
+
+  std::printf("\nfiles:\n");
+  const JsonValue* files = root.Find("files");
+  if (files != nullptr && files->type == JsonValue::Type::kArray) {
+    for (const JsonValue& f : files->array) {
+      std::error_code ec;
+      const auto size = std::filesystem::file_size(dir + "/" + f.str, ec);
+      if (ec) {
+        std::printf("  %-20s MISSING\n", f.str.c_str());
+      } else {
+        std::printf("  %-20s %8llu bytes\n", f.str.c_str(),
+                    static_cast<unsigned long long>(size));
+      }
+    }
+  }
+
+  std::error_code ec;
+  if (std::filesystem::exists(dir + "/scenario.txt", ec)) {
+    std::printf("\nreplay:\n  replay_scenario --file=%s/scenario.txt", dir.c_str());
+    if (!verdict.empty()) {
+      std::printf(" --expect=%s", verdict.c_str());
+    }
+    std::printf("\n");
+  }
+  if (std::filesystem::exists(dir + "/flight_trace.json", ec)) {
+    std::printf("\nopen %s/flight_trace.json in https://ui.perfetto.dev for the window "
+                "before capture\n",
+                dir.c_str());
+  }
+  return 0;
+}
+
+int RenderSloFile(const std::string& path) {
+  JsonValue root;
+  std::string error;
+  if (!tiger::LoadJsonFile(path, &root, &error)) {
+    std::fprintf(stderr, "tigerwatch: %s\n", error.c_str());
+    return 2;
+  }
+  const JsonValue* schema = root.Find("schema");
+  if (schema == nullptr || schema->str != "tiger-slo-v1") {
+    std::fprintf(stderr, "tigerwatch: %s: not a tiger-slo-v1 document\n", path.c_str());
+    return 2;
+  }
+  std::printf("slo state %s (at %.3fs, %.0f evals)\n", path.c_str(), Num(root, "now_us") / 1e6,
+              Num(root, "evals"));
+  PrintSlo(root, "  ");
+  return 0;
+}
+
+int ListBundles(const std::string& parent) {
+  std::error_code ec;
+  std::vector<std::string> dirs;
+  for (const auto& entry : std::filesystem::directory_iterator(parent, ec)) {
+    if (entry.is_directory() &&
+        entry.path().filename().string().rfind("incident_", 0) == 0) {
+      dirs.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "tigerwatch: cannot list %s\n", parent.c_str());
+    return 2;
+  }
+  std::sort(dirs.begin(), dirs.end());
+  if (dirs.empty()) {
+    std::printf("no incident_* bundles under %s\n", parent.c_str());
+    return 0;
+  }
+  for (const std::string& dir : dirs) {
+    JsonValue root;
+    std::string error;
+    if (!tiger::LoadJsonFile(dir + "/manifest.json", &root, &error)) {
+      std::printf("%-40s (unreadable manifest)\n", dir.c_str());
+      continue;
+    }
+    const std::string verdict =
+        OutcomeField(ReadFileOrEmpty(dir + "/outcome.txt"), "verdict");
+    std::printf("%-40s reason=%s at=%.3fs seed=%.0f%s%s\n", dir.c_str(),
+                Str(root, "reason").c_str(), Num(root, "sim_time_us") / 1e6, Num(root, "seed"),
+                verdict.empty() ? "" : " verdict=", verdict.c_str());
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tigerwatch <bundle-dir>\n"
+               "       tigerwatch <slo_state.json>\n"
+               "       tigerwatch --list <dir>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  bool list = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      list = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 1) {
+    return Usage();
+  }
+  if (list) {
+    return ListBundles(positional[0]);
+  }
+  std::error_code ec;
+  if (std::filesystem::is_directory(positional[0], ec)) {
+    return ExplainBundle(positional[0]);
+  }
+  return RenderSloFile(positional[0]);
+}
